@@ -1,0 +1,121 @@
+// qsense-bench reproduces the paper's scalability experiments: Figure 3
+// (linked list, 10% updates, None vs QSense vs HP) and the top row of
+// Figure 5 (list / skip list / BST at 50% updates, None vs QSBR vs QSense
+// vs HP). Results print as aligned tables with §7.3-style overhead
+// summaries and can be written to CSV.
+//
+// Examples:
+//
+//	qsense-bench -figure 3
+//	qsense-bench -figure 5top -ds skiplist -threads 1,2,4,8 -duration 2s
+//	qsense-bench -figure 5top -ds bst -paper   # full 2M-key BST
+//	qsense-bench -ds list -schemes qsbr,qsense -updates 30 -range 512
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"qsense/internal/harness"
+)
+
+func main() {
+	var (
+		figure   = flag.String("figure", "", `preset: "3" or "5top" (overrides ds/schemes/updates/range)`)
+		ds       = flag.String("ds", "list", "data structure: list, skiplist, bst")
+		schemes  = flag.String("schemes", "none,qsbr,qsense,hp", "comma-separated schemes")
+		threads  = flag.String("threads", "1,2,4,8", "comma-separated worker counts (paper: 1..32)")
+		duration = flag.Duration("duration", time.Second, "measurement time per point")
+		updates  = flag.Int("updates", 50, "update percentage (rest are searches)")
+		keyRange = flag.Int64("range", 0, "key range (0 = the figure's default)")
+		paper    = flag.Bool("paper", false, "use the paper's full parameters (2M-key BST)")
+		csvPath  = flag.String("csv", "", "also write results to this CSV file")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	workers, err := parseInts(*threads)
+	if err != nil {
+		fatal(err)
+	}
+
+	var sc harness.ScalabilityConfig
+	switch *figure {
+	case "3":
+		sc = harness.Fig3(workers, *duration)
+	case "5top":
+		sc = harness.Fig5Top(*ds, workers, *duration, *paper)
+	case "":
+		sc = harness.ScalabilityConfig{
+			DS: *ds, KeyRange: defaultRange(*ds, *paper), UpdatePct: *updates,
+			Schemes: strings.Split(*schemes, ","), Workers: workers, Duration: *duration,
+		}
+	default:
+		fatal(fmt.Errorf("unknown figure %q (want 3 or 5top)", *figure))
+	}
+	if *keyRange > 0 {
+		sc.KeyRange = *keyRange
+	}
+	sc.Seed = *seed
+
+	fmt.Printf("qsense-bench: %s, %d keys, %d%% updates, %v per point, GOMAXPROCS=%d\n",
+		sc.DS, sc.KeyRange, sc.UpdatePct, sc.Duration, runtime.GOMAXPROCS(0))
+	curves, err := harness.RunScalability(sc, os.Stdout)
+	if err != nil {
+		fatal(err)
+	}
+
+	title := fmt.Sprintf("Throughput (Mops/s): %s, %d%% updates, range %d", sc.DS, sc.UpdatePct, sc.KeyRange)
+	harness.RenderCurvesTable(os.Stdout, title, curves)
+	if s := harness.SpeedupOver(curves, "qsense", "hp"); s > 0 {
+		fmt.Printf("qsense vs hp: %.2fx (paper reports 2-3x)\n", s)
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := harness.WriteCurvesCSV(f, curves); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *csvPath)
+	}
+}
+
+func defaultRange(ds string, paper bool) int64 {
+	switch ds {
+	case "skiplist":
+		return harness.PaperSkipRange
+	case "bst":
+		if paper {
+			return harness.PaperBSTRange
+		}
+		return harness.DefaultBSTRange
+	default:
+		return harness.PaperListRange
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad thread count %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qsense-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,265 @@
+// qsense-sim regenerates the paper's evaluation figures on the TSO machine
+// simulator (internal/sim): throughput in operations per million simulated
+// cycles, with real simulated fence costs, store-buffer visibility delays,
+// rooster context switches and process stalls. Every run is bit-for-bit
+// reproducible from its seed.
+//
+//	qsense-sim -exp fig3                 # list, 10% updates: none/qsense/hp
+//	qsense-sim -exp fig5top              # list, 50% updates: +qsbr
+//	qsense-sim -exp fig5bottom           # 8 procs, stalls: qsbr fails, qsense switches
+//	qsense-sim -exp ablation             # unsafe ablations fault (UAF caught)
+//
+// The wall-clock counterparts over the native implementation are
+// cmd/qsense-bench and cmd/qsense-delays.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"qsense/internal/sim/simexp"
+	"qsense/internal/sim/simsmr"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "fig3", "experiment: fig3 | fig5top | fig5bottom | ablation")
+		keyRange = flag.Uint64("range", 256, "key range (paper: 2000; scaled default keeps simulated traversals tractable)")
+		duration = flag.Float64("mcycles", 0, "run length per proc, in millions of cycles (0 = per-experiment default: 4 for fig3/fig5top, 8 for fig5bottom, 2 for ablation)")
+		procs    = flag.String("procs", "1,2,4,8", "proc counts for the scalability experiments")
+		seed     = flag.Uint64("seed", 1, "simulation seed (results are a pure function of flags+seed)")
+		csvPath  = flag.String("csv", "", "also write results as CSV to this file")
+	)
+	flag.Parse()
+
+	if *duration == 0 {
+		switch *exp {
+		case "fig5bottom":
+			*duration = 8
+		case "ablation":
+			*duration = 2
+		default:
+			*duration = 4
+		}
+	}
+
+	var rows [][]string
+	var err error
+	switch *exp {
+	case "fig3", "fig5top":
+		rows, err = runScalability(*exp, *keyRange, cycles(*duration), parseProcs(*procs), *seed)
+	case "fig5bottom":
+		rows, err = runDelays(*keyRange, cycles(*duration), *seed)
+	case "ablation":
+		rows, err = runAblation(*keyRange, cycles(*duration), *seed)
+	default:
+		err = fmt.Errorf("unknown experiment %q", *exp)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qsense-sim:", err)
+		os.Exit(1)
+	}
+	if *csvPath != "" {
+		if err := writeCSV(*csvPath, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "qsense-sim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *csvPath)
+	}
+}
+
+func cycles(mcycles float64) uint64 { return uint64(mcycles * 1e6) }
+
+func parseProcs(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "qsense-sim: bad proc count %q\n", f)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func runScalability(exp string, keyRange, dur uint64, procs []int, seed uint64) ([][]string, error) {
+	var base simexp.Config
+	var schemes []string
+	if exp == "fig3" {
+		base, schemes = simexp.Fig3(keyRange, dur)
+		fmt.Printf("== Figure 3 (simulated): list %d keys, 10%% updates ==\n", keyRange)
+	} else {
+		base, schemes = simexp.Fig5Top(keyRange, dur)
+		fmt.Printf("== Figure 5 top (simulated): list %d keys, 50%% updates ==\n", keyRange)
+	}
+	base.Seed = seed
+	curves := simexp.Scalability(base, schemes, procs, os.Stdout)
+
+	rows := [][]string{{"scheme", "procs", "ops_per_mcycle", "ops", "cycles", "fences", "preempts"}}
+	fmt.Printf("\n%-8s", "procs")
+	for _, c := range curves {
+		fmt.Printf(" %12s", c.Scheme)
+	}
+	fmt.Println()
+	for i, n := range procs {
+		fmt.Printf("%-8d", n)
+		for _, c := range curves {
+			r := c.Points[i].Res
+			fmt.Printf(" %12.1f", r.OpsPerMcycle)
+			rows = append(rows, []string{
+				c.Scheme, strconv.Itoa(n),
+				fmt.Sprintf("%.2f", r.OpsPerMcycle),
+				strconv.FormatUint(r.Ops, 10),
+				strconv.FormatUint(r.Cycles, 10),
+				strconv.FormatUint(r.Machine.Fences, 10),
+				strconv.FormatUint(r.Machine.RoosterPreempts, 10),
+			})
+		}
+		fmt.Println()
+	}
+	fmt.Println("(ops per million simulated cycles; higher is better)")
+	return rows, nil
+}
+
+func runDelays(keyRange, dur uint64, seed uint64) ([][]string, error) {
+	// The delay experiment needs retire rates high enough that a stalled
+	// grace period visibly exhausts the budget within one stall window;
+	// a 256-key list at short simulated durations retires too slowly, so
+	// this experiment scales the range down (the paper runs 100 wall
+	// seconds — billions of cycles — to get the same effect at 2000).
+	if keyRange > 64 {
+		keyRange = 64
+	}
+	base, schemes := simexp.Fig5Bottom(keyRange, dur)
+	base.Seed = seed
+	base.MemoryLimit = 320
+	base.SMR = func(c *simsmr.Config) {
+		c.Q = 8
+		c.R = 24
+		c.C = 32
+		c.PresenceWindow = 50_000
+	}
+	fmt.Printf("== Figure 5 bottom (simulated): %d procs, %d keys, proc 0 stalled 5x ==\n",
+		base.Procs, keyRange)
+	rows := [][]string{{"scheme", "bucket_mcycles", "ops_per_mcycle", "fallback", "failed"}}
+	results := map[string]simexp.Result{}
+	for _, scheme := range schemes {
+		cfg := base
+		cfg.Scheme = scheme
+		res := simexp.Run(cfg)
+		results[scheme] = res
+		for _, b := range res.Buckets {
+			rows = append(rows, []string{
+				scheme,
+				fmt.Sprintf("%.2f", float64(b.T)/1e6),
+				fmt.Sprintf("%.2f", b.OpsPerMcycle),
+				strconv.FormatBool(b.InFallback),
+				strconv.FormatBool(b.Failed),
+			})
+		}
+		status := "survived"
+		if res.Failed {
+			status = fmt.Sprintf("FAILED (OOM) at %.2f Mcycles", float64(res.FailedAt)/1e6)
+		}
+		fmt.Printf("%-8s %10.1f ops/Mcycle  switches fall/fast=%d/%d  %s\n",
+			scheme, res.OpsPerMcycle,
+			res.Reclaim.SwitchesToFallback, res.Reclaim.SwitchesToFast, status)
+		if len(res.Errs) != 0 {
+			return nil, fmt.Errorf("%s: %v", scheme, res.Errs)
+		}
+	}
+	// Sparkline-style series so the switch/failure pattern is visible.
+	for _, scheme := range schemes {
+		res := results[scheme]
+		var sb strings.Builder
+		peak := 0.0
+		for _, b := range res.Buckets {
+			peak = max(peak, b.OpsPerMcycle)
+		}
+		for _, b := range res.Buckets {
+			switch {
+			case b.Failed && b.Ops == 0:
+				sb.WriteByte('x')
+			case b.InFallback:
+				sb.WriteByte('f')
+			case peak > 0 && b.OpsPerMcycle >= peak/2:
+				sb.WriteByte('#')
+			case b.Ops > 0:
+				sb.WriteByte('-')
+			default:
+				sb.WriteByte('.')
+			}
+		}
+		fmt.Printf("%-8s |%s|\n", scheme, sb.String())
+	}
+	fmt.Println("(# fast path, f fallback path, - degraded, x failed, . idle; one char per 1% of the run)")
+	return rows, nil
+}
+
+func runAblation(keyRange, dur uint64, seed uint64) ([][]string, error) {
+	// The fault window needs a hot key set: deleters must keep unlinking
+	// nodes that dwell readers are holding. Long traversals over a big
+	// range dilute the race to invisibility.
+	if keyRange > 32 {
+		keyRange = 32
+	}
+	fmt.Println("== Unsafe ablations (simulated): use-after-free detection ==")
+	rows := [][]string{{"variant", "violations", "retired"}}
+	mk := func(name, scheme string, mut func(*simsmr.Config), expect bool) error {
+		res := simexp.Run(simexp.Config{
+			Scheme: scheme, Procs: 8, KeyRange: keyRange, UpdatePct: 50,
+			Duration: dur, Seed: seed, RoosterInterval: 100_000,
+			DwellEvery: 1, DwellCycles: 3000,
+			SMR: func(c *simsmr.Config) {
+				c.R = 1
+				mut(c)
+			},
+		})
+		rows = append(rows, []string{name, strconv.Itoa(len(res.Errs)),
+			strconv.FormatUint(res.Reclaim.Retired, 10)})
+		verdict := "SAFE (no violations)"
+		if len(res.Errs) > 0 {
+			verdict = fmt.Sprintf("UNSAFE: %v", res.Errs[0])
+		}
+		fmt.Printf("%-40s %s\n", name, verdict)
+		if expect != (len(res.Errs) > 0) {
+			return fmt.Errorf("%s: expected violations=%v, got %d", name, expect, len(res.Errs))
+		}
+		return nil
+	}
+	for _, c := range []struct {
+		name, scheme string
+		mut          func(*simsmr.Config)
+		expect       bool
+	}{
+		{"hp (fence per Protect)", "hp", func(c *simsmr.Config) {}, false},
+		{"hp without fence (naive hybrid, §4.1)", "hp", func(c *simsmr.Config) { c.NoFence = true }, true},
+		{"cadence (rooster + deferral)", "cadence", func(c *simsmr.Config) {}, false},
+		{"cadence without deferral (§5.1 ablation)", "cadence", func(c *simsmr.Config) { c.DisableDeferral = true }, true},
+		{"qsense (hybrid)", "qsense", func(c *simsmr.Config) {}, false},
+	} {
+		if err := mk(c.name, c.scheme, c.mut, c.expect); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+func writeCSV(path string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}

@@ -1,0 +1,232 @@
+package qsense
+
+import (
+	"qsense/internal/bst"
+	"qsense/internal/hashmap"
+	"qsense/internal/list"
+	"qsense/internal/queue"
+	"qsense/internal/reclaim"
+	"qsense/internal/skiplist"
+	"qsense/internal/stack"
+)
+
+// SetHandle is a worker's view of a concurrent sorted set. All set-like
+// containers (Set, SkipSet, TreeSet, HashSet) hand out SetHandles. A
+// handle must be used by one goroutine at a time.
+type SetHandle interface {
+	// Contains reports whether key is in the set.
+	Contains(key int64) bool
+	// Insert adds key, reporting false if it was already present.
+	Insert(key int64) bool
+	// Delete removes key, reporting false if it was absent.
+	Delete(key int64) bool
+}
+
+// setCore carries the domain plumbing shared by the set containers.
+type setCore struct {
+	d       reclaim.Domain
+	handles []SetHandle
+}
+
+// Handle returns worker w's handle (0 <= w < Options.Workers).
+func (c *setCore) Handle(w int) SetHandle { return c.handles[w] }
+
+// Stats returns the reclamation counters.
+func (c *setCore) Stats() Stats { return fromReclaimStats(c.d.Stats()) }
+
+// Close reclaims all pending memory and stops background machinery. Call
+// only after all workers have stopped.
+func (c *setCore) Close() { c.d.Close() }
+
+func newSetCore(opts Options, hps int, free func(Ref), mk func(g Guard, w int) SetHandle) (*setCore, error) {
+	d, err := NewDomain(withHPs(opts, hps), free)
+	if err != nil {
+		return nil, err
+	}
+	c := &setCore{d: d.d}
+	for w := 0; w < opts.workers(); w++ {
+		c.handles = append(c.handles, mk(d.Guard(w), w))
+	}
+	return c, nil
+}
+
+func withHPs(opts Options, hps int) Options {
+	if opts.HPs < hps {
+		opts.HPs = hps
+	}
+	return opts
+}
+
+// Set is a lock-free sorted set backed by the Harris–Michael linked list —
+// right for small key ranges and cheap iteration-free membership.
+type Set struct {
+	setCore
+	l *list.List
+}
+
+// NewSet builds a linked-list set wired to a reclamation domain.
+func NewSet(opts Options) (*Set, error) {
+	l := list.New(list.Config{MaxSlots: opts.MaxNodes})
+	core, err := newSetCore(opts, list.HPs, func(r Ref) { l.FreeNode(toMem(r)) },
+		func(g Guard, _ int) SetHandle { return l.NewHandle(g.g) })
+	if err != nil {
+		return nil, err
+	}
+	return &Set{setCore: *core, l: l}, nil
+}
+
+// Len counts elements; only meaningful while no workers are active.
+func (s *Set) Len() int { return s.l.Len() }
+
+// SkipSet is a lock-free sorted set backed by the Fraser skip list —
+// logarithmic operations over large key ranges.
+type SkipSet struct {
+	setCore
+	s *skiplist.SkipList
+}
+
+// NewSkipSet builds a skip-list set wired to a reclamation domain.
+func NewSkipSet(opts Options) (*SkipSet, error) {
+	sl := skiplist.New(skiplist.Config{MaxSlots: opts.MaxNodes})
+	core, err := newSetCore(opts, skiplist.HPsFor(sl.Levels()), func(r Ref) { sl.FreeNode(toMem(r)) },
+		func(g Guard, w int) SetHandle { return sl.NewHandle(g.g, uint64(w)*0x9E3779B9+1) })
+	if err != nil {
+		return nil, err
+	}
+	return &SkipSet{setCore: *core, s: sl}, nil
+}
+
+// Len counts elements; only meaningful while no workers are active.
+func (s *SkipSet) Len() int { return s.s.Len() }
+
+// TreeSet is a lock-free sorted set backed by the Natarajan–Mittal
+// external binary search tree — the paper's third workload.
+type TreeSet struct {
+	setCore
+	t *bst.Tree
+}
+
+// NewTreeSet builds a BST set wired to a reclamation domain.
+func NewTreeSet(opts Options) (*TreeSet, error) {
+	tr := bst.New(bst.Config{MaxSlots: opts.MaxNodes})
+	core, err := newSetCore(opts, bst.HPs, func(r Ref) { tr.FreeNode(toMem(r)) },
+		func(g Guard, _ int) SetHandle { return tr.NewHandle(g.g) })
+	if err != nil {
+		return nil, err
+	}
+	return &TreeSet{setCore: *core, t: tr}, nil
+}
+
+// Len counts elements; only meaningful while no workers are active.
+func (s *TreeSet) Len() int { return s.t.Len() }
+
+// HashSet is a lock-free hash set backed by Michael's hash table (split
+// ordered bucket chains) — constant-time membership.
+type HashSet struct {
+	setCore
+	m *hashmap.Map
+}
+
+// NewHashSet builds a hash set wired to a reclamation domain.
+func NewHashSet(opts Options) (*HashSet, error) {
+	m := hashmap.New(hashmap.Config{MaxSlots: opts.MaxNodes})
+	core, err := newSetCore(opts, hashmap.HPs, func(r Ref) { m.FreeNode(toMem(r)) },
+		func(g Guard, _ int) SetHandle { return m.NewHandle(g.g) })
+	if err != nil {
+		return nil, err
+	}
+	return &HashSet{setCore: *core, m: m}, nil
+}
+
+// Len counts elements; only meaningful while no workers are active.
+func (s *HashSet) Len() int { return s.m.Len() }
+
+// Queue is a lock-free FIFO queue (Michael–Scott) of uint64 values.
+type Queue struct {
+	q       *queue.Queue
+	d       reclaim.Domain
+	handles []*queue.Handle
+}
+
+// NewQueue builds a queue wired to a reclamation domain.
+func NewQueue(opts Options) (*Queue, error) {
+	q := queue.New(queue.Config{MaxSlots: opts.MaxNodes})
+	d, err := NewDomain(withHPs(opts, queue.HPs), func(r Ref) { q.FreeNode(toMem(r)) })
+	if err != nil {
+		return nil, err
+	}
+	out := &Queue{q: q, d: d.d}
+	for w := 0; w < opts.workers(); w++ {
+		out.handles = append(out.handles, q.NewHandle(d.Guard(w).g))
+	}
+	return out, nil
+}
+
+// QueueHandle is a worker's view of a Queue. A handle must be used by one
+// goroutine at a time.
+type QueueHandle struct {
+	h *queue.Handle
+}
+
+// Enqueue appends v at the tail.
+func (h QueueHandle) Enqueue(v uint64) { h.h.Enqueue(v) }
+
+// Dequeue removes and returns the oldest value; ok=false when empty.
+func (h QueueHandle) Dequeue() (v uint64, ok bool) { return h.h.Dequeue() }
+
+// Handle returns worker w's handle.
+func (q *Queue) Handle(w int) QueueHandle { return QueueHandle{h: q.handles[w]} }
+
+// Stats returns the reclamation counters.
+func (q *Queue) Stats() Stats { return fromReclaimStats(q.d.Stats()) }
+
+// Len counts elements; only meaningful while no workers are active.
+func (q *Queue) Len() int { return q.q.Len() }
+
+// Close reclaims pending memory; call after all workers stopped.
+func (q *Queue) Close() { q.d.Close() }
+
+// Stack is a lock-free LIFO stack (Treiber) of uint64 values.
+type Stack struct {
+	s       *stack.Stack
+	d       reclaim.Domain
+	handles []*stack.Handle
+}
+
+// NewStack builds a stack wired to a reclamation domain.
+func NewStack(opts Options) (*Stack, error) {
+	s := stack.New(stack.Config{MaxSlots: opts.MaxNodes})
+	d, err := NewDomain(withHPs(opts, stack.HPs), func(r Ref) { s.FreeNode(toMem(r)) })
+	if err != nil {
+		return nil, err
+	}
+	out := &Stack{s: s, d: d.d}
+	for w := 0; w < opts.workers(); w++ {
+		out.handles = append(out.handles, s.NewHandle(d.Guard(w).g))
+	}
+	return out, nil
+}
+
+// StackHandle is a worker's view of a Stack. A handle must be used by one
+// goroutine at a time.
+type StackHandle struct {
+	h *stack.Handle
+}
+
+// Push adds v on top.
+func (h StackHandle) Push(v uint64) { h.h.Push(v) }
+
+// Pop removes and returns the top value; ok=false when empty.
+func (h StackHandle) Pop() (v uint64, ok bool) { return h.h.Pop() }
+
+// Handle returns worker w's handle.
+func (s *Stack) Handle(w int) StackHandle { return StackHandle{h: s.handles[w]} }
+
+// Stats returns the reclamation counters.
+func (s *Stack) Stats() Stats { return fromReclaimStats(s.d.Stats()) }
+
+// Len counts elements; only meaningful while no workers are active.
+func (s *Stack) Len() int { return s.s.Len() }
+
+// Close reclaims pending memory; call after all workers stopped.
+func (s *Stack) Close() { s.d.Close() }

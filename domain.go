@@ -1,0 +1,144 @@
+package qsense
+
+import (
+	"qsense/internal/mem"
+	"qsense/internal/reclaim"
+)
+
+// Ref is a generation-tagged handle to a node in a Pool — the library's
+// replacement for a raw pointer. The zero Ref is nil. Two low tag bits are
+// reserved for the data structure (deletion marks and the like), exactly
+// as C implementations pack flags into pointer low bits; clear them with
+// Untagged before resolving.
+//
+// Unlike a raw pointer, a Ref to a freed (and possibly reallocated) node
+// is detectable: resolving it panics with a use-after-free violation
+// instead of reading someone else's memory.
+type Ref uint64
+
+// TagBits is the number of low bits of a Ref reserved for structure use.
+const TagBits = mem.TagBits
+
+// toMem converts a public Ref to the substrate's representation.
+func toMem(r Ref) mem.Ref { return mem.Ref(r) }
+
+// IsNil reports whether r refers to no node (ignoring tag bits).
+func (r Ref) IsNil() bool { return mem.Ref(r).IsNil() }
+
+// Untagged returns r with the structure tag bits cleared.
+func (r Ref) Untagged() Ref { return Ref(mem.Ref(r).Untagged()) }
+
+// Tag returns the structure tag bits of r.
+func (r Ref) Tag() uint64 { return mem.Ref(r).Tag() }
+
+// WithTag returns r with the given tag bits set (existing tags cleared).
+func (r Ref) WithTag(tag uint64) Ref { return Ref(mem.Ref(r).WithTag(tag)) }
+
+// Pool is a typed node allocator for custom structures. Alloc hands out
+// Refs; Free (usually called by the Domain, not the application) recycles
+// the slot and invalidates outstanding Refs. Safe for concurrent use.
+type Pool[T any] struct {
+	p *mem.Pool[T]
+}
+
+// PoolOptions configures a Pool.
+type PoolOptions struct {
+	// MaxNodes bounds the pool; Alloc panics once it is reached
+	// (malloc returning NULL). 0 = library default.
+	MaxNodes int
+	// Name appears in violation messages.
+	Name string
+}
+
+// NewPool creates an empty pool of T nodes.
+func NewPool[T any](opts PoolOptions) *Pool[T] {
+	return &Pool[T]{p: mem.NewPool[T](mem.Config{MaxSlots: opts.MaxNodes, Name: opts.Name})}
+}
+
+// Alloc returns a fresh node and its Ref. Initialize every field before
+// publishing the Ref to other workers.
+func (p *Pool[T]) Alloc() (Ref, *T) {
+	r, v := p.p.Alloc()
+	return Ref(r), v
+}
+
+// Get resolves r. It panics with a use-after-free violation if r is stale
+// and with a nil-dereference message if r is nil. Tag bits must be cleared
+// (Untagged).
+func (p *Pool[T]) Get(r Ref) *T { return p.p.Get(mem.Ref(r)) }
+
+// Valid reports whether r currently resolves to a live node.
+func (p *Pool[T]) Valid(r Ref) bool { return p.p.Valid(mem.Ref(r)) }
+
+// Free returns r's node to the pool directly — only for nodes that were
+// never reachable by other workers (e.g. a lost insertion race); anything
+// that was shared goes through Guard.Retire instead.
+func (p *Pool[T]) Free(r Ref) { p.p.Free(mem.Ref(r)) }
+
+// Live returns the number of currently allocated nodes.
+func (p *Pool[T]) Live() uint64 { return p.p.Stats().Live }
+
+// FreeFunc adapts the pool's Free for NewDomain.
+func (p *Pool[T]) FreeFunc() func(Ref) { return func(r Ref) { p.p.Free(mem.Ref(r)) } }
+
+// Domain manages safe memory reclamation for one custom structure and a
+// fixed set of workers. Create with NewDomain; obtain one Guard per worker.
+type Domain struct {
+	d reclaim.Domain
+}
+
+// NewDomain builds a reclamation domain for a custom structure. free
+// returns a retired node's memory to its pool (Pool.FreeFunc). Options.HPs
+// must cover the structure's maximum simultaneous protections per worker.
+func NewDomain(opts Options, free func(Ref)) (*Domain, error) {
+	hps := opts.HPs
+	if hps <= 0 {
+		hps = 2
+	}
+	cfg := opts.reclaimConfig(hps, func(r mem.Ref) { free(Ref(r)) })
+	d, err := reclaim.New(opts.scheme(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Domain{d: d}, nil
+}
+
+// Guard returns worker w's guard (0 <= w < Options.Workers). Each guard
+// must be used by its worker only.
+func (d *Domain) Guard(w int) Guard { return Guard{g: d.d.Guard(w)} }
+
+// Stats returns a snapshot of the domain's counters.
+func (d *Domain) Stats() Stats { return fromReclaimStats(d.d.Stats()) }
+
+// Failed reports whether the domain breached Options.MemoryLimit.
+func (d *Domain) Failed() bool { return d.d.Failed() }
+
+// Close stops background machinery and frees every node still awaiting
+// reclamation. Call only after all workers have stopped.
+func (d *Domain) Close() { d.d.Close() }
+
+// Guard is a worker's reclamation handle — the paper's three-call
+// interface (§4.2). Methods must be called only by the owning worker.
+type Guard struct {
+	g reclaim.Guard
+}
+
+// Begin is the paper's manage_qsense_state: call it at a point where the
+// worker holds no references to shared nodes, conventionally at the start
+// of every structure operation.
+func (g Guard) Begin() { g.g.Begin() }
+
+// Protect is the paper's assign_HP: publish slot i as protecting r. After
+// Protect returns, re-validate the link r was loaded from and retry the
+// operation if it changed — that re-validation is what makes the
+// protection sound (§3.2).
+func (g Guard) Protect(i int, r Ref) { g.g.Protect(i, mem.Ref(r)) }
+
+// Retire is the paper's free_node_later: hand over a node that has been
+// unlinked from the structure; the scheme frees it once no worker can
+// hold it.
+func (g Guard) Retire(r Ref) { g.g.Retire(mem.Ref(r)) }
+
+// End releases all of this guard's protections; call at the end of an
+// operation.
+func (g Guard) End() { g.g.ClearHPs() }

@@ -1,0 +1,105 @@
+// delaytolerance: the paper's robustness story (Figure 5, bottom) as a live
+// demo. Four workers churn a lock-free list; worker 0 periodically goes to
+// sleep mid-stream, making quiescence impossible.
+//
+// Run once with QSBR and once with QSense, under the same retired-node
+// budget standing in for physical memory:
+//
+//   - QSBR cannot reclaim anything while worker 0 sleeps; its limbo lists
+//     blow through the budget and the "process" dies.
+//   - QSense notices the backlog crossing C, raises the fallback flag,
+//     reclaims through Cadence during the stall, and returns to the fast
+//     path when worker 0 wakes — the run completes within budget.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qsense/internal/list"
+	"qsense/internal/reclaim"
+	"qsense/internal/workload"
+)
+
+const (
+	workers   = 4
+	keyRange  = 512
+	runFor    = 3 * time.Second
+	memBudget = 250000 // retired nodes the "machine" can hold
+)
+
+func main() {
+	for _, scheme := range []string{"qsbr", "qsense"} {
+		run(scheme)
+	}
+}
+
+func run(scheme string) {
+	fmt.Printf("=== %s, budget %d retired nodes, worker 0 sleeps 500ms of every 1s ===\n", scheme, memBudget)
+	set := list.New(list.Config{})
+	dom, err := reclaim.New(scheme, reclaim.Config{
+		Workers:     workers,
+		HPs:         list.HPs,
+		Free:        set.FreeNode,
+		MemoryLimit: memBudget,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	plan := workload.DelayPlan{Worker: 0, Start: 500 * time.Millisecond,
+		Duration: 500 * time.Millisecond, Period: time.Second}
+	var stop atomic.Bool
+	var ops atomic.Uint64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := set.NewHandle(dom.Guard(w))
+			rng := workload.NewRNG(uint64(w + 1))
+			for !stop.Load() && !dom.Failed() {
+				if w == plan.Worker {
+					if stalled, until := plan.StalledAt(time.Since(start)); stalled {
+						time.Sleep(time.Until(start.Add(until)))
+						continue
+					}
+				}
+				k := rng.Key(keyRange)
+				h.Insert(k)
+				h.Delete(k)
+				ops.Add(2)
+			}
+		}(w)
+	}
+
+	// Narrate the run: pending backlog and QSense's path, twice a second.
+	for t := 0; t < int(runFor/(250*time.Millisecond)); t++ {
+		time.Sleep(250 * time.Millisecond)
+		st := dom.Stats()
+		mode := "fast path"
+		if st.InFallback {
+			mode = "FALLBACK (Cadence)"
+		}
+		if st.Failed {
+			fmt.Printf("  t=%4dms  OUT OF MEMORY — process dead (pending %d > budget)\n",
+				(t+1)*250, st.Pending)
+			break
+		}
+		fmt.Printf("  t=%4dms  pending %6d  freed %8d  %s\n", (t+1)*250, st.Pending, st.Freed, mode)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	st := dom.Stats()
+	if st.Failed {
+		fmt.Printf("result: FAILED after %d ops — blocking reclamation cannot ride out delays\n\n", ops.Load())
+	} else {
+		fmt.Printf("result: survived, %d ops, %d fallback switches, %d recoveries\n\n",
+			ops.Load(), st.SwitchesToFallback, st.SwitchesToFast)
+	}
+	dom.Close()
+}

@@ -1,0 +1,64 @@
+// Quickstart: a lock-free sorted set protected by QSense, through the
+// public API. Four workers insert, delete and search concurrently; the
+// reclamation domain recycles deleted nodes safely underneath them.
+//
+// Under the hood this is the paper's three-call interface (§4.2) —
+// manage_qsense_state / assign_HP / free_node_later — already placed
+// inside the container's code; an application only picks a scheme and
+// hands each worker its handle. Swap SchemeQSense for SchemeQSBR,
+// SchemeHP, SchemeCadence, SchemeEBR or SchemeRC: the container code is
+// scheme-agnostic.
+//
+// For wiring a structure of your own through Pool/Domain/Guard, see
+// examples/workqueue; for the three-call interface spelled out on the
+// paper's own linked list, see examples/kvstore and examples/cadence.
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"qsense"
+)
+
+func main() {
+	const workers = 4
+
+	set, err := qsense.NewSet(qsense.Options{
+		Workers: workers,
+		Scheme:  qsense.SchemeQSense,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := set.Handle(w) // one handle per worker, used only by it
+			rng := uint64(w)*0x9E3779B9 + 1
+			for i := 0; i < 50000; i++ {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				key := int64(rng>>33) % 1000
+				switch rng % 10 {
+				case 0, 1, 2:
+					h.Insert(key)
+				case 3, 4:
+					h.Delete(key)
+				default:
+					h.Contains(key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := set.Stats()
+	fmt.Printf("set size now: %d\n", set.Len())
+	fmt.Printf("nodes retired: %d, freed while running: %d, awaiting: %d\n",
+		st.Retired, st.Freed, st.Pending)
+	set.Close() // reclaims the rest
+	fmt.Printf("after close: pending=%d\n", set.Stats().Pending)
+}

@@ -1,0 +1,143 @@
+// Workqueue: a producer/consumer pipeline over the PUBLIC qsense API,
+// demonstrating both API levels at once:
+//
+//   - the ready-made lock-free Queue (Michael–Scott) moves task ids
+//     between stages;
+//   - the task payloads themselves live in a custom qsense.Pool, protected
+//     by a qsense.Domain with the paper's three-call discipline — the
+//     integration path an application with its own data structures
+//     follows.
+//
+// Midway through the run one consumer stalls (simulating blocking I/O).
+// Under plain QSBR that stall would pin every retired payload in memory;
+// the QSense domain switches to its fallback path, keeps reclaiming, and
+// switches back when the consumer returns — watch the SwitchesToFallback /
+// SwitchesToFast counters in the final stats.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qsense"
+)
+
+// task is a payload node in the custom pool.
+type task struct {
+	id      uint64
+	payload [6]uint64 // pretend work product
+}
+
+func main() {
+	const (
+		producers = 2
+		consumers = 2
+		workers   = producers + consumers
+		tasks     = 40000
+	)
+
+	// The payload substrate: pool + reclamation domain. One hazard
+	// pointer per worker is enough (a consumer holds one task at a time).
+	pool := qsense.NewPool[task](qsense.PoolOptions{Name: "tasks"})
+	dom, err := qsense.NewDomain(qsense.Options{
+		Workers: workers,
+		HPs:     1,
+		Scheme:  qsense.SchemeQSense,
+		Q:       8,
+		C:       4096, // fallback trigger: must exceed the healthy burst backlog (§5.2)
+	}, pool.FreeFunc())
+	if err != nil {
+		panic(err)
+	}
+
+	// The conveyor: task Refs travel through the lock-free queue.
+	q, err := qsense.NewQueue(qsense.Options{Workers: workers})
+	if err != nil {
+		panic(err)
+	}
+
+	var produced, consumed atomic.Uint64
+	var wg sync.WaitGroup
+
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g := dom.Guard(w)
+			qh := q.Handle(w)
+			for i := 0; i < tasks/producers; i++ {
+				g.Begin()
+				r, t := pool.Alloc()
+				t.id = uint64(w)<<32 | uint64(i)
+				for j := range t.payload {
+					t.payload[j] = t.id * uint64(j+1)
+				}
+				qh.Enqueue(uint64(r))
+				produced.Add(1)
+				g.End()
+			}
+		}(p)
+	}
+
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g := dom.Guard(w)
+			qh := q.Handle(w)
+			idle := 0
+			for {
+				g.Begin()
+				v, ok := qh.Dequeue()
+				if !ok {
+					g.End()
+					if produced.Load() == uint64(tasks) && consumed.Load() == produced.Load() {
+						return
+					}
+					if idle++; idle > 1_000_000 {
+						return // producers died; don't spin forever
+					}
+					continue
+				}
+				idle = 0
+				r := qsense.Ref(v)
+				// The dequeued Ref is exclusively ours (the queue
+				// handed it over), but protect-before-use keeps the
+				// discipline uniform and guards against bugs.
+				g.Protect(0, r)
+				t := pool.Get(r)
+				var sum uint64
+				for _, x := range t.payload {
+					sum += x
+				}
+				_ = sum
+				g.Retire(r) // payload consumed: free when safe
+				consumed.Add(1)
+				g.End()
+
+				// Consumer 0 blocks mid-run, as if on slow I/O.
+				if w == producers && consumed.Load() == tasks/4 {
+					fmt.Println("consumer stalls for 300ms ...")
+					time.Sleep(300 * time.Millisecond)
+					fmt.Println("consumer back")
+				}
+			}
+		}(producers + c)
+	}
+
+	wg.Wait()
+	st := dom.Stats()
+	fmt.Printf("produced %d, consumed %d\n", produced.Load(), consumed.Load())
+	fmt.Printf("payloads: retired=%d freed=%d pending=%d live=%d\n",
+		st.Retired, st.Freed, st.Pending, pool.Live())
+	// Expect multiple engagements: retire bursts that outrun epoch
+	// rotation trip the C threshold just like the injected stall does
+	// (Algorithm 5 has no hysteresis), and every engagement recovered.
+	fmt.Printf("qsense path switches: to-fallback=%d to-fast=%d (in fallback now: %v)\n",
+		st.SwitchesToFallback, st.SwitchesToFast, st.InFallback)
+	dom.Close()
+	q.Close()
+	fmt.Printf("after close: live=%d (0 = nothing leaked)\n", pool.Live())
+}

@@ -1,0 +1,76 @@
+package fence
+
+import (
+	"testing"
+	"time"
+)
+
+func TestZeroModelIsFree(t *testing.T) {
+	var m Model
+	if m.Cost() != 0 {
+		t.Fatal("zero model must report zero cost")
+	}
+	t0 := time.Now()
+	for i := 0; i < 1000; i++ {
+		m.Full()
+	}
+	if d := time.Since(t0); d > 5*time.Millisecond {
+		t.Fatalf("zero model too slow: %v for 1000 fences", d)
+	}
+}
+
+func TestNewModelNonPositive(t *testing.T) {
+	m := NewModel(0)
+	if m.iters != 0 {
+		t.Fatal("cost<=0 must produce a free model")
+	}
+	m = NewModel(-time.Second)
+	if m.iters != 0 {
+		t.Fatal("negative cost must produce a free model")
+	}
+}
+
+func TestCalibration(t *testing.T) {
+	ns := NsPerIteration()
+	if ns <= 0 || ns > 1000 {
+		t.Fatalf("implausible calibration: %v ns/iter", ns)
+	}
+	if NsPerIteration() != ns {
+		t.Fatal("calibration must be cached")
+	}
+}
+
+func TestModelLatencyOrder(t *testing.T) {
+	// A 10x more expensive model should take measurably longer. We assert
+	// a loose factor (>2x) to stay robust on noisy CI machines.
+	cheap := NewModel(20 * time.Nanosecond)
+	dear := NewModel(200 * time.Nanosecond)
+	const n = 200000
+	measure := func(m *Model) time.Duration {
+		t0 := time.Now()
+		for i := 0; i < n; i++ {
+			m.Full()
+		}
+		return time.Since(t0)
+	}
+	measure(cheap) // warm-up
+	dc := measure(cheap)
+	dd := measure(dear)
+	if dd < dc*2 {
+		t.Fatalf("200ns model (%v) not measurably dearer than 20ns model (%v)", dd, dc)
+	}
+}
+
+func TestModelApproximatesCost(t *testing.T) {
+	m := NewModel(100 * time.Nanosecond)
+	const n = 100000
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		m.Full()
+	}
+	per := time.Since(t0) / n
+	// Within a generous band: spin calibration plus loop overhead.
+	if per < 30*time.Nanosecond || per > 2*time.Microsecond {
+		t.Fatalf("per-fence latency %v wildly off a 100ns target", per)
+	}
+}

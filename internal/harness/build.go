@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"fmt"
+
+	"qsense/internal/bst"
+	"qsense/internal/hashmap"
+	"qsense/internal/list"
+	"qsense/internal/reclaim"
+	"qsense/internal/skiplist"
+)
+
+// builtSet bundles a constructed data structure with its reclamation domain
+// and per-worker handles.
+type builtSet struct {
+	handles     []SetHandle
+	dom         reclaim.Domain
+	poolLive    func() uint64
+	closeDomain func()
+	closed      bool
+}
+
+func (b *builtSet) close() {
+	if !b.closed {
+		b.closeDomain()
+	}
+}
+
+// DataStructures lists the structures of the paper's evaluation (§7), in
+// figure order. The hash table ("hashmap") is additionally supported by
+// Run/buildSet as a bonus structure outside the figures.
+func DataStructures() []string { return []string{"list", "skiplist", "bst"} }
+
+// HPsForDS returns the hazard pointer count each structure needs (§7.3).
+func HPsForDS(ds string, skipLevels int) (int, error) {
+	switch ds {
+	case "list":
+		return list.HPs, nil
+	case "skiplist":
+		if skipLevels <= 0 {
+			skipLevels = skiplist.MaxLevel
+		}
+		return skiplist.HPsFor(skipLevels), nil
+	case "bst":
+		return bst.HPs, nil
+	case "hashmap":
+		return hashmap.HPs, nil
+	}
+	return 0, fmt.Errorf("harness: unknown data structure %q", ds)
+}
+
+// buildSet wires DS + scheme: the structure is created first, then the
+// domain (which needs the structure's free function), then the per-worker
+// handles bound to the domain's guards — the integration pattern from the
+// paper's Appendix B.
+func buildSet(cfg *Config) (*builtSet, error) {
+	rc := cfg.Reclaim
+	rc.Workers = cfg.Workers
+	var err error
+	rc.HPs, err = HPsForDS(cfg.DS, cfg.SkipLevels)
+	if err != nil {
+		return nil, err
+	}
+	// m: the BST removes a leaf and an internal node per delete.
+	if cfg.DS == "bst" {
+		rc.MaxRemovePerOp = 2
+	} else {
+		rc.MaxRemovePerOp = 1
+	}
+
+	b := &builtSet{handles: make([]SetHandle, cfg.Workers)}
+	switch cfg.DS {
+	case "list":
+		l := list.New(list.Config{})
+		rc.Free = l.FreeNode
+		dom, err := reclaim.New(cfg.Scheme, rc)
+		if err != nil {
+			return nil, err
+		}
+		for i := range b.handles {
+			b.handles[i] = l.NewHandle(dom.Guard(i))
+		}
+		b.dom = dom
+		b.poolLive = func() uint64 { return l.Pool().Stats().Live }
+	case "skiplist":
+		s := skiplist.New(skiplist.Config{Levels: cfg.SkipLevels})
+		rc.Free = s.FreeNode
+		dom, err := reclaim.New(cfg.Scheme, rc)
+		if err != nil {
+			return nil, err
+		}
+		for i := range b.handles {
+			b.handles[i] = s.NewHandle(dom.Guard(i), cfg.Seed+uint64(i)+1)
+		}
+		b.dom = dom
+		b.poolLive = func() uint64 { return s.Pool().Stats().Live }
+	case "bst":
+		t := bst.New(bst.Config{})
+		rc.Free = t.FreeNode
+		dom, err := reclaim.New(cfg.Scheme, rc)
+		if err != nil {
+			return nil, err
+		}
+		for i := range b.handles {
+			b.handles[i] = t.NewHandle(dom.Guard(i))
+		}
+		b.dom = dom
+		b.poolLive = func() uint64 { return t.Pool().Stats().Live }
+	case "hashmap":
+		m := hashmap.New(hashmap.Config{})
+		rc.Free = m.FreeNode
+		dom, err := reclaim.New(cfg.Scheme, rc)
+		if err != nil {
+			return nil, err
+		}
+		for i := range b.handles {
+			b.handles[i] = m.NewHandle(dom.Guard(i))
+		}
+		b.dom = dom
+		b.poolLive = func() uint64 { return m.Pool().Stats().Live }
+	default:
+		return nil, fmt.Errorf("harness: unknown data structure %q", cfg.DS)
+	}
+	dom := b.dom
+	b.closeDomain = func() {
+		if !b.closed {
+			b.closed = true
+			dom.Close()
+		}
+	}
+	return b, nil
+}

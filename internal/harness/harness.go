@@ -1,0 +1,231 @@
+// Package harness runs the paper's experiments (§7): timed throughput runs
+// of concurrent set operations over the three data structures, under any of
+// the five reclamation schemes, with optional process-delay injection and
+// per-second throughput sampling. The cmd/ tools and the repository's
+// benchmarks are thin wrappers around this package.
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qsense/internal/reclaim"
+	"qsense/internal/workload"
+)
+
+// SetHandle is a worker's view of a concurrent set; all three data
+// structure handles implement it.
+type SetHandle interface {
+	Contains(key int64) bool
+	Insert(key int64) bool
+	Delete(key int64) bool
+}
+
+// Config describes one experiment run.
+type Config struct {
+	DS        string // "list", "skiplist", "bst"
+	Scheme    string // "none", "qsbr", "hp", "cadence", "qsense"
+	Workers   int
+	KeyRange  int64
+	UpdatePct int
+	Duration  time.Duration
+
+	// Reclaim carries scheme tuning (Q, R, C, rooster interval,
+	// MemoryLimit...). Workers, HPs and Free are filled by the harness.
+	Reclaim reclaim.Config
+
+	// SkipLevels sets the skip list height (default 16).
+	SkipLevels int
+
+	// Delays, when non-nil, stalls a worker per the plan (§7.2).
+	Delays *workload.DelayPlan
+
+	// SampleEvery, when > 0, records a throughput sample at this period.
+	SampleEvery time.Duration
+
+	// Seed diversifies RNG streams across runs.
+	Seed uint64
+
+	// NoFill skips the §7.1 initialization (tests).
+	NoFill bool
+}
+
+// Sample is one point of a throughput time series.
+type Sample struct {
+	T          time.Duration
+	Mops       float64
+	InFallback bool
+	Failed     bool
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Cfg      Config
+	Ops      uint64
+	Duration time.Duration
+	Mops     float64
+	Samples  []Sample
+	Reclaim  reclaim.Stats
+	PoolLive uint64 // nodes still allocated after Close (leak for "none")
+	Failed   bool
+	FailedAt time.Duration
+}
+
+// padCounter is a per-worker op counter padded to a cache line.
+type padCounter struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Run executes one experiment and returns its measurements.
+func Run(cfg Config) (Result, error) {
+	if cfg.Workers <= 0 {
+		return Result{}, fmt.Errorf("harness: workers must be positive")
+	}
+	if cfg.KeyRange <= 1 {
+		return Result{}, fmt.Errorf("harness: key range must exceed 1")
+	}
+	set, err := buildSet(&cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	defer set.close()
+
+	if !cfg.NoFill {
+		fill(set.handles[0], cfg.KeyRange, cfg.Seed)
+	}
+
+	ops := make([]padCounter, cfg.Workers)
+	var stop atomic.Bool
+	var failedAt atomic.Int64 // ns since start; 0 = not failed
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			runWorker(&cfg, set, w, &ops[w].v, &stop, &failedAt, start)
+		}(w)
+	}
+
+	var samples []Sample
+	if cfg.SampleEvery > 0 {
+		samples = sampleLoop(&cfg, set.dom, ops, &stop, start)
+	} else {
+		time.Sleep(cfg.Duration)
+	}
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total uint64
+	for i := range ops {
+		total += ops[i].v.Load()
+	}
+	res := Result{
+		Cfg:      cfg,
+		Ops:      total,
+		Duration: elapsed,
+		Mops:     float64(total) / elapsed.Seconds() / 1e6,
+		Samples:  samples,
+		Failed:   set.dom.Failed(),
+	}
+	if ns := failedAt.Load(); ns > 0 {
+		res.FailedAt = time.Duration(ns)
+	}
+	set.closeDomain() // drains every pending retiree
+	res.Reclaim = set.dom.Stats()
+	res.PoolLive = set.poolLive()
+	return res, nil
+}
+
+// runWorker is the per-worker operation loop. It checks the wall clock, the
+// delay plan and the failure flag once per small batch so the hot path
+// stays just the data structure operation.
+func runWorker(cfg *Config, set *builtSet, w int, opCount *atomic.Uint64, stop *atomic.Bool, failedAt *atomic.Int64, start time.Time) {
+	h := set.handles[w]
+	rng := workload.NewRNG(cfg.Seed + uint64(w)*7919 + 1)
+	mix := workload.Mix{UpdatePct: cfg.UpdatePct}
+	const batch = 64
+	local := uint64(0)
+	for !stop.Load() {
+		// Delay injection (§7.2): the stalled worker sleeps, holding no
+		// references and declaring no quiescent states.
+		if cfg.Delays != nil && cfg.Delays.Worker == w {
+			if stalled, until := cfg.Delays.StalledAt(time.Since(start)); stalled {
+				for time.Since(start) < until && !stop.Load() {
+					time.Sleep(time.Millisecond)
+				}
+				continue
+			}
+		}
+		// Failure emulation: a failed domain means the process is out
+		// of memory; all workers halt (the paper's QSBR lines end).
+		if set.dom.Failed() {
+			failedAt.CompareAndSwap(0, int64(time.Since(start)))
+			return
+		}
+		for i := 0; i < batch; i++ {
+			k := rng.Key(cfg.KeyRange)
+			switch mix.Choose(rng.Next()) {
+			case workload.OpSearch:
+				h.Contains(k)
+			case workload.OpInsert:
+				h.Insert(k)
+			case workload.OpDelete:
+				h.Delete(k)
+			}
+			local++
+		}
+		opCount.Store(local)
+	}
+	opCount.Store(local)
+}
+
+// sampleLoop records throughput at cfg.SampleEvery until cfg.Duration.
+func sampleLoop(cfg *Config, dom reclaim.Domain, ops []padCounter, stop *atomic.Bool, start time.Time) []Sample {
+	var samples []Sample
+	tick := time.NewTicker(cfg.SampleEvery)
+	defer tick.Stop()
+	deadline := start.Add(cfg.Duration)
+	prev := uint64(0)
+	prevT := time.Duration(0)
+	for now := range tick.C {
+		t := now.Sub(start)
+		var total uint64
+		for i := range ops {
+			total += ops[i].v.Load()
+		}
+		st := dom.Stats()
+		dt := (t - prevT).Seconds()
+		if dt <= 0 {
+			dt = cfg.SampleEvery.Seconds()
+		}
+		samples = append(samples, Sample{
+			T:          t,
+			Mops:       float64(total-prev) / dt / 1e6,
+			InFallback: st.InFallback,
+			Failed:     st.Failed,
+		})
+		prev, prevT = total, t
+		if now.After(deadline) {
+			break
+		}
+	}
+	return samples
+}
+
+// fill performs the §7.1 initialization: one worker inserts random keys
+// until the structure holds half the key range.
+func fill(h SetHandle, keyRange int64, seed uint64) {
+	rng := workload.NewRNG(seed ^ 0xF111)
+	target := workload.Fill(keyRange)
+	for n := int64(0); n < target; {
+		if h.Insert(rng.Key(keyRange)) {
+			n++
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"qsense/internal/reclaim"
+	"qsense/internal/rooster"
+	"qsense/internal/workload"
+)
+
+func quickCfg(ds, scheme string, workers int) Config {
+	return Config{
+		DS: ds, Scheme: scheme, Workers: workers,
+		KeyRange: 128, UpdatePct: 50, Duration: 60 * time.Millisecond,
+		Reclaim: reclaim.Config{Q: 8, Rooster: rooster.Config{Interval: time.Millisecond}},
+		Seed:    42,
+	}
+}
+
+func TestRunAllStructuresAllSchemes(t *testing.T) {
+	for _, ds := range DataStructures() {
+		for _, scheme := range reclaim.Schemes() {
+			ds, scheme := ds, scheme
+			t.Run(ds+"/"+scheme, func(t *testing.T) {
+				res, err := Run(quickCfg(ds, scheme, 2))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Ops == 0 {
+					t.Fatal("no operations performed")
+				}
+				if res.Mops <= 0 {
+					t.Fatal("throughput not positive")
+				}
+				if scheme != "none" && res.Reclaim.Retired > 0 && res.Reclaim.Pending != 0 {
+					t.Fatalf("pending %d after close", res.Reclaim.Pending)
+				}
+			})
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{DS: "list", Scheme: "qsbr", Workers: 0, KeyRange: 10}); err == nil {
+		t.Fatal("zero workers must error")
+	}
+	if _, err := Run(Config{DS: "list", Scheme: "qsbr", Workers: 1, KeyRange: 1}); err == nil {
+		t.Fatal("key range 1 must error")
+	}
+	if _, err := Run(quickCfgBad("nope", "qsbr")); err == nil {
+		t.Fatal("unknown DS must error")
+	}
+	if _, err := Run(quickCfgBad("list", "nope")); err == nil {
+		t.Fatal("unknown scheme must error")
+	}
+}
+
+func quickCfgBad(ds, scheme string) Config {
+	c := quickCfg(ds, scheme, 1)
+	c.DS = ds
+	c.Scheme = scheme
+	return c
+}
+
+func TestHPsForDS(t *testing.T) {
+	if n, _ := HPsForDS("list", 0); n != 3 {
+		t.Fatalf("list HPs = %d", n)
+	}
+	if n, _ := HPsForDS("bst", 0); n != 6 {
+		t.Fatalf("bst HPs = %d", n)
+	}
+	if n, _ := HPsForDS("skiplist", 16); n != 34 {
+		t.Fatalf("skiplist HPs = %d (the paper's 'up to 35')", n)
+	}
+	if _, err := HPsForDS("nope", 0); err == nil {
+		t.Fatal("unknown DS must error")
+	}
+}
+
+func TestRunQSBRFailsUnderPermanentStall(t *testing.T) {
+	// A worker stalled past the memory budget kills QSBR — the Figure 5
+	// (bottom) orange line.
+	plan := &workload.DelayPlan{Worker: 0, Start: 10 * time.Millisecond, Duration: time.Hour, Period: 2 * time.Hour}
+	cfg := quickCfg("list", "qsbr", 3)
+	cfg.Duration = 2 * time.Second
+	cfg.Reclaim.MemoryLimit = 200
+	cfg.Delays = plan
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed {
+		t.Fatal("QSBR should have exhausted its memory budget")
+	}
+	if res.FailedAt == 0 {
+		t.Fatal("failure time not recorded")
+	}
+}
+
+func TestRunQSenseSurvivesStall(t *testing.T) {
+	// Same scenario: QSense must switch to the fallback path and finish
+	// within the same memory budget.
+	plan := &workload.DelayPlan{Worker: 0, Start: 10 * time.Millisecond, Duration: time.Hour, Period: 2 * time.Hour}
+	cfg := quickCfg("list", "qsense", 3)
+	cfg.Duration = 1 * time.Second
+	cfg.Reclaim.MemoryLimit = 100000
+	cfg.Reclaim.Q = 4
+	cfg.Reclaim.R = 16
+	cfg.Reclaim.C = reclaim.LegalC(reclaim.Config{Workers: 3, HPs: 3, Q: 4, R: 16})
+	cfg.Delays = plan
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatal("QSense must not fail under a stalled worker")
+	}
+	if res.Reclaim.SwitchesToFallback == 0 {
+		t.Fatal("QSense never engaged the fallback path")
+	}
+	if res.Reclaim.Freed == 0 {
+		t.Fatal("QSense reclaimed nothing")
+	}
+}
+
+func TestRunTimeSeriesSampling(t *testing.T) {
+	cfg := quickCfg("list", "qsbr", 2)
+	cfg.Duration = 300 * time.Millisecond
+	cfg.SampleEvery = 50 * time.Millisecond
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) < 3 {
+		t.Fatalf("only %d samples", len(res.Samples))
+	}
+	var any bool
+	for _, s := range res.Samples {
+		if s.Mops > 0 {
+			any = true
+		}
+	}
+	if !any {
+		t.Fatal("all samples zero")
+	}
+}
+
+func TestRunScalabilityAndOverheads(t *testing.T) {
+	sc := ScalabilityConfig{
+		DS: "list", KeyRange: 64, UpdatePct: 50,
+		Schemes: []string{"none", "qsense"},
+		Workers: []int{1, 2}, Duration: 50 * time.Millisecond,
+	}
+	curves, err := RunScalability(sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 2 || len(curves[0].Points) != 2 {
+		t.Fatalf("unexpected shape: %d curves", len(curves))
+	}
+	ov := Overheads(curves)
+	if _, ok := ov["qsense"]; !ok {
+		t.Fatal("overheads missing qsense")
+	}
+	if SpeedupOver(curves, "none", "qsense") <= 0 {
+		t.Fatal("speedup must be positive")
+	}
+}
+
+func TestFigConfigs(t *testing.T) {
+	f3 := Fig3([]int{1, 2}, time.Second)
+	if f3.DS != "list" || f3.UpdatePct != 10 || f3.KeyRange != PaperListRange {
+		t.Fatalf("Fig3 config wrong: %+v", f3)
+	}
+	if len(f3.Schemes) != 3 {
+		t.Fatal("Fig3 compares three schemes")
+	}
+	for _, ds := range DataStructures() {
+		f5 := Fig5Top(ds, []int{1}, time.Second, false)
+		if f5.UpdatePct != 50 || len(f5.Schemes) != 4 {
+			t.Fatalf("Fig5Top(%s) wrong: %+v", ds, f5)
+		}
+	}
+	if Fig5Top("bst", nil, 0, true).KeyRange != PaperBSTRange {
+		t.Fatal("paper scale must restore 2M keys")
+	}
+	fb := Fig5Bottom("skiplist", 0.2, 1000)
+	if fb.Workers != 8 || fb.KeyRange != PaperSkipRange {
+		t.Fatalf("Fig5Bottom wrong: %+v", fb)
+	}
+}
+
+func TestRenderCSVAndTable(t *testing.T) {
+	curves := []Curve{
+		{Scheme: "none", Points: []Point{{1, Result{Mops: 2}}, {2, Result{Mops: 4}}}},
+		{Scheme: "hp", Points: []Point{{1, Result{Mops: 1}}, {2, Result{Mops: 2}}}},
+	}
+	var csv bytes.Buffer
+	if err := WriteCurvesCSV(&csv, curves); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if lines[0] != "workers,none_mops,hp_mops" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	var tbl bytes.Buffer
+	RenderCurvesTable(&tbl, "test", curves)
+	if !strings.Contains(tbl.String(), "overhead vs none") {
+		t.Fatal("table missing overhead summary")
+	}
+	if !strings.Contains(tbl.String(), "hp 50.0%") {
+		t.Fatalf("expected hp 50%% overhead, got:\n%s", tbl.String())
+	}
+}
+
+func TestSeriesCSVAndChart(t *testing.T) {
+	mk := func(mops ...float64) Result {
+		var r Result
+		for i, m := range mops {
+			r.Samples = append(r.Samples, Sample{T: time.Duration(i+1) * time.Second, Mops: m, InFallback: i == 1})
+		}
+		return r
+	}
+	results := map[string]Result{"qsbr": mk(3, 0), "qsense": mk(3, 2), "hp": mk(1, 1)}
+	var csv bytes.Buffer
+	if err := WriteSeriesCSV(&csv, results, []string{"qsbr", "qsense", "hp"}); err != nil {
+		t.Fatal(err)
+	}
+	out := csv.String()
+	if !strings.HasPrefix(out, "t_seconds,qsbr_mops,qsense_mops,hp_mops,qsense_fallback") {
+		t.Fatalf("header wrong: %q", out)
+	}
+	if !strings.Contains(out, ",1\n") {
+		t.Fatal("fallback indicator missing")
+	}
+	var chart bytes.Buffer
+	RenderSeriesChart(&chart, "qsense", results["qsense"], 20)
+	if !strings.Contains(chart.String(), "#") {
+		t.Fatal("chart has no bars")
+	}
+	fast, fb := FallbackWindows(results["qsense"])
+	if fast != 3 || fb != 2 {
+		t.Fatalf("window means = %v/%v", fast, fb)
+	}
+	if m := MeanMops(results["hp"], 0, 10); m != 1 {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestFillReachesTarget(t *testing.T) {
+	cfg := quickCfg("bst", "none", 1)
+	cfg.KeyRange = 1000
+	cfg.Duration = 20 * time.Millisecond
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	// Fill is validated indirectly: a BST run with fill must allocate at
+	// least range/2 leaves (pool live after close includes leaks for
+	// "none", so it is at least the fill size).
+	if res.PoolLive < 500 {
+		t.Fatalf("pool live %d suggests fill did not run", res.PoolLive)
+	}
+}

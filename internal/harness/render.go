@@ -1,0 +1,190 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteCurvesCSV emits a scalability experiment as CSV: one row per worker
+// count, one column per scheme (Mops/s) — the format of Figure 3 and the
+// top row of Figure 5.
+func WriteCurvesCSV(w io.Writer, curves []Curve) error {
+	if len(curves) == 0 {
+		return nil
+	}
+	hdr := []string{"workers"}
+	for _, c := range curves {
+		hdr = append(hdr, c.Scheme+"_mops")
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(hdr, ",")); err != nil {
+		return err
+	}
+	for i := range curves[0].Points {
+		row := []string{fmt.Sprintf("%d", curves[0].Points[i].Workers)}
+		for _, c := range curves {
+			if i < len(c.Points) {
+				row = append(row, fmt.Sprintf("%.4f", c.Points[i].Res.Mops))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderCurvesTable renders a scalability experiment as an aligned table.
+func RenderCurvesTable(w io.Writer, title string, curves []Curve) {
+	fmt.Fprintf(w, "\n%s\n", title)
+	fmt.Fprintf(w, "%-8s", "workers")
+	for _, c := range curves {
+		fmt.Fprintf(w, "%12s", c.Scheme)
+	}
+	fmt.Fprintln(w)
+	if len(curves) == 0 {
+		return
+	}
+	for i := range curves[0].Points {
+		fmt.Fprintf(w, "%-8d", curves[0].Points[i].Workers)
+		for _, c := range curves {
+			if i < len(c.Points) {
+				fmt.Fprintf(w, "%12.3f", c.Points[i].Res.Mops)
+			} else {
+				fmt.Fprintf(w, "%12s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	ov := Overheads(curves)
+	if len(ov) > 0 {
+		names := make([]string, 0, len(ov))
+		for k := range ov {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "overhead vs none:")
+		for _, n := range names {
+			fmt.Fprintf(w, "  %s %.1f%%", n, ov[n])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteSeriesCSV emits a delay experiment as CSV: one row per sample time,
+// one Mops column per scheme plus QSense's fallback indicator — the format
+// of Figure 5's bottom row.
+func WriteSeriesCSV(w io.Writer, results map[string]Result, schemes []string) error {
+	hdr := []string{"t_seconds"}
+	for _, s := range schemes {
+		hdr = append(hdr, s+"_mops")
+	}
+	hdr = append(hdr, "qsense_fallback")
+	if _, err := fmt.Fprintln(w, strings.Join(hdr, ",")); err != nil {
+		return err
+	}
+	n := 0
+	for _, s := range schemes {
+		if len(results[s].Samples) > n {
+			n = len(results[s].Samples)
+		}
+	}
+	for i := 0; i < n; i++ {
+		var t float64
+		row := make([]string, 0, len(schemes)+2)
+		fallback := "0"
+		for _, s := range schemes {
+			smp := results[s].Samples
+			if i < len(smp) {
+				t = smp[i].T.Seconds()
+				row = append(row, fmt.Sprintf("%.4f", smp[i].Mops))
+				if s == "qsense" && smp[i].InFallback {
+					fallback = "1"
+				}
+			} else {
+				// A failed scheme's workers halted: report zero,
+				// as the paper's terminated QSBR line implies.
+				row = append(row, "0.0000")
+			}
+		}
+		all := append([]string{fmt.Sprintf("%.2f", t)}, row...)
+		all = append(all, fallback)
+		if _, err := fmt.Fprintln(w, strings.Join(all, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderSeriesChart draws a coarse ASCII chart of a throughput time series,
+// marking QSense fallback windows with 'f' and failure with 'X'.
+func RenderSeriesChart(w io.Writer, scheme string, res Result, width int) {
+	if width <= 0 {
+		width = 50
+	}
+	var maxM float64
+	for _, s := range res.Samples {
+		if s.Mops > maxM {
+			maxM = s.Mops
+		}
+	}
+	fmt.Fprintf(w, "\n%s (peak %.3f Mops/s)\n", scheme, maxM)
+	if maxM == 0 {
+		fmt.Fprintln(w, "  (no throughput)")
+		return
+	}
+	for _, s := range res.Samples {
+		bars := int(s.Mops / maxM * float64(width))
+		marker := ""
+		if s.InFallback {
+			marker = " f"
+		}
+		if s.Failed {
+			marker = " X"
+		}
+		fmt.Fprintf(w, "%7.1fs |%-*s|%7.3f%s\n", s.T.Seconds(), width, strings.Repeat("#", bars), s.Mops, marker)
+	}
+}
+
+// FallbackWindows extracts QSense's per-window mean throughput, split into
+// fast-path and fallback-path samples — used to quote the paper's "Cadence
+// outperforms HP by ~3x during fallback" claim.
+func FallbackWindows(res Result) (fastMean, fallbackMean float64) {
+	var fs, fn, bs, bn float64
+	for _, s := range res.Samples {
+		if s.InFallback {
+			bs += s.Mops
+			bn++
+		} else {
+			fs += s.Mops
+			fn++
+		}
+	}
+	if fn > 0 {
+		fastMean = fs / fn
+	}
+	if bn > 0 {
+		fallbackMean = bs / bn
+	}
+	return fastMean, fallbackMean
+}
+
+// MeanMops averages a scheme's samples over an interval (inclusive start,
+// exclusive end), for window-by-window comparisons between schemes.
+func MeanMops(res Result, from, to float64) float64 {
+	var sum float64
+	var n int
+	for _, s := range res.Samples {
+		if t := s.T.Seconds(); t >= from && t < to {
+			sum += s.Mops
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,253 @@
+// Package hashmap implements Michael's lock-free hash table (reference
+// [24], "High performance dynamic lock-free hash tables and list-based
+// sets", SPAA 2002) — the second structure of the paper the evaluation's
+// linked list comes from. It is a fixed array of lock-free bucket chains,
+// each an ordered Harris–Michael list, over one shared node pool.
+//
+// The paper evaluates the stand-alone list; the hash table is included here
+// as the natural "what you'd actually deploy" structure: the same hazard
+// pointer discipline (protect, re-validate, use) applies per bucket, so it
+// exercises every reclamation scheme through the identical three-call
+// interface with O(1)-length traversals.
+package hashmap
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"qsense/internal/mem"
+	"qsense/internal/reclaim"
+)
+
+// HPs is the number of hazard pointers a map handle uses (prev, cur, next —
+// as for the list).
+const HPs = 3
+
+const (
+	hpPrev = 0
+	hpCur  = 1
+	hpNext = 2
+
+	markBit = 1
+)
+
+type node struct {
+	key  int64
+	next atomic.Uint64
+	_    [40]byte
+}
+
+// Config controls map construction.
+type Config struct {
+	// Buckets is rounded up to a power of two. Default 1024.
+	Buckets int
+	// MaxSlots bounds the node pool.
+	MaxSlots int
+	// Poison zeroes freed nodes (tests).
+	Poison bool
+}
+
+// Map is the shared structure. Obtain one Handle per worker.
+type Map struct {
+	pool    *mem.Pool[node]
+	buckets []atomic.Uint64 // head link words (no sentinel nodes)
+	mask    uint64
+}
+
+// New creates an empty map.
+func New(cfg Config) *Map {
+	n := cfg.Buckets
+	if n <= 0 {
+		n = 1024
+	}
+	if n&(n-1) != 0 {
+		n = 1 << bits.Len(uint(n))
+	}
+	return &Map{
+		pool:    mem.NewPool[node](mem.Config{MaxSlots: cfg.MaxSlots, Poison: cfg.Poison, Name: "hashmap"}),
+		buckets: make([]atomic.Uint64, n),
+		mask:    uint64(n - 1),
+	}
+}
+
+// FreeNode returns a node to the pool; pass it as reclaim.Config.Free.
+func (m *Map) FreeNode(r mem.Ref) { m.pool.Free(r) }
+
+// Pool exposes the node pool for stats and tests.
+func (m *Map) Pool() *mem.Pool[node] { return m.pool }
+
+// Buckets returns the bucket count.
+func (m *Map) Buckets() int { return len(m.buckets) }
+
+// hash is Fibonacci hashing; bucket chains stay ordered by key for the
+// Michael list invariants.
+func (m *Map) hash(key int64) uint64 {
+	return (uint64(key) * 0x9e3779b97f4a7c15) >> 32 & m.mask
+}
+
+// Handle is a worker's accessor. Not safe for concurrent use.
+type Handle struct {
+	m     *Map
+	guard reclaim.Guard
+	cache *mem.Cache[node]
+}
+
+// NewHandle binds a worker's guard to the map.
+func (m *Map) NewHandle(g reclaim.Guard) *Handle {
+	return &Handle{m: m, guard: g, cache: m.pool.NewCache(0)}
+}
+
+func isMarked(w uint64) bool { return w&markBit != 0 }
+
+// linkOf resolves "the link word that points at cur": the bucket head when
+// prev is nil, otherwise prev's next field. prev, when non-nil, must be
+// protected by the caller.
+func (h *Handle) linkOf(bucket uint64, prev mem.Ref) *atomic.Uint64 {
+	if prev.IsNil() {
+		return &h.m.buckets[bucket]
+	}
+	return &h.m.pool.Get(prev).next
+}
+
+// search finds the position for key in its bucket: on return, cur is the
+// first node with key >= key (or nil at chain end), protected by hpCur;
+// prev (possibly nil for the bucket head) is protected by hpPrev. Marked
+// nodes encountered are unlinked and retired, as in the list.
+func (h *Handle) search(bucket uint64, key int64) (prev, cur mem.Ref) {
+	pool := h.m.pool
+retry:
+	for {
+		prev = 0
+		cur = mem.Ref(h.m.buckets[bucket].Load()).Untagged()
+		for {
+			if cur.IsNil() {
+				return prev, 0
+			}
+			h.guard.Protect(hpCur, cur)
+			if mem.Ref(h.linkOf(bucket, prev).Load()) != cur {
+				continue retry
+			}
+			nextWord := pool.Get(cur).next.Load()
+			next := mem.Ref(nextWord).Untagged()
+			if isMarked(nextWord) {
+				if !h.linkOf(bucket, prev).CompareAndSwap(uint64(cur), uint64(next)) {
+					continue retry
+				}
+				h.guard.Retire(cur)
+				cur = next
+				continue
+			}
+			if pool.Get(cur).key >= key {
+				return prev, cur
+			}
+			prev = cur
+			h.guard.Protect(hpPrev, prev)
+			cur = next
+		}
+	}
+}
+
+// Contains reports whether key is in the map.
+func (h *Handle) Contains(key int64) bool {
+	h.guard.Begin()
+	b := h.m.hash(key)
+	_, cur := h.search(b, key)
+	found := !cur.IsNil() && h.m.pool.Get(cur).key == key
+	h.guard.ClearHPs()
+	return found
+}
+
+// Insert adds key; false if already present.
+func (h *Handle) Insert(key int64) bool {
+	h.guard.Begin()
+	defer h.guard.ClearHPs()
+	b := h.m.hash(key)
+	var nref mem.Ref
+	var nptr *node
+	for {
+		prev, cur := h.search(b, key)
+		pool := h.m.pool
+		if !cur.IsNil() && pool.Get(cur).key == key {
+			if !nref.IsNil() {
+				h.cache.Free(nref)
+			}
+			return false
+		}
+		if nref.IsNil() {
+			nref, nptr = h.cache.Alloc()
+			nptr.key = key
+		}
+		nptr.next.Store(uint64(cur))
+		if h.linkOf(b, prev).CompareAndSwap(uint64(cur), uint64(nref)) {
+			return true
+		}
+	}
+}
+
+// Delete removes key; false if absent.
+func (h *Handle) Delete(key int64) bool {
+	h.guard.Begin()
+	defer h.guard.ClearHPs()
+	b := h.m.hash(key)
+	pool := h.m.pool
+	for {
+		prev, cur := h.search(b, key)
+		if cur.IsNil() || pool.Get(cur).key != key {
+			return false
+		}
+		nextWord := pool.Get(cur).next.Load()
+		if isMarked(nextWord) {
+			continue
+		}
+		if !pool.Get(cur).next.CompareAndSwap(nextWord, nextWord|markBit) {
+			continue
+		}
+		if h.linkOf(b, prev).CompareAndSwap(uint64(cur), nextWord) {
+			h.guard.Retire(cur)
+		} else {
+			h.search(b, key)
+		}
+		return true
+	}
+}
+
+// Len counts unmarked nodes across buckets; only meaningful when quiesced.
+func (m *Map) Len() int {
+	n := 0
+	for b := range m.buckets {
+		for r := mem.Ref(m.buckets[b].Load()).Untagged(); !r.IsNil(); {
+			w := m.pool.Get(r).next.Load()
+			if !isMarked(w) {
+				n++
+			}
+			r = mem.Ref(w).Untagged()
+		}
+	}
+	return n
+}
+
+// Validate checks per-bucket ordering and hash placement when quiesced.
+// Returns the unmarked count and an error description ("" if OK).
+func (m *Map) Validate() (int, string) {
+	n := 0
+	for b := range m.buckets {
+		var prevKey *int64
+		for r := mem.Ref(m.buckets[b].Load()).Untagged(); !r.IsNil(); {
+			nd := m.pool.Get(r)
+			w := nd.next.Load()
+			if !isMarked(w) {
+				if m.hash(nd.key) != uint64(b) {
+					return n, "key in wrong bucket"
+				}
+				if prevKey != nil && nd.key <= *prevKey {
+					return n, "bucket chain not strictly increasing"
+				}
+				k := nd.key
+				prevKey = &k
+				n++
+			}
+			r = mem.Ref(w).Untagged()
+		}
+	}
+	return n, ""
+}

@@ -1,0 +1,254 @@
+// Package list implements the lock-free sorted linked list the paper
+// evaluates (Michael, "High performance dynamic lock-free hash tables and
+// list-based sets", SPAA 2002 — reference [24]; the paper's Appendix B shows
+// exactly this structure wired to QSense).
+//
+// Nodes live in a mem.Pool and link through tagged Refs: bit 0 of a node's
+// next word is the logical-deletion mark. All traversals follow the hazard
+// pointer methodology of §3.2: read a link, Protect the target, re-read the
+// link to validate, only then dereference. With QSBR guards Protect is a
+// no-op and the epoch machinery provides safety; the code is scheme-agnostic
+// exactly as the paper's interface intends.
+package list
+
+import (
+	"math"
+	"sync/atomic"
+
+	"qsense/internal/mem"
+	"qsense/internal/reclaim"
+)
+
+// HPs is the number of hazard pointers a list handle uses: prev, cur, next.
+const HPs = 3
+
+const (
+	hpPrev = 0
+	hpCur  = 1
+	hpNext = 2
+
+	markBit = 1 // low Ref tag bit: target of this link is logically deleted
+
+	headKey = math.MinInt64
+	tailKey = math.MaxInt64
+)
+
+// node is padded so one node fills a cache line together with its slot
+// header, as ASCYLIB does for its C nodes.
+type node struct {
+	key  int64
+	next atomic.Uint64 // mem.Ref of successor | markBit
+	_    [40]byte
+}
+
+// Config controls list construction.
+type Config struct {
+	// MaxSlots bounds the node pool (default mem default).
+	MaxSlots int
+	// Poison zeroes freed nodes (tests).
+	Poison bool
+}
+
+// List is the shared structure. Obtain one Handle per worker.
+type List struct {
+	pool *mem.Pool[node]
+	head mem.Ref // sentinel -inf; never removed
+	tail mem.Ref // sentinel +inf; never removed
+}
+
+// New creates an empty list with head/tail sentinels. Valid user keys lie in
+// (math.MinInt64, math.MaxInt64) exclusive.
+func New(cfg Config) *List {
+	pool := mem.NewPool[node](mem.Config{MaxSlots: cfg.MaxSlots, Poison: cfg.Poison, Name: "list"})
+	l := &List{pool: pool}
+	tr, tn := pool.Alloc()
+	tn.key = tailKey
+	tn.next.Store(0)
+	hr, hn := pool.Alloc()
+	hn.key = headKey
+	hn.next.Store(uint64(tr))
+	l.head, l.tail = hr, tr
+	return l
+}
+
+// FreeNode returns a node to the pool; pass it as reclaim.Config.Free.
+func (l *List) FreeNode(r mem.Ref) { l.pool.Free(r) }
+
+// Pool exposes the node pool for stats and tests.
+func (l *List) Pool() *mem.Pool[node] { return l.pool }
+
+// Handle is a worker's accessor: guard + allocation magazine. Not safe for
+// concurrent use; create one per worker.
+type Handle struct {
+	l     *List
+	guard reclaim.Guard
+	cache *mem.Cache[node]
+}
+
+// NewHandle binds a worker's guard to the list.
+func (l *List) NewHandle(g reclaim.Guard) *Handle {
+	return &Handle{l: l, guard: g, cache: l.pool.NewCache(0)}
+}
+
+func isMarked(w uint64) bool { return w&markBit != 0 }
+
+// search locates the first node with key >= key, unlinking (and retiring)
+// any marked nodes it passes — the paper's search_and_cleanup (Algorithm 7).
+// On return prev and cur are protected by hpPrev and hpCur, prev.key < key
+// <= cur.key, and prev.next == cur was observed unmarked.
+func (h *Handle) search(key int64) (prev, cur mem.Ref) {
+	pool := h.l.pool
+retry:
+	for {
+		prev = h.l.head
+		h.guard.Protect(hpPrev, prev) // head is immortal; protected for uniformity
+		cur = mem.Ref(pool.Get(prev).next.Load()).Untagged()
+		for {
+			// Protect cur, then validate the link we got it from
+			// (§3.2 step 4; no fence needed beyond the scheme's own).
+			h.guard.Protect(hpCur, cur)
+			if mem.Ref(pool.Get(prev).next.Load()) != cur {
+				continue retry
+			}
+			nextWord := pool.Get(cur).next.Load()
+			next := mem.Ref(nextWord).Untagged()
+			if isMarked(nextWord) {
+				// cur is logically deleted: splice it out. The
+				// unlinker is the remover and retires it.
+				if !pool.Get(prev).next.CompareAndSwap(uint64(cur), uint64(next)) {
+					continue retry
+				}
+				h.guard.Retire(cur)
+				cur = next
+				continue
+			}
+			if pool.Get(cur).key >= key {
+				return prev, cur
+			}
+			prev = cur
+			h.guard.Protect(hpPrev, prev) // prev was cur: continuously protected
+			cur = next
+		}
+	}
+}
+
+// Contains reports whether key is in the set.
+func (h *Handle) Contains(key int64) bool {
+	h.guard.Begin()
+	_, cur := h.search(key)
+	found := h.l.pool.Get(cur).key == key
+	h.guard.ClearHPs()
+	return found
+}
+
+// Insert adds key; false if already present.
+func (h *Handle) Insert(key int64) bool {
+	h.guard.Begin()
+	defer h.guard.ClearHPs()
+	var nref mem.Ref
+	var nptr *node
+	for {
+		prev, cur := h.search(key)
+		pool := h.l.pool
+		if pool.Get(cur).key == key {
+			if !nref.IsNil() {
+				// Allocated but never linked: free directly
+				// (node state Allocated -> Free, §2.1).
+				h.cache.Free(nref)
+			}
+			return false
+		}
+		if nref.IsNil() {
+			nref, nptr = h.cache.Alloc()
+			nptr.key = key
+		}
+		nptr.next.Store(uint64(cur))
+		if pool.Get(prev).next.CompareAndSwap(uint64(cur), uint64(nref)) {
+			return true
+		}
+		// Contention: retry with a fresh search (the node is reused).
+	}
+}
+
+// Delete removes key; false if absent. Removal is two-phase: mark the
+// node's next word (logical), then unlink (physical); whoever unlinks
+// retires the node.
+func (h *Handle) Delete(key int64) bool {
+	h.guard.Begin()
+	defer h.guard.ClearHPs()
+	pool := h.l.pool
+	for {
+		prev, cur := h.search(key)
+		if pool.Get(cur).key != key {
+			return false
+		}
+		nextWord := pool.Get(cur).next.Load()
+		if isMarked(nextWord) {
+			// Another deleter got here first; help and retry.
+			continue
+		}
+		// Logical delete: mark cur's next.
+		if !pool.Get(cur).next.CompareAndSwap(nextWord, nextWord|markBit) {
+			continue
+		}
+		// Physical unlink; on failure a later search cleans up.
+		if pool.Get(prev).next.CompareAndSwap(uint64(cur), nextWord) {
+			h.guard.Retire(cur)
+		} else {
+			h.search(key)
+		}
+		return true
+	}
+}
+
+// Len walks the list without synchronization; only meaningful when quiesced.
+func (l *List) Len() int {
+	n := 0
+	for r := mem.Ref(l.pool.Get(l.head).next.Load()).Untagged(); r != l.tail; {
+		w := l.pool.Get(r).next.Load()
+		if !isMarked(w) {
+			n++
+		}
+		r = mem.Ref(w).Untagged()
+	}
+	return n
+}
+
+// Keys returns the unmarked keys in order; only meaningful when quiesced.
+func (l *List) Keys() []int64 {
+	var ks []int64
+	for r := mem.Ref(l.pool.Get(l.head).next.Load()).Untagged(); r != l.tail; {
+		nd := l.pool.Get(r)
+		w := nd.next.Load()
+		if !isMarked(w) {
+			ks = append(ks, nd.key)
+		}
+		r = mem.Ref(w).Untagged()
+	}
+	return ks
+}
+
+// Validate checks structural invariants (sorted, strictly increasing,
+// properly terminated); only meaningful when quiesced. Returns the number
+// of unmarked nodes or an error description.
+func (l *List) Validate() (int, string) {
+	prevKey := int64(headKey)
+	n := 0
+	r := mem.Ref(l.pool.Get(l.head).next.Load()).Untagged()
+	for r != l.tail {
+		if r.IsNil() {
+			return n, "nil link before tail sentinel"
+		}
+		nd := l.pool.Get(r)
+		w := nd.next.Load()
+		if !isMarked(w) {
+			if nd.key <= prevKey {
+				return n, "keys not strictly increasing"
+			}
+			prevKey = nd.key
+			n++
+		}
+		r = mem.Ref(w).Untagged()
+	}
+	return n, ""
+}

@@ -1,0 +1,131 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCacheAllocFree(t *testing.T) {
+	p := NewPool[tnode](Config{Name: "t"})
+	c := p.NewCache(16)
+	r, v := c.Alloc()
+	v.key = 7
+	if p.Get(r).key != 7 {
+		t.Fatal("cache alloc not visible through pool")
+	}
+	c.Free(r)
+	if p.Valid(r) {
+		t.Fatal("cache-freed ref still valid")
+	}
+	if p.Stats().Live != 0 {
+		t.Fatal("leak")
+	}
+}
+
+func TestCacheReusesLocally(t *testing.T) {
+	p := NewPool[tnode](Config{Name: "t"})
+	c := p.NewCache(16)
+	r1, _ := c.Alloc()
+	idx := r1.index()
+	c.Free(r1)
+	r2, _ := c.Alloc()
+	if r2.index() != idx {
+		t.Fatalf("magazine should serve the just-freed slot, got %d want %d", r2.index(), idx)
+	}
+	if r1 == r2 {
+		t.Fatal("generation must advance across reuse")
+	}
+}
+
+func TestCacheUAFDetection(t *testing.T) {
+	p := NewPool[tnode](Config{Name: "t"})
+	c := p.NewCache(16)
+	r, _ := c.Alloc()
+	c.Free(r)
+	mustViolate(t, "get", func() { p.Get(r) })
+	mustViolate(t, "free", func() { c.Free(r) })
+}
+
+func TestCacheSpillAndRefill(t *testing.T) {
+	p := NewPool[tnode](Config{Name: "t"})
+	c := p.NewCache(8)
+	var refs []Ref
+	for i := 0; i < 64; i++ {
+		r, _ := c.Alloc()
+		refs = append(refs, r)
+	}
+	for _, r := range refs {
+		c.Free(r) // forces spills past capacity
+	}
+	if c.spills == 0 {
+		t.Fatal("expected at least one spill")
+	}
+	if p.Stats().Live != 0 {
+		t.Fatal("leak through spill path")
+	}
+	// Everything must still be allocatable.
+	for i := 0; i < 64; i++ {
+		c.Alloc()
+	}
+	if p.Stats().Live != 64 {
+		t.Fatal("refill lost slots")
+	}
+}
+
+func TestCacheDrain(t *testing.T) {
+	p := NewPool[tnode](Config{Name: "t"})
+	c := p.NewCache(16)
+	r, _ := c.Alloc()
+	c.Free(r)
+	c.Drain()
+	if len(c.buf) != 0 {
+		t.Fatal("drain left slots behind")
+	}
+	// The drained slot is allocatable straight from the pool.
+	r2, _ := p.Alloc()
+	if r2.index() != r.index() {
+		t.Fatalf("drained slot not on pool free list (got %d want %d)", r2.index(), r.index())
+	}
+}
+
+func TestCachePerWorkerConcurrent(t *testing.T) {
+	p := NewPool[tnode](Config{Name: "t"})
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := p.NewCache(32)
+			var held []Ref
+			for i := 0; i < 20000; i++ {
+				if i%3 == 2 && len(held) > 0 {
+					c.Free(held[len(held)-1])
+					held = held[:len(held)-1]
+				} else {
+					r, _ := c.Alloc()
+					held = append(held, r)
+				}
+			}
+			for _, r := range held {
+				c.Free(r)
+			}
+			c.Drain()
+		}()
+	}
+	wg.Wait()
+	if p.Stats().Live != 0 {
+		t.Fatalf("live = %d", p.Stats().Live)
+	}
+}
+
+func TestCachePoolAccessor(t *testing.T) {
+	p := NewPool[tnode](Config{Name: "t"})
+	c := p.NewCache(0)
+	if c.Pool() != p {
+		t.Fatal("Pool() accessor broken")
+	}
+	if cap(c.buf) != DefaultCacheSize {
+		t.Fatalf("default size = %d", cap(c.buf))
+	}
+}

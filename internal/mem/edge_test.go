@@ -1,0 +1,96 @@
+package mem
+
+import (
+	"testing"
+)
+
+func TestValidOnUnbackedSlot(t *testing.T) {
+	p := NewPool[tnode](Config{Name: "t"})
+	// A forged ref into a slab that was never allocated must be invalid,
+	// not crash.
+	forged := makeRef(SlabSize*3+5, 1)
+	if p.Valid(forged) {
+		t.Fatal("ref into unbacked slab reported valid")
+	}
+}
+
+func TestValidNil(t *testing.T) {
+	p := NewPool[tnode](Config{Name: "t"})
+	if p.Valid(0) {
+		t.Fatal("nil ref reported valid")
+	}
+}
+
+func TestTryGetNilRef(t *testing.T) {
+	p := NewPool[tnode](Config{Name: "t"})
+	if _, err := p.TryGet(0); err == nil {
+		t.Fatal("TryGet(nil) must error")
+	}
+}
+
+func TestFreeNilPanics(t *testing.T) {
+	p := NewPool[tnode](Config{Name: "t"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Free(nil) must panic")
+		}
+	}()
+	p.Free(0)
+}
+
+func TestCacheFreeNilPanics(t *testing.T) {
+	p := NewPool[tnode](Config{Name: "t"})
+	c := p.NewCache(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Cache.Free(nil) must panic")
+		}
+	}()
+	c.Free(0)
+}
+
+func TestGetWithTagBitsFaults(t *testing.T) {
+	// Pool lookups require untagged refs: a tagged ref resolves to a
+	// different (index, gen) decoding and must not silently alias.
+	p := NewPool[tnode](Config{Name: "t"})
+	r, _ := p.Alloc()
+	tagged := r.WithTag(1)
+	// Untagging restores access.
+	if p.Get(tagged.Untagged()) == nil {
+		t.Fatal("untagged access failed")
+	}
+}
+
+func TestErrExhaustedMessage(t *testing.T) {
+	e := &ErrExhausted{Name: "nodes"}
+	if e.Error() == "" {
+		t.Fatal("empty message")
+	}
+}
+
+func TestSlabBoundaryRefs(t *testing.T) {
+	// Slots on both sides of a slab boundary resolve correctly.
+	p := NewPool[tnode](Config{Name: "t"})
+	refs := make(map[uint32]Ref)
+	for i := 0; i < SlabSize+2; i++ {
+		r, v := p.Alloc()
+		v.key = int64(r.index())
+		refs[r.index()] = r
+	}
+	for idx, r := range refs {
+		if got := p.Get(r).key; got != int64(idx) {
+			t.Fatalf("slot %d resolved to key %d", idx, got)
+		}
+	}
+	if p.Stats().Slabs != 2 {
+		t.Fatalf("slabs = %d", p.Stats().Slabs)
+	}
+}
+
+func TestStatsLiveNeverUnderflows(t *testing.T) {
+	p := NewPool[tnode](Config{Name: "t"})
+	st := p.Stats()
+	if st.Live != 0 || st.Allocs != 0 || st.Frees != 0 {
+		t.Fatalf("fresh pool stats: %+v", st)
+	}
+}

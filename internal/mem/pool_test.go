@@ -1,0 +1,310 @@
+package mem
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+type tnode struct {
+	key  int64
+	next uint64
+	pad  [40]byte
+}
+
+func mustViolate(t *testing.T, op string, f func()) *Violation {
+	t.Helper()
+	defer func() { _ = recover() }()
+	var got *Violation
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s: expected a Violation panic", op)
+			}
+			v, ok := r.(*Violation)
+			if !ok {
+				t.Fatalf("%s: panic %v is not *Violation", op, r)
+			}
+			got = v
+		}()
+		f()
+	}()
+	return got
+}
+
+func TestPoolAllocFree(t *testing.T) {
+	p := NewPool[tnode](Config{Name: "t"})
+	r, v := p.Alloc()
+	if r.IsNil() || v == nil {
+		t.Fatal("Alloc returned nil")
+	}
+	v.key = 42
+	if p.Get(r).key != 42 {
+		t.Fatal("Get did not resolve to the same slot")
+	}
+	if !p.Valid(r) {
+		t.Fatal("live ref must be Valid")
+	}
+	p.Free(r)
+	if p.Valid(r) {
+		t.Fatal("freed ref must not be Valid")
+	}
+	st := p.Stats()
+	if st.Allocs != 1 || st.Frees != 1 || st.Live != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPoolUseAfterFreeDetected(t *testing.T) {
+	p := NewPool[tnode](Config{Name: "t"})
+	r, _ := p.Alloc()
+	p.Free(r)
+	v := mustViolate(t, "get", func() { p.Get(r) })
+	if v.Op != "get" {
+		t.Fatalf("violation op = %q", v.Op)
+	}
+	if _, err := p.TryGet(r); err == nil {
+		t.Fatal("TryGet on freed ref must error")
+	}
+}
+
+func TestPoolUseAfterReallocDetected(t *testing.T) {
+	p := NewPool[tnode](Config{Name: "t"})
+	r1, _ := p.Alloc()
+	p.Free(r1)
+	// The slot comes back immediately (LIFO free list) with a new generation.
+	r2, _ := p.Alloc()
+	if r1.index() != r2.index() {
+		t.Fatalf("expected LIFO reuse of slot %d, got %d", r1.index(), r2.index())
+	}
+	if r1 == r2 {
+		t.Fatal("recycled slot must have a fresh generation")
+	}
+	mustViolate(t, "get", func() { p.Get(r1) })
+	if p.Get(r2) == nil {
+		t.Fatal("new ref must resolve")
+	}
+}
+
+func TestPoolDoubleFreeDetected(t *testing.T) {
+	p := NewPool[tnode](Config{Name: "t"})
+	r, _ := p.Alloc()
+	p.Free(r)
+	v := mustViolate(t, "free", func() { p.Free(r) })
+	if v.Op != "free" {
+		t.Fatalf("violation op = %q", v.Op)
+	}
+}
+
+func TestPoolForeignGenerationFreeDetected(t *testing.T) {
+	p := NewPool[tnode](Config{Name: "t"})
+	r, _ := p.Alloc()
+	forged := makeRef(r.index(), r.gen()+2)
+	mustViolate(t, "free", func() { p.Free(forged) })
+	p.Free(r) // the real ref still frees fine
+}
+
+func TestPoolNilDeref(t *testing.T) {
+	p := NewPool[tnode](Config{Name: "t"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on nil deref")
+		}
+	}()
+	p.Get(Ref(0))
+}
+
+func TestPoolPoison(t *testing.T) {
+	p := NewPool[tnode](Config{Name: "t", Poison: true})
+	r, v := p.Alloc()
+	v.key = 99
+	idx := r.index()
+	p.Free(r)
+	if p.slotAt(idx).val.key != 0 {
+		t.Fatal("poisoned slot must be zeroed")
+	}
+}
+
+func TestPoolNoPoisonKeepsBytes(t *testing.T) {
+	p := NewPool[tnode](Config{Name: "t", Poison: false})
+	r, v := p.Alloc()
+	v.key = 99
+	idx := r.index()
+	p.Free(r)
+	if p.slotAt(idx).val.key != 99 {
+		t.Fatal("non-poisoning pool should not touch freed bytes")
+	}
+}
+
+func TestPoolGrowth(t *testing.T) {
+	p := NewPool[tnode](Config{Name: "t"})
+	n := SlabSize*2 + 17
+	refs := make([]Ref, 0, n)
+	for i := 0; i < n; i++ {
+		r, _ := p.Alloc()
+		refs = append(refs, r)
+	}
+	st := p.Stats()
+	if st.Slabs != 3 {
+		t.Fatalf("slabs = %d, want 3", st.Slabs)
+	}
+	if st.Live != uint64(n) {
+		t.Fatalf("live = %d, want %d", st.Live, n)
+	}
+	// All refs distinct.
+	seen := map[Ref]bool{}
+	for _, r := range refs {
+		if seen[r] {
+			t.Fatalf("duplicate ref %v", r)
+		}
+		seen[r] = true
+	}
+	for _, r := range refs {
+		p.Free(r)
+	}
+	if p.Stats().Live != 0 {
+		t.Fatal("leak after freeing everything")
+	}
+}
+
+func TestPoolExhaustion(t *testing.T) {
+	p := NewPool[tnode](Config{Name: "small", MaxSlots: SlabSize})
+	for i := 0; i < SlabSize; i++ {
+		p.Alloc()
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected exhaustion panic")
+		}
+		if _, ok := r.(*ErrExhausted); !ok {
+			t.Fatalf("panic %v is not *ErrExhausted", r)
+		}
+	}()
+	p.Alloc()
+}
+
+func TestPoolReuseIsLIFOAndComplete(t *testing.T) {
+	p := NewPool[tnode](Config{Name: "t"})
+	var refs []Ref
+	for i := 0; i < 100; i++ {
+		r, _ := p.Alloc()
+		refs = append(refs, r)
+	}
+	for _, r := range refs {
+		p.Free(r)
+	}
+	// Re-allocating 100 must reuse exactly those 100 slots (plus none new):
+	// the pool had one slab; 100 allocs cannot trigger growth.
+	seen := map[uint32]bool{}
+	for i := 0; i < 100; i++ {
+		r, _ := p.Alloc()
+		seen[r.index()] = true
+	}
+	if p.Stats().Slabs != 1 {
+		t.Fatal("reuse should not grow the pool")
+	}
+	for _, r := range refs {
+		if !seen[r.index()] {
+			t.Fatalf("slot %d was not reused", r.index())
+		}
+	}
+}
+
+func TestPoolConcurrentAllocFree(t *testing.T) {
+	p := NewPool[tnode](Config{Name: "t"})
+	const workers = 8
+	const iters = 20000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			held := make([]Ref, 0, 64)
+			for i := 0; i < iters; i++ {
+				if len(held) > 0 && rng.Intn(2) == 0 {
+					k := rng.Intn(len(held))
+					p.Free(held[k])
+					held[k] = held[len(held)-1]
+					held = held[:len(held)-1]
+				} else {
+					r, v := p.Alloc()
+					v.key = int64(i)
+					held = append(held, r)
+				}
+			}
+			for _, r := range held {
+				p.Free(r)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Live != 0 {
+		t.Fatalf("live = %d after balanced alloc/free", st.Live)
+	}
+	if st.Allocs != st.Frees {
+		t.Fatalf("allocs %d != frees %d", st.Allocs, st.Frees)
+	}
+}
+
+func TestPoolConcurrentNoDoubleHandout(t *testing.T) {
+	// Hammer alloc/free and verify no two workers ever hold the same slot:
+	// each worker stamps slots it holds with its id and checks on free.
+	p := NewPool[tnode](Config{Name: "t", MaxSlots: SlabSize})
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				r, v := p.Alloc()
+				v.key = id
+				if v.key != id {
+					errs <- "slot handed to two workers"
+					return
+				}
+				p.Free(r)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func TestPoolAllocFreeSequencesQuick(t *testing.T) {
+	// Property: for any sequence of alloc/free decisions, the pool's
+	// live count equals the model's, and freed refs always violate on Get.
+	f := func(ops []bool) bool {
+		p := NewPool[tnode](Config{Name: "q", MaxSlots: 4 * SlabSize})
+		var held []Ref
+		live := 0
+		for _, alloc := range ops {
+			if alloc || len(held) == 0 {
+				r, _ := p.Alloc()
+				held = append(held, r)
+				live++
+			} else {
+				r := held[len(held)-1]
+				held = held[:len(held)-1]
+				p.Free(r)
+				live--
+				if _, err := p.TryGet(r); err == nil {
+					return false
+				}
+			}
+		}
+		return p.Stats().Live == uint64(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRefNil(t *testing.T) {
+	var r Ref
+	if !r.IsNil() {
+		t.Fatal("zero Ref must be nil")
+	}
+	if r.String() != "nil" {
+		t.Fatalf("zero Ref string = %q", r.String())
+	}
+	// Tagged nil is still nil.
+	if !r.WithTag(1).IsNil() || !r.WithTag(3).IsNil() {
+		t.Fatal("tagged nil Ref must remain nil")
+	}
+	if r.WithTag(1).String() != "nil|tag1" {
+		t.Fatalf("tagged nil string = %q", r.WithTag(1).String())
+	}
+}
+
+func TestRefRoundTrip(t *testing.T) {
+	cases := []struct {
+		idx uint32
+		gen uint32
+	}{
+		{0, 1}, {1, 1}, {5, 3}, {SlabSize - 1, 999}, {1 << 20, 1<<genBits - 1},
+		{idxMask - 1, 7},
+	}
+	for _, c := range cases {
+		r := makeRef(c.idx, c.gen)
+		if r.IsNil() {
+			t.Fatalf("makeRef(%d,%d) is nil", c.idx, c.gen)
+		}
+		if got := r.index(); got != c.idx {
+			t.Errorf("index(%d,%d) = %d", c.idx, c.gen, got)
+		}
+		if got := r.gen(); got != c.gen&genMask {
+			t.Errorf("gen(%d,%d) = %d", c.idx, c.gen, got)
+		}
+	}
+}
+
+func TestRefTagging(t *testing.T) {
+	r := makeRef(42, 7)
+	for tag := uint64(0); tag < 4; tag++ {
+		tr := r.WithTag(tag)
+		if tr.Tag() != tag {
+			t.Errorf("WithTag(%d).Tag() = %d", tag, tr.Tag())
+		}
+		if tr.Untagged() != r {
+			t.Errorf("WithTag(%d).Untagged() != r", tag)
+		}
+		if tr.index() != 42 || tr.gen() != 7 {
+			t.Errorf("tagging disturbed idx/gen: %v", tr)
+		}
+	}
+	// WithTag replaces, not ORs.
+	if r.WithTag(3).WithTag(1).Tag() != 1 {
+		t.Error("WithTag must clear existing tag bits")
+	}
+	// Tag bits above TagBits are masked off.
+	if r.WithTag(0xFF).Tag() != 3 {
+		t.Error("WithTag must mask to TagBits")
+	}
+}
+
+func TestRefRoundTripQuick(t *testing.T) {
+	// Property: for any (idx, gen, tag), encode/decode round-trips and
+	// tagging never aliases two distinct slots.
+	f := func(idx uint32, gen uint32, tag uint8) bool {
+		if idx == idxMask { // idx+1 overflows the field; pools never reach it
+			idx--
+		}
+		g := gen & genMask
+		r := makeRef(idx, gen).WithTag(uint64(tag))
+		return r.index() == idx && r.gen() == g && r.Tag() == uint64(tag)&3 &&
+			!r.IsNil()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefDistinctGenerationsDiffer(t *testing.T) {
+	// Property: same slot, different generation => different Ref. This is
+	// what makes stale references detectable and defeats ABA on links.
+	f := func(idx uint32, g1, g2 uint32) bool {
+		if idx == idxMask {
+			idx--
+		}
+		if g1&genMask == g2&genMask {
+			return true
+		}
+		return makeRef(idx, g1) != makeRef(idx, g2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViolationError(t *testing.T) {
+	v := &Violation{Op: "get", Ref: makeRef(3, 5), Want: 5, Got: 6}
+	s := v.Error()
+	if s == "" {
+		t.Fatal("empty violation message")
+	}
+}

@@ -1,0 +1,171 @@
+// Package queue implements the Michael–Scott lock-free FIFO queue
+// (Michael & Scott, PODC 1996) over the mem+reclaim substrate, with the
+// hazard pointer discipline from Michael's original hazard pointer paper
+// ([25] — the queue is its canonical worked example, needing two hazard
+// pointers per worker).
+//
+// The queue is not part of the paper's evaluation; it is here because a
+// reclamation library is adopted through its clients, and the MS queue is
+// the classic SMR client with a retire pattern the sets do not exercise:
+// the dequeued DUMMY node is retired while its successor's value is still
+// being read through it, so a premature free corrupts an in-flight
+// dequeue. Every scheme (QSBR, HP, Cadence, QSense, EBR, RC) runs it
+// through the same three-call interface.
+package queue
+
+import (
+	"sync/atomic"
+
+	"qsense/internal/mem"
+	"qsense/internal/reclaim"
+)
+
+// HPs is the number of hazard pointers a queue handle uses.
+const HPs = 2
+
+const (
+	hpHead = 0
+	hpNext = 1
+)
+
+type node struct {
+	val  uint64
+	next atomic.Uint64 // mem.Ref of successor; 0 at the tail
+	_    [40]byte
+}
+
+// Config controls queue construction.
+type Config struct {
+	// MaxSlots bounds the node pool (default mem default).
+	MaxSlots int
+	// Poison zeroes freed nodes (tests).
+	Poison bool
+}
+
+// Queue is the shared structure. Obtain one Handle per worker.
+type Queue struct {
+	pool *mem.Pool[node]
+	head atomic.Uint64 // Ref of the dummy node
+	tail atomic.Uint64
+}
+
+// New creates an empty queue (a single dummy node, per Michael–Scott).
+func New(cfg Config) *Queue {
+	pool := mem.NewPool[node](mem.Config{MaxSlots: cfg.MaxSlots, Poison: cfg.Poison, Name: "queue"})
+	q := &Queue{pool: pool}
+	dummy, d := pool.Alloc()
+	d.next.Store(0)
+	q.head.Store(uint64(dummy))
+	q.tail.Store(uint64(dummy))
+	return q
+}
+
+// FreeNode returns a node to the pool; pass it as reclaim.Config.Free.
+func (q *Queue) FreeNode(r mem.Ref) { q.pool.Free(r) }
+
+// Pool exposes the node pool for stats and tests.
+func (q *Queue) Pool() *mem.Pool[node] { return q.pool }
+
+// Len walks the queue without synchronization; only meaningful quiesced.
+func (q *Queue) Len() int {
+	n := 0
+	r := mem.Ref(q.pool.Get(mem.Ref(q.head.Load())).next.Load())
+	for !r.IsNil() {
+		n++
+		r = mem.Ref(q.pool.Get(r).next.Load())
+	}
+	return n
+}
+
+// Handle is a worker's accessor. Not safe for concurrent use; create one
+// per worker.
+type Handle struct {
+	q     *Queue
+	guard reclaim.Guard
+	cache *mem.Cache[node]
+}
+
+// NewHandle binds a worker's guard to the queue.
+func (q *Queue) NewHandle(g reclaim.Guard) *Handle {
+	return &Handle{q: q, guard: g, cache: q.pool.NewCache(0)}
+}
+
+// Enqueue appends v at the tail.
+func (h *Handle) Enqueue(v uint64) {
+	h.guard.Begin()
+	defer h.guard.ClearHPs()
+	pool := h.q.pool
+	nref, n := h.cache.Alloc()
+	n.val = v
+	n.next.Store(0)
+	for {
+		t := mem.Ref(h.q.tail.Load())
+		// Protect the observed tail, then validate it is still the
+		// tail (§3.2 step 4): a stale tail may already be retired.
+		h.guard.Protect(hpHead, t)
+		if mem.Ref(h.q.tail.Load()) != t {
+			continue
+		}
+		next := mem.Ref(pool.Get(t).next.Load())
+		if !next.IsNil() {
+			// Tail lags: help swing it, then retry.
+			h.q.tail.CompareAndSwap(uint64(t), uint64(next))
+			continue
+		}
+		if pool.Get(t).next.CompareAndSwap(0, uint64(nref)) {
+			// Linked; swing the tail (may fail: someone helped).
+			h.q.tail.CompareAndSwap(uint64(t), uint64(nref))
+			return
+		}
+	}
+}
+
+// Dequeue removes and returns the oldest value; ok=false when empty.
+func (h *Handle) Dequeue() (v uint64, ok bool) {
+	h.guard.Begin()
+	defer h.guard.ClearHPs()
+	pool := h.q.pool
+	for {
+		hd := mem.Ref(h.q.head.Load())
+		h.guard.Protect(hpHead, hd)
+		if mem.Ref(h.q.head.Load()) != hd {
+			continue
+		}
+		t := mem.Ref(h.q.tail.Load())
+		next := mem.Ref(pool.Get(hd).next.Load())
+		// Protect the successor before reading through it; validate
+		// via head so the pair (hd, next) is consistent.
+		h.guard.Protect(hpNext, next)
+		if mem.Ref(h.q.head.Load()) != hd {
+			continue
+		}
+		if next.IsNil() {
+			return 0, false // empty
+		}
+		if hd == t {
+			// Tail lags behind head: help and retry.
+			h.q.tail.CompareAndSwap(uint64(t), uint64(next))
+			continue
+		}
+		// Read the value BEFORE swinging head: after the CAS another
+		// dequeuer may retire-and-free `next` (it becomes the dummy).
+		val := pool.Get(next).val
+		if h.q.head.CompareAndSwap(uint64(hd), uint64(next)) {
+			// The old dummy is ours to retire.
+			h.guard.Retire(hd)
+			return val, true
+		}
+	}
+}
+
+// Drain dequeues everything through h (teardown helper for tests and
+// examples; concurrent use is fine but pointless).
+func (h *Handle) Drain() int {
+	n := 0
+	for {
+		if _, ok := h.Dequeue(); !ok {
+			return n
+		}
+		n++
+	}
+}

@@ -1,0 +1,141 @@
+package reclaim
+
+import (
+	"qsense/internal/mem"
+	"qsense/internal/rooster"
+)
+
+// Cadence is the paper's novel fallback scheme (§5.1): hazard pointers
+// without per-node memory fences. It can also be used stand-alone, as here.
+//
+// Two mechanisms replace the fence:
+//
+//  1. Rooster passes. Protect publishes into the guard's pending slots with
+//     a bare store; the rooster manager copies pending into the shared slots
+//     every interval T. A hazard pointer therefore becomes visible to scans
+//     at most one full pass after it is stored — the analog of the paper's
+//     context-switch-drains-store-buffer argument.
+//  2. Deferred reclamation. Retire stamps the node with the current rooster
+//     tick; scan only frees nodes whose stamp is at least two completed
+//     passes old (rooster.OldEnough — Figure 4's T+ε condition in tick
+//     form). By then, any hazard pointer stored before the node was removed
+//     has been flushed, so the shared-slot snapshot is conclusive.
+//
+// Dropping either mechanism is unsafe; the DisableDeferral ablation
+// demonstrably produces use-after-free violations (see cadence tests and
+// the §4.1 model in internal/tso).
+type Cadence struct {
+	cfg    Config
+	cnt    counters
+	mgr    *rooster.Manager
+	recs   []*hprec
+	guards []*cadenceGuard
+}
+
+type cadenceGuard struct {
+	d       *Cadence
+	rec     *hprec
+	rl      []retired
+	retires int
+	scanBuf []uint64
+}
+
+// NewCadence builds a stand-alone Cadence domain and starts its rooster
+// manager (unless Config.ManualRooster).
+func NewCadence(cfg Config) (*Cadence, error) {
+	if err := cfg.Validate(true); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	d := &Cadence{cfg: cfg, mgr: rooster.NewManager(cfg.Rooster)}
+	d.recs = make([]*hprec, cfg.Workers)
+	d.guards = make([]*cadenceGuard, cfg.Workers)
+	for i := range d.guards {
+		d.recs[i] = newHPRec(cfg.HPs)
+		d.guards[i] = &cadenceGuard{d: d, rec: d.recs[i]}
+		d.mgr.Register(d.recs[i])
+	}
+	if !cfg.ManualRooster {
+		d.mgr.Start()
+	}
+	return d, nil
+}
+
+// Guard implements Domain.
+func (d *Cadence) Guard(w int) Guard { return d.guards[w] }
+
+// Name implements Domain.
+func (d *Cadence) Name() string { return "cadence" }
+
+// Failed implements Domain.
+func (d *Cadence) Failed() bool { return d.cnt.failed.Load() }
+
+// Stats implements Domain.
+func (d *Cadence) Stats() Stats {
+	s := Stats{Scheme: "cadence", RoosterPasses: d.mgr.Tick()}
+	d.cnt.fill(&s)
+	return s
+}
+
+// Rooster exposes the manager so tests can drive passes deterministically.
+func (d *Cadence) Rooster() *rooster.Manager { return d.mgr }
+
+// Close implements Domain: stops the rooster and frees all pending retires.
+// Only call after all workers have stopped.
+func (d *Cadence) Close() {
+	d.mgr.Stop()
+	for _, g := range d.guards {
+		for _, r := range g.rl {
+			d.cfg.Free(r.ref)
+		}
+		d.cnt.freed.Add(uint64(len(g.rl)))
+		g.rl = g.rl[:0]
+	}
+}
+
+func (g *cadenceGuard) Begin() {}
+
+// Protect publishes without a fence (Algorithm 3, assign_HP: "No need for a
+// memory barrier here").
+func (g *cadenceGuard) Protect(i int, r mem.Ref) {
+	g.rec.publishPending(i, r)
+}
+
+func (g *cadenceGuard) ClearHPs() { g.rec.clearPending() }
+
+// Retire timestamps the node and schedules it (Algorithm 5, free_node_later
+// in stand-alone form).
+func (g *cadenceGuard) Retire(r mem.Ref) {
+	if r.IsNil() {
+		panic("reclaim: retire of nil Ref")
+	}
+	g.d.mgr.Poll() // cooperative rooster: run an overdue pass inline
+	g.rl = append(g.rl, retired{ref: r.Untagged(), stamp: g.d.mgr.Tick()})
+	g.d.cnt.noteRetire(g.d.cfg.MemoryLimit)
+	g.retires++
+	if g.retires%g.d.cfg.R == 0 {
+		g.rl = scanDeferred(&g.d.cnt, g.d.cfg, g.d.mgr, g.d.recs, g.rl, &g.scanBuf)
+	}
+}
+
+// scanDeferred is Cadence's scan (Algorithm 3, lines 14–33): free nodes that
+// are old enough and unprotected; keep the rest. Shared by QSense.
+func scanDeferred(cnt *counters, cfg Config, mgr *rooster.Manager, recs []*hprec, rl []retired, buf *[]uint64) []retired {
+	cnt.scans.Add(1)
+	snap := snapshotShared(recs, *buf)
+	*buf = snap.vals
+	kept := rl[:0]
+	freed := 0
+	for _, n := range rl {
+		if (!cfg.DisableDeferral && !mgr.OldEnough(n.stamp)) || snap.contains(n.ref) {
+			kept = append(kept, n)
+		} else {
+			cfg.Free(n.ref)
+			freed++
+		}
+	}
+	if freed > 0 {
+		cnt.freed.Add(uint64(freed))
+	}
+	return kept
+}

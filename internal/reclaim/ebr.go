@@ -1,0 +1,159 @@
+package reclaim
+
+import (
+	"sync/atomic"
+
+	"qsense/internal/mem"
+)
+
+// EBR is epoch-based reclamation in the Fraser style (paper references
+// [11], [13]; §8 "Epoch-based techniques") — the second classic baseline
+// next to QSBR, implemented for the related-work comparison and the
+// ablation benchmarks.
+//
+// Where QSBR asks the application to declare quiescent states and pays
+// almost nothing per operation, EBR brackets every operation as a critical
+// section: Begin announces (epoch, active) with a sequentially consistent
+// store — the announcement must be visible before the traversal's loads, so
+// on x86 this costs an XCHG per operation, which is exactly why Hart et
+// al. [14] measure EBR behind QSBR. ClearHPs (called by the structures at
+// the end of every operation) marks the worker inactive.
+//
+// The robustness trade sits between QSBR and the pointer schemes: a worker
+// delayed BETWEEN operations is inactive and never blocks a grace period
+// (QSBR's quiescence requires positive action, so an idle QSBR worker
+// blocks); a worker delayed INSIDE an operation pins its announced epoch
+// and blocks reclamation after at most two further advances, exactly like
+// QSBR. The tests demonstrate both halves.
+//
+// Epoch arithmetic: retires go into bucket (announced epoch mod 3); the
+// global epoch may only advance from e to e+1 when every active worker has
+// announced e; a worker freshly announcing epoch g frees its bucket
+// (g mod 3), whose contents were retired at announced epoch g-3. By then
+// advances to g-1 and g have both happened, so no critical section that
+// could have obtained a reference (one announced at g-2 or earlier)
+// survives.
+type EBR struct {
+	cfg    Config
+	cnt    counters
+	epoch  atomic.Uint64
+	guards []*ebrGuard
+}
+
+type ebrGuard struct {
+	d *EBR
+	// word packs (announced epoch << 1) | active. Peers read it in
+	// tryAdvance; the owner writes it in Begin/ClearHPs.
+	word     atomic.Uint64
+	lastSeen uint64 // last epoch whose bucket this guard freed
+	limbo    [3][]mem.Ref
+	retires  int
+	_        [40]byte // keep adjacent guards' hot words apart
+}
+
+// NewEBR builds an epoch-based reclamation domain.
+func NewEBR(cfg Config) (*EBR, error) {
+	if err := cfg.Validate(true); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	d := &EBR{cfg: cfg}
+	d.guards = make([]*ebrGuard, cfg.Workers)
+	for i := range d.guards {
+		d.guards[i] = &ebrGuard{d: d}
+	}
+	return d, nil
+}
+
+// Guard implements Domain.
+func (d *EBR) Guard(w int) Guard { return d.guards[w] }
+
+// Name implements Domain.
+func (d *EBR) Name() string { return "ebr" }
+
+// Failed implements Domain.
+func (d *EBR) Failed() bool { return d.cnt.failed.Load() }
+
+// GlobalEpoch exposes the global epoch for tests.
+func (d *EBR) GlobalEpoch() uint64 { return d.epoch.Load() }
+
+// Stats implements Domain.
+func (d *EBR) Stats() Stats {
+	s := Stats{Scheme: "ebr"}
+	d.cnt.fill(&s)
+	return s
+}
+
+// Close implements Domain: frees all limbo contents. Call only once all
+// workers have stopped.
+func (d *EBR) Close() {
+	for _, g := range d.guards {
+		for b := range g.limbo {
+			g.freeBucket(b)
+		}
+	}
+}
+
+// Begin enters a critical section: announce the current global epoch and
+// become active. The announcement uses a sequentially consistent store so
+// it is visible to reclaimers before any of the section's loads (the
+// per-operation cost EBR pays that QSBR does not). Entering epoch g for
+// the first time frees bucket g mod 3 (retired at g-3; see type comment).
+func (g *ebrGuard) Begin() {
+	e := g.d.epoch.Load()
+	g.word.Store(e<<1 | 1)
+	if e != g.lastSeen {
+		g.lastSeen = e
+		g.freeBucket(int(e % 3))
+	}
+}
+
+// ClearHPs exits the critical section: the worker no longer pins its
+// announced epoch and cannot block grace periods while idle.
+func (g *ebrGuard) ClearHPs() {
+	g.word.Store(g.word.Load() &^ 1)
+}
+
+// Protect is a no-op: EBR readers are protected by their active epoch.
+func (g *ebrGuard) Protect(i int, r mem.Ref) {}
+
+func (g *ebrGuard) Retire(r mem.Ref) {
+	if r.IsNil() {
+		panic("reclaim: retire of nil Ref")
+	}
+	e := g.word.Load() >> 1
+	g.limbo[e%3] = append(g.limbo[e%3], r.Untagged())
+	g.d.cnt.noteRetire(g.d.cfg.MemoryLimit)
+	g.retires++
+	if g.retires%g.d.cfg.R == 0 {
+		g.tryAdvance()
+	}
+}
+
+// tryAdvance increments the global epoch if every active worker has
+// announced it. Inactive workers (idle between operations) are skipped —
+// the robustness half EBR has over QSBR.
+func (g *ebrGuard) tryAdvance() {
+	e := g.d.epoch.Load()
+	for _, peer := range g.d.guards {
+		w := peer.word.Load()
+		if w&1 == 1 && w>>1 != e {
+			return
+		}
+	}
+	if g.d.epoch.CompareAndSwap(e, e+1) {
+		g.d.cnt.epochs.Add(1)
+	}
+}
+
+func (g *ebrGuard) freeBucket(b int) {
+	bucket := g.limbo[b]
+	if len(bucket) == 0 {
+		return
+	}
+	for _, r := range bucket {
+		g.d.cfg.Free(r)
+	}
+	g.d.cnt.freed.Add(uint64(len(bucket)))
+	g.limbo[b] = bucket[:0]
+}

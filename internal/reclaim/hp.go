@@ -1,0 +1,122 @@
+package reclaim
+
+import (
+	"qsense/internal/fence"
+	"qsense/internal/mem"
+)
+
+// HP is Michael's classic hazard pointer scheme (§3.2).
+//
+// Protect publishes straight to the globally visible slot and then performs
+// a full memory barrier — the per-node fence whose cost (modeled by
+// internal/fence, see DESIGN.md §2) is the scheme's notorious overhead and
+// the paper's motivation for Cadence. Every R retires the guard scans: it
+// snapshots all N*K shared hazard pointers and frees the retired nodes not
+// found in the snapshot. HP is wait-free and robust: no worker can block
+// another's reclamation beyond the K nodes it actually protects.
+type HP struct {
+	cfg    Config
+	cnt    counters
+	recs   []*hprec
+	guards []*hpGuard
+}
+
+type hpGuard struct {
+	d       *HP
+	rec     *hprec
+	fence   *fence.Model // per guard: a fence stalls only its own core
+	rl      []retired
+	retires int
+	scanBuf []uint64
+}
+
+// NewHP builds a hazard pointer domain.
+func NewHP(cfg Config) (*HP, error) {
+	if err := cfg.Validate(true); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	cost := cfg.FenceCost
+	if cost == 0 {
+		cost = fence.DefaultCost
+	}
+	d := &HP{cfg: cfg}
+	d.recs = make([]*hprec, cfg.Workers)
+	d.guards = make([]*hpGuard, cfg.Workers)
+	for i := range d.guards {
+		d.recs[i] = newHPRec(cfg.HPs)
+		d.guards[i] = &hpGuard{d: d, rec: d.recs[i], fence: fence.NewModel(cost)}
+	}
+	return d, nil
+}
+
+// Guard implements Domain.
+func (d *HP) Guard(w int) Guard { return d.guards[w] }
+
+// Name implements Domain.
+func (d *HP) Name() string { return "hp" }
+
+// Failed implements Domain.
+func (d *HP) Failed() bool { return d.cnt.failed.Load() }
+
+// Stats implements Domain.
+func (d *HP) Stats() Stats {
+	s := Stats{Scheme: "hp"}
+	d.cnt.fill(&s)
+	return s
+}
+
+// Close implements Domain: frees every node still in a retire list. Only
+// call after all workers have stopped.
+func (d *HP) Close() {
+	for _, g := range d.guards {
+		for _, r := range g.rl {
+			d.cfg.Free(r.ref)
+		}
+		d.cnt.freed.Add(uint64(len(g.rl)))
+		g.rl = g.rl[:0]
+	}
+}
+
+func (g *hpGuard) Begin() {}
+
+// Protect publishes and fences (Algorithm 1, lines 2–3).
+func (g *hpGuard) Protect(i int, r mem.Ref) {
+	g.rec.publishShared(i, r)
+	g.fence.Full()
+}
+
+func (g *hpGuard) ClearHPs() { g.rec.clearShared() }
+
+func (g *hpGuard) Retire(r mem.Ref) {
+	if r.IsNil() {
+		panic("reclaim: retire of nil Ref")
+	}
+	g.rl = append(g.rl, retired{ref: r.Untagged()})
+	g.d.cnt.noteRetire(g.d.cfg.MemoryLimit)
+	g.retires++
+	if g.retires%g.d.cfg.R == 0 {
+		g.scan()
+	}
+}
+
+// scan is Michael's scan: snapshot shared HPs, free unprotected retirees.
+func (g *hpGuard) scan() {
+	g.d.cnt.scans.Add(1)
+	snap := snapshotShared(g.d.recs, g.scanBuf)
+	g.scanBuf = snap.vals // reuse the buffer next scan
+	kept := g.rl[:0]
+	freed := 0
+	for _, n := range g.rl {
+		if snap.contains(n.ref) {
+			kept = append(kept, n)
+		} else {
+			g.d.cfg.Free(n.ref)
+			freed++
+		}
+	}
+	g.rl = kept
+	if freed > 0 {
+		g.d.cnt.freed.Add(uint64(freed))
+	}
+}

@@ -1,0 +1,101 @@
+package reclaim
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"qsense/internal/mem"
+)
+
+// hpSlot is a single hazard-pointer cell, padded to a cache line so that a
+// worker's publications do not false-share with its neighbours' — the same
+// layout discipline the paper's C implementation (and ASCYLIB) uses.
+type hpSlot struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// hprec is one worker's hazard pointer record.
+//
+// shared is the array scans read — the paper's globally visible HP array.
+// pending models the store buffer: Cadence and QSense publish here without a
+// fence, and only a rooster flush pass copies pending into shared (DESIGN.md
+// §2). Classic HP bypasses pending and stores straight to shared, paying the
+// modeled fence. An unflushed pending entry is invisible to scans, exactly
+// as a fenceless HP store sitting in a TSO store buffer is invisible to a
+// reclaimer on another core.
+type hprec struct {
+	pending []hpSlot
+	shared  []hpSlot
+}
+
+func newHPRec(k int) *hprec {
+	return &hprec{pending: make([]hpSlot, k), shared: make([]hpSlot, k)}
+}
+
+// publishPending is the fence-free assign_HP of Cadence/QSense.
+func (h *hprec) publishPending(i int, r mem.Ref) {
+	h.pending[i].v.Store(uint64(r.Untagged()))
+}
+
+// publishShared is classic HP's assign_HP minus the fence; the caller pays
+// the fence model.
+func (h *hprec) publishShared(i int, r mem.Ref) {
+	h.shared[i].v.Store(uint64(r.Untagged()))
+}
+
+// FlushHP copies pending slots into shared slots; called by rooster passes.
+// It also refreshes pending copies into shared for the worker's own later
+// clears: flushing a zero clears the shared slot too, so protections do not
+// outlive their release by more than one pass.
+func (h *hprec) FlushHP() {
+	for i := range h.pending {
+		h.shared[i].v.Store(h.pending[i].v.Load())
+	}
+}
+
+func (h *hprec) clearPending() {
+	for i := range h.pending {
+		h.pending[i].v.Store(0)
+	}
+}
+
+func (h *hprec) clearShared() {
+	for i := range h.shared {
+		h.shared[i].v.Store(0)
+	}
+}
+
+// hpSnapshot is a sorted snapshot of every worker's shared hazard pointers,
+// built once per scan (Michael's scan, stage 1).
+type hpSnapshot struct {
+	vals []uint64
+}
+
+// snapshotShared collects the non-nil shared HPs of all records.
+func snapshotShared(recs []*hprec, buf []uint64) hpSnapshot {
+	vals := buf[:0]
+	for _, r := range recs {
+		for i := range r.shared {
+			if v := r.shared[i].v.Load(); v != 0 {
+				vals = append(vals, v)
+			}
+		}
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return hpSnapshot{vals: vals}
+}
+
+// contains reports whether r is protected in the snapshot (stage 2 lookup).
+func (s hpSnapshot) contains(r mem.Ref) bool {
+	v := uint64(r.Untagged())
+	i := sort.Search(len(s.vals), func(i int) bool { return s.vals[i] >= v })
+	return i < len(s.vals) && s.vals[i] == v
+}
+
+// retired is a node awaiting reclamation: the paper's timestamped_node.
+// stamp is the rooster tick at Retire time (QSBR ignores it).
+type retired struct {
+	ref   mem.Ref
+	stamp uint64
+}

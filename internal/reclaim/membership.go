@@ -1,0 +1,142 @@
+package reclaim
+
+// Dynamic membership and eviction — the paper's §5.2 future work, built out.
+//
+// The paper notes two limitations of QSense as published: processes cannot
+// join or leave while the system runs, and "if a process crashes and never
+// recovers, QSense will switch to fallback mode and stay there forever". It
+// sketches the fix — "mechanisms for processes to announce entering or
+// leaving the system and for evicting participating processes that have not
+// quiesced in a long time" — and leaves it open. This file implements that
+// sketch for the two epoch-based schemes (QSBR and QSense), which are the
+// ones a silent worker can block; HP and Cadence are per-node schemes and
+// never wait on anybody.
+//
+// Leaving. A worker that will be idle for a while (blocking I/O, waiting on
+// a queue) calls Leave *from a quiescent point* — holding no references to
+// shared nodes, exactly the contract of Begin. An inactive worker is skipped
+// by the grace-period check (epoch advances no longer wait for it) and by
+// QSense's presence scan (the fast path can resume without it).
+//
+// Joining. Join re-enters the protocol: the guard adopts the current global
+// epoch and, if at least three epochs elapsed while it was away, its limbo
+// buckets have all passed full grace periods with respect to every worker
+// that could have held references (the other workers advanced those epochs;
+// the owner itself held nothing while away) and are freed wholesale.
+//
+// Eviction. With Config.EvictAfter > 0, a worker attempting an epoch
+// advance treats any peer that has not declared a quiescent state for that
+// long as crashed and marks it inactive. SAFETY ASSUMPTION (inherited from
+// the paper's sketch): an evicted worker performs no further shared-memory
+// accesses until it rejoins — eviction models *crash*, not mere slowness.
+// For merely-slow workers leave eviction disabled; QSense's fallback path
+// already keeps memory bounded without it. A worker that was evicted and
+// comes back alive notices at its next quiescent state and rejoins through
+// the same Join path (counted in Stats.Rejoins).
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Leaver is implemented by guards of the epoch-based schemes (QSBR,
+// QSense). Callers that park workers for long stretches should Leave so
+// reclamation proceeds without them, and Join before operating again.
+type Leaver interface {
+	// Leave removes this worker from grace-period accounting. Call only
+	// from a quiescent point: no references to shared nodes held.
+	Leave()
+	// Join re-enters the protocol; returns with the worker current.
+	Join()
+}
+
+// membership is the per-guard state shared by qsbrGuard and qsenseGuard.
+type membership struct {
+	active      atomic.Bool
+	lastQuiesce atomic.Int64 // unix nanos of the last quiescent state
+	leftEpoch   uint64       // global epoch observed at Leave (owner-only)
+}
+
+func (m *membership) init() {
+	m.active.Store(true)
+	m.lastQuiesce.Store(time.Now().UnixNano())
+}
+
+// stampQuiesce records liveness for the eviction clock.
+func (m *membership) stampQuiesce() {
+	m.lastQuiesce.Store(time.Now().UnixNano())
+}
+
+// skipOrEvict reports whether an advance check may skip this peer: inactive
+// peers are skipped outright; with eviction enabled, a peer whose last
+// quiescent state is older than evictAfter is marked inactive first.
+func (m *membership) skipOrEvict(evictAfter time.Duration, evictions *atomic.Uint64) bool {
+	if !m.active.Load() {
+		return true
+	}
+	if evictAfter > 0 && time.Now().UnixNano()-m.lastQuiesce.Load() > int64(evictAfter) {
+		if m.active.CompareAndSwap(true, false) {
+			evictions.Add(1)
+		}
+		return true
+	}
+	return false
+}
+
+// --- QSBR ---
+
+var _ Leaver = (*qsbrGuard)(nil)
+
+// Leave implements Leaver.
+func (g *qsbrGuard) Leave() {
+	g.mem.leftEpoch = g.d.epoch.Load()
+	g.mem.active.Store(false)
+}
+
+// Join implements Leaver.
+func (g *qsbrGuard) Join() {
+	g.rejoin()
+	g.mem.active.Store(true)
+}
+
+// rejoin adopts the current epoch and frees buckets that aged out while the
+// worker was away.
+func (g *qsbrGuard) rejoin() {
+	global := g.d.epoch.Load()
+	g.local.Store(global)
+	g.mem.stampQuiesce()
+	if global >= g.mem.leftEpoch+3 {
+		for b := range g.limbo {
+			g.freeBucket(b)
+		}
+	}
+	g.d.cnt.rejoins.Add(1)
+}
+
+// --- QSense ---
+
+var _ Leaver = (*qsenseGuard)(nil)
+
+// Leave implements Leaver.
+func (g *qsenseGuard) Leave() {
+	g.mem.leftEpoch = g.d.epoch.Load()
+	g.mem.active.Store(false)
+}
+
+// Join implements Leaver.
+func (g *qsenseGuard) Join() {
+	g.rejoin()
+	g.mem.active.Store(true)
+}
+
+func (g *qsenseGuard) rejoin() {
+	global := g.d.epoch.Load()
+	g.local.Store(global)
+	g.mem.stampQuiesce()
+	if global >= g.mem.leftEpoch+3 {
+		for b := range g.limbo {
+			g.freeBucket(b)
+		}
+	}
+	g.d.cnt.rejoins.Add(1)
+}

@@ -1,0 +1,101 @@
+package reclaim
+
+import (
+	"sync/atomic"
+
+	"qsense/internal/mem"
+)
+
+// counters carries the stat counters shared by all schemes.
+type counters struct {
+	retired   atomic.Uint64
+	freed     atomic.Uint64
+	scans     atomic.Uint64
+	quiesce   atomic.Uint64
+	epochs    atomic.Uint64
+	toFall    atomic.Uint64
+	toFast    atomic.Uint64
+	evictions atomic.Uint64
+	rejoins   atomic.Uint64
+	failed    atomic.Bool
+}
+
+func (c *counters) pending() int64 {
+	return int64(c.retired.Load()) - int64(c.freed.Load())
+}
+
+func (c *counters) noteRetire(limit int) {
+	c.retired.Add(1)
+	if limit > 0 && c.pending() > int64(limit) {
+		c.failed.Store(true)
+	}
+}
+
+func (c *counters) fill(s *Stats) {
+	s.Retired = c.retired.Load()
+	s.Freed = c.freed.Load()
+	s.Pending = c.pending()
+	s.Scans = c.scans.Load()
+	s.QuiescentStates = c.quiesce.Load()
+	s.EpochAdvances = c.epochs.Load()
+	s.SwitchesToFallback = c.toFall.Load()
+	s.SwitchesToFast = c.toFast.Load()
+	s.Evictions = c.evictions.Load()
+	s.Rejoins = c.rejoins.Load()
+	s.Failed = c.failed.Load()
+}
+
+// None is the leaky baseline used throughout the paper's evaluation
+// ("None"): Retire leaks the node. It provides the no-reclamation upper
+// bound on throughput; long runs grow memory without bound.
+type None struct {
+	cfg    Config
+	cnt    counters
+	guards []*noneGuard
+}
+
+type noneGuard struct{ d *None }
+
+// NewNone builds the leaky baseline domain.
+func NewNone(cfg Config) (*None, error) {
+	if err := cfg.Validate(false); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	d := &None{cfg: cfg}
+	d.guards = make([]*noneGuard, cfg.Workers)
+	for i := range d.guards {
+		d.guards[i] = &noneGuard{d: d}
+	}
+	return d, nil
+}
+
+// Guard implements Domain.
+func (d *None) Guard(w int) Guard { return d.guards[w] }
+
+// Name implements Domain.
+func (d *None) Name() string { return "none" }
+
+// Failed implements Domain. The leak still counts against MemoryLimit: a
+// leaky implementation is the first to exhaust memory on long runs.
+func (d *None) Failed() bool { return d.cnt.failed.Load() }
+
+// Stats implements Domain.
+func (d *None) Stats() Stats {
+	s := Stats{Scheme: "none"}
+	d.cnt.fill(&s)
+	return s
+}
+
+// Close implements Domain. Leaked nodes stay leaked.
+func (d *None) Close() {}
+
+func (g *noneGuard) Begin()                   {}
+func (g *noneGuard) Protect(i int, r mem.Ref) {}
+func (g *noneGuard) ClearHPs()                {}
+func (g *noneGuard) Retire(r mem.Ref) {
+	if r.IsNil() {
+		panic("reclaim: retire of nil Ref")
+	}
+	g.d.cnt.noteRetire(g.d.cfg.MemoryLimit)
+}

@@ -1,0 +1,166 @@
+package reclaim
+
+import (
+	"sync/atomic"
+
+	"qsense/internal/mem"
+)
+
+// QSBR is quiescent-state-based reclamation (§3.1), the paper's fast path.
+//
+// Every worker cycles through three logical epochs. A node retired while its
+// worker is at epoch e goes into limbo bucket e mod 3. When a worker
+// declares a quiescent state (every Q-th Begin) it adopts the global epoch
+// g; adoption proves a grace period for bucket (g+1) mod 3 — the nodes
+// retired two epoch advances ago — which is then freed wholesale, with no
+// per-node checks at all. If the worker is already at g, it tries instead to
+// advance the global epoch, which succeeds only when every worker has
+// adopted g.
+//
+// QSBR is blocking: one worker that stops declaring quiescent states freezes
+// the global epoch and no memory is ever reclaimed again (the robustness
+// problem of §3.1); with MemoryLimit set, the domain then reports Failed.
+type QSBR struct {
+	cfg    Config
+	cnt    counters
+	epoch  atomic.Uint64 // global epoch e_G
+	guards []*qsbrGuard
+}
+
+type qsbrGuard struct {
+	d     *QSBR
+	id    int
+	local atomic.Uint64 // local epoch, read by peers in tryAdvance
+	limbo [3][]mem.Ref
+	calls int
+	mem   membership
+	_     [40]byte // keep hot fields of adjacent guards apart
+}
+
+// NewQSBR builds a QSBR domain.
+func NewQSBR(cfg Config) (*QSBR, error) {
+	if err := cfg.Validate(true); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	d := &QSBR{cfg: cfg}
+	d.guards = make([]*qsbrGuard, cfg.Workers)
+	for i := range d.guards {
+		d.guards[i] = &qsbrGuard{d: d, id: i}
+		d.guards[i].mem.init()
+	}
+	return d, nil
+}
+
+// Guard implements Domain.
+func (d *QSBR) Guard(w int) Guard { return d.guards[w] }
+
+// Name implements Domain.
+func (d *QSBR) Name() string { return "qsbr" }
+
+// Failed implements Domain.
+func (d *QSBR) Failed() bool { return d.cnt.failed.Load() }
+
+// Stats implements Domain.
+func (d *QSBR) Stats() Stats {
+	s := Stats{Scheme: "qsbr"}
+	d.cnt.fill(&s)
+	return s
+}
+
+// Close implements Domain: frees all limbo contents. Only call once all
+// workers have stopped — at that point every bucket has trivially passed a
+// grace period.
+func (d *QSBR) Close() {
+	for _, g := range d.guards {
+		for b := range g.limbo {
+			g.freeBucket(b)
+		}
+	}
+}
+
+// GlobalEpoch exposes the global epoch for tests.
+func (d *QSBR) GlobalEpoch() uint64 { return d.epoch.Load() }
+
+func (g *qsbrGuard) Begin() {
+	g.calls++
+	if g.calls%g.d.cfg.Q != 0 {
+		return
+	}
+	g.quiescent()
+}
+
+// quiescent declares a quiescent state (§3.1).
+//
+// Epoch arithmetic. Retires go into bucket (local mod 3). A worker's local
+// epoch can lag the global by one while it is between quiescent states, so a
+// node in bucket e may have been retired while the global epoch was already
+// e+1 — and a reader whose critical section began at global epoch e+1 can
+// hold a reference to it. The global reaching e+2 therefore does NOT prove a
+// grace period for bucket e (such a reader pins the global at <= e+2 without
+// quiescing). The global reaching e+3 does: it requires every worker to have
+// adopted e+2 at a quiescent state, after which no critical section with
+// epoch <= e+1 survives. Hence: on adopting epoch g, free bucket (g mod 3) —
+// whose contents were retired at epoch g-3 — just before refilling it.
+func (g *qsbrGuard) quiescent() {
+	if !g.mem.active.Load() {
+		// Evicted (or left without Join) and now back: recover.
+		g.rejoin()
+		g.mem.active.Store(true)
+	}
+	g.mem.stampQuiesce()
+	g.d.cnt.quiesce.Add(1)
+	global := g.d.epoch.Load()
+	local := g.local.Load()
+	if local != global {
+		g.local.Store(global)
+		g.freeBucket(int(global % 3))
+		return
+	}
+	// Already current: try to advance the global epoch. Inactive peers
+	// are skipped; stale peers are evicted first when enabled.
+	for _, peer := range g.d.guards {
+		if peer == g {
+			continue
+		}
+		if peer.mem.skipOrEvict(g.d.cfg.EvictAfter, &g.d.cnt.evictions) {
+			continue
+		}
+		if peer.local.Load() != global {
+			return
+		}
+	}
+	if g.d.epoch.CompareAndSwap(global, global+1) {
+		g.d.cnt.epochs.Add(1)
+		// Adopt immediately so a solitary worker still reclaims.
+		g.local.Store(global + 1)
+		g.freeBucket(int((global + 1) % 3))
+	}
+}
+
+func (g *qsbrGuard) freeBucket(b int) {
+	bucket := g.limbo[b]
+	if len(bucket) == 0 {
+		return
+	}
+	for _, r := range bucket {
+		g.d.cfg.Free(r)
+	}
+	g.d.cnt.freed.Add(uint64(len(bucket)))
+	g.limbo[b] = bucket[:0]
+}
+
+// Protect is a no-op: QSBR readers are protected by not being quiescent.
+func (g *qsbrGuard) Protect(i int, r mem.Ref) {}
+
+// ClearHPs is a no-op for QSBR.
+func (g *qsbrGuard) ClearHPs() {}
+
+func (g *qsbrGuard) Retire(r mem.Ref) {
+	if r.IsNil() {
+		panic("reclaim: retire of nil Ref")
+	}
+	b := g.local.Load() % 3
+	g.limbo[b] = append(g.limbo[b], r.Untagged())
+	g.d.cnt.noteRetire(g.d.cfg.MemoryLimit)
+}

@@ -1,0 +1,296 @@
+package reclaim
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"qsense/internal/mem"
+	"qsense/internal/rooster"
+)
+
+// QSense is the paper's hybrid scheme (§5.2, Algorithm 5): QSBR on the fast
+// path, Cadence on the fallback path, switching automatically.
+//
+// Some machinery is always on, whatever the current path (§5.2): hazard
+// pointers are published (fence-free, into pending slots) during every
+// traversal, retired nodes are always stamped with the rooster tick, and the
+// rooster manager keeps flushing pending slots. That standing cost is why
+// QSense trails plain QSBR slightly in the common case (§7.3) — and it is
+// what makes an instant, safe switch to the fallback path possible: the
+// moment the fallback flag rises, every reference that was hazardous before
+// the switch is already protected.
+//
+// Path switching:
+//
+//   - fast -> fallback: a worker whose limbo lists hold >= C nodes raises
+//     the shared fallback flag and immediately runs a Cadence scan over its
+//     three limbo buckets. Other workers observe the flag in Retire.
+//   - fallback -> fast: workers set their presence flag every Q-th Begin;
+//     the rooster manager clears all flags every PresenceResetTicks passes.
+//     A worker that observes every flag set concludes all workers are live
+//     again, lowers the fallback flag, and declares a quiescent state.
+//
+// In fallback mode the three QSBR limbo buckets serve as Cadence's removed
+// nodes list and are scanned (deferred, HP-checked) every R retires; in fast
+// mode they are freed wholesale on epoch advance, wrappers and all.
+type QSense struct {
+	cfg      Config
+	cnt      counters
+	mgr      *rooster.Manager
+	fallback atomic.Bool
+	presence []paddedBool
+	epoch    atomic.Uint64
+	recs     []*hprec
+	guards   []*qsenseGuard
+}
+
+type paddedBool struct {
+	v atomic.Bool
+	_ [63]byte
+}
+
+type qsenseGuard struct {
+	d        *QSense
+	id       int
+	rec      *hprec
+	local    atomic.Uint64 // local epoch, read by peers
+	limbo    [3][]retired
+	total    int // nodes across the three buckets
+	calls    int
+	retires  int
+	prevFall bool // prev_seen_fallback_flag
+	scanBuf  []uint64
+	mem      membership
+}
+
+// NewQSense builds the hybrid domain and starts its rooster manager (unless
+// Config.ManualRooster). A non-zero Config.C below LegalC is rejected,
+// since Property 4's 2NC bound needs a legal threshold.
+func NewQSense(cfg Config) (*QSense, error) {
+	if err := cfg.Validate(true); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if legal := LegalC(cfg); cfg.C < legal {
+		return nil, fmt.Errorf("reclaim: C=%d is not legal (need >= %d; see §6.2)", cfg.C, legal)
+	}
+	d := &QSense{cfg: cfg, mgr: rooster.NewManager(cfg.Rooster)}
+	d.presence = make([]paddedBool, cfg.Workers)
+	d.recs = make([]*hprec, cfg.Workers)
+	d.guards = make([]*qsenseGuard, cfg.Workers)
+	for i := range d.guards {
+		d.recs[i] = newHPRec(cfg.HPs)
+		d.guards[i] = &qsenseGuard{d: d, id: i, rec: d.recs[i]}
+		d.guards[i].mem.init()
+		d.mgr.Register(d.recs[i])
+	}
+	d.mgr.AddHook(cfg.PresenceResetTicks, d.resetPresence)
+	if !cfg.ManualRooster {
+		d.mgr.Start()
+	}
+	return d, nil
+}
+
+func (d *QSense) resetPresence() {
+	for i := range d.presence {
+		d.presence[i].v.Store(false)
+	}
+}
+
+// allActive reports whether every participating worker has signalled
+// presence since the last reset. Workers that left or were evicted do not
+// count, and with EvictAfter set the scan itself evicts workers silent for
+// too long — this is what lets QSense abandon the fallback path after a
+// permanent crash (the §5.2 limitation this extension removes). Eviction
+// must happen here as well as in the epoch check: on the fallback path
+// nobody declares quiescent states, so the epoch check never runs.
+func (d *QSense) allActive() bool {
+	for i := range d.presence {
+		if d.guards[i].mem.skipOrEvict(d.cfg.EvictAfter, &d.cnt.evictions) {
+			continue
+		}
+		if !d.presence[i].v.Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// Guard implements Domain.
+func (d *QSense) Guard(w int) Guard { return d.guards[w] }
+
+// Name implements Domain.
+func (d *QSense) Name() string { return "qsense" }
+
+// Failed implements Domain. With a legal C this never trips (Property 4).
+func (d *QSense) Failed() bool { return d.cnt.failed.Load() }
+
+// InFallback reports whether the domain currently runs the fallback path.
+func (d *QSense) InFallback() bool { return d.fallback.Load() }
+
+// Rooster exposes the manager so tests can drive passes deterministically.
+func (d *QSense) Rooster() *rooster.Manager { return d.mgr }
+
+// GlobalEpoch exposes the global epoch for tests.
+func (d *QSense) GlobalEpoch() uint64 { return d.epoch.Load() }
+
+// Stats implements Domain.
+func (d *QSense) Stats() Stats {
+	s := Stats{Scheme: "qsense", InFallback: d.fallback.Load(), RoosterPasses: d.mgr.Tick()}
+	d.cnt.fill(&s)
+	return s
+}
+
+// Close implements Domain: stops the rooster and frees all limbo contents.
+// Only call after all workers have stopped.
+func (d *QSense) Close() {
+	d.mgr.Stop()
+	for _, g := range d.guards {
+		for b := range g.limbo {
+			for _, n := range g.limbo[b] {
+				d.cfg.Free(n.ref)
+			}
+			d.cnt.freed.Add(uint64(len(g.limbo[b])))
+			g.limbo[b] = g.limbo[b][:0]
+		}
+		g.total = 0
+	}
+}
+
+// Begin is manage_qsense_state (Algorithm 5, lines 12–34).
+func (g *qsenseGuard) Begin() {
+	g.calls++
+	if g.calls%g.d.cfg.Q != 0 {
+		return
+	}
+	// Signal that this worker is active (presence for the switch-back
+	// protocol, the liveness stamp for the eviction clock — fallback-path
+	// workers never quiesce but are very much alive).
+	g.d.presence[g.id].v.Store(true)
+	g.mem.stampQuiesce()
+	if !g.d.fallback.Load() {
+		// Common case: run the fast path.
+		g.quiescent()
+		g.prevFall = false
+		return
+	}
+	// Fallback: try to switch back to the fast path.
+	if g.d.allActive() && g.d.fallback.CompareAndSwap(true, false) {
+		g.d.cnt.toFast.Add(1)
+		g.prevFall = false
+		g.quiescent()
+		return
+	}
+	g.prevFall = true
+}
+
+// quiescent is QSBR's quiescent state over timestamped buckets. The epoch
+// arithmetic (free bucket g mod 3 on adopting g) is derived in qsbr.go.
+func (g *qsenseGuard) quiescent() {
+	if !g.mem.active.Load() {
+		g.rejoin()
+		g.mem.active.Store(true)
+	}
+	g.mem.stampQuiesce()
+	g.d.cnt.quiesce.Add(1)
+	global := g.d.epoch.Load()
+	local := g.local.Load()
+	if local != global {
+		g.local.Store(global)
+		g.freeBucket(int(global % 3))
+		return
+	}
+	for _, peer := range g.d.guards {
+		if peer == g {
+			continue
+		}
+		if peer.mem.skipOrEvict(g.d.cfg.EvictAfter, &g.d.cnt.evictions) {
+			continue
+		}
+		if peer.local.Load() != global {
+			return
+		}
+	}
+	if g.d.epoch.CompareAndSwap(global, global+1) {
+		g.d.cnt.epochs.Add(1)
+		g.local.Store(global + 1)
+		g.freeBucket(int((global + 1) % 3))
+	}
+}
+
+func (g *qsenseGuard) freeBucket(b int) {
+	bucket := g.limbo[b]
+	if len(bucket) == 0 {
+		return
+	}
+	for _, n := range bucket {
+		g.d.cfg.Free(n.ref)
+	}
+	g.d.cnt.freed.Add(uint64(len(bucket)))
+	g.total -= len(bucket)
+	g.limbo[b] = bucket[:0]
+}
+
+// Protect publishes fence-free, exactly as in Cadence; the hazard pointers
+// must be maintained even on the fast path (§4.1).
+func (g *qsenseGuard) Protect(i int, r mem.Ref) {
+	g.rec.publishPending(i, r)
+}
+
+func (g *qsenseGuard) ClearHPs() { g.rec.clearPending() }
+
+// Retire is free_node_later (Algorithm 5, lines 36–61).
+func (g *qsenseGuard) Retire(r mem.Ref) {
+	if r.IsNil() {
+		panic("reclaim: retire of nil Ref")
+	}
+	g.d.mgr.Poll() // cooperative rooster: run an overdue pass inline
+	// Create the timestamped wrapper and add it to the current epoch's
+	// limbo list — always, whatever the current path.
+	b := g.local.Load() % 3
+	g.limbo[b] = append(g.limbo[b], retired{ref: r.Untagged(), stamp: g.d.mgr.Tick()})
+	g.total++
+	g.d.cnt.noteRetire(g.d.cfg.MemoryLimit)
+	g.retires++
+
+	seen := g.d.fallback.Load()
+	switch {
+	case seen && g.retires%g.d.cfg.R == 0:
+		// Running in fallback mode: scan all three epochs' limbo lists.
+		g.scanAll()
+		g.prevFall = true
+	case g.prevFall && !seen:
+		// Switch back to QSBR mode was triggered by another worker.
+		//
+		// Deliberate deviation from Algorithm 5 (lines 49-52), which
+		// declares a quiescent state right here. free_node_later runs
+		// where free() would — typically mid-operation, while this
+		// worker still holds hazardous references (the list's
+		// search_and_cleanup retires nodes mid-traversal). Declaring
+		// quiescence at such a point tells peers "I hold no
+		// references", and one epoch advance later their *wholesale*
+		// frees — which do not consult hazard pointers — can reclaim
+		// nodes this worker is still using. (Our stress harness
+		// caught exactly that as a use-after-free fault.) We only
+		// note the edge; the next Begin, a reference-free point by
+		// contract, performs the quiescent state.
+		g.prevFall = false
+	case !seen && !g.prevFall && g.total >= g.d.cfg.C:
+		// Quiescence has not been possible for a long time: trigger
+		// the switch to the fallback path.
+		if g.d.fallback.CompareAndSwap(false, true) {
+			g.d.cnt.toFall.Add(1)
+		}
+		g.prevFall = true
+		g.scanAll()
+	}
+}
+
+// scanAll runs the Cadence scan over all three limbo buckets.
+func (g *qsenseGuard) scanAll() {
+	g.total = 0
+	for b := range g.limbo {
+		g.limbo[b] = scanDeferred(&g.d.cnt, g.d.cfg, g.d.mgr, g.d.recs, g.limbo[b], &g.scanBuf)
+		g.total += len(g.limbo[b])
+	}
+}

@@ -1,0 +1,262 @@
+package reclaim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"qsense/internal/mem"
+)
+
+// RC is lock-free reference counting (paper references [9], [12], [30];
+// §8 "Reference counting") — the historical baseline the paper dismisses
+// as "requiring expensive atomic operations on every access", implemented
+// so the benchmarks can show exactly that.
+//
+// Every Protect is an atomic acquire on the node's counter and an atomic
+// release of the slot's previous occupant: two RMWs per node visited,
+// against HP's store+fence and Cadence's bare store. Reclamation frees a
+// retired node once its count is zero, claimed with a CAS so a concurrent
+// acquire and the final free cannot race.
+//
+// Counters live in a side table keyed by the node's slot index and
+// qualified by its allocation generation: one word packs (gen<<32|count).
+// The generation qualification is what makes counting safe against slot
+// reuse — an acquire against a stale generation fails (the node is gone;
+// the caller's link re-validation will fail and retry, per §3.2's
+// methodology), and a release after the slot moved on is a detectable
+// no-op instead of corrupting the new tenant's count.
+//
+// Safety sketch: a node is freed only by the claim CAS (gen,0)->(gen+1,0).
+// A reader that acquired (count>0) before the claim blocks it. A reader
+// that acquires after the node was retired can never pass its link
+// validation (the node was unlinked before retire, and generation tagging
+// defeats ABA on the link word), so it releases without dereferencing.
+type RC struct {
+	cfg    Config
+	cnt    counters
+	table  countTable
+	guards []*rcGuard
+}
+
+type rcGuard struct {
+	d       *RC
+	held    []mem.Ref // held[i] = ref currently counted for HP slot i
+	rl      []mem.Ref
+	retires int
+}
+
+// NewRC builds a reference counting domain. Config.HPs bounds the number
+// of simultaneously counted references per worker, exactly like hazard
+// pointer slots.
+func NewRC(cfg Config) (*RC, error) {
+	if err := cfg.Validate(true); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	d := &RC{cfg: cfg}
+	d.guards = make([]*rcGuard, cfg.Workers)
+	for i := range d.guards {
+		d.guards[i] = &rcGuard{d: d, held: make([]mem.Ref, cfg.HPs)}
+	}
+	return d, nil
+}
+
+// Guard implements Domain.
+func (d *RC) Guard(w int) Guard { return d.guards[w] }
+
+// Name implements Domain.
+func (d *RC) Name() string { return "rc" }
+
+// Failed implements Domain.
+func (d *RC) Failed() bool { return d.cnt.failed.Load() }
+
+// Stats implements Domain.
+func (d *RC) Stats() Stats {
+	s := Stats{Scheme: "rc"}
+	d.cnt.fill(&s)
+	return s
+}
+
+// Close implements Domain: frees every node still awaiting reclamation,
+// ignoring counts (call only once all workers have stopped).
+func (d *RC) Close() {
+	for _, g := range d.guards {
+		for _, r := range g.rl {
+			d.cfg.Free(r)
+		}
+		d.cnt.freed.Add(uint64(len(g.rl)))
+		g.rl = g.rl[:0]
+	}
+}
+
+func (g *rcGuard) Begin() {}
+
+// Protect acquires a counted reference on r and releases the slot's
+// previous occupant — two atomic RMWs, the scheme's defining cost. If r's
+// generation is already gone the slot is left empty; the caller's link
+// validation is then guaranteed to fail.
+func (g *rcGuard) Protect(i int, r mem.Ref) {
+	r = r.Untagged()
+	old := g.held[i]
+	if old == r {
+		return
+	}
+	if !r.IsNil() && !g.d.table.acquire(r) {
+		r = 0
+	}
+	g.held[i] = r
+	if !old.IsNil() {
+		g.d.table.release(old)
+	}
+}
+
+// ClearHPs releases every counted reference.
+func (g *rcGuard) ClearHPs() {
+	for i, r := range g.held {
+		if !r.IsNil() {
+			g.d.table.release(r)
+			g.held[i] = 0
+		}
+	}
+}
+
+func (g *rcGuard) Retire(r mem.Ref) {
+	if r.IsNil() {
+		panic("reclaim: retire of nil Ref")
+	}
+	g.rl = append(g.rl, r.Untagged())
+	g.d.cnt.noteRetire(g.d.cfg.MemoryLimit)
+	g.retires++
+	if g.retires%g.d.cfg.R == 0 {
+		g.sweep()
+	}
+}
+
+// sweep frees the retired nodes whose count the claim CAS can take to the
+// next generation (i.e. nobody holds them); the rest stay for later.
+func (g *rcGuard) sweep() {
+	g.d.cnt.scans.Add(1)
+	kept := g.rl[:0]
+	freed := 0
+	for _, r := range g.rl {
+		if g.d.table.tryClaim(r) {
+			g.d.cfg.Free(r)
+			freed++
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	g.rl = kept
+	if freed > 0 {
+		g.d.cnt.freed.Add(uint64(freed))
+	}
+}
+
+// countTable maps slot indexes to (generation<<32 | count) words, growing
+// in published-once segments like mem.Pool's slab directory.
+type countTable struct {
+	segs   [countSegs]atomic.Pointer[countSeg]
+	growMu sync.Mutex
+}
+
+const (
+	countSegShift = 13
+	countSegSize  = 1 << countSegShift // counters per segment
+	countSegs     = 1 << 16            // covers 2^29 slots
+)
+
+type countSeg [countSegSize]atomic.Uint64
+
+func (t *countTable) slot(idx uint32) *atomic.Uint64 {
+	si := idx >> countSegShift
+	seg := t.segs[si].Load()
+	if seg == nil {
+		t.growMu.Lock()
+		if seg = t.segs[si].Load(); seg == nil {
+			seg = new(countSeg)
+			t.segs[si].Store(seg)
+		}
+		t.growMu.Unlock()
+	}
+	return &seg[idx&(countSegSize-1)]
+}
+
+func packCount(gen uint32, count uint32) uint64 { return uint64(gen)<<32 | uint64(count) }
+
+// Counter words move through generations monotonically: a newer generation
+// may override an older word, never the reverse. This is the invariant
+// that makes the table safe against slot reuse — without it, a stale
+// reader could park its dead generation's count in the word and block a
+// LIVE node's acquire, sending a current reader past validation without
+// protection. (Counts under an older generation protect nothing: that
+// tenant is gone — its free either claimed the word past its generation,
+// or it was a never-linked node freed directly, which no reader could
+// have reached.) Generation wraparound (30-bit, one step per slot
+// transition) is ignored, like everywhere else in the substrate.
+
+// acquire increments r's count. It fails (returns false) when the counter
+// word has moved past r's generation — r's node is gone, and the caller's
+// link validation is guaranteed to fail too.
+func (t *countTable) acquire(r mem.Ref) bool {
+	c := t.slot(r.Index())
+	gen := r.Gen()
+	for {
+		w := c.Load()
+		wg := uint32(w >> 32)
+		switch {
+		case wg == gen:
+			if c.CompareAndSwap(w, w+1) {
+				return true
+			}
+		case wg < gen:
+			// Older word (possibly with a dead generation's count):
+			// override with ours.
+			if c.CompareAndSwap(w, packCount(gen, 1)) {
+				return true
+			}
+		default:
+			return false // the slot moved on; r is stale
+		}
+	}
+}
+
+// release decrements r's count. A generation mismatch means the count was
+// already claimed or superseded; releasing is then a no-op.
+func (t *countTable) release(r mem.Ref) {
+	c := t.slot(r.Index())
+	gen := r.Gen()
+	for {
+		w := c.Load()
+		if uint32(w>>32) != gen || uint32(w) == 0 {
+			return
+		}
+		if c.CompareAndSwap(w, w-1) {
+			return
+		}
+	}
+}
+
+// tryClaim atomically retires generation r: it succeeds only when r holds
+// no counts, bumping the word past r's generation so late acquires fail.
+func (t *countTable) tryClaim(r mem.Ref) bool {
+	c := t.slot(r.Index())
+	gen := r.Gen()
+	for {
+		w := c.Load()
+		wg := uint32(w >> 32)
+		if wg > gen {
+			// The word moved past r without our claim — cannot
+			// happen while r is retired-but-unfreed (new tenants
+			// need our free first). Refuse rather than double-free.
+			return false
+		}
+		if wg == gen && uint32(w) != 0 {
+			return false // held by readers
+		}
+		// Either our generation with count 0, or an older word (r was
+		// never acquired; any old count belongs to a dead tenant).
+		if c.CompareAndSwap(w, packCount(gen+1, 0)) {
+			return true
+		}
+	}
+}

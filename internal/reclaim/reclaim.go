@@ -1,0 +1,274 @@
+// Package reclaim implements the paper's concurrent memory reclamation
+// schemes over the mem substrate:
+//
+//   - None — the leaky baseline ("None" in the evaluation): nothing is freed.
+//   - QSBR — quiescent-state-based reclamation (§3.1): the fast path. Three
+//     logical epochs, per-worker limbo lists, wholesale frees on epoch
+//     advance. Fast but blocking: a delayed worker stalls reclamation.
+//   - HP — Michael's hazard pointers (§3.2): per-worker pointers published
+//     with a memory fence per node visited; robust but slow.
+//   - Cadence — the paper's novel fallback (§5.1): hazard pointers without
+//     per-node fences, made safe by rooster flush passes plus deferred
+//     reclamation.
+//   - QSense — the paper's hybrid (§5.2, Algorithm 5): QSBR in the common
+//     case, Cadence under prolonged process delays, switching automatically
+//     in both directions.
+//
+// The three functions of the paper's interface map to:
+//
+//	manage_qsense_state  ->  Guard.Begin
+//	assign_HP            ->  Guard.Protect
+//	free_node_later      ->  Guard.Retire
+//
+// A Domain manages reclamation for one data structure instance and a fixed
+// set of workers (the paper does not support dynamic membership; §5.2).
+// Each worker obtains its Guard once and calls it from that worker only.
+package reclaim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"qsense/internal/mem"
+	"qsense/internal/rooster"
+)
+
+// Guard is a worker's per-thread reclamation handle. Methods must be called
+// only by the owning worker; Protect'ed references are published for
+// concurrent scans by other workers' guards.
+type Guard interface {
+	// Begin is the paper's manage_qsense_state: call it in states where
+	// the worker holds no references to shared nodes — conventionally at
+	// the start of every data structure operation. Schemes batch the real
+	// work: only every Q-th call declares a quiescent state.
+	Begin()
+
+	// Protect is the paper's assign_HP: publish hazard pointer slot i as
+	// protecting r, so no scan reclaims r's node. Tag bits are ignored.
+	// Protecting a nil Ref clears the slot. Following Michael's
+	// methodology the caller must re-validate the source link after
+	// Protect returns and retry if it changed.
+	Protect(i int, r mem.Ref)
+
+	// Retire is the paper's free_node_later: hand over a node that has
+	// been unlinked from the structure. The scheme frees it once safe.
+	Retire(r mem.Ref)
+
+	// ClearHPs releases all of this guard's hazard pointers; call at the
+	// end of an operation. (Optional for correctness — stale protections
+	// only delay reclamation — but keeps memory bounds tight.)
+	ClearHPs()
+}
+
+// Domain manages reclamation state shared by all workers of one structure.
+type Domain interface {
+	// Guard returns worker w's guard (0 <= w < Config.Workers).
+	Guard(w int) Guard
+	// Name returns the scheme name ("qsbr", "hp", ...).
+	Name() string
+	// Failed reports whether the domain exceeded Config.MemoryLimit —
+	// the harness's stand-in for the paper's "system runs out of memory
+	// and eventually fails" (§7.3). Blocking schemes fail under
+	// prolonged delays; robust schemes should never fail.
+	Failed() bool
+	// Stats returns a snapshot of reclamation counters.
+	Stats() Stats
+	// Close stops background machinery and frees every node still
+	// awaiting reclamation. Call only after all workers have stopped.
+	Close()
+}
+
+// Config parameterizes a Domain. The zero value is not usable: Workers,
+// HPs and Free are mandatory (Free may be omitted only for None).
+type Config struct {
+	// Workers is the fixed number of participating worker threads (N).
+	Workers int
+	// HPs is the number of hazard pointers per worker (K). The linked
+	// list uses 3, the BST 6, the skip list 2*levels+2 (§7.3).
+	HPs int
+	// Free returns a retired node's memory to its pool.
+	Free func(mem.Ref)
+
+	// Q is the quiescence threshold (§3.1): one quiescent state is
+	// declared per Q Begin calls. Default 32.
+	Q int
+	// R is the scan threshold (§5.1): pointer-based schemes scan once
+	// per R retires. Default 2*Workers*HPs + 64.
+	R int
+	// C is QSense's fallback threshold (§5.2): a worker whose limbo
+	// lists hold >= C nodes triggers the switch to the fallback path.
+	// Property 4 requires a legal value (NewQSense rejects C below
+	// LegalC), but C must also comfortably exceed the fast path's normal
+	// backlog — roughly 3 epochs' worth of retires at full speed — or
+	// the trigger fires with no delay present ("reaching a large removed
+	// nodes list size indicates that quiescence was not possible for an
+	// extended period", §5.2 step 1). Default max(LegalC, 8192).
+	C int
+	// MaxRemovePerOp is the paper's m: the most nodes one operation can
+	// remove (2 for the external BST, 1 for list and skip list).
+	// Default 2.
+	MaxRemovePerOp int
+
+	// MemoryLimit, when > 0, marks the domain Failed once more than this
+	// many retired nodes await reclamation (OOM emulation).
+	MemoryLimit int
+
+	// Rooster configures the rooster manager (Cadence and QSense).
+	Rooster rooster.Config
+	// ManualRooster suppresses the manager's timer; tests drive passes
+	// deterministically through Domain-specific Step methods.
+	ManualRooster bool
+	// PresenceResetTicks is how many rooster passes elapse between resets
+	// of QSense's presence-flag array (§5.2, step 3). The reset period
+	// (this value times the rooster interval) must comfortably exceed an
+	// OS/runtime scheduler timeslice: with more workers than cores, a
+	// perfectly healthy worker can sit descheduled for tens of
+	// milliseconds, and a shorter period would read that as "not all
+	// processes are active" and postpone the switch back to the fast
+	// path indefinitely. Default 50 (100ms at the default 2ms interval).
+	PresenceResetTicks int
+
+	// FenceCost is the modeled fence latency paid by HP on every
+	// Protect. 0 means fence.DefaultCost; negative means free (ablation).
+	FenceCost time.Duration
+
+	// DisableDeferral removes Cadence's old-enough check. UNSAFE: only
+	// for the ablation demonstrating why deferred reclamation is needed
+	// (§5.1); stress tests show it produces use-after-free violations.
+	DisableDeferral bool
+
+	// EvictAfter enables the paper's sketched eviction extension (§5.2
+	// future work) on the epoch-based schemes: a worker that has not
+	// declared a quiescent state for this long is treated as crashed and
+	// excluded from grace periods (and from QSense's presence scan, so
+	// the fast path can resume after a permanent crash). SAFETY
+	// ASSUMPTION: an evicted worker performs no shared accesses until it
+	// rejoins — enable only where silence really means crash. 0 (the
+	// default) disables eviction. See membership.go.
+	EvictAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Q <= 0 {
+		c.Q = 32
+	}
+	if c.R <= 0 {
+		c.R = 2*c.Workers*c.HPs + 64
+	}
+	if c.MaxRemovePerOp <= 0 {
+		c.MaxRemovePerOp = 2
+	}
+	if c.C <= 0 {
+		c.C = max(LegalC(c), 8192)
+	}
+	if c.PresenceResetTicks <= 0 {
+		c.PresenceResetTicks = 50
+	}
+	return c
+}
+
+// Validate reports configuration errors common to all schemes.
+func (c Config) Validate(needFree bool) error {
+	if c.Workers <= 0 {
+		return errors.New("reclaim: Config.Workers must be positive")
+	}
+	if c.HPs <= 0 {
+		return errors.New("reclaim: Config.HPs must be positive")
+	}
+	if needFree && c.Free == nil {
+		return errors.New("reclaim: Config.Free is required")
+	}
+	return nil
+}
+
+// LegalC returns the smallest legal fallback threshold per §6.2:
+// C > max(mQ, NK+T, (K+T+R)/2), with the rooster interval T expressed in
+// retired nodes per rooster pass; we bound that by R (a worker scans, and
+// thus caps its backlog growth, every R retires), which keeps the bound
+// sound while staying in node units.
+func LegalC(c Config) int {
+	c.MaxRemovePerOp = max(c.MaxRemovePerOp, 2)
+	if c.Q <= 0 {
+		c.Q = 32
+	}
+	if c.R <= 0 {
+		c.R = 2*c.Workers*c.HPs + 64
+	}
+	t := c.R // stand-in for T in node units; see doc comment
+	m := max(
+		c.MaxRemovePerOp*c.Q,
+		c.Workers*c.HPs+t,
+		(c.HPs+t+c.R)/2,
+	)
+	return m + 1
+}
+
+// New constructs the named scheme. Valid names: "none", "qsbr", "hp",
+// "cadence", "qsense" (the paper's five), plus the related-work baselines
+// "ebr" (epoch-based reclamation, Fraser style) and "rc" (lock-free
+// reference counting).
+func New(name string, cfg Config) (Domain, error) {
+	switch name {
+	case "none":
+		return NewNone(cfg)
+	case "qsbr":
+		return NewQSBR(cfg)
+	case "hp":
+		return NewHP(cfg)
+	case "cadence":
+		return NewCadence(cfg)
+	case "qsense":
+		return NewQSense(cfg)
+	case "ebr":
+		return NewEBR(cfg)
+	case "rc":
+		return NewRC(cfg)
+	}
+	return nil, fmt.Errorf("reclaim: unknown scheme %q", name)
+}
+
+// Schemes lists the scheme names accepted by New, in evaluation order: the
+// paper's five first, then the §8 related-work baselines.
+func Schemes() []string {
+	return []string{"none", "qsbr", "hp", "cadence", "qsense", "ebr", "rc"}
+}
+
+// PaperSchemes lists only the five schemes of the paper's evaluation
+// (Figures 3 and 5); the experiment drivers default to these.
+func PaperSchemes() []string { return []string{"none", "qsbr", "hp", "cadence", "qsense"} }
+
+// Stats is a point-in-time snapshot of a domain's counters.
+type Stats struct {
+	Scheme string
+	// Retired and Freed count Retire calls and completed frees.
+	Retired, Freed uint64
+	// Pending is Retired-Freed: nodes awaiting reclamation now.
+	Pending int64
+	// Scans counts hazard-pointer scans (HP, Cadence, QSense fallback).
+	Scans uint64
+	// QuiescentStates counts declared quiescent states (QSBR, QSense).
+	QuiescentStates uint64
+	// EpochAdvances counts global epoch increments (QSBR, QSense).
+	EpochAdvances uint64
+	// SwitchesToFallback / SwitchesToFast count QSense path switches.
+	SwitchesToFallback, SwitchesToFast uint64
+	// Evictions and Rejoins count membership events (membership.go):
+	// workers excluded as crashed and workers that (re-)entered.
+	Evictions, Rejoins uint64
+	// InFallback reports QSense's current path.
+	InFallback bool
+	// RoosterPasses counts completed rooster flush passes.
+	RoosterPasses uint64
+	// Failed mirrors Domain.Failed.
+	Failed bool
+}
+
+func max(a int, bs ...int) int {
+	for _, b := range bs {
+		if b > a {
+			a = b
+		}
+	}
+	return a
+}

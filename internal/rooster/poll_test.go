@@ -1,0 +1,92 @@
+package rooster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPollNoOpWhenStopped(t *testing.T) {
+	m := NewManager(Config{Interval: time.Nanosecond})
+	var tgt countTarget
+	m.Register(&tgt)
+	for i := 0; i < 10; i++ {
+		m.Poll() // never started: deterministic tests stay deterministic
+	}
+	if m.Tick() != 0 || tgt.flushes.Load() != 0 {
+		t.Fatal("Poll ran a pass on a stopped manager")
+	}
+}
+
+func TestPollRunsOverduePass(t *testing.T) {
+	m := NewManager(Config{Interval: time.Hour}) // timer will never fire
+	var tgt countTarget
+	m.Register(&tgt)
+	m.Start()
+	defer m.Stop()
+	m.Poll()
+	if m.Tick() != 0 {
+		t.Fatal("Poll ran a pass before the interval elapsed")
+	}
+	// Pretend the last pass was two intervals ago.
+	m.lastPass.Store(time.Now().Add(-2 * time.Hour).UnixNano())
+	m.Poll()
+	if m.Tick() != 1 {
+		t.Fatalf("tick = %d; cooperative pass did not run", m.Tick())
+	}
+	if tgt.flushes.Load() != 1 {
+		t.Fatal("cooperative pass did not flush targets")
+	}
+	// Rate limited again right after.
+	m.Poll()
+	if m.Tick() != 1 {
+		t.Fatal("Poll ignored the rate limit")
+	}
+}
+
+func TestPollRunsHooks(t *testing.T) {
+	m := NewManager(Config{Interval: time.Hour})
+	runs := 0
+	m.AddHook(1, func() { runs++ })
+	m.Start()
+	defer m.Stop()
+	m.lastPass.Store(time.Now().Add(-2 * time.Hour).UnixNano())
+	m.Poll()
+	if runs != 1 {
+		t.Fatalf("hook runs = %d; cooperative passes must run hooks too", runs)
+	}
+}
+
+func TestPollConcurrentSinglePass(t *testing.T) {
+	// Many goroutines polling an overdue manager must produce exactly one
+	// pass (TryLock + recheck), not a pass per caller.
+	m := NewManager(Config{Interval: time.Hour})
+	m.Start()
+	defer m.Stop()
+	m.lastPass.Store(time.Now().Add(-2 * time.Hour).UnixNano())
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			m.Poll()
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if got := m.Tick(); got != 1 {
+		t.Fatalf("ticks = %d, want exactly 1 cooperative pass", got)
+	}
+}
+
+func TestStepRefreshesPollClock(t *testing.T) {
+	// A manual Step counts as a pass for the cooperative clock.
+	m := NewManager(Config{Interval: time.Hour})
+	m.Start()
+	defer m.Stop()
+	m.lastPass.Store(time.Now().Add(-2 * time.Hour).UnixNano())
+	m.Step() // resets the clock
+	m.Poll()
+	if m.Tick() != 1 {
+		t.Fatalf("tick = %d: Poll should be rate-limited right after Step", m.Tick())
+	}
+}

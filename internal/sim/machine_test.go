@@ -1,0 +1,441 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// newTestMachine builds a 2-proc machine with jitter off and strict
+// interleaving unless the test overrides cfg fields.
+func newTestMachine(t *testing.T, cfg Config) *Machine {
+	t.Helper()
+	if cfg.Procs == 0 {
+		cfg.Procs = 2
+	}
+	if cfg.JitterPct == 0 {
+		cfg.JitterPct = -1
+	}
+	return New(cfg)
+}
+
+// TestStoreBufferingLitmus is the canonical TSO litmus (SB): with no
+// fences, both processes can read the other's flag as 0 — the reordering
+// that breaks naive hazard pointers (§3.2). Under the adversarial drain
+// model it is in fact the common outcome.
+func TestStoreBufferingLitmus(t *testing.T) {
+	bothZero := 0
+	const runs = 32
+	for seed := uint64(0); seed < runs; seed++ {
+		m := newTestMachine(t, Config{Seed: seed, JitterPct: int(seed%2)*10 - 1})
+		x := m.Reserve(1)
+		y := m.Reserve(1)
+		var r0, r1 uint64
+		// The trailing Work keeps each proc alive across the peer's
+		// load: process termination drains the store buffer, so a
+		// program whose load is its last op can never exhibit the
+		// relaxed outcome against an already-exited peer.
+		m.Spawn(0, func(p *Proc) {
+			p.Store(x, 1)
+			r0 = p.Load(y)
+			p.Work(1000)
+		})
+		m.Spawn(1, func(p *Proc) {
+			p.Store(y, 1)
+			r1 = p.Load(x)
+			p.Work(1000)
+		})
+		if errs := m.Run(); errs != nil {
+			t.Fatal(errs)
+		}
+		if r0 == 0 && r1 == 0 {
+			bothZero++
+		}
+	}
+	if bothZero == 0 {
+		t.Fatal("TSO store buffering never produced the relaxed outcome; the store buffer model is broken")
+	}
+}
+
+// TestStoreBufferingWithFences: inserting a fence between the store and the
+// load forbids the relaxed outcome in every execution — Algorithm 1's fix.
+func TestStoreBufferingWithFences(t *testing.T) {
+	for seed := uint64(0); seed < 64; seed++ {
+		m := newTestMachine(t, Config{Seed: seed, JitterPct: int(seed % 30)})
+		x := m.Reserve(1)
+		y := m.Reserve(1)
+		var r0, r1 uint64
+		m.Spawn(0, func(p *Proc) {
+			p.Store(x, 1)
+			p.Fence()
+			r0 = p.Load(y)
+		})
+		m.Spawn(1, func(p *Proc) {
+			p.Store(y, 1)
+			p.Fence()
+			r1 = p.Load(x)
+		})
+		if errs := m.Run(); errs != nil {
+			t.Fatal(errs)
+		}
+		if r0 == 0 && r1 == 0 {
+			t.Fatalf("seed %d: fenced SB litmus produced the forbidden relaxed outcome", seed)
+		}
+	}
+}
+
+// TestStoreToLoadForwarding: a process sees its own buffered store; a peer
+// does not until a drain.
+func TestStoreToLoadForwarding(t *testing.T) {
+	m := newTestMachine(t, Config{})
+	x := m.Reserve(1)
+	seen := make(chan uint64, 2)
+	m.Spawn(0, func(p *Proc) {
+		p.Store(x, 7)
+		seen <- p.Load(x) // forwarding: must be 7
+		p.Work(100000)    // stay unfenced, buffer never drains
+	})
+	m.Spawn(1, func(p *Proc) {
+		p.Work(1000) // run strictly after proc 0's store
+		seen <- p.Load(x)
+	})
+	if errs := m.Run(); errs != nil {
+		t.Fatal(errs)
+	}
+	own, peer := <-seen, <-seen
+	if own != 7 {
+		t.Fatalf("store-to-load forwarding failed: own load = %d", own)
+	}
+	if peer != 0 {
+		t.Fatalf("peer saw an undrained store: %d", peer)
+	}
+}
+
+// TestForwardingYoungest: forwarding returns the youngest matching entry.
+func TestForwardingYoungest(t *testing.T) {
+	m := newTestMachine(t, Config{Procs: 1})
+	x := m.Reserve(1)
+	var got uint64
+	m.Spawn(0, func(p *Proc) {
+		p.Store(x, 1)
+		p.Store(x, 2)
+		p.Store(x, 3)
+		got = p.Load(x)
+	})
+	if errs := m.Run(); errs != nil {
+		t.Fatal(errs)
+	}
+	if got != 3 {
+		t.Fatalf("youngest-entry forwarding failed: got %d", got)
+	}
+}
+
+// TestCapacityDrainFIFO: when the buffer overflows, the oldest store drains
+// first, preserving TSO's per-process store order in memory. A peer
+// observes mid-run (process termination drains the rest, so post-run state
+// cannot distinguish orders).
+func TestCapacityDrainFIFO(t *testing.T) {
+	m := newTestMachine(t, Config{StoreBufCap: 2})
+	a := m.Reserve(3)
+	var v0, v1, v2 uint64
+	m.Spawn(0, func(p *Proc) {
+		p.Store(a, 1)   // drains when the 3rd store arrives
+		p.Store(a+1, 2) //
+		p.Store(a+2, 3) // forces drain of (a,1)
+		p.Work(100000)  // stay alive, unfenced
+	})
+	m.Spawn(1, func(p *Proc) {
+		p.SleepUntil(10000)
+		v0, v1, v2 = p.Load(a), p.Load(a+1), p.Load(a+2)
+	})
+	if errs := m.Run(); errs != nil {
+		t.Fatal(errs)
+	}
+	if v0 != 1 {
+		t.Fatalf("oldest store did not drain under capacity pressure: mem[a]=%d", v0)
+	}
+	if v1 != 0 || v2 != 0 {
+		t.Fatalf("younger stores drained out of order: %d %d", v1, v2)
+	}
+}
+
+// TestCASDrainsAndIsVisible: a CAS acts as a full fence and its result is
+// immediately visible to later loads of any process.
+func TestCASDrainsAndIsVisible(t *testing.T) {
+	m := newTestMachine(t, Config{})
+	x := m.Reserve(1)
+	y := m.Reserve(1)
+	var peer uint64
+	m.Spawn(0, func(p *Proc) {
+		p.Store(y, 9) // would linger in the buffer...
+		if _, ok := p.CAS(x, 0, 1); !ok {
+			t.Error("CAS on fresh word failed")
+		}
+	})
+	m.Spawn(1, func(p *Proc) {
+		p.Work(5000)
+		peer = p.Load(y)
+	})
+	if errs := m.Run(); errs != nil {
+		t.Fatal(errs)
+	}
+	if peer != 9 {
+		t.Fatalf("CAS did not drain the store buffer: peer read %d", peer)
+	}
+	if m.Peek(x) != 1 {
+		t.Fatalf("CAS result not in memory: %d", m.Peek(x))
+	}
+}
+
+// TestCASFailureReportsPrev: a failed CAS returns the witnessed value and
+// counts in stats.
+func TestCASFailureReportsPrev(t *testing.T) {
+	m := newTestMachine(t, Config{Procs: 1})
+	x := m.Reserve(1)
+	m.Poke(x, 42)
+	m.Spawn(0, func(p *Proc) {
+		prev, ok := p.CAS(x, 0, 1)
+		if ok || prev != 42 {
+			t.Errorf("CAS(0->1) on 42: prev=%d ok=%v", prev, ok)
+		}
+	})
+	if errs := m.Run(); errs != nil {
+		t.Fatal(errs)
+	}
+	if m.Stats().CASFails != 1 {
+		t.Fatalf("CASFails = %d, want 1", m.Stats().CASFails)
+	}
+}
+
+// TestRoosterPreemptionDrains: with roosters enabled, an unfenced store
+// becomes visible within one interval plus a context switch — the §5.1
+// guarantee Cadence relies on.
+func TestRoosterPreemptionDrains(t *testing.T) {
+	const interval = 10000
+	m := newTestMachine(t, Config{RoosterInterval: interval, Cores: 2})
+	x := m.Reserve(1)
+	var peer uint64
+	m.Spawn(0, func(p *Proc) {
+		p.Store(x, 5)
+		for p.Now() < 3*interval { // spin without fencing
+			p.Work(100)
+		}
+	})
+	m.Spawn(1, func(p *Proc) {
+		p.SleepUntil(4 * interval)
+		peer = p.Load(x)
+	})
+	if errs := m.Run(); errs != nil {
+		t.Fatal(errs)
+	}
+	if peer != 5 {
+		t.Fatalf("rooster preemption did not drain the store: peer read %d", peer)
+	}
+	if m.Stats().RoosterPreempts == 0 {
+		t.Fatal("no rooster preemptions recorded")
+	}
+}
+
+// TestNoRoosterNoDrain is the adversarial baseline: without roosters,
+// fences or pressure, a store can stay invisible for an arbitrarily long
+// time — the reason naive fence elision is unsafe (§4.1).
+func TestNoRoosterNoDrain(t *testing.T) {
+	m := newTestMachine(t, Config{})
+	x := m.Reserve(1)
+	var peer uint64
+	m.Spawn(0, func(p *Proc) {
+		p.Store(x, 5)
+		for p.Now() < 1_000_000 {
+			p.Work(1000)
+		}
+	})
+	m.Spawn(1, func(p *Proc) {
+		p.SleepUntil(900_000)
+		peer = p.Load(x)
+	})
+	if errs := m.Run(); errs != nil {
+		t.Fatal(errs)
+	}
+	if peer != 0 {
+		t.Fatalf("store drained with no drain trigger: peer read %d", peer)
+	}
+}
+
+// TestSleepFastForwardsRooster: a sleeping proc is not charged a backlog of
+// rooster preemptions on wake-up.
+func TestSleepFastForwardsRooster(t *testing.T) {
+	m := newTestMachine(t, Config{Procs: 1, RoosterInterval: 1000})
+	m.Spawn(0, func(p *Proc) {
+		p.SleepUntil(100_000)
+		p.Work(10)
+	})
+	if errs := m.Run(); errs != nil {
+		t.Fatal(errs)
+	}
+	if n := m.Stats().RoosterPreempts; n > 2 {
+		t.Fatalf("woke into %d backlogged rooster preemptions", n)
+	}
+}
+
+// TestDeterminism: identical configuration and programs give bit-identical
+// executions; a different seed gives a different one.
+func TestDeterminism(t *testing.T) {
+	run := func(seed uint64) (Stats, uint64) {
+		m := New(Config{Procs: 3, Seed: seed, Quantum: 64, RoosterInterval: 5000})
+		x := m.Reserve(8)
+		for i := 0; i < 3; i++ {
+			m.Spawn(i, func(p *Proc) {
+				for p.Now() < 200_000 {
+					a := x + Addr(p.Rand()%8)
+					if p.Rand()%4 == 0 {
+						p.CAS(a, p.Load(a), p.Rand()%100)
+					} else {
+						p.Store(a, p.Rand())
+					}
+					p.OpDone()
+				}
+			})
+		}
+		if errs := m.Run(); errs != nil {
+			t.Fatal(errs)
+		}
+		var sum uint64
+		for i := 0; i < 8; i++ {
+			sum = sum*1099511628211 + m.Peek(x+Addr(i))
+		}
+		return m.Stats(), sum
+	}
+	s1, h1 := run(7)
+	s2, h2 := run(7)
+	if s1 != s2 || h1 != h2 {
+		t.Fatalf("same seed diverged:\n%+v %x\n%+v %x", s1, h1, s2, h2)
+	}
+	s3, h3 := run(8)
+	if s1 == s3 && h1 == h3 {
+		t.Fatal("different seeds produced identical executions (suspicious)")
+	}
+}
+
+// TestProgramPanicReported: a panicking program (e.g. a simulated memory
+// violation) surfaces as an error from Run, attributed to its proc.
+func TestProgramPanicReported(t *testing.T) {
+	m := newTestMachine(t, Config{})
+	m.Spawn(0, func(p *Proc) { p.Work(10); panic("boom") })
+	m.Spawn(1, func(p *Proc) { p.Work(100) })
+	errs := m.Run()
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "proc 0") || !strings.Contains(errs[0].Error(), "boom") {
+		t.Fatalf("errs = %v", errs)
+	}
+}
+
+// TestSingleProcSequentialConsistency: one process always observes its own
+// program order (TSO is SC for a single processor). Property-based: an
+// arbitrary op sequence matches a plain map model.
+func TestSingleProcSequentialConsistency(t *testing.T) {
+	f := func(ops []uint16, seed uint64) bool {
+		if len(ops) > 512 {
+			ops = ops[:512]
+		}
+		m := New(Config{Procs: 1, Seed: seed, StoreBufCap: 4})
+		base := m.Reserve(8)
+		model := make(map[Addr]uint64)
+		ok := true
+		m.Spawn(0, func(p *Proc) {
+			for _, op := range ops {
+				a := base + Addr(op%8)
+				switch (op >> 3) % 4 {
+				case 0:
+					v := uint64(op)
+					p.Store(a, v)
+					model[a] = v
+				case 1:
+					if got := p.Load(a); got != model[a] {
+						ok = false
+					}
+				case 2:
+					p.Fence()
+				case 3:
+					want := model[a]
+					prev, swapped := p.CAS(a, want, want+1)
+					if prev != want || !swapped {
+						ok = false
+					}
+					model[a] = want + 1
+				}
+			}
+		})
+		if errs := m.Run(); errs != nil {
+			return false
+		}
+		if !ok {
+			return false
+		}
+		// After a final drain everything must be in memory.
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuantumDoesNotChangeSoloClocks: for independent programs the virtual
+// clocks are a function of the program and seed alone, not the quantum.
+func TestQuantumDoesNotChangeSoloClocks(t *testing.T) {
+	run := func(quantum uint64) []uint64 {
+		m := New(Config{Procs: 2, Seed: 3, Quantum: quantum})
+		x := m.Reserve(2)
+		for i := 0; i < 2; i++ {
+			a := x + Addr(i) // disjoint addresses: no cross-proc reads
+			m.Spawn(i, func(p *Proc) {
+				for k := 0; k < 100; k++ {
+					p.Store(a, uint64(k))
+					p.Load(a)
+					p.Fence()
+					p.OpDone()
+				}
+			})
+		}
+		if errs := m.Run(); errs != nil {
+			t.Fatal(errs)
+		}
+		return m.SortedClocks()
+	}
+	strict, loose := run(0), run(4096)
+	for i := range strict {
+		if strict[i] != loose[i] {
+			t.Fatalf("quantum changed independent clocks: %v vs %v", strict, loose)
+		}
+	}
+}
+
+// TestReserveZeroed: reserved memory starts zeroed and Poke/Peek round-trip.
+func TestReserveZeroed(t *testing.T) {
+	m := New(Config{Procs: 1})
+	a := m.Reserve(4)
+	for i := Addr(0); i < 4; i++ {
+		if m.Peek(a+i) != 0 {
+			t.Fatalf("fresh word %d not zero", i)
+		}
+	}
+	m.Poke(a+2, 99)
+	if m.Peek(a+2) != 99 {
+		t.Fatal("Poke/Peek mismatch")
+	}
+}
+
+// TestOpDoneCounts: OpDone increments the per-proc op counter used for
+// throughput measurement.
+func TestOpDoneCounts(t *testing.T) {
+	m := New(Config{Procs: 1})
+	m.Spawn(0, func(p *Proc) {
+		for i := 0; i < 17; i++ {
+			p.OpDone()
+		}
+	})
+	if errs := m.Run(); errs != nil {
+		t.Fatal(errs)
+	}
+	if got := m.Proc(0).Ops(); got != 17 {
+		t.Fatalf("Ops = %d, want 17", got)
+	}
+}

@@ -1,0 +1,206 @@
+package sim
+
+import "fmt"
+
+// Proc is one simulated process: a virtual clock, a private TSO store
+// buffer, and the memory operations a program uses. All methods must be
+// called only from the program installed on this proc via Machine.Spawn.
+type Proc struct {
+	m    *Machine
+	id   int
+	core int
+
+	clock uint64
+	limit uint64
+	sb    []bufferedStore
+
+	nextRooster uint64
+	program     func(p *Proc)
+	resume      chan struct{}
+	done        bool
+	err         error
+	rng         func() uint64
+
+	ops uint64 // program-level operation counter (OpDone)
+}
+
+// ID returns the process id (0-based).
+func (p *Proc) ID() int { return p.id }
+
+// Core returns the hardware context this process is pinned to.
+func (p *Proc) Core() int { return p.core }
+
+// Now returns the process' virtual clock in cycles.
+func (p *Proc) Now() uint64 { return p.clock }
+
+// Ops returns the number of OpDone calls (completed program operations).
+func (p *Proc) Ops() uint64 { return p.ops }
+
+// Rand returns the next value of the proc's deterministic RNG stream.
+func (p *Proc) Rand() uint64 { return p.rng() }
+
+// top is the proc goroutine body: wait for the first grant, run the
+// program, convert panics (including simulated memory violations) into
+// recorded errors, and hand control back to the scheduler.
+func (p *Proc) top() {
+	<-p.resume
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				p.err = e
+			} else {
+				p.err = fmt.Errorf("panic: %v", r)
+			}
+		}
+		// Process termination is a context switch: the store buffer
+		// drains (even on a fault — the OS reaps the core either way).
+		p.drainAll()
+		p.done = true
+		p.m.yielded <- struct{}{}
+	}()
+	p.program(p)
+}
+
+// yield hands control to the scheduler and blocks until regranted.
+func (p *Proc) yield() {
+	p.m.yielded <- struct{}{}
+	<-p.resume
+}
+
+// step advances the clock by cost (plus deterministic jitter), applies any
+// due rooster preemption, and yields if the quantum is exhausted.
+func (p *Proc) step(cost uint64) {
+	if j := p.m.cfg.JitterPct; j > 0 && cost > 0 {
+		// jitter in [0, cost*j/100], deterministic from the RNG stream.
+		span := cost*uint64(j)/100 + 1
+		cost += p.rng() % span
+	}
+	p.clock += cost
+	if p.nextRooster != 0 && p.clock >= p.nextRooster {
+		p.roosterPreempt()
+	}
+	if p.clock > p.limit {
+		p.yield()
+	}
+}
+
+// roosterPreempt models the rooster process waking on this proc's core:
+// the proc is switched out (cost) and its store buffer drains — the
+// context-switch-implies-fence assumption of §5.1.
+func (p *Proc) roosterPreempt() {
+	for p.nextRooster != 0 && p.clock >= p.nextRooster {
+		p.drainAll()
+		p.clock += p.m.cfg.Costs.CtxSwitch
+		p.m.stats.CtxSwitches++
+		p.m.stats.RoosterPreempts++
+		p.nextRooster += p.m.cfg.RoosterInterval
+	}
+}
+
+// drainOne applies the oldest buffered store to shared memory.
+func (p *Proc) drainOne() {
+	s := p.sb[0]
+	copy(p.sb, p.sb[1:])
+	p.sb = p.sb[:len(p.sb)-1]
+	p.m.mem[s.addr] = s.val
+	p.m.stats.Drains++
+}
+
+// drainAll empties the store buffer into shared memory, in FIFO order.
+func (p *Proc) drainAll() {
+	for len(p.sb) > 0 {
+		p.drainOne()
+	}
+}
+
+// Load reads a word: own store buffer first (store-to-load forwarding,
+// youngest matching entry), then shared memory.
+func (p *Proc) Load(a Addr) uint64 {
+	p.step(p.m.cfg.Costs.Load)
+	p.m.stats.Loads++
+	for i := len(p.sb) - 1; i >= 0; i-- {
+		if p.sb[i].addr == a {
+			return p.sb[i].val
+		}
+	}
+	return p.m.mem[a]
+}
+
+// Store buffers a write. It becomes visible to other processes only when
+// drained (fence, CAS, context switch, or capacity pressure).
+func (p *Proc) Store(a Addr, v uint64) {
+	p.step(p.m.cfg.Costs.Store)
+	p.m.stats.Stores++
+	if len(p.sb) >= p.m.cfg.StoreBufCap {
+		p.drainOne()
+	}
+	p.sb = append(p.sb, bufferedStore{addr: a, val: v})
+}
+
+// Fence drains the store buffer (x86 mfence).
+func (p *Proc) Fence() {
+	p.step(p.m.cfg.Costs.Fence)
+	p.m.stats.Fences++
+	p.drainAll()
+}
+
+// CAS is an atomic compare-and-swap. Like an x86 locked RMW it carries
+// full fence semantics: the buffer drains before the operation and the
+// new value is immediately visible. Returns the previous value and
+// whether the swap happened.
+func (p *Proc) CAS(a Addr, old, new uint64) (prev uint64, ok bool) {
+	p.step(p.m.cfg.Costs.CAS)
+	p.m.stats.CASes++
+	p.drainAll()
+	prev = p.m.mem[a]
+	if prev != old {
+		p.m.stats.CASFails++
+		return prev, false
+	}
+	p.m.mem[a] = new
+	return prev, true
+}
+
+// AtomicStore is a sequentially consistent store (x86 XCHG): buffer drains
+// and the value is immediately visible. Costed as a CAS.
+func (p *Proc) AtomicStore(a Addr, v uint64) {
+	p.step(p.m.cfg.Costs.CAS)
+	p.m.stats.Stores++
+	p.drainAll()
+	p.m.mem[a] = v
+}
+
+// Work advances the clock by a pure-compute cost without touching memory.
+func (p *Proc) Work(cycles uint64) { p.step(cycles) }
+
+// OpDone marks the completion of one program-level operation, charging the
+// fixed per-operation overhead. Throughput = Ops per simulated time.
+func (p *Proc) OpDone() {
+	p.step(p.m.cfg.Costs.Op)
+	p.ops++
+}
+
+// SleepUntil deschedules the process until virtual time t: the context
+// switch drains the store buffer (the §5.1 assumption), the clock jumps,
+// and the rooster schedule fast-forwards — a sleeping process is off-core
+// and is not repeatedly preempted.
+func (p *Proc) SleepUntil(t uint64) {
+	p.drainAll()
+	p.clock += p.m.cfg.Costs.CtxSwitch
+	p.m.stats.CtxSwitches++
+	if t > p.clock {
+		p.clock = t
+	}
+	if iv := p.m.cfg.RoosterInterval; iv > 0 {
+		p.nextRooster = (p.clock/iv + 1) * iv
+	}
+	if p.clock > p.limit {
+		p.yield()
+	}
+}
+
+// Sleep deschedules the process for d cycles from now.
+func (p *Proc) Sleep(d uint64) { p.SleepUntil(p.clock + d) }
+
+// PendingStores returns the current store-buffer depth (diagnostics).
+func (p *Proc) PendingStores() int { return len(p.sb) }

@@ -1,0 +1,229 @@
+package simexp
+
+import (
+	"testing"
+
+	"qsense/internal/sim/simsmr"
+)
+
+// TestDeterministicRuns: a Result is a pure function of its Config.
+func TestDeterministicRuns(t *testing.T) {
+	cfg := Config{
+		Scheme: "qsense", Procs: 4, KeyRange: 64, UpdatePct: 50,
+		Duration: 500_000, Seed: 11, SampleCycles: 50_000,
+	}
+	a, b := Run(cfg), Run(cfg)
+	if a.Ops != b.Ops || a.Cycles != b.Cycles || a.Reclaim != b.Reclaim {
+		t.Fatalf("nondeterministic results:\n%+v\n%+v", a.Reclaim, b.Reclaim)
+	}
+	for i := range a.Buckets {
+		if a.Buckets[i] != b.Buckets[i] {
+			t.Fatalf("bucket %d diverged", i)
+		}
+	}
+}
+
+// TestFig3Shape asserts Figure 3's qualitative result in the cycle domain:
+// at every proc count, hp trails qsense by a wide margin (the per-node
+// fence) and qsense tracks the leaky baseline closely. Deterministic, so
+// strict inequalities are stable.
+func TestFig3Shape(t *testing.T) {
+	base, schemes := Fig3(128, 1_200_000)
+	base.Seed = 3
+	curves := Scalability(base, schemes, []int{1, 2, 4}, nil)
+	byScheme := map[string][]Point{}
+	for _, c := range curves {
+		byScheme[c.Scheme] = c.Points
+		for _, p := range c.Points {
+			if len(p.Res.Errs) != 0 {
+				t.Fatalf("%s/%d: %v", c.Scheme, p.Procs, p.Res.Errs)
+			}
+		}
+	}
+	for i := range byScheme["none"] {
+		none := byScheme["none"][i].Res.OpsPerMcycle
+		qs := byScheme["qsense"][i].Res.OpsPerMcycle
+		hp := byScheme["hp"][i].Res.OpsPerMcycle
+		procs := byScheme["none"][i].Procs
+		if hp >= qs {
+			t.Errorf("procs=%d: hp (%.1f) not below qsense (%.1f)", procs, hp, qs)
+		}
+		if qs > none*1.02 {
+			t.Errorf("procs=%d: qsense (%.1f) above none (%.1f)", procs, qs, none)
+		}
+		if qs < 1.5*hp {
+			t.Errorf("procs=%d: qsense (%.1f) not well above hp (%.1f) — fence cost not visible", procs, qs, hp)
+		}
+	}
+}
+
+// TestFig5TopShape asserts the top row's ordering with 50%% updates:
+// none >= qsbr >= qsense >> hp.
+func TestFig5TopShape(t *testing.T) {
+	base, schemes := Fig5Top(128, 1_200_000)
+	base.Seed = 7
+	curves := Scalability(base, schemes, []int{4}, nil)
+	v := map[string]float64{}
+	for _, c := range curves {
+		if len(c.Points[0].Res.Errs) != 0 {
+			t.Fatalf("%s: %v", c.Scheme, c.Points[0].Res.Errs)
+		}
+		v[c.Scheme] = c.Points[0].Res.OpsPerMcycle
+	}
+	// none, qsbr and qsense cluster tightly (single deterministic run:
+	// contention luck moves them a few percent either way); hp sits far
+	// below all of them. That separation is the figure's content.
+	cluster := []string{"none", "qsbr", "qsense"}
+	lo, hi := v["none"], v["none"]
+	for _, s := range cluster {
+		lo, hi = min(lo, v[s]), max(hi, v[s])
+	}
+	if hi > lo*1.15 {
+		t.Fatalf("none/qsbr/qsense spread too wide: %+v", v)
+	}
+	if v["hp"] > lo*0.6 {
+		t.Fatalf("hp (%.1f) not well below the cluster (min %.1f): %+v", v["hp"], lo, v)
+	}
+}
+
+// fig5BottomRun executes one delay-experiment run with the tuning the CLI
+// uses (cmd/qsense-sim -exp fig5bottom): the stall accumulation (~65
+// retires per guard per 800k-cycle stall) sits well above C=32 and the
+// memory budget 320, while the healthy backlog (~5 per guard, skewed
+// transiently to ~25 by cleanup retires) sits below C.
+func fig5BottomRun(t *testing.T, scheme string, limit int) Result {
+	t.Helper()
+	base, _ := Fig5Bottom(64, 8_000_000)
+	base.Scheme = scheme
+	base.Seed = 19
+	base.MemoryLimit = limit
+	base.SMR = func(c *simsmr.Config) {
+		c.Q = 8
+		c.R = 24
+		c.C = 32
+		c.PresenceWindow = 50_000
+	}
+	return Run(base)
+}
+
+// TestFig5BottomQSBRFails: the stalled proc freezes grace periods and QSBR
+// blows the memory budget during the first stall — the orange line.
+func TestFig5BottomQSBRFails(t *testing.T) {
+	res := fig5BottomRun(t, "qsbr", 320)
+	if len(res.Errs) != 0 {
+		t.Fatal(res.Errs)
+	}
+	if !res.Failed {
+		t.Fatalf("qsbr survived the stalls (pending=%d)", res.Reclaim.Pending)
+	}
+	if res.FailedAt > res.Cfg.Duration/2 {
+		t.Fatalf("qsbr failed too late: %d of %d", res.FailedAt, res.Cfg.Duration)
+	}
+	// After failure the time series flatlines.
+	tail := res.Buckets[len(res.Buckets)-5:]
+	for _, b := range tail {
+		if b.Ops != 0 {
+			t.Fatalf("ops recorded after OOM failure: %+v", tail)
+		}
+	}
+}
+
+// TestFig5BottomQSenseSurvives: QSense switches to the fallback path during
+// each stall, stays within the same memory budget, and switches back — the
+// green line.
+func TestFig5BottomQSenseSurvives(t *testing.T) {
+	res := fig5BottomRun(t, "qsense", 320)
+	if len(res.Errs) != 0 {
+		t.Fatal(res.Errs)
+	}
+	if res.Failed {
+		t.Fatalf("qsense breached the memory budget: %+v", res.Reclaim)
+	}
+	if res.Reclaim.SwitchesToFallback == 0 || res.Reclaim.SwitchesToFast == 0 {
+		t.Fatalf("qsense did not switch both ways: %+v", res.Reclaim)
+	}
+	sawFallback := false
+	for _, b := range res.Buckets {
+		sawFallback = sawFallback || b.InFallback
+	}
+	if !sawFallback {
+		t.Fatal("no bucket observed the fallback path")
+	}
+	// The run keeps making progress to the end.
+	tail := res.Buckets[len(res.Buckets)-3:]
+	for _, b := range tail {
+		if b.Ops == 0 {
+			t.Fatalf("qsense stopped making progress: %+v", tail)
+		}
+	}
+}
+
+// TestFig5BottomHPSurvivesButSlower: HP also survives (robust) but pays the
+// fence on every node — QSense outperforms it overall, the 2-3x headline.
+func TestFig5BottomHPSurvivesButSlower(t *testing.T) {
+	hp := fig5BottomRun(t, "hp", 320)
+	if len(hp.Errs) != 0 || hp.Failed {
+		t.Fatalf("hp run broken: errs=%v failed=%v", hp.Errs, hp.Failed)
+	}
+	qs := fig5BottomRun(t, "qsense", 320)
+	if qs.Ops <= hp.Ops {
+		t.Fatalf("qsense (%d ops) did not outperform hp (%d ops)", qs.Ops, hp.Ops)
+	}
+}
+
+// TestUnsafeAblationsFaultUnderLoad: the NoFence and DisableDeferral
+// ablations produce real use-after-free violations under the standard
+// workload — §4.1's prediction, end to end.
+func TestUnsafeAblationsFaultUnderLoad(t *testing.T) {
+	// Every other search dwells on its protected node for ~2000 cycles
+	// (an application using the reference, the paper's R5) — long enough
+	// for a concurrent unlink+retire+scan+free to land inside the
+	// protection window when the protection is invisible.
+	mk := func(scheme string, mut func(*simsmr.Config)) Result {
+		return Run(Config{
+			Scheme: scheme, Procs: 8, KeyRange: 32, UpdatePct: 50,
+			Duration: 2_000_000, Seed: 23, RoosterInterval: 100_000,
+			DwellEvery: 1, DwellCycles: 3000,
+			SMR: func(c *simsmr.Config) {
+				c.R = 1
+				mut(c)
+			},
+		})
+	}
+	noFence := mk("hp", func(c *simsmr.Config) { c.NoFence = true })
+	if len(noFence.Errs) == 0 {
+		t.Error("unfenced HP survived a heavy-update run without a violation")
+	}
+	noDefer := mk("cadence", func(c *simsmr.Config) { c.DisableDeferral = true })
+	if len(noDefer.Errs) == 0 {
+		t.Error("deferral-free cadence survived a heavy-update run without a violation")
+	}
+	// Controls: the safe versions run the same load clean.
+	if r := mk("hp", func(c *simsmr.Config) {}); len(r.Errs) != 0 {
+		t.Errorf("fenced hp faulted: %v", r.Errs)
+	}
+	if r := mk("cadence", func(c *simsmr.Config) {}); len(r.Errs) != 0 {
+		t.Errorf("cadence faulted: %v", r.Errs)
+	}
+}
+
+// TestLeakyBaselineLeaks: the "none" scheme's pool keeps growing — the
+// reason reclamation exists at all.
+func TestLeakyBaselineLeaks(t *testing.T) {
+	res := Run(Config{
+		Scheme: "none", Procs: 2, KeyRange: 32, UpdatePct: 50,
+		Duration: 500_000, Seed: 2,
+	})
+	if len(res.Errs) != 0 {
+		t.Fatal(res.Errs)
+	}
+	if res.Reclaim.Retired == 0 {
+		t.Fatal("workload retired nothing; leak unobservable")
+	}
+	if res.Reclaim.Freed != 0 {
+		t.Fatal("leaky baseline freed nodes")
+	}
+	if res.PoolLive <= int(32/2) {
+		t.Fatalf("pool live %d does not reflect the leak", res.PoolLive)
+	}
+}

@@ -1,0 +1,187 @@
+package simlist_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"qsense/internal/sim"
+	"qsense/internal/sim/simlist"
+	"qsense/internal/sim/simsmr"
+)
+
+// newListHP builds a machine + list + HP domain (the simplest robust
+// scheme) for list-semantics tests. t may be nil (quick.Check closures).
+func newListHP(t *testing.T, procs, capacity int, seed uint64) (*sim.Machine, *simlist.List, simsmr.Domain) {
+	if t != nil {
+		t.Helper()
+	}
+	m := sim.New(sim.Config{Procs: procs, Seed: seed})
+	l := simlist.New(m, capacity)
+	d, err := simsmr.NewHP(simsmr.Config{Machine: m, Pool: l.Pool(), HPs: simlist.HPs, R: 8})
+	if err != nil {
+		panic(err)
+	}
+	return m, l, d
+}
+
+// TestSequentialModel: with one proc, any op sequence matches a map model
+// (the list is a set).
+func TestSequentialModel(t *testing.T) {
+	f := func(ops []uint16, seed uint64) bool {
+		if len(ops) > 300 {
+			ops = ops[:300]
+		}
+		m, l, d := newListHP(nil, 1, 256, seed)
+		model := make(map[uint64]bool)
+		ok := true
+		m.Spawn(0, func(p *sim.Proc) {
+			h := l.NewHandle(p, d.Guard(0))
+			for _, op := range ops {
+				k := uint64(op%31) + 1
+				switch (op >> 5) % 3 {
+				case 0:
+					if h.Insert(k) != !model[k] {
+						ok = false
+					}
+					model[k] = true
+				case 1:
+					if h.Delete(k) != model[k] {
+						ok = false
+					}
+					delete(model, k)
+				case 2:
+					if h.Contains(k) != model[k] {
+						ok = false
+					}
+				}
+			}
+		})
+		if errs := m.Run(); errs != nil {
+			return false
+		}
+		if !ok {
+			return false
+		}
+		keys := l.Keys()
+		if len(keys) != len(model) {
+			return false
+		}
+		for _, k := range keys {
+			if !model[k] {
+				return false
+			}
+		}
+		_, bad := l.Validate()
+		return bad == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHostFill: setup-time fill produces a sorted, valid list and correct
+// live count.
+func TestHostFill(t *testing.T) {
+	m := sim.New(sim.Config{Procs: 1})
+	l := simlist.New(m, 64)
+	added := l.FillHost([]uint64{5, 3, 9, 3, 1, 9, 7})
+	if added != 5 {
+		t.Fatalf("added = %d, want 5", added)
+	}
+	keys := l.Keys()
+	want := []uint64{1, 3, 5, 7, 9}
+	if len(keys) != len(want) {
+		t.Fatalf("keys = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", keys, want)
+		}
+	}
+	if n, bad := l.Validate(); bad != "" || n != 5 {
+		t.Fatalf("validate: n=%d bad=%q", n, bad)
+	}
+	if l.CountReachable() != 7 { // 5 keys + 2 sentinels
+		t.Fatalf("reachable = %d", l.CountReachable())
+	}
+}
+
+// TestConcurrentDeterministic: the same seed yields the same final key set
+// and machine stats; concurrency in the simulator is reproducible.
+func TestConcurrentDeterministic(t *testing.T) {
+	run := func() ([]uint64, sim.Stats) {
+		m, l, d := newListHP(t, 4, 512, 42)
+		l.FillHost([]uint64{2, 4, 6, 8, 10, 12, 14, 16})
+		for i := 0; i < 4; i++ {
+			m.Spawn(i, func(p *sim.Proc) {
+				h := l.NewHandle(p, d.Guard(p.ID()))
+				for p.Now() < 150_000 {
+					k := 1 + p.Rand()%31
+					switch p.Rand() % 4 {
+					case 0:
+						h.Insert(k)
+					case 1:
+						h.Delete(k)
+					default:
+						h.Contains(k)
+					}
+					p.OpDone()
+				}
+			})
+		}
+		if errs := m.Run(); errs != nil {
+			t.Fatal(errs)
+		}
+		if _, bad := l.Validate(); bad != "" {
+			t.Fatalf("invalid list: %s", bad)
+		}
+		return l.Keys(), m.Stats()
+	}
+	k1, s1 := run()
+	k2, s2 := run()
+	if len(k1) != len(k2) || s1 != s2 {
+		t.Fatalf("nondeterministic: %v/%+v vs %v/%+v", k1, s1, k2, s2)
+	}
+	for i := range k1 {
+		if k1[i] != k2[i] {
+			t.Fatalf("final keys diverged: %v vs %v", k1, k2)
+		}
+	}
+}
+
+// TestKeyRangeRejected: sentinel keys are programming errors, surfaced as
+// proc errors.
+func TestKeyRangeRejected(t *testing.T) {
+	m, l, d := newListHP(t, 1, 8, 0)
+	m.Spawn(0, func(p *sim.Proc) {
+		h := l.NewHandle(p, d.Guard(0))
+		h.Insert(0)
+	})
+	errs := m.Run()
+	if len(errs) == 0 || !strings.Contains(errs[0].Error(), "out of range") {
+		t.Fatalf("errs = %v", errs)
+	}
+}
+
+// TestInsertContentionReuse: under heavy same-key contention, losers free
+// their never-linked node (Allocated -> Free, §2.1) rather than leak it.
+func TestInsertContentionReuse(t *testing.T) {
+	m, l, d := newListHP(t, 4, 64, 7)
+	for i := 0; i < 4; i++ {
+		m.Spawn(i, func(p *sim.Proc) {
+			h := l.NewHandle(p, d.Guard(p.ID()))
+			for round := uint64(0); round < 40; round++ {
+				h.Insert(1 + round%4)
+				h.Delete(1 + (round+1)%4)
+			}
+		})
+	}
+	if errs := m.Run(); errs != nil {
+		t.Fatal(errs)
+	}
+	d.CollectAll()
+	if live, reach := l.Pool().Stats().Live, l.CountReachable(); live != reach {
+		t.Fatalf("leak: %d live vs %d reachable", live, reach)
+	}
+}

@@ -1,0 +1,208 @@
+package simsmr_test
+
+import (
+	"errors"
+	"testing"
+
+	"qsense/internal/mem"
+	"qsense/internal/sim"
+	"qsense/internal/sim/simmem"
+	"qsense/internal/sim/simsmr"
+)
+
+// These tests execute the paper's §4.1 scenario (Algorithm 2) on the TSO
+// machine: a reader PR protects a node with an unfenced hazard pointer
+// while a deleter PD removes, scans, and frees it. They are the end-to-end
+// version of the internal/tso model-checker litmus: here the actual scheme
+// code runs, and the "illegal access" is a concrete *mem.Violation raised
+// by the substrate.
+//
+// The fixture is a one-node structure: `link` points to node n; PD removes
+// n by CASing link to nil.
+
+type a2fixture struct {
+	m    *sim.Machine
+	pool *simmem.Pool
+	link sim.Addr
+	n    mem.Ref
+}
+
+func newA2Fixture(roosterInterval uint64) *a2fixture {
+	m := sim.New(sim.Config{Procs: 2, JitterPct: -1, RoosterInterval: roosterInterval})
+	// Capacity covers the deferred-reclamation backlog: dummies retired
+	// every ~500 cycles stay pending for T+ε (~10k cycles) before a scan
+	// may free them.
+	pool := simmem.NewPool(m, 64, 1, "a2")
+	link := m.Reserve(1)
+	n := pool.AllocHost()
+	pool.PokeField(n, 0, 42)
+	m.Poke(link, uint64(n))
+	return &a2fixture{m: m, pool: pool, link: link, n: n}
+}
+
+// reader runs PR: read link, protect, validate, then keep using the node
+// until `until`, touching it every 500 cycles (legal under Condition 1: the
+// protection is continuous from a time when n was safe).
+func (f *a2fixture) reader(g simsmr.Guard, until uint64) func(p *sim.Proc) {
+	return func(p *sim.Proc) {
+		r := mem.Ref(p.Load(f.link)) // R1
+		g.Protect(0, r)              // R2 (store; fenced or not per scheme)
+		if mem.Ref(p.Load(f.link)) != r {
+			return // R4 failed; contention path
+		}
+		for p.Now() < until {
+			f.pool.Load(p, r, 0) // R5: the access hazard
+			p.Work(500)
+		}
+		g.ClearHPs()
+	}
+}
+
+// deleter runs PD: at `at`, remove n (D1), retire it (D2-D4 are the
+// scheme's Retire/scan with R=1), then keep retiring dummy nodes every 500
+// cycles until `until` so scans keep happening.
+func (f *a2fixture) deleter(g simsmr.Guard, at, until uint64) func(p *sim.Proc) {
+	return func(p *sim.Proc) {
+		p.SleepUntil(at)
+		if _, ok := p.CAS(f.link, uint64(f.n), 0); !ok {
+			panic("a2: removal CAS failed")
+		}
+		g.Retire(f.n)
+		for p.Now() < until {
+			d := f.pool.Alloc(p)
+			g.Retire(d)
+			p.Work(500)
+		}
+	}
+}
+
+func violationIn(errs []error) *mem.Violation {
+	for _, e := range errs {
+		var v *mem.Violation
+		if errors.As(e, &v) {
+			return v
+		}
+	}
+	return nil
+}
+
+// TestAlgorithm2NoFenceUnsafe: classic HP with the fence elided (the naive
+// hybrid of §4.1) frees the node under the reader — the exact interleaving
+// of Algorithm 2, ending in a use-after-free violation.
+func TestAlgorithm2NoFenceUnsafe(t *testing.T) {
+	f := newA2Fixture(0)
+	d, err := simsmr.NewHP(simsmr.Config{
+		Machine: f.m, Pool: f.pool, HPs: 1, R: 1, NoFence: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.m.Spawn(0, f.reader(d.Guard(0), 20000))
+	f.m.Spawn(1, f.deleter(d.Guard(1), 2000, 5000))
+	errs := f.m.Run()
+	v := violationIn(errs)
+	if v == nil {
+		t.Fatalf("naive unfenced HP did not produce a use-after-free (errs=%v)", errs)
+	}
+	if v.Op != "get" {
+		t.Fatalf("expected a get (use-after-free) violation, got %v", v)
+	}
+}
+
+// TestAlgorithm2FencedSafe: with the fence in place (Algorithm 1, line 3),
+// PD's scan observes the protection and the reader is never faulted.
+func TestAlgorithm2FencedSafe(t *testing.T) {
+	f := newA2Fixture(0)
+	d, err := simsmr.NewHP(simsmr.Config{
+		Machine: f.m, Pool: f.pool, HPs: 1, R: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.m.Spawn(0, f.reader(d.Guard(0), 20000))
+	f.m.Spawn(1, f.deleter(d.Guard(1), 2000, 5000))
+	if errs := f.m.Run(); errs != nil {
+		t.Fatalf("fenced HP faulted: %v", errs)
+	}
+	d.CollectAll()
+}
+
+// TestAlgorithm2CadenceSafe: Cadence with roosters and deferred
+// reclamation survives the same interleaving without any fence: by the
+// time the node is old enough, the rooster preemption has drained the
+// reader's protection and every scan keeps the node.
+func TestAlgorithm2CadenceSafe(t *testing.T) {
+	f := newA2Fixture(5000)
+	d, err := simsmr.NewCadence(simsmr.Config{
+		Machine: f.m, Pool: f.pool, HPs: 1, R: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.m.Spawn(0, f.reader(d.Guard(0), 40000))
+	f.m.Spawn(1, f.deleter(d.Guard(1), 2000, 80000))
+	if errs := f.m.Run(); errs != nil {
+		t.Fatalf("cadence faulted: %v", errs)
+	}
+	// After the reader cleared (and its clear drained at a later rooster
+	// pass), a subsequent scan must have freed n.
+	if f.pool.Valid(f.n) {
+		t.Fatal("cadence never reclaimed the node after the protection was released")
+	}
+	d.CollectAll()
+}
+
+// TestAlgorithm2DeferralOffUnsafe: Cadence with deferred reclamation
+// disabled is exactly the naive hybrid again — the scan trusts a snapshot
+// that cannot yet include the buffered protection, and the reader faults.
+func TestAlgorithm2DeferralOffUnsafe(t *testing.T) {
+	f := newA2Fixture(5000)
+	d, err := simsmr.NewCadence(simsmr.Config{
+		Machine: f.m, Pool: f.pool, HPs: 1, R: 1, DisableDeferral: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.m.Spawn(0, f.reader(d.Guard(0), 4000)) // fault before the first preemption
+	f.m.Spawn(1, f.deleter(d.Guard(1), 1000, 3000))
+	errs := f.m.Run()
+	if violationIn(errs) == nil {
+		t.Fatalf("deferral-off cadence did not produce a use-after-free (errs=%v)", errs)
+	}
+}
+
+// TestAlgorithm2QSenseSafe: the full hybrid also survives the scenario —
+// hazard pointers are maintained on the fast path precisely so that this
+// interleaving is safe whenever the fallback engages (§4.1/§5.2).
+func TestAlgorithm2QSenseSafe(t *testing.T) {
+	f := newA2Fixture(5000)
+	d, err := simsmr.NewQSense(simsmr.Config{
+		Machine: f.m, Pool: f.pool, HPs: 1, R: 1, Q: 1, C: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.m.Spawn(0, f.reader(d.Guard(0), 40000))
+	f.m.Spawn(1, f.deleter(d.Guard(1), 2000, 80000))
+	if errs := f.m.Run(); errs != nil {
+		t.Fatalf("qsense faulted: %v", errs)
+	}
+	if d.Stats().SwitchesToFallback == 0 {
+		t.Fatal("C=2 never triggered the fallback switch")
+	}
+	d.CollectAll()
+}
+
+// TestCadenceRequiresRoosters: constructing cadence/qsense on a machine
+// without rooster preemption is rejected — no context switches means no
+// visibility bound, so the scheme would be unsound by assumption.
+func TestCadenceRequiresRoosters(t *testing.T) {
+	m := sim.New(sim.Config{Procs: 1})
+	pool := simmem.NewPool(m, 2, 1, "x")
+	if _, err := simsmr.NewCadence(simsmr.Config{Machine: m, Pool: pool, HPs: 1}); err == nil {
+		t.Fatal("cadence accepted a rooster-less machine")
+	}
+	if _, err := simsmr.NewQSense(simsmr.Config{Machine: m, Pool: pool, HPs: 1}); err == nil {
+		t.Fatal("qsense accepted a rooster-less machine")
+	}
+}

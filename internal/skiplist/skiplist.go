@@ -1,0 +1,375 @@
+// Package skiplist implements the lock-free skip list the paper evaluates
+// (Fraser, "Practical lock-freedom", 2004 — reference [11]; the ASCYLIB
+// variant the paper builds on). Keys live in a sorted multi-level list;
+// bit 0 of each per-level next word is the logical-deletion mark for that
+// level.
+//
+// Hazard pointer budget: searches keep a (pred, succ) pair protected per
+// level plus one scratch slot for traversing frozen marked chains and one
+// pin slot that insert/delete hold on their own node — 2*levels+2 in total,
+// the paper's "up to 35 hazard pointers" for the skip list (§7.3), and the
+// reason QSense's gap to QSBR is widest on this structure.
+package skiplist
+
+import (
+	"math"
+	"sync/atomic"
+
+	"qsense/internal/mem"
+	"qsense/internal/reclaim"
+)
+
+// MaxLevel is the tallest tower supported.
+const MaxLevel = 16
+
+// HPsFor returns the hazard pointer count a handle needs for a given level
+// configuration.
+func HPsFor(levels int) int { return 2*levels + 2 }
+
+const (
+	markBit = 1
+
+	headKey = math.MinInt64
+	tailKey = math.MaxInt64
+)
+
+type node struct {
+	key      int64
+	topLevel int32
+	_        uint32
+	next     [MaxLevel]atomic.Uint64
+}
+
+// Config controls skip list construction.
+type Config struct {
+	// Levels is the number of levels used (2..MaxLevel). Default 16.
+	Levels int
+	// MaxSlots bounds the node pool.
+	MaxSlots int
+	// Poison zeroes freed nodes (tests).
+	Poison bool
+}
+
+// SkipList is the shared structure. Obtain one Handle per worker.
+type SkipList struct {
+	pool   *mem.Pool[node]
+	levels int
+	head   mem.Ref
+	tail   mem.Ref
+}
+
+// New creates an empty skip list.
+func New(cfg Config) *SkipList {
+	if cfg.Levels <= 1 || cfg.Levels > MaxLevel {
+		cfg.Levels = MaxLevel
+	}
+	pool := mem.NewPool[node](mem.Config{MaxSlots: cfg.MaxSlots, Poison: cfg.Poison, Name: "skiplist"})
+	s := &SkipList{pool: pool, levels: cfg.Levels}
+	tr, tn := pool.Alloc()
+	tn.key = tailKey
+	tn.topLevel = int32(cfg.Levels)
+	hr, hn := pool.Alloc()
+	hn.key = headKey
+	hn.topLevel = int32(cfg.Levels)
+	for l := 0; l < cfg.Levels; l++ {
+		tn.next[l].Store(0)
+		hn.next[l].Store(uint64(tr))
+	}
+	s.head, s.tail = hr, tr
+	return s
+}
+
+// FreeNode returns a node to the pool; pass it as reclaim.Config.Free.
+func (s *SkipList) FreeNode(r mem.Ref) { s.pool.Free(r) }
+
+// Pool exposes the node pool for stats and tests.
+func (s *SkipList) Pool() *mem.Pool[node] { return s.pool }
+
+// Levels returns the configured level count.
+func (s *SkipList) Levels() int { return s.levels }
+
+// Handle is a worker's accessor. Not safe for concurrent use.
+type Handle struct {
+	s     *SkipList
+	guard reclaim.Guard
+	cache *mem.Cache[node]
+	rng   uint64
+	preds [MaxLevel]mem.Ref
+	succs [MaxLevel]mem.Ref
+}
+
+// NewHandle binds a worker's guard to the skip list. Seed differentiates
+// tower height streams across workers (any value is fine).
+func (s *SkipList) NewHandle(g reclaim.Guard, seed uint64) *Handle {
+	return &Handle{s: s, guard: g, cache: s.pool.NewCache(0), rng: seed*2654435761 + 1}
+}
+
+// Slot layout: 2l / 2l+1 hold the (pred, succ) pair of level l; slot
+// 2*levels is a spare kept for parity with the paper's count; 2*levels+1
+// pins the operation's own node across helper searches.
+func (h *Handle) hpLeft(l int) int  { return 2 * l }
+func (h *Handle) hpRight(l int) int { return 2*l + 1 }
+func (h *Handle) hpPin() int        { return 2*h.s.levels + 1 }
+
+func isMarked(w uint64) bool { return w&markBit != 0 }
+
+// randomLevel draws a geometric(1/2) tower height in [1, levels].
+func (h *Handle) randomLevel() int {
+	h.rng ^= h.rng << 13
+	h.rng ^= h.rng >> 7
+	h.rng ^= h.rng << 17
+	lvl := 1
+	for v := h.rng; v&1 == 1 && lvl < h.s.levels; v >>= 1 {
+		lvl++
+	}
+	return lvl
+}
+
+// search positions h.preds/h.succs around key at every level, unlinking
+// marked nodes it encounters (Fraser's search with Michael-style eager
+// unlinking). On return preds[l] and succs[l] are protected by
+// hpLeft(l)/hpRight(l).
+//
+// A marked node is unlinked immediately rather than walked through: a
+// node's marked next word is frozen, so re-validating a link THROUGH it
+// cannot tell whether the next chain node has already been retired and
+// freed by its deleter — a hazard pointer published after that deleter's
+// scan would not save us. Unlinking from the still-clean predecessor edge
+// keeps every protect/validate pair conclusive: a node validated reachable
+// through a clean edge cannot have passed its deleter's cleanup search yet,
+// so its retirement (and any scan) must come after our publication.
+func (h *Handle) search(key int64) {
+	pool := h.s.pool
+retry:
+	for {
+		left := h.s.head
+		for lvl := h.s.levels - 1; lvl >= 0; lvl-- {
+			h.guard.Protect(h.hpLeft(lvl), left)
+			lw := pool.Get(left).next[lvl].Load()
+			if isMarked(lw) {
+				continue retry // left was deleted under us
+			}
+			right := mem.Ref(lw).Untagged()
+			for {
+				h.guard.Protect(h.hpRight(lvl), right)
+				if pool.Get(left).next[lvl].Load() != lw {
+					continue retry
+				}
+				rw := pool.Get(right).next[lvl].Load()
+				if isMarked(rw) {
+					// right is logically deleted at this level:
+					// splice it out from the clean side. Its
+					// deleter retires it; we only unlink.
+					next := uint64(mem.Ref(rw).Untagged())
+					if !pool.Get(left).next[lvl].CompareAndSwap(lw, next) {
+						continue retry
+					}
+					lw = next
+					right = mem.Ref(lw)
+					continue
+				}
+				if pool.Get(right).key < key {
+					left = right
+					h.guard.Protect(h.hpLeft(lvl), left)
+					lw = rw
+					right = mem.Ref(rw).Untagged()
+					continue
+				}
+				h.preds[lvl] = left
+				h.succs[lvl] = right
+				break
+			}
+		}
+		return
+	}
+}
+
+// Contains reports whether key is in the set.
+func (h *Handle) Contains(key int64) bool {
+	h.guard.Begin()
+	h.search(key)
+	found := h.s.pool.Get(h.succs[0]).key == key
+	h.guard.ClearHPs()
+	return found
+}
+
+// Insert adds key; false if already present.
+func (h *Handle) Insert(key int64) bool {
+	h.guard.Begin()
+	defer h.guard.ClearHPs()
+	pool := h.s.pool
+	topLevel := h.randomLevel()
+	var nref mem.Ref
+	var nptr *node
+	for {
+		h.search(key)
+		if pool.Get(h.succs[0]).key == key {
+			if !nref.IsNil() {
+				h.cache.Free(nref) // never linked: free directly
+			}
+			return false
+		}
+		if nref.IsNil() {
+			nref, nptr = h.cache.Alloc()
+			nptr.key = key
+			nptr.topLevel = int32(topLevel)
+		}
+		for l := 0; l < topLevel; l++ {
+			nptr.next[l].Store(uint64(h.succs[l]))
+		}
+		// Pin our node: a concurrent deleter may retire it the moment
+		// it is reachable, but we keep dereferencing it below.
+		h.guard.Protect(h.hpPin(), nref)
+		if !pool.Get(h.preds[0]).next[0].CompareAndSwap(uint64(h.succs[0]), uint64(nref)) {
+			continue // contention at level 0: retry with fresh position
+		}
+		break // linked: the insert has taken effect
+	}
+	// Link the upper levels. A concurrent delete marks levels top-down and
+	// then cleans up with a search; if it sneaks between our mark-check
+	// and our link CAS, our node could be re-linked at a level after the
+	// deleter's cleanup pass. Every early exit below therefore runs one
+	// more search, which prunes any such level (its next word is marked),
+	// before we drop the pin. Without it the node could be freed while
+	// still reachable — a use-after-free.
+	for l := 1; l < topLevel; l++ {
+		for {
+			if isMarked(nptr.next[l].Load()) {
+				h.search(key) // final cleanup pass, then done
+				return true
+			}
+			if pool.Get(h.preds[l]).next[l].CompareAndSwap(uint64(h.succs[l]), uint64(nref)) {
+				break
+			}
+			h.search(key) // refresh preds/succs
+			if h.succs[0] != nref {
+				// Our node was deleted and already pruned by the
+				// search we just ran.
+				return true
+			}
+			// Redirect our level-l pointer at the fresh successor.
+			stop := false
+			for {
+				w := nptr.next[l].Load()
+				if isMarked(w) {
+					stop = true
+					break
+				}
+				if w == uint64(h.succs[l]) || nptr.next[l].CompareAndSwap(w, uint64(h.succs[l])) {
+					break
+				}
+			}
+			if stop {
+				h.search(key)
+				return true
+			}
+		}
+	}
+	// Deletion may have raced the top link; ensure cleanup before unpinning.
+	if isMarked(nptr.next[0].Load()) {
+		h.search(key)
+	}
+	return true
+}
+
+// Delete removes key; false if absent. Levels are marked top-down; whoever
+// marks level 0 owns the deletion, physically unlinks with a search, and
+// retires the node (Fraser's protocol; retire placement per Appendix B).
+func (h *Handle) Delete(key int64) bool {
+	h.guard.Begin()
+	defer h.guard.ClearHPs()
+	pool := h.s.pool
+	h.search(key)
+	n := h.succs[0]
+	np := pool.Get(n)
+	if np.key != key {
+		return false
+	}
+	h.guard.Protect(h.hpPin(), n) // searches below will recycle hpRight(0)
+	topLevel := int(np.topLevel)
+	for l := topLevel - 1; l >= 1; l-- {
+		for {
+			w := pool.Get(n).next[l].Load()
+			if isMarked(w) {
+				break
+			}
+			if pool.Get(n).next[l].CompareAndSwap(w, w|markBit) {
+				break
+			}
+		}
+	}
+	for {
+		w := pool.Get(n).next[0].Load()
+		if isMarked(w) {
+			return false // another deleter owns it
+		}
+		if pool.Get(n).next[0].CompareAndSwap(w, w|markBit) {
+			h.search(key) // physical cleanup at every level
+			h.guard.Retire(n)
+			return true
+		}
+	}
+}
+
+// Len counts unmarked level-0 nodes; only meaningful when quiesced.
+func (s *SkipList) Len() int {
+	n := 0
+	for r := mem.Ref(s.pool.Get(s.head).next[0].Load()).Untagged(); r != s.tail; {
+		w := s.pool.Get(r).next[0].Load()
+		if !isMarked(w) {
+			n++
+		}
+		r = mem.Ref(w).Untagged()
+	}
+	return n
+}
+
+// Validate checks structural invariants when quiesced: every level sorted,
+// every upper-level node present at level 0 with a consistent tower.
+// Returns the unmarked level-0 count and an error description ("" if OK).
+func (s *SkipList) Validate() (int, string) {
+	pool := s.pool
+	level0 := map[mem.Ref]int64{}
+	prevKey := int64(headKey)
+	n := 0
+	for r := mem.Ref(pool.Get(s.head).next[0].Load()).Untagged(); r != s.tail; {
+		if r.IsNil() {
+			return n, "nil link at level 0"
+		}
+		nd := pool.Get(r)
+		w := nd.next[0].Load()
+		if !isMarked(w) {
+			if nd.key <= prevKey {
+				return n, "level 0 keys not strictly increasing"
+			}
+			prevKey = nd.key
+			level0[r] = nd.key
+			n++
+		}
+		r = mem.Ref(w).Untagged()
+	}
+	for l := 1; l < s.levels; l++ {
+		prev := int64(headKey)
+		for r := mem.Ref(pool.Get(s.head).next[l].Load()).Untagged(); r != s.tail; {
+			if r.IsNil() {
+				return n, "nil link above level 0"
+			}
+			nd := pool.Get(r)
+			w := nd.next[l].Load()
+			if !isMarked(w) {
+				if nd.key <= prev {
+					return n, "upper level keys not strictly increasing"
+				}
+				prev = nd.key
+				if int(nd.topLevel) <= l {
+					return n, "node linked above its tower height"
+				}
+				if _, ok := level0[r]; !ok {
+					return n, "upper level node missing from level 0"
+				}
+			}
+			r = mem.Ref(w).Untagged()
+		}
+	}
+	return n, ""
+}

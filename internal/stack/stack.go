@@ -1,0 +1,128 @@
+// Package stack implements the Treiber lock-free LIFO stack (Treiber 1986;
+// the running example of the hazard pointer literature) over the
+// mem+reclaim substrate. One hazard pointer per worker suffices: Pop
+// protects the observed top, re-validates, reads through it, and retires
+// it after a successful CAS.
+//
+// Like the queue, the stack is an SMR client rather than part of the
+// paper's evaluation — it is the smallest structure that still exhibits
+// the full protect/validate/retire cycle, and its top-of-stack contention
+// makes it the sharpest ABA test for the generation-tagged substrate: a
+// classic Treiber stack with raw pointers corrupts itself exactly where
+// this one's tagged CAS fails cleanly and retries.
+package stack
+
+import (
+	"sync/atomic"
+
+	"qsense/internal/mem"
+	"qsense/internal/reclaim"
+)
+
+// HPs is the number of hazard pointers a stack handle uses.
+const HPs = 1
+
+type node struct {
+	val  uint64
+	next atomic.Uint64 // mem.Ref of the node below; 0 at the bottom
+	_    [40]byte
+}
+
+// Config controls stack construction.
+type Config struct {
+	// MaxSlots bounds the node pool (default mem default).
+	MaxSlots int
+	// Poison zeroes freed nodes (tests).
+	Poison bool
+}
+
+// Stack is the shared structure. Obtain one Handle per worker.
+type Stack struct {
+	pool *mem.Pool[node]
+	top  atomic.Uint64 // Ref of the top node; 0 when empty
+}
+
+// New creates an empty stack.
+func New(cfg Config) *Stack {
+	pool := mem.NewPool[node](mem.Config{MaxSlots: cfg.MaxSlots, Poison: cfg.Poison, Name: "stack"})
+	return &Stack{pool: pool}
+}
+
+// FreeNode returns a node to the pool; pass it as reclaim.Config.Free.
+func (s *Stack) FreeNode(r mem.Ref) { s.pool.Free(r) }
+
+// Pool exposes the node pool for stats and tests.
+func (s *Stack) Pool() *mem.Pool[node] { return s.pool }
+
+// Len walks the stack without synchronization; only meaningful quiesced.
+func (s *Stack) Len() int {
+	n := 0
+	for r := mem.Ref(s.top.Load()); !r.IsNil(); r = mem.Ref(s.pool.Get(r).next.Load()) {
+		n++
+	}
+	return n
+}
+
+// Handle is a worker's accessor. Not safe for concurrent use; create one
+// per worker.
+type Handle struct {
+	s     *Stack
+	guard reclaim.Guard
+	cache *mem.Cache[node]
+}
+
+// NewHandle binds a worker's guard to the stack.
+func (s *Stack) NewHandle(g reclaim.Guard) *Handle {
+	return &Handle{s: s, guard: g, cache: s.pool.NewCache(0)}
+}
+
+// Push adds v on top.
+func (h *Handle) Push(v uint64) {
+	h.guard.Begin()
+	nref, n := h.cache.Alloc()
+	n.val = v
+	for {
+		top := h.s.top.Load()
+		n.next.Store(top)
+		// The linking CAS publishes the initialized node; no hazard
+		// pointer is needed because Push never dereferences top.
+		if h.s.top.CompareAndSwap(top, uint64(nref)) {
+			return
+		}
+	}
+}
+
+// Pop removes and returns the top value; ok=false when empty.
+func (h *Handle) Pop() (v uint64, ok bool) {
+	h.guard.Begin()
+	defer h.guard.ClearHPs()
+	pool := h.s.pool
+	for {
+		top := mem.Ref(h.s.top.Load())
+		if top.IsNil() {
+			return 0, false
+		}
+		// Protect, then validate top is still top (§3.2 step 4).
+		h.guard.Protect(0, top)
+		if mem.Ref(h.s.top.Load()) != top {
+			continue
+		}
+		next := pool.Get(top).next.Load()
+		val := pool.Get(top).val
+		if h.s.top.CompareAndSwap(uint64(top), next) {
+			h.guard.Retire(top)
+			return val, true
+		}
+	}
+}
+
+// Drain pops everything through h (teardown helper).
+func (h *Handle) Drain() int {
+	n := 0
+	for {
+		if _, ok := h.Pop(); !ok {
+			return n
+		}
+		n++
+	}
+}

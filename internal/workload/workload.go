@@ -1,0 +1,89 @@
+// Package workload generates the paper's evaluation workloads (§7.1):
+// mixes of search/insert/delete operations with uniformly random keys over a
+// fixed range, structures pre-filled to half the key range, and the §7.2
+// process-delay schedule used by the path-switching experiment.
+package workload
+
+import "time"
+
+// Op is a data structure operation kind.
+type Op uint8
+
+// Operation kinds.
+const (
+	OpSearch Op = iota
+	OpInsert
+	OpDelete
+)
+
+// Mix is an operation distribution. The paper's workloads split updates
+// evenly between inserts and deletes (§7.2).
+type Mix struct {
+	UpdatePct int // percent of operations that are updates
+}
+
+// Choose maps a random value to an operation: updates are split evenly into
+// inserts and deletes, the rest are searches.
+func (m Mix) Choose(r uint64) Op {
+	p := int(r % 100)
+	if p >= m.UpdatePct {
+		return OpSearch
+	}
+	if p%2 == 0 {
+		return OpInsert
+	}
+	return OpDelete
+}
+
+// RNG is a splitmix64 generator: tiny, fast, and independent per worker.
+type RNG struct{ state uint64 }
+
+// NewRNG seeds a generator; distinct seeds give independent streams.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d} }
+
+// Next returns the next pseudo-random value.
+func (r *RNG) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Key draws a uniform key in [0, keyRange).
+func (r *RNG) Key(keyRange int64) int64 {
+	return int64(r.Next() % uint64(keyRange))
+}
+
+// DelayPlan describes the §7.2 disruption schedule: starting at Start, the
+// chosen worker is suspended for Duration out of every Period, repeatedly.
+// The paper delays one process for 10s out of every 20s, starting at t=10s.
+type DelayPlan struct {
+	Worker   int           // which worker stalls
+	Start    time.Duration // first stall begins here
+	Duration time.Duration // stall length
+	Period   time.Duration // stall repeats every Period
+}
+
+// PaperDelayPlan returns the schedule of Figure 5 (bottom), scaled: with
+// scale=1 it is the paper's exact 10s/20s pattern over 100s.
+func PaperDelayPlan(scale float64) DelayPlan {
+	s := func(d time.Duration) time.Duration { return time.Duration(float64(d) * scale) }
+	return DelayPlan{Worker: 0, Start: s(10 * time.Second), Duration: s(10 * time.Second), Period: s(20 * time.Second)}
+}
+
+// StalledAt reports whether the plan's worker should be stalled at elapsed
+// time t, and if so, when the current stall ends.
+func (p DelayPlan) StalledAt(t time.Duration) (bool, time.Duration) {
+	if p.Period <= 0 || p.Duration <= 0 || t < p.Start {
+		return false, 0
+	}
+	into := (t - p.Start) % p.Period
+	if into < p.Duration {
+		return true, t + (p.Duration - into)
+	}
+	return false, 0
+}
+
+// Fill computes the paper's initial fill: half the key range (§7.1).
+func Fill(keyRange int64) int64 { return keyRange / 2 }

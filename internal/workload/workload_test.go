@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMixProportions(t *testing.T) {
+	cases := []struct {
+		update int
+	}{{0}, {10}, {50}, {100}}
+	for _, c := range cases {
+		m := Mix{UpdatePct: c.update}
+		rng := NewRNG(1)
+		var s, i, d int
+		const n = 200000
+		for k := 0; k < n; k++ {
+			switch m.Choose(rng.Next()) {
+			case OpSearch:
+				s++
+			case OpInsert:
+				i++
+			case OpDelete:
+				d++
+			}
+		}
+		gotUpd := float64(i+d) / n * 100
+		if gotUpd < float64(c.update)-2 || gotUpd > float64(c.update)+2 {
+			t.Errorf("update%%=%d: measured %.1f", c.update, gotUpd)
+		}
+		if c.update > 0 {
+			ratio := float64(i) / float64(i+d)
+			if ratio < 0.45 || ratio > 0.55 {
+				t.Errorf("update%%=%d: insert share %.2f not ~50/50", c.update, ratio)
+			}
+		}
+	}
+}
+
+func TestRNGStreamsIndependent(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between streams", same)
+	}
+}
+
+func TestRNGKeyInRange(t *testing.T) {
+	f := func(seed uint64, rangeHint uint16) bool {
+		kr := int64(rangeHint)%1000 + 1
+		r := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			k := r.Key(kr)
+			if k < 0 || k >= kr {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGKeyCoverage(t *testing.T) {
+	r := NewRNG(3)
+	seen := map[int64]bool{}
+	for i := 0; i < 10000; i++ {
+		seen[r.Key(64)] = true
+	}
+	if len(seen) != 64 {
+		t.Fatalf("covered %d/64 keys", len(seen))
+	}
+}
+
+func TestDelayPlanPaperSchedule(t *testing.T) {
+	p := PaperDelayPlan(1)
+	// Paper: stalls during 10-20, 30-40, 50-60, 70-80, 90-100.
+	cases := []struct {
+		at      time.Duration
+		stalled bool
+	}{
+		{0, false}, {5 * time.Second, false}, {10 * time.Second, true},
+		{15 * time.Second, true}, {19 * time.Second, true},
+		{20 * time.Second, false}, {25 * time.Second, false},
+		{30 * time.Second, true}, {45 * time.Second, false},
+		{55 * time.Second, true}, {95 * time.Second, true},
+	}
+	for _, c := range cases {
+		got, _ := p.StalledAt(c.at)
+		if got != c.stalled {
+			t.Errorf("t=%v: stalled=%v, want %v", c.at, got, c.stalled)
+		}
+	}
+}
+
+func TestDelayPlanResumeTime(t *testing.T) {
+	p := PaperDelayPlan(1)
+	stalled, until := p.StalledAt(12 * time.Second)
+	if !stalled || until != 20*time.Second {
+		t.Fatalf("stall at 12s must end at 20s, got %v (stalled=%v)", until, stalled)
+	}
+}
+
+func TestDelayPlanScaled(t *testing.T) {
+	p := PaperDelayPlan(0.1) // 1s stalls every 2s from t=1s
+	if s, _ := p.StalledAt(1500 * time.Millisecond); !s {
+		t.Fatal("scaled plan: expected stall at 1.5s")
+	}
+	if s, _ := p.StalledAt(500 * time.Millisecond); s {
+		t.Fatal("scaled plan: no stall before start")
+	}
+}
+
+func TestDelayPlanZeroIsNever(t *testing.T) {
+	var p DelayPlan
+	if s, _ := p.StalledAt(time.Hour); s {
+		t.Fatal("zero plan must never stall")
+	}
+}
+
+func TestFill(t *testing.T) {
+	if Fill(2000) != 1000 || Fill(3) != 1 {
+		t.Fatal("fill is half the range")
+	}
+}

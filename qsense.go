@@ -1,0 +1,174 @@
+// Package qsense is the public API of the QSense reproduction: fast and
+// robust safe memory reclamation (SMR) for concurrent data structures, after
+// Balmau, Guerraoui, Herlihy and Zablotchi, "Fast and Robust Memory
+// Reclamation for Concurrent Data Structures" (SPAA 2016).
+//
+// Two levels of API are offered.
+//
+// # Ready-made containers
+//
+// Six lock-free containers arrive pre-wired to a reclamation domain: NewSet
+// (Harris–Michael sorted linked list), NewSkipSet (Fraser skip list),
+// NewTreeSet (Natarajan–Mittal external BST), NewHashSet (Michael hash
+// table), NewQueue (Michael–Scott FIFO) and NewStack (Treiber LIFO). Each
+// worker goroutine takes one Handle and uses it exclusively:
+//
+//	set := qsense.NewSet(qsense.Options{Workers: 8})
+//	defer set.Close()
+//	// per worker w:
+//	h := set.Handle(w)
+//	h.Insert(42)
+//	h.Contains(42)
+//	h.Delete(42)
+//
+// # Custom structures
+//
+// A structure of your own allocates nodes from a Pool (generation-tagged
+// handles instead of raw pointers — a stale handle is detected, not
+// silently wrong), binds a Domain with NewDomain, and places the paper's
+// three calls (§4.2): Guard.Begin where the worker holds no shared
+// references, Guard.Protect before using a loaded reference (re-validate
+// the link afterwards, per Michael's methodology), Guard.Retire where a
+// sequential program would call free. See examples/workqueue for a
+// complete custom integration.
+//
+// # Schemes
+//
+// The reclamation scheme is selected per domain via Options.Scheme:
+// SchemeQSense (default — QSBR fast path, Cadence fallback under process
+// delays), SchemeQSBR, SchemeHP, SchemeCadence, SchemeNone, and the
+// related-work baselines SchemeEBR and SchemeRC. All containers and the
+// custom-structure API are scheme-agnostic.
+package qsense
+
+import (
+	"time"
+
+	"qsense/internal/mem"
+	"qsense/internal/reclaim"
+	"qsense/internal/rooster"
+)
+
+// Scheme selects a reclamation algorithm.
+type Scheme string
+
+// The available reclamation schemes.
+const (
+	// SchemeQSense is the paper's hybrid: QSBR in the common case,
+	// Cadence (fence-free hazard pointers) under prolonged delays.
+	SchemeQSense Scheme = "qsense"
+	// SchemeQSBR is quiescent-state-based reclamation: fastest, but one
+	// delayed worker blocks reclamation system-wide.
+	SchemeQSBR Scheme = "qsbr"
+	// SchemeHP is Michael's hazard pointers: robust, fence per node.
+	SchemeHP Scheme = "hp"
+	// SchemeCadence is the paper's fence-free hazard pointer variant,
+	// stand-alone.
+	SchemeCadence Scheme = "cadence"
+	// SchemeEBR is Fraser-style epoch-based reclamation.
+	SchemeEBR Scheme = "ebr"
+	// SchemeRC is lock-free reference counting (two RMWs per node).
+	SchemeRC Scheme = "rc"
+	// SchemeNone leaks: the evaluation baseline, not for production.
+	SchemeNone Scheme = "none"
+)
+
+// Options configures a container or a custom Domain. The zero value means
+// one worker under SchemeQSense with library defaults.
+type Options struct {
+	// Workers is the fixed number of worker goroutines that will hold
+	// handles/guards. Default 1.
+	Workers int
+	// Scheme is the reclamation algorithm. Default SchemeQSense.
+	Scheme Scheme
+	// HPs is the number of hazard pointer slots per worker. Containers
+	// set it themselves; custom domains must set it to the maximum
+	// number of references a worker protects simultaneously.
+	HPs int
+	// Q is the quiescence threshold (reclamation work runs once per Q
+	// operations on the epoch-based paths). 0 = default.
+	Q int
+	// R is the scan threshold for the pointer-based paths. 0 = default.
+	R int
+	// C is QSense's fallback trigger: a worker holding C retired-but-
+	// unreclaimed nodes raises the fallback flag. 0 = default (a legal
+	// value per the paper's §6.2).
+	C int
+	// MemoryLimit, when > 0, marks the domain Failed once more retired
+	// nodes than this await reclamation (out-of-memory emulation for
+	// experiments; leave 0 in applications).
+	MemoryLimit int
+	// RoosterInterval is the rooster period T (Cadence/QSense). 0 =
+	// default (2ms).
+	RoosterInterval time.Duration
+	// MaxNodes bounds a container's node pool. 0 = default.
+	MaxNodes int
+}
+
+func (o Options) reclaimConfig(hps int, free func(mem.Ref)) reclaim.Config {
+	if o.HPs > hps {
+		hps = o.HPs
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	return reclaim.Config{
+		Workers:     workers,
+		HPs:         hps,
+		Free:        free,
+		Q:           o.Q,
+		R:           o.R,
+		C:           o.C,
+		MemoryLimit: o.MemoryLimit,
+		Rooster:     rooster.Config{Interval: o.RoosterInterval},
+	}
+}
+
+func (o Options) scheme() string {
+	if o.Scheme == "" {
+		return string(SchemeQSense)
+	}
+	return string(o.Scheme)
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return 1
+	}
+	return o.Workers
+}
+
+// Stats is a snapshot of a domain's reclamation counters.
+type Stats struct {
+	Scheme string
+	// Retired counts nodes handed to Retire; Freed counts completed
+	// frees; Pending is the difference (nodes awaiting reclamation).
+	Retired, Freed uint64
+	Pending        int64
+	// Scans counts hazard pointer scans; QuiescentStates and
+	// EpochAdvances count epoch machinery activity.
+	Scans, QuiescentStates, EpochAdvances uint64
+	// SwitchesToFallback/SwitchesToFast count QSense path switches;
+	// InFallback is the current path.
+	SwitchesToFallback, SwitchesToFast uint64
+	InFallback                         bool
+	// Failed reports a MemoryLimit breach.
+	Failed bool
+}
+
+func fromReclaimStats(s reclaim.Stats) Stats {
+	return Stats{
+		Scheme:             s.Scheme,
+		Retired:            s.Retired,
+		Freed:              s.Freed,
+		Pending:            s.Pending,
+		Scans:              s.Scans,
+		QuiescentStates:    s.QuiescentStates,
+		EpochAdvances:      s.EpochAdvances,
+		SwitchesToFallback: s.SwitchesToFallback,
+		SwitchesToFast:     s.SwitchesToFast,
+		InFallback:         s.InFallback,
+		Failed:             s.Failed,
+	}
+}
