@@ -1,6 +1,9 @@
 package qsense
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"qsense/internal/bst"
 	"qsense/internal/hashmap"
 	"qsense/internal/list"
@@ -10,9 +13,10 @@ import (
 	"qsense/internal/stack"
 )
 
-// SetHandle is a worker's view of a concurrent sorted set. All set-like
-// containers (Set, SkipSet, TreeSet, HashSet) hand out SetHandles. A
-// handle must be used by one goroutine at a time.
+// SetHandle is a goroutine's leased view of a concurrent sorted set. All
+// set-like containers (Set, SkipSet, TreeSet, HashSet) hand out SetHandles
+// from Acquire. A handle must be used by one goroutine at a time and
+// Released exactly once, when its goroutine is done with the container.
 type SetHandle interface {
 	// Contains reports whether key is in the set.
 	Contains(key int64) bool
@@ -20,16 +24,79 @@ type SetHandle interface {
 	Insert(key int64) bool
 	// Delete removes key, reporting false if it was absent.
 	Delete(key int64) bool
+	// Release returns the handle's reclamation slot to the container so
+	// another goroutine can Acquire it. The handle must not be used
+	// afterwards. Extra calls, and calls on handles from the deprecated
+	// positional Handle(w), are no-ops.
+	Release()
+}
+
+// setOps is the scheme-agnostic operation surface the structure packages
+// implement; the containers wrap it with lease bookkeeping.
+type setOps interface {
+	Contains(key int64) bool
+	Insert(key int64) bool
+	Delete(key int64) bool
+}
+
+// leasedSet pairs a structure handle with its guard lease. As in
+// QueueHandle/StackHandle and Guard, a nil released pointer marks a pinned
+// (positional) handle whose Release is a no-op.
+type leasedSet struct {
+	setOps
+	d        reclaim.Domain
+	g        reclaim.Guard
+	released *atomic.Bool
+}
+
+// Release implements SetHandle. The once-flag matters: the slot may be
+// re-leased to another goroutine the moment it is released, so a second
+// Release must not touch it.
+func (h *leasedSet) Release() {
+	if h.released == nil || !h.released.CompareAndSwap(false, true) {
+		return
+	}
+	h.d.Release(h.g)
 }
 
 // setCore carries the domain plumbing shared by the set containers.
 type setCore struct {
-	d       reclaim.Domain
-	handles []SetHandle
+	d     reclaim.Domain
+	arena int
+	mk    func(g reclaim.Guard, seed uint64) setOps
+	seq   atomic.Uint64 // distinct seeds for leased skip-list handles
+
+	mu     sync.Mutex
+	legacy []SetHandle // lazily built positional handles (pinned slots)
 }
 
-// Handle returns worker w's handle (0 <= w < Options.Workers).
-func (c *setCore) Handle(w int) SetHandle { return c.handles[w] }
+// Acquire leases a handle for the calling goroutine. Returns ErrNoSlots
+// when all Options.MaxWorkers slots are in use.
+func (c *setCore) Acquire() (SetHandle, error) {
+	g, err := c.d.Acquire()
+	if err != nil {
+		return nil, err
+	}
+	return &leasedSet{setOps: c.mk(g, c.seq.Add(1)), d: c.d, g: g, released: new(atomic.Bool)}, nil
+}
+
+// Handle returns worker w's handle (0 <= w < Options.MaxWorkers), pinning
+// slot w permanently: it never returns to the Acquire pool.
+//
+// Deprecated: positional handles exist for fixed-worker callers that need
+// deterministic worker↔slot assignment. New code should use Acquire and
+// Release.
+func (c *setCore) Handle(w int) SetHandle {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.legacy == nil {
+		c.legacy = make([]SetHandle, c.arena)
+	}
+	if c.legacy[w] == nil {
+		c.legacy[w] = &leasedSet{setOps: c.mk(c.d.Guard(w), uint64(w)+1), d: c.d}
+	}
+	return c.legacy[w]
+}
 
 // Stats returns the reclamation counters.
 func (c *setCore) Stats() Stats { return fromReclaimStats(c.d.Stats()) }
@@ -38,16 +105,12 @@ func (c *setCore) Stats() Stats { return fromReclaimStats(c.d.Stats()) }
 // only after all workers have stopped.
 func (c *setCore) Close() { c.d.Close() }
 
-func newSetCore(opts Options, hps int, free func(Ref), mk func(g Guard, w int) SetHandle) (*setCore, error) {
+func newSetCore(opts Options, hps int, free func(Ref), mk func(g reclaim.Guard, seed uint64) setOps) (*setCore, error) {
 	d, err := NewDomain(withHPs(opts, hps), free)
 	if err != nil {
 		return nil, err
 	}
-	c := &setCore{d: d.d}
-	for w := 0; w < opts.workers(); w++ {
-		c.handles = append(c.handles, mk(d.Guard(w), w))
-	}
-	return c, nil
+	return &setCore{d: d.d, arena: opts.arena(), mk: mk}, nil
 }
 
 func withHPs(opts Options, hps int) Options {
@@ -60,7 +123,7 @@ func withHPs(opts Options, hps int) Options {
 // Set is a lock-free sorted set backed by the Harris–Michael linked list —
 // right for small key ranges and cheap iteration-free membership.
 type Set struct {
-	setCore
+	*setCore
 	l *list.List
 }
 
@@ -68,11 +131,11 @@ type Set struct {
 func NewSet(opts Options) (*Set, error) {
 	l := list.New(list.Config{MaxSlots: opts.MaxNodes})
 	core, err := newSetCore(opts, list.HPs, func(r Ref) { l.FreeNode(toMem(r)) },
-		func(g Guard, _ int) SetHandle { return l.NewHandle(g.g) })
+		func(g reclaim.Guard, _ uint64) setOps { return l.NewHandle(g) })
 	if err != nil {
 		return nil, err
 	}
-	return &Set{setCore: *core, l: l}, nil
+	return &Set{setCore: core, l: l}, nil
 }
 
 // Len counts elements; only meaningful while no workers are active.
@@ -81,7 +144,7 @@ func (s *Set) Len() int { return s.l.Len() }
 // SkipSet is a lock-free sorted set backed by the Fraser skip list —
 // logarithmic operations over large key ranges.
 type SkipSet struct {
-	setCore
+	*setCore
 	s *skiplist.SkipList
 }
 
@@ -89,11 +152,11 @@ type SkipSet struct {
 func NewSkipSet(opts Options) (*SkipSet, error) {
 	sl := skiplist.New(skiplist.Config{MaxSlots: opts.MaxNodes})
 	core, err := newSetCore(opts, skiplist.HPsFor(sl.Levels()), func(r Ref) { sl.FreeNode(toMem(r)) },
-		func(g Guard, w int) SetHandle { return sl.NewHandle(g.g, uint64(w)*0x9E3779B9+1) })
+		func(g reclaim.Guard, seed uint64) setOps { return sl.NewHandle(g, seed*0x9E3779B9+1) })
 	if err != nil {
 		return nil, err
 	}
-	return &SkipSet{setCore: *core, s: sl}, nil
+	return &SkipSet{setCore: core, s: sl}, nil
 }
 
 // Len counts elements; only meaningful while no workers are active.
@@ -102,7 +165,7 @@ func (s *SkipSet) Len() int { return s.s.Len() }
 // TreeSet is a lock-free sorted set backed by the Natarajan–Mittal
 // external binary search tree — the paper's third workload.
 type TreeSet struct {
-	setCore
+	*setCore
 	t *bst.Tree
 }
 
@@ -110,11 +173,11 @@ type TreeSet struct {
 func NewTreeSet(opts Options) (*TreeSet, error) {
 	tr := bst.New(bst.Config{MaxSlots: opts.MaxNodes})
 	core, err := newSetCore(opts, bst.HPs, func(r Ref) { tr.FreeNode(toMem(r)) },
-		func(g Guard, _ int) SetHandle { return tr.NewHandle(g.g) })
+		func(g reclaim.Guard, _ uint64) setOps { return tr.NewHandle(g) })
 	if err != nil {
 		return nil, err
 	}
-	return &TreeSet{setCore: *core, t: tr}, nil
+	return &TreeSet{setCore: core, t: tr}, nil
 }
 
 // Len counts elements; only meaningful while no workers are active.
@@ -123,7 +186,7 @@ func (s *TreeSet) Len() int { return s.t.Len() }
 // HashSet is a lock-free hash set backed by Michael's hash table (split
 // ordered bucket chains) — constant-time membership.
 type HashSet struct {
-	setCore
+	*setCore
 	m *hashmap.Map
 }
 
@@ -131,11 +194,11 @@ type HashSet struct {
 func NewHashSet(opts Options) (*HashSet, error) {
 	m := hashmap.New(hashmap.Config{MaxSlots: opts.MaxNodes})
 	core, err := newSetCore(opts, hashmap.HPs, func(r Ref) { m.FreeNode(toMem(r)) },
-		func(g Guard, _ int) SetHandle { return m.NewHandle(g.g) })
+		func(g reclaim.Guard, _ uint64) setOps { return m.NewHandle(g) })
 	if err != nil {
 		return nil, err
 	}
-	return &HashSet{setCore: *core, m: m}, nil
+	return &HashSet{setCore: core, m: m}, nil
 }
 
 // Len counts elements; only meaningful while no workers are active.
@@ -143,9 +206,12 @@ func (s *HashSet) Len() int { return s.m.Len() }
 
 // Queue is a lock-free FIFO queue (Michael–Scott) of uint64 values.
 type Queue struct {
-	q       *queue.Queue
-	d       reclaim.Domain
-	handles []*queue.Handle
+	q     *queue.Queue
+	d     reclaim.Domain
+	arena int
+
+	mu     sync.Mutex
+	legacy []*queue.Handle
 }
 
 // NewQueue builds a queue wired to a reclamation domain.
@@ -155,17 +221,16 @@ func NewQueue(opts Options) (*Queue, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Queue{q: q, d: d.d}
-	for w := 0; w < opts.workers(); w++ {
-		out.handles = append(out.handles, q.NewHandle(d.Guard(w).g))
-	}
-	return out, nil
+	return &Queue{q: q, d: d.d, arena: opts.arena()}, nil
 }
 
-// QueueHandle is a worker's view of a Queue. A handle must be used by one
-// goroutine at a time.
+// QueueHandle is a goroutine's leased view of a Queue. A handle must be
+// used by one goroutine at a time and Released when done.
 type QueueHandle struct {
-	h *queue.Handle
+	h        *queue.Handle
+	d        reclaim.Domain
+	g        reclaim.Guard
+	released *atomic.Bool // nil for pinned (positional) handles
 }
 
 // Enqueue appends v at the tail.
@@ -174,8 +239,38 @@ func (h QueueHandle) Enqueue(v uint64) { h.h.Enqueue(v) }
 // Dequeue removes and returns the oldest value; ok=false when empty.
 func (h QueueHandle) Dequeue() (v uint64, ok bool) { return h.h.Dequeue() }
 
-// Handle returns worker w's handle.
-func (q *Queue) Handle(w int) QueueHandle { return QueueHandle{h: q.handles[w]} }
+// Release returns the handle's reclamation slot to the queue. The handle
+// must not be used afterwards; extra calls are no-ops.
+func (h QueueHandle) Release() {
+	if h.released == nil || !h.released.CompareAndSwap(false, true) {
+		return
+	}
+	h.d.Release(h.g)
+}
+
+// Acquire leases a handle for the calling goroutine.
+func (q *Queue) Acquire() (QueueHandle, error) {
+	g, err := q.d.Acquire()
+	if err != nil {
+		return QueueHandle{}, err
+	}
+	return QueueHandle{h: q.q.NewHandle(g), d: q.d, g: g, released: new(atomic.Bool)}, nil
+}
+
+// Handle returns worker w's handle, pinning slot w permanently.
+//
+// Deprecated: use Acquire and Release.
+func (q *Queue) Handle(w int) QueueHandle {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.legacy == nil {
+		q.legacy = make([]*queue.Handle, q.arena)
+	}
+	if q.legacy[w] == nil {
+		q.legacy[w] = q.q.NewHandle(q.d.Guard(w))
+	}
+	return QueueHandle{h: q.legacy[w], d: q.d}
+}
 
 // Stats returns the reclamation counters.
 func (q *Queue) Stats() Stats { return fromReclaimStats(q.d.Stats()) }
@@ -188,9 +283,12 @@ func (q *Queue) Close() { q.d.Close() }
 
 // Stack is a lock-free LIFO stack (Treiber) of uint64 values.
 type Stack struct {
-	s       *stack.Stack
-	d       reclaim.Domain
-	handles []*stack.Handle
+	s     *stack.Stack
+	d     reclaim.Domain
+	arena int
+
+	mu     sync.Mutex
+	legacy []*stack.Handle
 }
 
 // NewStack builds a stack wired to a reclamation domain.
@@ -200,17 +298,16 @@ func NewStack(opts Options) (*Stack, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Stack{s: s, d: d.d}
-	for w := 0; w < opts.workers(); w++ {
-		out.handles = append(out.handles, s.NewHandle(d.Guard(w).g))
-	}
-	return out, nil
+	return &Stack{s: s, d: d.d, arena: opts.arena()}, nil
 }
 
-// StackHandle is a worker's view of a Stack. A handle must be used by one
-// goroutine at a time.
+// StackHandle is a goroutine's leased view of a Stack. A handle must be
+// used by one goroutine at a time and Released when done.
 type StackHandle struct {
-	h *stack.Handle
+	h        *stack.Handle
+	d        reclaim.Domain
+	g        reclaim.Guard
+	released *atomic.Bool // nil for pinned (positional) handles
 }
 
 // Push adds v on top.
@@ -219,8 +316,38 @@ func (h StackHandle) Push(v uint64) { h.h.Push(v) }
 // Pop removes and returns the top value; ok=false when empty.
 func (h StackHandle) Pop() (v uint64, ok bool) { return h.h.Pop() }
 
-// Handle returns worker w's handle.
-func (s *Stack) Handle(w int) StackHandle { return StackHandle{h: s.handles[w]} }
+// Release returns the handle's reclamation slot to the stack. The handle
+// must not be used afterwards; extra calls are no-ops.
+func (h StackHandle) Release() {
+	if h.released == nil || !h.released.CompareAndSwap(false, true) {
+		return
+	}
+	h.d.Release(h.g)
+}
+
+// Acquire leases a handle for the calling goroutine.
+func (s *Stack) Acquire() (StackHandle, error) {
+	g, err := s.d.Acquire()
+	if err != nil {
+		return StackHandle{}, err
+	}
+	return StackHandle{h: s.s.NewHandle(g), d: s.d, g: g, released: new(atomic.Bool)}, nil
+}
+
+// Handle returns worker w's handle, pinning slot w permanently.
+//
+// Deprecated: use Acquire and Release.
+func (s *Stack) Handle(w int) StackHandle {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.legacy == nil {
+		s.legacy = make([]*stack.Handle, s.arena)
+	}
+	if s.legacy[w] == nil {
+		s.legacy[w] = s.s.NewHandle(s.d.Guard(w))
+	}
+	return StackHandle{h: s.legacy[w], d: s.d}
+}
 
 // Stats returns the reclamation counters.
 func (s *Stack) Stats() Stats { return fromReclaimStats(s.d.Stats()) }

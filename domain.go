@@ -1,6 +1,8 @@
 package qsense
 
 import (
+	"sync/atomic"
+
 	"qsense/internal/mem"
 	"qsense/internal/reclaim"
 )
@@ -81,8 +83,9 @@ func (p *Pool[T]) Live() uint64 { return p.p.Stats().Live }
 // FreeFunc adapts the pool's Free for NewDomain.
 func (p *Pool[T]) FreeFunc() func(Ref) { return func(r Ref) { p.p.Free(mem.Ref(r)) } }
 
-// Domain manages safe memory reclamation for one custom structure and a
-// fixed set of workers. Create with NewDomain; obtain one Guard per worker.
+// Domain manages safe memory reclamation for one custom structure. Create
+// with NewDomain; each goroutine leases a Guard with Acquire and returns it
+// with Release when done — up to Options.MaxWorkers concurrent leases.
 type Domain struct {
 	d reclaim.Domain
 }
@@ -103,9 +106,27 @@ func NewDomain(opts Options, free func(Ref)) (*Domain, error) {
 	return &Domain{d: d}, nil
 }
 
-// Guard returns worker w's guard (0 <= w < Options.Workers). Each guard
-// must be used by its worker only.
-func (d *Domain) Guard(w int) Guard { return Guard{g: d.d.Guard(w)} }
+// Acquire leases a guard slot to the calling goroutine. The scheme's join
+// path runs underneath (epoch adoption, aged-limbo reclamation), so guards
+// recycled from earlier workers resume cleanly. Returns ErrNoSlots when all
+// Options.MaxWorkers slots are in use; callers may retry after another
+// goroutine Releases.
+func (d *Domain) Acquire() (Guard, error) {
+	g, err := d.d.Acquire()
+	if err != nil {
+		return Guard{}, err
+	}
+	return Guard{g: g, d: d.d, released: new(atomic.Bool)}, nil
+}
+
+// Guard returns worker w's guard (0 <= w < Options.MaxWorkers), pinning
+// slot w permanently: it never returns to the Acquire pool. Each guard must
+// be used by one goroutine at a time.
+//
+// Deprecated: positional guards exist for fixed-worker callers that need
+// deterministic worker↔slot assignment (the experiment harness). New code
+// should lease guards with Acquire and return them with Guard.Release.
+func (d *Domain) Guard(w int) Guard { return Guard{g: d.d.Guard(w), d: d.d} }
 
 // Stats returns a snapshot of the domain's counters.
 func (d *Domain) Stats() Stats { return fromReclaimStats(d.d.Stats()) }
@@ -119,8 +140,13 @@ func (d *Domain) Close() { d.d.Close() }
 
 // Guard is a worker's reclamation handle — the paper's three-call
 // interface (§4.2). Methods must be called only by the owning worker.
+// Guards come from Domain.Acquire (leased; call Release when done) or the
+// deprecated positional Domain.Guard (pinned; Release is a no-op). The
+// zero Guard is invalid.
 type Guard struct {
-	g reclaim.Guard
+	g        reclaim.Guard
+	d        reclaim.Domain
+	released *atomic.Bool // nil for pinned (positional) guards
 }
 
 // Begin is the paper's manage_qsense_state: call it at a point where the
@@ -142,3 +168,38 @@ func (g Guard) Retire(r Ref) { g.g.Retire(mem.Ref(r)) }
 // End releases all of this guard's protections; call at the end of an
 // operation.
 func (g Guard) End() { g.g.ClearHPs() }
+
+// Release returns a leased guard's slot to the domain: protections are
+// drained, epoch schemes Leave (the slot stops blocking grace periods and
+// QSense's presence scan), and the slot becomes available to other
+// goroutines' Acquires. Call exactly once, from the owning goroutine, at a
+// point where the worker holds no references to shared nodes; the guard
+// must not be used afterwards. Extra calls and calls on pinned
+// (positional) guards are no-ops.
+func (g Guard) Release() {
+	if g.released == nil || !g.released.CompareAndSwap(false, true) {
+		return
+	}
+	g.d.Release(g.g)
+}
+
+// Leave removes this worker from grace-period accounting while it parks
+// (blocking I/O, waiting on a queue) without giving up its slot. Call only
+// at a point where the worker holds no references to shared nodes, and
+// Join before operating again. On schemes without epoch membership (HP,
+// Cadence, RC, None) Leave is a no-op — those schemes never wait on an
+// idle worker in the first place.
+func (g Guard) Leave() {
+	if l, ok := g.g.(reclaim.Leaver); ok {
+		l.Leave()
+	}
+}
+
+// Join re-enters the protocol after Leave: the guard adopts the current
+// epoch, and limbo buckets that aged out while away are freed wholesale.
+// No-op on schemes without epoch membership.
+func (g Guard) Join() {
+	if l, ok := g.g.(reclaim.Leaver); ok {
+		l.Join()
+	}
+}

@@ -34,9 +34,13 @@ func main() {
 		panic(err)
 	}
 
-	// Worker 0 plays the "slow reader": it protects a node by hand and
-	// sleeps, exactly the scenario of the paper's Figure 1.
-	slowGuard := dom.Guard(0)
+	// The "slow reader" leases the first guard: it protects a node by
+	// hand and sleeps, exactly the scenario of the paper's Figure 1.
+	slowGuard, err := dom.Acquire()
+	if err != nil {
+		panic(err)
+	}
+	defer dom.Release(slowGuard)
 	slowHandle := tree.NewHandle(slowGuard)
 	slowHandle.Insert(42)
 
@@ -47,7 +51,12 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			h := tree.NewHandle(dom.Guard(w))
+			g, err := dom.Acquire()
+			if err != nil {
+				panic(err)
+			}
+			defer dom.Release(g)
+			h := tree.NewHandle(g)
 			rng := workload.NewRNG(uint64(w))
 			for !stop.Load() {
 				k := rng.Key(4096)

@@ -59,7 +59,12 @@ func run(scheme string) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			h := set.NewHandle(dom.Guard(w))
+			g, err := dom.Acquire() // lease a guard slot for this goroutine
+			if err != nil {
+				panic(err)
+			}
+			defer dom.Release(g)
+			h := set.NewHandle(g)
 			rng := workload.NewRNG(uint64(w + 1))
 			for !stop.Load() && !dom.Failed() {
 				if w == plan.Worker {

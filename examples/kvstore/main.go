@@ -46,7 +46,12 @@ func main() {
 	var wg sync.WaitGroup
 	worker := func(id int, body func(h *skiplist.Handle, rng *workload.RNG)) {
 		defer wg.Done()
-		h := book.NewHandle(dom.Guard(id), uint64(id+1))
+		g, err := dom.Acquire() // lease a guard slot for this goroutine
+		if err != nil {
+			panic(err) // ≤ `workers` goroutines run at once, so slots suffice
+		}
+		defer dom.Release(g)
+		h := book.NewHandle(g, uint64(id+1))
 		rng := workload.NewRNG(uint64(id) * 77)
 		for !stop.Load() {
 			body(h, rng)

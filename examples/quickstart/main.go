@@ -1,12 +1,15 @@
 // Quickstart: a lock-free sorted set protected by QSense, through the
-// public API. Four workers insert, delete and search concurrently; the
-// reclamation domain recycles deleted nodes safely underneath them.
+// public API. A burst of short-lived goroutines — the shape of a Go server
+// handling requests — insert, delete and search concurrently; each leases
+// a handle with Acquire, works, and Releases it, while the reclamation
+// domain recycles deleted nodes safely underneath and recycles the guard
+// slots themselves between goroutines.
 //
 // Under the hood this is the paper's three-call interface (§4.2) —
 // manage_qsense_state / assign_HP / free_node_later — already placed
 // inside the container's code; an application only picks a scheme and
-// hands each worker its handle. Swap SchemeQSense for SchemeQSBR,
-// SchemeHP, SchemeCadence, SchemeEBR or SchemeRC: the container code is
+// leases handles. Swap SchemeQSense for SchemeQSBR, SchemeHP,
+// SchemeCadence, SchemeEBR or SchemeRC: the container code is
 // scheme-agnostic.
 //
 // For wiring a structure of your own through Pool/Domain/Guard, see
@@ -22,24 +25,38 @@ import (
 )
 
 func main() {
-	const workers = 4
+	const (
+		maxWorkers = 4  // concurrent leases; goroutines beyond this wait
+		goroutines = 64 // total short-lived workers across the run
+	)
 
 	set, err := qsense.NewSet(qsense.Options{
-		Workers: workers,
-		Scheme:  qsense.SchemeQSense,
+		MaxWorkers: maxWorkers,
+		Scheme:     qsense.SchemeQSense,
 	})
 	if err != nil {
 		panic(err)
 	}
 
+	// A semaphore keeps at most maxWorkers goroutines holding leases, so
+	// Acquire never sees an exhausted arena.
+	sem := make(chan struct{}, maxWorkers)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 0; w < goroutines; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			h := set.Handle(w) // one handle per worker, used only by it
+			sem <- struct{}{}
+			defer func() { <-sem }()
+
+			h, err := set.Acquire() // lease a handle for this goroutine
+			if err != nil {
+				panic(err) // cannot happen under the semaphore
+			}
+			defer h.Release() // recycle the slot for the next goroutine
+
 			rng := uint64(w)*0x9E3779B9 + 1
-			for i := 0; i < 50000; i++ {
+			for i := 0; i < 3000; i++ {
 				rng = rng*6364136223846793005 + 1442695040888963407
 				key := int64(rng>>33) % 1000
 				switch rng % 10 {
@@ -57,6 +74,8 @@ func main() {
 
 	st := set.Stats()
 	fmt.Printf("set size now: %d\n", set.Len())
+	fmt.Printf("handles leased: %d, released: %d (across %d slots)\n",
+		st.AcquiredHandles, st.ReleasedHandles, maxWorkers)
 	fmt.Printf("nodes retired: %d, freed while running: %d, awaiting: %d\n",
 		st.Retired, st.Freed, st.Pending)
 	set.Close() // reclaims the rest

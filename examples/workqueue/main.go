@@ -42,18 +42,18 @@ func main() {
 	// pointer per worker is enough (a consumer holds one task at a time).
 	pool := qsense.NewPool[task](qsense.PoolOptions{Name: "tasks"})
 	dom, err := qsense.NewDomain(qsense.Options{
-		Workers: workers,
-		HPs:     1,
-		Scheme:  qsense.SchemeQSense,
-		Q:       8,
-		C:       4096, // fallback trigger: must exceed the healthy burst backlog (§5.2)
+		MaxWorkers: workers,
+		HPs:        1,
+		Scheme:     qsense.SchemeQSense,
+		Q:          8,
+		C:          4096, // fallback trigger: must exceed the healthy burst backlog (§5.2)
 	}, pool.FreeFunc())
 	if err != nil {
 		panic(err)
 	}
 
 	// The conveyor: task Refs travel through the lock-free queue.
-	q, err := qsense.NewQueue(qsense.Options{Workers: workers})
+	q, err := qsense.NewQueue(qsense.Options{MaxWorkers: workers})
 	if err != nil {
 		panic(err)
 	}
@@ -65,8 +65,16 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			g := dom.Guard(w)
-			qh := q.Handle(w)
+			g, err := dom.Acquire() // lease a guard for this goroutine's lifetime
+			if err != nil {
+				panic(err)
+			}
+			defer g.Release()
+			qh, err := q.Acquire()
+			if err != nil {
+				panic(err)
+			}
+			defer qh.Release()
 			for i := 0; i < tasks/producers; i++ {
 				g.Begin()
 				r, t := pool.Alloc()
@@ -85,8 +93,16 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			g := dom.Guard(w)
-			qh := q.Handle(w)
+			g, err := dom.Acquire()
+			if err != nil {
+				panic(err)
+			}
+			defer g.Release()
+			qh, err := q.Acquire()
+			if err != nil {
+				panic(err)
+			}
+			defer qh.Release()
 			idle := 0
 			for {
 				g.Begin()

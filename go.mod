@@ -1,0 +1,3 @@
+module qsense
+
+go 1.24

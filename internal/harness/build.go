@@ -53,6 +53,12 @@ func HPsForDS(ds string, skipLevels int) (int, error) {
 // domain (which needs the structure's free function), then the per-worker
 // handles bound to the domain's guards — the integration pattern from the
 // paper's Appendix B.
+//
+// The harness deliberately stays on the deprecated positional Guard(w)
+// accessor rather than Acquire/Release: the paper's experiments assume a
+// fixed worker↔slot assignment (delay plans target worker 0, per-worker
+// series are reported by index), and pinning keeps runs reproducible.
+// Dynamic leasing is exercised by the lease stress tests instead.
 func buildSet(cfg *Config) (*builtSet, error) {
 	rc := cfg.Reclaim
 	rc.Workers = cfg.Workers

@@ -1,6 +1,7 @@
 package queue
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -169,6 +170,16 @@ func TestQueueReclaimsDuringRun(t *testing.T) {
 					for i := 0; i < 8000; i++ {
 						h.Enqueue(uint64(i))
 						h.Dequeue()
+						if i%64 == 0 {
+							// On GOMAXPROCS=1 the whole loop fits in one
+							// scheduler timeslice, so without yields the
+							// two workers run back-to-back and the
+							// quiescence-based schemes can never rotate
+							// epochs (each worker sees the other's stale
+							// local epoch forever). Yielding restores the
+							// interleaving the test is about.
+							runtime.Gosched()
+						}
 					}
 				}(w)
 			}

@@ -28,12 +28,14 @@ type Cadence struct {
 	cfg    Config
 	cnt    counters
 	mgr    *rooster.Manager
+	slots  *slotPool
 	recs   []*hprec
 	guards []*cadenceGuard
 }
 
 type cadenceGuard struct {
 	d       *Cadence
+	id      int
 	rec     *hprec
 	rl      []retired
 	retires int
@@ -47,12 +49,12 @@ func NewCadence(cfg Config) (*Cadence, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	d := &Cadence{cfg: cfg, mgr: rooster.NewManager(cfg.Rooster)}
+	d := &Cadence{cfg: cfg, mgr: rooster.NewManager(cfg.Rooster), slots: newSlotPool(cfg.Workers)}
 	d.recs = make([]*hprec, cfg.Workers)
 	d.guards = make([]*cadenceGuard, cfg.Workers)
 	for i := range d.guards {
 		d.recs[i] = newHPRec(cfg.HPs)
-		d.guards[i] = &cadenceGuard{d: d, rec: d.recs[i]}
+		d.guards[i] = &cadenceGuard{d: d, id: i, rec: d.recs[i]}
 		d.mgr.Register(d.recs[i])
 	}
 	if !cfg.ManualRooster {
@@ -61,8 +63,47 @@ func NewCadence(cfg Config) (*Cadence, error) {
 	return d, nil
 }
 
-// Guard implements Domain.
-func (d *Cadence) Guard(w int) Guard { return d.guards[w] }
+// Guard implements Domain (deprecated positional access): pins slot w and
+// marks its hazard record live for scans and rooster flushes.
+func (d *Cadence) Guard(w int) Guard {
+	if d.slots.pin(w) {
+		d.recs[w].leased.Store(true)
+	}
+	return d.guards[w]
+}
+
+// Acquire implements Domain: lease a slot, drain any hazard state a racing
+// rooster flush may have re-published after the previous release, and make
+// the record visible to scans and flush passes again.
+func (d *Cadence) Acquire() (Guard, error) {
+	w, err := d.slots.lease(&d.cnt)
+	if err != nil {
+		return nil, err
+	}
+	g := d.guards[w]
+	g.rec.clearPending()
+	g.rec.clearShared()
+	g.rec.leased.Store(true)
+	return g, nil
+}
+
+// Release implements Domain: drain both hazard arrays, run one deferred
+// scan so the slot's retire list strands as little as possible (nodes not
+// yet old enough stay for the next tenant), hide the record, recycle.
+func (d *Cadence) Release(gd Guard) {
+	g, ok := gd.(*cadenceGuard)
+	if !ok || g.d != d {
+		panic(errForeignGuard)
+	}
+	d.slots.unlease(g.id, &d.cnt, func() {
+		g.rec.clearPending()
+		g.rec.clearShared()
+		if len(g.rl) > 0 {
+			g.rl = scanDeferred(&g.d.cnt, g.d.cfg, g.d.mgr, g.d.recs, g.rl, &g.scanBuf)
+		}
+		g.rec.leased.Store(false)
+	})
+}
 
 // Name implements Domain.
 func (d *Cadence) Name() string { return "cadence" }

@@ -37,11 +37,13 @@ type EBR struct {
 	cfg    Config
 	cnt    counters
 	epoch  atomic.Uint64
+	slots  *slotPool
 	guards []*ebrGuard
 }
 
 type ebrGuard struct {
-	d *EBR
+	d  *EBR
+	id int
 	// word packs (announced epoch << 1) | active. Peers read it in
 	// tryAdvance; the owner writes it in Begin/ClearHPs.
 	word     atomic.Uint64
@@ -57,16 +59,54 @@ func NewEBR(cfg Config) (*EBR, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	d := &EBR{cfg: cfg}
+	d := &EBR{cfg: cfg, slots: newSlotPool(cfg.Workers)}
 	d.guards = make([]*ebrGuard, cfg.Workers)
 	for i := range d.guards {
-		d.guards[i] = &ebrGuard{d: d}
+		d.guards[i] = &ebrGuard{d: d, id: i}
 	}
 	return d, nil
 }
 
-// Guard implements Domain.
-func (d *EBR) Guard(w int) Guard { return d.guards[w] }
+// Guard implements Domain (deprecated positional access). EBR guards are
+// born inactive (outside any critical section), so pinning needs no
+// membership work: an idle guard never blocks grace periods.
+func (d *EBR) Guard(w int) Guard {
+	d.slots.pin(w)
+	return d.guards[w]
+}
+
+// Acquire implements Domain: lease a slot and catch it up — free the limbo
+// bucket the current epoch proves aged (what Begin would do on its next
+// announcement) and nudge the global epoch, which under pure handle churn
+// is the main advance driver.
+func (d *EBR) Acquire() (Guard, error) {
+	w, err := d.slots.lease(&d.cnt)
+	if err != nil {
+		return nil, err
+	}
+	g := d.guards[w]
+	if e := d.epoch.Load(); e != g.lastSeen {
+		g.lastSeen = e
+		g.freeBucket(int(e % 3))
+	}
+	g.tryAdvance()
+	return g, nil
+}
+
+// Release implements Domain: exit the critical section (the guard goes
+// inactive, so it cannot block grace periods while the slot sits vacant),
+// help the epoch along, and recycle the slot. Remaining limbo stays with
+// the slot for the next tenant's Begin to rotate out.
+func (d *EBR) Release(gd Guard) {
+	g, ok := gd.(*ebrGuard)
+	if !ok || g.d != d {
+		panic(errForeignGuard)
+	}
+	d.slots.unlease(g.id, &d.cnt, func() {
+		g.ClearHPs()
+		g.tryAdvance()
+	})
+}
 
 // Name implements Domain.
 func (d *EBR) Name() string { return "ebr" }

@@ -17,12 +17,14 @@ import (
 type HP struct {
 	cfg    Config
 	cnt    counters
+	slots  *slotPool
 	recs   []*hprec
 	guards []*hpGuard
 }
 
 type hpGuard struct {
 	d       *HP
+	id      int
 	rec     *hprec
 	fence   *fence.Model // per guard: a fence stalls only its own core
 	rl      []retired
@@ -40,18 +42,56 @@ func NewHP(cfg Config) (*HP, error) {
 	if cost == 0 {
 		cost = fence.DefaultCost
 	}
-	d := &HP{cfg: cfg}
+	d := &HP{cfg: cfg, slots: newSlotPool(cfg.Workers)}
 	d.recs = make([]*hprec, cfg.Workers)
 	d.guards = make([]*hpGuard, cfg.Workers)
 	for i := range d.guards {
 		d.recs[i] = newHPRec(cfg.HPs)
-		d.guards[i] = &hpGuard{d: d, rec: d.recs[i], fence: fence.NewModel(cost)}
+		d.guards[i] = &hpGuard{d: d, id: i, rec: d.recs[i], fence: fence.NewModel(cost)}
 	}
 	return d, nil
 }
 
-// Guard implements Domain.
-func (d *HP) Guard(w int) Guard { return d.guards[w] }
+// Guard implements Domain (deprecated positional access): pins slot w and
+// marks its hazard record live for scans.
+func (d *HP) Guard(w int) Guard {
+	if d.slots.pin(w) {
+		d.recs[w].leased.Store(true)
+	}
+	return d.guards[w]
+}
+
+// Acquire implements Domain. HP needs no join protocol — a guard protects
+// only what it publishes — so leasing is just slot bookkeeping plus making
+// the record visible to scans.
+func (d *HP) Acquire() (Guard, error) {
+	w, err := d.slots.lease(&d.cnt)
+	if err != nil {
+		return nil, err
+	}
+	g := d.guards[w]
+	g.rec.clearShared()
+	g.rec.leased.Store(true)
+	return g, nil
+}
+
+// Release implements Domain: clear the guard's hazard pointers, scan once to
+// drain the retire list (everything not protected by other workers frees
+// immediately; the remainder waits for the next tenant's scans), hide the
+// record from scans, and recycle the slot.
+func (d *HP) Release(gd Guard) {
+	g, ok := gd.(*hpGuard)
+	if !ok || g.d != d {
+		panic(errForeignGuard)
+	}
+	d.slots.unlease(g.id, &d.cnt, func() {
+		g.rec.clearShared()
+		if len(g.rl) > 0 {
+			g.scan()
+		}
+		g.rec.leased.Store(false)
+	})
+}
 
 // Name implements Domain.
 func (d *HP) Name() string { return "hp" }

@@ -24,7 +24,18 @@ type hpSlot struct {
 // modeled fence. An unflushed pending entry is invisible to scans, exactly
 // as a fenceless HP store sitting in a TSO store buffer is invisible to a
 // reclaimer on another core.
+//
+// leased mirrors the record's slot lease (slots.go): scans and rooster
+// flushes skip unleased records. An unleased record's slots are all nil
+// (Release drains both arrays), so the skip changes no scan outcome; it
+// keeps scan cost proportional to the leased worker count rather than the
+// arena size, which matters when MaxWorkers is sized generously. Skipping
+// a record whose lease races the snapshot is safe for the same reason a
+// protection published after a snapshot may be missed: the new tenant's
+// link re-validation (§3.2) rejects any node that was unlinked — and thus
+// retired — before it could be scanned.
 type hprec struct {
+	leased  atomic.Bool
 	pending []hpSlot
 	shared  []hpSlot
 }
@@ -47,8 +58,14 @@ func (h *hprec) publishShared(i int, r mem.Ref) {
 // FlushHP copies pending slots into shared slots; called by rooster passes.
 // It also refreshes pending copies into shared for the worker's own later
 // clears: flushing a zero clears the shared slot too, so protections do not
-// outlive their release by more than one pass.
+// outlive their release by more than one pass. Unleased records are skipped
+// (their slots are already drained); a flush racing a Release can at worst
+// re-publish a stale shared entry, which the next pass after re-lease
+// clears — stale entries delay reclamation, never unblock it.
 func (h *hprec) FlushHP() {
+	if !h.leased.Load() {
+		return
+	}
 	for i := range h.pending {
 		h.shared[i].v.Store(h.pending[i].v.Load())
 	}
@@ -72,10 +89,13 @@ type hpSnapshot struct {
 	vals []uint64
 }
 
-// snapshotShared collects the non-nil shared HPs of all records.
+// snapshotShared collects the non-nil shared HPs of all leased records.
 func snapshotShared(recs []*hprec, buf []uint64) hpSnapshot {
 	vals := buf[:0]
 	for _, r := range recs {
+		if !r.leased.Load() {
+			continue
+		}
 		for i := range r.shared {
 			if v := r.shared[i].v.Load(); v != 0 {
 				vals = append(vals, v)

@@ -57,8 +57,12 @@ type membership struct {
 	leftEpoch   uint64       // global epoch observed at Leave (owner-only)
 }
 
+// init prepares a slot that no worker owns yet: inactive, so an unleased
+// slot never blocks grace periods or the presence scan. The slot becomes
+// active when a worker claims it — Domain.Acquire or the positional
+// Guard(w) pin both run the guard's activate path.
 func (m *membership) init() {
-	m.active.Store(true)
+	m.active.Store(false)
 	m.lastQuiesce.Store(time.Now().UnixNano())
 }
 
@@ -83,6 +87,19 @@ func (m *membership) skipOrEvict(evictAfter time.Duration, evictions *atomic.Uin
 	return false
 }
 
+// activate is the quiet join used when a worker claims an inactive slot
+// (first pin, or an Acquire lease): adopt the global epoch, free limbo
+// buckets that aged out while the slot was inactive, and start
+// participating. Unlike Join it does not count a Rejoin — claiming a slot
+// is lease bookkeeping (Stats.AcquiredHandles), not crash recovery.
+// adopt/free run only on the false->true transition, so repeated positional
+// Guard(w) calls stay cheap and never reset a live worker's epoch.
+func (m *membership) activate(adopt func()) {
+	if m.active.CompareAndSwap(false, true) {
+		adopt()
+	}
+}
+
 // --- QSBR ---
 
 var _ Leaver = (*qsbrGuard)(nil)
@@ -99,9 +116,11 @@ func (g *qsbrGuard) Join() {
 	g.mem.active.Store(true)
 }
 
-// rejoin adopts the current epoch and frees buckets that aged out while the
-// worker was away.
-func (g *qsbrGuard) rejoin() {
+// adopt catches the guard up with the protocol: adopt the current global
+// epoch and free buckets that aged out while the worker was away (three
+// epoch advances prove full grace periods for everything a previous tenant
+// or the departed worker left in limbo).
+func (g *qsbrGuard) adopt() {
 	global := g.d.epoch.Load()
 	g.local.Store(global)
 	g.mem.stampQuiesce()
@@ -110,6 +129,11 @@ func (g *qsbrGuard) rejoin() {
 			g.freeBucket(b)
 		}
 	}
+}
+
+// rejoin is adopt plus the Rejoins count — the Join/eviction-recovery path.
+func (g *qsbrGuard) rejoin() {
+	g.adopt()
 	g.d.cnt.rejoins.Add(1)
 }
 
@@ -129,7 +153,8 @@ func (g *qsenseGuard) Join() {
 	g.mem.active.Store(true)
 }
 
-func (g *qsenseGuard) rejoin() {
+// adopt mirrors qsbrGuard.adopt for the hybrid's guards.
+func (g *qsenseGuard) adopt() {
 	global := g.d.epoch.Load()
 	g.local.Store(global)
 	g.mem.stampQuiesce()
@@ -138,5 +163,9 @@ func (g *qsenseGuard) rejoin() {
 			g.freeBucket(b)
 		}
 	}
+}
+
+func (g *qsenseGuard) rejoin() {
+	g.adopt()
 	g.d.cnt.rejoins.Add(1)
 }

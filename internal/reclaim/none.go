@@ -17,6 +17,8 @@ type counters struct {
 	toFast    atomic.Uint64
 	evictions atomic.Uint64
 	rejoins   atomic.Uint64
+	acquired  atomic.Uint64
+	released  atomic.Uint64
 	failed    atomic.Bool
 }
 
@@ -42,6 +44,8 @@ func (c *counters) fill(s *Stats) {
 	s.SwitchesToFast = c.toFast.Load()
 	s.Evictions = c.evictions.Load()
 	s.Rejoins = c.rejoins.Load()
+	s.AcquiredHandles = c.acquired.Load()
+	s.ReleasedHandles = c.released.Load()
 	s.Failed = c.failed.Load()
 }
 
@@ -51,10 +55,14 @@ func (c *counters) fill(s *Stats) {
 type None struct {
 	cfg    Config
 	cnt    counters
+	slots  *slotPool
 	guards []*noneGuard
 }
 
-type noneGuard struct{ d *None }
+type noneGuard struct {
+	d  *None
+	id int
+}
 
 // NewNone builds the leaky baseline domain.
 func NewNone(cfg Config) (*None, error) {
@@ -62,16 +70,37 @@ func NewNone(cfg Config) (*None, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	d := &None{cfg: cfg}
+	d := &None{cfg: cfg, slots: newSlotPool(cfg.Workers)}
 	d.guards = make([]*noneGuard, cfg.Workers)
 	for i := range d.guards {
-		d.guards[i] = &noneGuard{d: d}
+		d.guards[i] = &noneGuard{d: d, id: i}
 	}
 	return d, nil
 }
 
-// Guard implements Domain.
-func (d *None) Guard(w int) Guard { return d.guards[w] }
+// Guard implements Domain (deprecated positional access; pins the slot).
+func (d *None) Guard(w int) Guard {
+	d.slots.pin(w)
+	return d.guards[w]
+}
+
+// Acquire implements Domain. None has no reclamation state to join.
+func (d *None) Acquire() (Guard, error) {
+	w, err := d.slots.lease(&d.cnt)
+	if err != nil {
+		return nil, err
+	}
+	return d.guards[w], nil
+}
+
+// Release implements Domain.
+func (d *None) Release(g Guard) {
+	ng, ok := g.(*noneGuard)
+	if !ok || ng.d != d {
+		panic(errForeignGuard)
+	}
+	d.slots.unlease(ng.id, &d.cnt, func() {})
+}
 
 // Name implements Domain.
 func (d *None) Name() string { return "none" }

@@ -24,6 +24,7 @@ type QSBR struct {
 	cfg    Config
 	cnt    counters
 	epoch  atomic.Uint64 // global epoch e_G
+	slots  *slotPool
 	guards []*qsbrGuard
 }
 
@@ -43,7 +44,7 @@ func NewQSBR(cfg Config) (*QSBR, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	d := &QSBR{cfg: cfg}
+	d := &QSBR{cfg: cfg, slots: newSlotPool(cfg.Workers)}
 	d.guards = make([]*qsbrGuard, cfg.Workers)
 	for i := range d.guards {
 		d.guards[i] = &qsbrGuard{d: d, id: i}
@@ -52,8 +53,48 @@ func NewQSBR(cfg Config) (*QSBR, error) {
 	return d, nil
 }
 
-// Guard implements Domain.
-func (d *QSBR) Guard(w int) Guard { return d.guards[w] }
+// Guard implements Domain (deprecated positional access): pins slot w and
+// activates its membership, so the guard participates in grace periods from
+// this point on, exactly like a fixed worker of the paper's model.
+func (d *QSBR) Guard(w int) Guard {
+	g := d.guards[w]
+	if d.slots.pin(w) {
+		g.mem.activate(g.adopt)
+	}
+	return g
+}
+
+// Acquire implements Domain: lease a slot and join the protocol. The fresh
+// tenant holds no shared references, so the lease doubles as a quiescent
+// state — under pure handle churn (goroutines too short-lived to ever reach
+// a Q-th Begin) these lease-point quiescent states are what keep the global
+// epoch advancing and limbo buckets draining.
+func (d *QSBR) Acquire() (Guard, error) {
+	w, err := d.slots.lease(&d.cnt)
+	if err != nil {
+		return nil, err
+	}
+	g := d.guards[w]
+	g.mem.activate(g.adopt)
+	g.quiescent()
+	return g, nil
+}
+
+// Release implements Domain: declare a final quiescent state (the caller
+// holds no shared references, per the Release contract), Leave so the slot
+// stops blocking grace periods, and recycle the slot. The guard's remaining
+// limbo backlog stays with the slot; the next tenant's adopt frees it once
+// it ages three epochs (the Join re-entry path).
+func (d *QSBR) Release(gd Guard) {
+	g, ok := gd.(*qsbrGuard)
+	if !ok || g.d != d {
+		panic(errForeignGuard)
+	}
+	d.slots.unlease(g.id, &d.cnt, func() {
+		g.quiescent()
+		g.Leave()
+	})
+}
 
 // Name implements Domain.
 func (d *QSBR) Name() string { return "qsbr" }

@@ -40,6 +40,7 @@ type QSense struct {
 	fallback atomic.Bool
 	presence []paddedBool
 	epoch    atomic.Uint64
+	slots    *slotPool
 	recs     []*hprec
 	guards   []*qsenseGuard
 }
@@ -74,7 +75,7 @@ func NewQSense(cfg Config) (*QSense, error) {
 	if legal := LegalC(cfg); cfg.C < legal {
 		return nil, fmt.Errorf("reclaim: C=%d is not legal (need >= %d; see §6.2)", cfg.C, legal)
 	}
-	d := &QSense{cfg: cfg, mgr: rooster.NewManager(cfg.Rooster)}
+	d := &QSense{cfg: cfg, mgr: rooster.NewManager(cfg.Rooster), slots: newSlotPool(cfg.Workers)}
 	d.presence = make([]paddedBool, cfg.Workers)
 	d.recs = make([]*hprec, cfg.Workers)
 	d.guards = make([]*qsenseGuard, cfg.Workers)
@@ -116,8 +117,61 @@ func (d *QSense) allActive() bool {
 	return true
 }
 
-// Guard implements Domain.
-func (d *QSense) Guard(w int) Guard { return d.guards[w] }
+// Guard implements Domain (deprecated positional access): pins slot w,
+// activates its membership and marks its hazard record live for scans.
+func (d *QSense) Guard(w int) Guard {
+	g := d.guards[w]
+	if d.slots.pin(w) {
+		g.rec.leased.Store(true)
+		g.mem.activate(g.adopt)
+	}
+	return g
+}
+
+// Acquire implements Domain: lease a slot, drain any stale hazard state the
+// previous tenant's release raced, join the epoch protocol (adopting the
+// global epoch and freeing aged-out limbo), and — on the fast path — declare
+// the lease itself as a quiescent state so epochs keep rotating even when
+// every goroutine is too short-lived to reach a Q-th Begin.
+func (d *QSense) Acquire() (Guard, error) {
+	w, err := d.slots.lease(&d.cnt)
+	if err != nil {
+		return nil, err
+	}
+	g := d.guards[w]
+	g.rec.clearPending()
+	g.rec.clearShared()
+	g.rec.leased.Store(true)
+	g.mem.activate(g.adopt)
+	if !d.fallback.Load() {
+		g.quiescent()
+	}
+	return g, nil
+}
+
+// Release implements Domain: drain the guard's hazard pointers, declare a
+// final quiescent state (the caller holds no references, per the Release
+// contract), run a Cadence scan over the remaining limbo so the backlog a
+// vacant slot strands stays small, then Leave — the slot no longer blocks
+// grace periods or the presence scan — and recycle the slot.
+func (d *QSense) Release(gd Guard) {
+	g, ok := gd.(*qsenseGuard)
+	if !ok || g.d != d {
+		panic(errForeignGuard)
+	}
+	d.slots.unlease(g.id, &d.cnt, func() {
+		g.rec.clearPending()
+		g.rec.clearShared()
+		if !d.fallback.Load() {
+			g.quiescent()
+		}
+		if g.total > 0 {
+			g.scanAll()
+		}
+		g.Leave()
+		g.rec.leased.Store(false)
+	})
+}
 
 // Name implements Domain.
 func (d *QSense) Name() string { return "qsense" }

@@ -35,11 +35,13 @@ type RC struct {
 	cfg    Config
 	cnt    counters
 	table  countTable
+	slots  *slotPool
 	guards []*rcGuard
 }
 
 type rcGuard struct {
 	d       *RC
+	id      int
 	held    []mem.Ref // held[i] = ref currently counted for HP slot i
 	rl      []mem.Ref
 	retires int
@@ -53,16 +55,46 @@ func NewRC(cfg Config) (*RC, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	d := &RC{cfg: cfg}
+	d := &RC{cfg: cfg, slots: newSlotPool(cfg.Workers)}
 	d.guards = make([]*rcGuard, cfg.Workers)
 	for i := range d.guards {
-		d.guards[i] = &rcGuard{d: d, held: make([]mem.Ref, cfg.HPs)}
+		d.guards[i] = &rcGuard{d: d, id: i, held: make([]mem.Ref, cfg.HPs)}
 	}
 	return d, nil
 }
 
-// Guard implements Domain.
-func (d *RC) Guard(w int) Guard { return d.guards[w] }
+// Guard implements Domain (deprecated positional access). Counts are
+// per-node, not per-worker, so pinning needs no scheme work.
+func (d *RC) Guard(w int) Guard {
+	d.slots.pin(w)
+	return d.guards[w]
+}
+
+// Acquire implements Domain. A fresh RC guard holds no counted references;
+// nothing to join.
+func (d *RC) Acquire() (Guard, error) {
+	w, err := d.slots.lease(&d.cnt)
+	if err != nil {
+		return nil, err
+	}
+	return d.guards[w], nil
+}
+
+// Release implements Domain: drop every counted reference, sweep the retire
+// list so the vacant slot strands only nodes other workers still hold, and
+// recycle the slot.
+func (d *RC) Release(gd Guard) {
+	g, ok := gd.(*rcGuard)
+	if !ok || g.d != d {
+		panic(errForeignGuard)
+	}
+	d.slots.unlease(g.id, &d.cnt, func() {
+		g.ClearHPs()
+		if len(g.rl) > 0 {
+			g.sweep()
+		}
+	})
+}
 
 // Name implements Domain.
 func (d *RC) Name() string { return "rc" }

@@ -20,9 +20,15 @@
 //	assign_HP            ->  Guard.Protect
 //	free_node_later      ->  Guard.Retire
 //
-// A Domain manages reclamation for one data structure instance and a fixed
-// set of workers (the paper does not support dynamic membership; §5.2).
-// Each worker obtains its Guard once and calls it from that worker only.
+// A Domain manages reclamation for one data structure instance over a fixed
+// arena of guard slots. The paper does not support dynamic membership
+// (§5.2); this implementation builds out its sketched fix twice over:
+// membership.go lets epoch-scheme workers Leave/Join (and evicts crashed
+// ones), and slots.go leases whole guard slots dynamically — Acquire hands
+// a free slot to any goroutine, Release drains it and recycles it — so the
+// worker population may churn freely as long as no more than Config.Workers
+// guards are leased at once. The positional Guard(w) accessor remains for
+// callers that pin slots deterministically (tests, the experiment harness).
 package reclaim
 
 import (
@@ -63,8 +69,28 @@ type Guard interface {
 
 // Domain manages reclamation state shared by all workers of one structure.
 type Domain interface {
-	// Guard returns worker w's guard (0 <= w < Config.Workers).
+	// Guard returns slot w's guard (0 <= w < Config.Workers), pinning the
+	// slot: it is permanently excluded from the Acquire freelist and
+	// participates exactly like a fixed worker of the paper's model.
+	//
+	// Deprecated: positional guards exist for fixed-worker callers (the
+	// experiment harness, deterministic tests). New code should lease
+	// guards with Acquire/Release.
 	Guard(w int) Guard
+	// Acquire leases a free guard slot to the calling goroutine, running
+	// the scheme's join path (epoch adoption, aged-limbo frees) so a
+	// recycled slot resumes cleanly. Returns ErrNoSlots when all
+	// Config.Workers slots are leased or pinned.
+	Acquire() (Guard, error)
+	// Release returns g's slot to the freelist: protections are drained,
+	// epoch schemes Leave (so the slot no longer blocks grace periods or
+	// QSense's presence scan), and what backlog can be freed safely is
+	// freed. The guard must not be used after Release. Releasing a pinned
+	// or already-released guard is a no-op — but note the guard's slot
+	// may have been re-leased by then, so call Release exactly once, from
+	// the owning goroutine. (The public API wraps guards with a
+	// once-flag; internal callers keep the discipline themselves.)
+	Release(g Guard)
 	// Name returns the scheme name ("qsbr", "hp", ...).
 	Name() string
 	// Failed reports whether the domain exceeded Config.MemoryLimit —
@@ -82,7 +108,10 @@ type Domain interface {
 // Config parameterizes a Domain. The zero value is not usable: Workers,
 // HPs and Free are mandatory (Free may be omitted only for None).
 type Config struct {
-	// Workers is the fixed number of participating worker threads (N).
+	// Workers is the guard-slot arena size (the paper's N): the maximum
+	// number of simultaneously leased/pinned guards, not a count of
+	// OS threads — any number of goroutines may share the arena through
+	// Acquire/Release over time.
 	Workers int
 	// HPs is the number of hazard pointers per worker (K). The linked
 	// list uses 3, the BST 6, the skip list 2*levels+2 (§7.3).
@@ -256,6 +285,9 @@ type Stats struct {
 	// Evictions and Rejoins count membership events (membership.go):
 	// workers excluded as crashed and workers that (re-)entered.
 	Evictions, Rejoins uint64
+	// AcquiredHandles and ReleasedHandles count slot leases granted and
+	// returned (slots.go); their difference is the leased count now.
+	AcquiredHandles, ReleasedHandles uint64
 	// InFallback reports QSense's current path.
 	InFallback bool
 	// RoosterPasses counts completed rooster flush passes.

@@ -1,0 +1,150 @@
+package reclaim
+
+// Dynamic handle leasing — the slot allocator behind Domain.Acquire/Release.
+//
+// A domain owns a fixed arena of Config.Workers guard slots (the paper's N;
+// sized by the public Options.MaxWorkers). The paper freezes the worker set
+// at construction; leasing turns each slot into a recyclable resource so an
+// unbounded population of short-lived goroutines (a Go server's
+// goroutine-per-request world) can share the arena: Acquire pops a free
+// slot from a lock-free freelist, Release drains the slot's reclamation
+// state and pushes it back.
+//
+// Each slot is in one of three states:
+//
+//	free   — in the freelist, available to Acquire.
+//	leased — popped by Acquire; exactly one goroutine owns the guard.
+//	pinned — claimed forever by the deprecated positional Guard(w) path,
+//	         which the fixed-worker experiment harness still uses to pin
+//	         slots deterministically. A pinned slot never returns to the
+//	         freelist; if Acquire pops one (pinned after it was already
+//	         listed) it is discarded, not handed out.
+//
+// The freelist is a Treiber stack over slot indices with a version-counted
+// head (the same ABA discipline the node pools use): head packs
+// (version<<32 | index+1), next[i] holds the successor's index+1. LIFO
+// order deliberately keeps recently released slots hot — their guards'
+// limbo backlogs are the youngest and their cache lines the warmest.
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+)
+
+// ErrNoSlots is returned by Acquire when every slot in the arena is leased
+// or pinned. Callers can retry after other workers Release, or build the
+// domain with a larger MaxWorkers.
+var ErrNoSlots = errors.New("reclaim: all worker slots are leased (raise MaxWorkers or release a handle)")
+
+const (
+	slotFree int32 = iota
+	slotLeased
+	slotReleasing // release claimed; guard state is being drained
+	slotPinned
+)
+
+// slotPool is the lock-free slot allocator. All methods are safe for
+// concurrent use.
+type slotPool struct {
+	head  atomic.Uint64   // (version<<32) | (top index+1); low word 0 = empty
+	next  []atomic.Uint32 // next[i] = successor index+1 in the freelist
+	state []atomic.Int32  // slotFree / slotLeased / slotPinned
+}
+
+func newSlotPool(n int) *slotPool {
+	p := &slotPool{next: make([]atomic.Uint32, n), state: make([]atomic.Int32, n)}
+	// Push 0..n-1 so Acquire hands out low indices first.
+	for i := n - 1; i >= 0; i-- {
+		p.next[i].Store(uint32(p.head.Load()))
+		p.head.Store(uint64(i + 1))
+	}
+	return p
+}
+
+// tryAcquire pops a free slot and marks it leased, discarding pinned slots
+// it encounters. Returns -1 when the freelist is exhausted.
+func (p *slotPool) tryAcquire() int {
+	for {
+		h := p.head.Load()
+		top := uint32(h)
+		if top == 0 {
+			return -1
+		}
+		i := int(top - 1)
+		nxt := p.next[i].Load()
+		// The version bump makes a concurrent pop/push cycle of the same
+		// slot fail this CAS instead of corrupting the list (ABA).
+		if !p.head.CompareAndSwap(h, (h>>32+1)<<32|uint64(nxt)) {
+			continue
+		}
+		if p.state[i].CompareAndSwap(slotFree, slotLeased) {
+			return i
+		}
+		// Pinned after it was listed: drop it and keep popping. (A
+		// popped slot can never be leased — leased slots are not in the
+		// list.)
+	}
+}
+
+// lease pops a free slot, counting the lease. The scheme-specific join
+// hooks run in the caller, on the returned index.
+func (p *slotPool) lease(cnt *counters) (int, error) {
+	w := p.tryAcquire()
+	if w < 0 {
+		return -1, ErrNoSlots
+	}
+	cnt.acquired.Add(1)
+	return w, nil
+}
+
+// unlease runs the release protocol for slot i: claim the release (exactly
+// one caller wins; pinned and already-released slots are refused), run the
+// scheme's drain while the slot is in the releasing state — invisible to
+// both Acquire and pin — then recycle it. Reports whether this call
+// performed the release.
+// A pin can slip in between unlease's slotFree store and its push; the
+// pinned slot then sits in the freelist until tryAcquire pops and discards
+// it. What cannot happen is a pin DURING the drain: the releasing state
+// refuses it, so a drain's trailing cleanup (e.g. hiding an hprec from
+// scans) can never clobber a new pin's setup.
+func (p *slotPool) unlease(i int, cnt *counters, drain func()) bool {
+	if !p.state[i].CompareAndSwap(slotLeased, slotReleasing) {
+		return false
+	}
+	drain()
+	p.state[i].Store(slotFree)
+	for {
+		h := p.head.Load()
+		p.next[i].Store(uint32(h))
+		if p.head.CompareAndSwap(h, (h>>32+1)<<32|uint64(i+1)) {
+			break
+		}
+	}
+	cnt.released.Add(1)
+	return true
+}
+
+// errForeignGuard is the Release misuse panic shared by the schemes.
+const errForeignGuard = "reclaim: Release of a guard from another domain"
+
+// pin claims slot i forever for the positional Guard(w) path. Reports
+// whether this call performed the transition (first pin). A slot mid-
+// release is waited out; pinning a slot some goroutine holds via Acquire
+// is a caller error that would silently alias the guard across two
+// goroutines — it panics rather than corrupt.
+func (p *slotPool) pin(i int) bool {
+	for {
+		switch p.state[i].Load() {
+		case slotFree:
+			if p.state[i].CompareAndSwap(slotFree, slotPinned) {
+				return true
+			}
+		case slotReleasing:
+			runtime.Gosched() // another goroutine is draining this slot
+		case slotPinned:
+			return false
+		case slotLeased:
+			panic("reclaim: positional Guard(w) on a slot currently leased via Acquire — do not mix the two APIs over one slot")
+		}
+	}
+}

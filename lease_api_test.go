@@ -1,0 +1,308 @@
+package qsense_test
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"qsense"
+)
+
+// acquireRetry leases a handle, yielding while the arena is full — the
+// pattern a goroutine-per-request server uses under load spikes.
+func acquireRetry[H any](t *testing.T, acquire func() (H, error)) H {
+	t.Helper()
+	for {
+		h, err := acquire()
+		if err == nil {
+			return h
+		}
+		if !errors.Is(err, qsense.ErrNoSlots) {
+			t.Fatalf("acquire: %v", err)
+		}
+		runtime.Gosched()
+	}
+}
+
+// TestSetAcquireRelease: the leased-handle surface of the four set
+// containers across every scheme — lease, operate, release, recycle.
+func TestSetAcquireRelease(t *testing.T) {
+	type setContainer interface {
+		Acquire() (qsense.SetHandle, error)
+		Stats() qsense.Stats
+		Close()
+		Len() int
+	}
+	containers := map[string]func(qsense.Options) (setContainer, error){
+		"set":     func(o qsense.Options) (setContainer, error) { return qsense.NewSet(o) },
+		"skipset": func(o qsense.Options) (setContainer, error) { return qsense.NewSkipSet(o) },
+		"treeset": func(o qsense.Options) (setContainer, error) { return qsense.NewTreeSet(o) },
+		"hashset": func(o qsense.Options) (setContainer, error) { return qsense.NewHashSet(o) },
+	}
+	for name, mk := range containers {
+		for _, scheme := range apiSchemes {
+			t.Run(name+"/"+string(scheme), func(t *testing.T) {
+				s, err := mk(qsense.Options{MaxWorkers: 2, Scheme: scheme})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer s.Close()
+				h, err := s.Acquire()
+				if err != nil {
+					t.Fatal(err)
+				}
+				for k := int64(1); k <= 30; k++ {
+					if !h.Insert(k) {
+						t.Fatalf("insert %d failed", k)
+					}
+				}
+				h.Release()
+				h.Release() // extra Release must be a no-op
+
+				// The slot must recycle: with MaxWorkers=2 both leases
+				// succeed only if the first came back.
+				h1, err1 := s.Acquire()
+				h2, err2 := s.Acquire()
+				if err1 != nil || err2 != nil {
+					t.Fatalf("re-acquire after release: %v / %v", err1, err2)
+				}
+				if _, err := s.Acquire(); !errors.Is(err, qsense.ErrNoSlots) {
+					t.Fatalf("third lease on a 2-slot arena: err = %v, want ErrNoSlots", err)
+				}
+				for k := int64(1); k <= 30; k += 2 {
+					if !h1.Delete(k) {
+						t.Fatalf("delete %d failed", k)
+					}
+				}
+				for k := int64(1); k <= 30; k++ {
+					if want := k%2 == 0; h2.Contains(k) != want {
+						t.Fatalf("contains(%d) != %v", k, want)
+					}
+				}
+				if s.Len() != 15 {
+					t.Fatalf("Len = %d, want 15", s.Len())
+				}
+				h1.Release()
+				h2.Release()
+				st := s.Stats()
+				if st.AcquiredHandles != 3 || st.ReleasedHandles != 3 {
+					t.Fatalf("lease counters %d/%d, want 3/3", st.AcquiredHandles, st.ReleasedHandles)
+				}
+			})
+		}
+	}
+}
+
+// TestQueueStackAcquireRelease: the leased-handle surface of Queue/Stack.
+func TestQueueStackAcquireRelease(t *testing.T) {
+	q, err := qsense.NewQueue(qsense.Options{MaxWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	qh, err := q.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qh.Enqueue(1)
+	qh.Enqueue(2)
+	qh.Release()
+	qh2, err := q.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := qh2.Dequeue(); !ok || v != 1 {
+		t.Fatalf("dequeue = %d,%v", v, ok)
+	}
+	qh2.Release()
+
+	s, err := qsense.NewStack(qsense.Options{MaxWorkers: 1, Scheme: qsense.SchemeHP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	sh, err := s.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.Push(1)
+	sh.Push(2)
+	if v, ok := sh.Pop(); !ok || v != 2 {
+		t.Fatalf("pop = %d,%v", v, ok)
+	}
+	sh.Release()
+	if st := s.Stats(); st.AcquiredHandles != 1 || st.ReleasedHandles != 1 {
+		t.Fatalf("lease counters %+v", st)
+	}
+}
+
+// TestDomainAcquireRelease: the custom-structure path — Domain.Acquire,
+// Guard.Release, and the Leave/Join park protocol on an epoch scheme.
+func TestDomainAcquireRelease(t *testing.T) {
+	type cell struct{ val uint64 }
+	pool := qsense.NewPool[cell](qsense.PoolOptions{Name: "lease-cells"})
+	dom, err := qsense.NewDomain(qsense.Options{MaxWorkers: 2, HPs: 1, Scheme: qsense.SchemeQSBR, Q: 1},
+		pool.FreeFunc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dom.Close()
+	g, err := dom.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parked, err := dom.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r, c := pool.Alloc()
+	c.val = 1
+	g.Begin()
+	g.Retire(r)
+
+	// A parked worker (Leave) must not block reclamation; Join re-enters.
+	parked.Leave()
+	for i := 0; i < 8 && pool.Valid(r); i++ {
+		g.Begin()
+	}
+	if pool.Valid(r) {
+		t.Fatal("left guard still blocks grace periods")
+	}
+	parked.Join()
+
+	parked.Release()
+	g.Release()
+	g.Release() // no-op
+	if st := dom.Stats(); st.AcquiredHandles != 2 || st.ReleasedHandles != 2 {
+		t.Fatalf("lease counters %d/%d", st.AcquiredHandles, st.ReleasedHandles)
+	}
+	// Both slots must be back.
+	a := acquireRetry(t, dom.Acquire)
+	b := acquireRetry(t, dom.Acquire)
+	a.Release()
+	b.Release()
+}
+
+// TestGoroutinePerRequestChurn is the end-to-end acceptance scenario: far
+// more short-lived goroutines than guard slots stream through
+// Acquire/operate/Release on a shared set, on both the paper's hybrid and
+// classic hazard pointers. The run must stay memory-bounded (sampled
+// Pending never exceeds a fixed budget), produce zero safety violations
+// (the poisoned pool panics on use-after-free; run with -race for the
+// allocator's ordering), leak no slots, and reclaim while slots sit
+// unleased.
+func TestGoroutinePerRequestChurn(t *testing.T) {
+	for _, scheme := range []qsense.Scheme{qsense.SchemeQSense, qsense.SchemeHP} {
+		t.Run(string(scheme), func(t *testing.T) {
+			const maxWorkers = 4
+			requests, opsPer := 600, 150
+			if testing.Short() {
+				requests, opsPer = 200, 100
+			}
+			set, err := qsense.NewSet(qsense.Options{
+				MaxWorkers: maxWorkers,
+				Scheme:     scheme,
+				Q:          8,
+				R:          32,
+				C:          512, // small (but legal) so QSense engages its fallback under churn
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// memBudget is generous against steady-state pending (tens of
+			// nodes per leased slot here) but far below total retire volume,
+			// so unbounded growth — the failure leasing must prevent — trips
+			// it long before the run ends.
+			const memBudget = 20000
+			var peak atomic.Int64
+			var wg sync.WaitGroup
+			sem := make(chan struct{}, 2*maxWorkers) // keep >MaxWorkers goroutines contending
+			for req := 0; req < requests; req++ {
+				wg.Add(1)
+				sem <- struct{}{}
+				go func(req int) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					h := acquireRetry(t, set.Acquire)
+					defer h.Release()
+					rng := uint64(req)*0x9E3779B9 + 1
+					for i := 0; i < opsPer; i++ {
+						rng = rng*6364136223846793005 + 1442695040888963407
+						k := int64(rng>>33)%512 + 1
+						switch rng % 4 {
+						case 0:
+							h.Insert(k)
+						case 1:
+							h.Delete(k)
+						default:
+							h.Contains(k)
+						}
+					}
+					if p := set.Stats().Pending; p > peak.Load() {
+						peak.Store(p)
+					}
+				}(req)
+			}
+			wg.Wait()
+
+			st := set.Stats()
+			if p := peak.Load(); p > memBudget {
+				t.Fatalf("pending peaked at %d (> budget %d): memory not bounded under churn", p, memBudget)
+			}
+			if st.AcquiredHandles != uint64(requests) || st.ReleasedHandles != uint64(requests) {
+				t.Fatalf("lease counters %d/%d, want %d/%d",
+					st.AcquiredHandles, st.ReleasedHandles, requests, requests)
+			}
+			if st.Freed == 0 {
+				t.Fatalf("nothing reclaimed during churn: %+v", st)
+			}
+			// No slot leaks: the full arena must be acquirable afterwards.
+			handles := make([]qsense.SetHandle, maxWorkers)
+			for i := range handles {
+				h, err := set.Acquire()
+				if err != nil {
+					t.Fatalf("slot leaked: re-acquire %d failed: %v", i, err)
+				}
+				handles[i] = h
+			}
+			for _, h := range handles {
+				h.Release()
+			}
+			set.Close()
+			if st := set.Stats(); st.Pending != 0 {
+				t.Fatalf("pending after Close: %+v", st)
+			}
+		})
+	}
+}
+
+// TestReclamationWhileSlotsUnleased: one lone goroutine cycling leases must
+// keep reclaiming even though most of the arena sits vacant — vacant slots
+// may not count toward grace periods.
+func TestReclamationWhileSlotsUnleased(t *testing.T) {
+	set, err := qsense.NewSet(qsense.Options{MaxWorkers: 16, Scheme: qsense.SchemeQSBR, Q: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	epochs0 := set.Stats().EpochAdvances
+	for cycle := 0; cycle < 50; cycle++ {
+		h := acquireRetry(t, set.Acquire)
+		for k := int64(0); k < 32; k++ {
+			h.Insert(k)
+			h.Delete(k)
+		}
+		h.Release()
+	}
+	st := set.Stats()
+	if st.Freed == 0 {
+		t.Fatalf("15 vacant slots starved reclamation: %+v", st)
+	}
+	if st.EpochAdvances == epochs0 {
+		t.Fatalf("epoch frozen while slots were unleased: %+v", st)
+	}
+}

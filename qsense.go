@@ -10,27 +10,41 @@
 // Six lock-free containers arrive pre-wired to a reclamation domain: NewSet
 // (Harris–Michael sorted linked list), NewSkipSet (Fraser skip list),
 // NewTreeSet (Natarajan–Mittal external BST), NewHashSet (Michael hash
-// table), NewQueue (Michael–Scott FIFO) and NewStack (Treiber LIFO). Each
-// worker goroutine takes one Handle and uses it exclusively:
+// table), NewQueue (Michael–Scott FIFO) and NewStack (Treiber LIFO). A
+// goroutine leases a handle with Acquire, uses it exclusively, and returns
+// it with Release — any number of goroutines may come and go, with up to
+// Options.MaxWorkers leases live at once:
 //
-//	set := qsense.NewSet(qsense.Options{Workers: 8})
+//	set, err := qsense.NewSet(qsense.Options{})
+//	if err != nil {
+//		// a misconfigured Options (e.g. an illegal QSense C) fails here
+//	}
 //	defer set.Close()
-//	// per worker w:
-//	h := set.Handle(w)
+//	// in any goroutine (a request handler, a worker, ...):
+//	h, err := set.Acquire()
+//	if err != nil {
+//		// every slot leased: retry, or raise Options.MaxWorkers
+//	}
+//	defer h.Release()
 //	h.Insert(42)
 //	h.Contains(42)
 //	h.Delete(42)
+//
+// The positional Handle(w) accessor from the fixed-worker API survives as a
+// deprecated shim: it pins slot w permanently, which the experiment harness
+// uses to keep worker↔slot assignment deterministic.
 //
 // # Custom structures
 //
 // A structure of your own allocates nodes from a Pool (generation-tagged
 // handles instead of raw pointers — a stale handle is detected, not
-// silently wrong), binds a Domain with NewDomain, and places the paper's
-// three calls (§4.2): Guard.Begin where the worker holds no shared
-// references, Guard.Protect before using a loaded reference (re-validate
-// the link afterwards, per Michael's methodology), Guard.Retire where a
-// sequential program would call free. See examples/workqueue for a
-// complete custom integration.
+// silently wrong), binds a Domain with NewDomain, and leases a Guard per
+// goroutine with Domain.Acquire / Guard.Release. Between Acquire and
+// Release, place the paper's three calls (§4.2): Guard.Begin where the
+// worker holds no shared references, Guard.Protect before using a loaded
+// reference (re-validate the link afterwards, per Michael's methodology),
+// Guard.Retire where a sequential program would call free. See
+// examples/workqueue for a complete custom integration.
 //
 // # Schemes
 //
@@ -42,12 +56,18 @@
 package qsense
 
 import (
+	"runtime"
 	"time"
 
 	"qsense/internal/mem"
 	"qsense/internal/reclaim"
 	"qsense/internal/rooster"
 )
+
+// ErrNoSlots is returned by the Acquire methods when every guard slot is
+// leased or pinned. Callers can retry once another goroutine Releases, or
+// construct the domain/container with a larger Options.MaxWorkers.
+var ErrNoSlots = reclaim.ErrNoSlots
 
 // Scheme selects a reclamation algorithm.
 type Scheme string
@@ -74,10 +94,20 @@ const (
 )
 
 // Options configures a container or a custom Domain. The zero value means
-// one worker under SchemeQSense with library defaults.
+// SchemeQSense with library defaults and a slot arena sized for the
+// machine (2×GOMAXPROCS concurrent leases).
 type Options struct {
-	// Workers is the fixed number of worker goroutines that will hold
-	// handles/guards. Default 1.
+	// MaxWorkers is the guard-slot arena size: the maximum number of
+	// simultaneously leased handles/guards. It bounds concurrency, not
+	// population — any number of goroutines may share the arena through
+	// Acquire/Release over time. Default 2*runtime.GOMAXPROCS(0) (or
+	// Workers, if that is larger).
+	MaxWorkers int
+	// Workers is the fixed worker count of the pre-leasing API.
+	//
+	// Deprecated: the positional Handle(w)/Guard(w) accessors it sizes
+	// survive only as a pinning shim. New code should leave it zero and
+	// use Acquire/Release under MaxWorkers.
 	Workers int
 	// Scheme is the reclamation algorithm. Default SchemeQSense.
 	Scheme Scheme
@@ -109,12 +139,8 @@ func (o Options) reclaimConfig(hps int, free func(mem.Ref)) reclaim.Config {
 	if o.HPs > hps {
 		hps = o.HPs
 	}
-	workers := o.Workers
-	if workers <= 0 {
-		workers = 1
-	}
 	return reclaim.Config{
-		Workers:     workers,
+		Workers:     o.arena(),
 		HPs:         hps,
 		Free:        free,
 		Q:           o.Q,
@@ -132,11 +158,17 @@ func (o Options) scheme() string {
 	return string(o.Scheme)
 }
 
-func (o Options) workers() int {
-	if o.Workers <= 0 {
-		return 1
+// arena is the guard-slot arena size: MaxWorkers, stretched to cover any
+// deprecated fixed Workers count so positional handles stay in range.
+func (o Options) arena() int {
+	n := o.MaxWorkers
+	if o.Workers > n {
+		n = o.Workers
 	}
-	return o.Workers
+	if n <= 0 {
+		n = 2 * runtime.GOMAXPROCS(0)
+	}
+	return n
 }
 
 // Stats is a snapshot of a domain's reclamation counters.
@@ -153,6 +185,16 @@ type Stats struct {
 	// InFallback is the current path.
 	SwitchesToFallback, SwitchesToFast uint64
 	InFallback                         bool
+	// Evictions counts workers excluded as crashed (Options with
+	// eviction enabled on epoch schemes); Rejoins counts Leave/Join and
+	// crash-recovery re-entries.
+	Evictions, Rejoins uint64
+	// AcquiredHandles and ReleasedHandles count handle leases granted
+	// and returned; their difference is the number leased right now.
+	AcquiredHandles, ReleasedHandles uint64
+	// RoosterPasses counts completed rooster flush passes (Cadence,
+	// QSense).
+	RoosterPasses uint64
 	// Failed reports a MemoryLimit breach.
 	Failed bool
 }
@@ -169,6 +211,11 @@ func fromReclaimStats(s reclaim.Stats) Stats {
 		SwitchesToFallback: s.SwitchesToFallback,
 		SwitchesToFast:     s.SwitchesToFast,
 		InFallback:         s.InFallback,
+		Evictions:          s.Evictions,
+		Rejoins:            s.Rejoins,
+		AcquiredHandles:    s.AcquiredHandles,
+		ReleasedHandles:    s.ReleasedHandles,
+		RoosterPasses:      s.RoosterPasses,
 		Failed:             s.Failed,
 	}
 }
