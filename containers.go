@@ -1,6 +1,7 @@
 package qsense
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -39,21 +40,22 @@ type setOps interface {
 	Delete(key int64) bool
 }
 
-// leasedSet pairs a structure handle with its guard lease. As in
-// QueueHandle/StackHandle and Guard, a nil released pointer marks a pinned
-// (positional) handle whose Release is a no-op.
+// leasedSet pairs a structure handle with its guard lease. The pinned flag
+// marks a positional handle whose Release is a no-op, as in
+// QueueHandle/StackHandle and Guard.
 type leasedSet struct {
 	setOps
 	d        reclaim.Domain
 	g        reclaim.Guard
-	released *atomic.Bool
+	pinned   bool
+	released atomic.Bool
 }
 
 // Release implements SetHandle. The once-flag matters: the slot may be
 // re-leased to another goroutine the moment it is released, so a second
 // Release must not touch it.
 func (h *leasedSet) Release() {
-	if h.released == nil || !h.released.CompareAndSwap(false, true) {
+	if h.pinned || !h.released.CompareAndSwap(false, true) {
 		return
 	}
 	h.d.Release(h.g)
@@ -64,20 +66,56 @@ type setCore struct {
 	d     reclaim.Domain
 	arena int
 	mk    func(g reclaim.Guard, seed uint64) setOps
-	seq   atomic.Uint64 // distinct seeds for leased skip-list handles
+
+	// handles caches one structure handle per guard slot, built on the
+	// slot's first lease and reused by every later tenant, so the Acquire
+	// hot path allocates no structure state (for SkipSet that includes
+	// its preds/succs buffers). Slot w's guard is a stable object, so the
+	// cached handle's guard binding stays correct across tenants; access
+	// to handles[w] is exclusive to the slot's current owner, ordered by
+	// the slot pool's lease/release atomics.
+	handles []setOps
 
 	mu     sync.Mutex
 	legacy []SetHandle // lazily built positional handles (pinned slots)
 }
 
 // Acquire leases a handle for the calling goroutine. Returns ErrNoSlots
-// when all Options.MaxWorkers slots are in use.
+// when all Options.MaxWorkers slots are in use; AcquireWait blocks instead.
 func (c *setCore) Acquire() (SetHandle, error) {
 	g, err := c.d.Acquire()
 	if err != nil {
 		return nil, err
 	}
-	return &leasedSet{setOps: c.mk(g, c.seq.Add(1)), d: c.d, g: g, released: new(atomic.Bool)}, nil
+	return c.wrap(g), nil
+}
+
+// AcquireWait is Acquire that blocks while every slot is leased, woken by
+// the next Release. It returns ctx.Err() if ctx is done before a slot
+// frees; with context.Background() it waits indefinitely.
+func (c *setCore) AcquireWait(ctx context.Context) (SetHandle, error) {
+	g, err := c.d.AcquireWait(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return c.wrap(g), nil
+}
+
+func (c *setCore) wrap(g reclaim.Guard) SetHandle {
+	return &leasedSet{setOps: c.structureFor(g), d: c.d, g: g}
+}
+
+// structureFor returns slot g's cached structure handle, building it on the
+// slot's first lease. Seeds derive from the slot index (stable, distinct),
+// exactly as the positional path always did.
+func (c *setCore) structureFor(g reclaim.Guard) setOps {
+	w := reclaim.SlotIndex(g)
+	h := c.handles[w]
+	if h == nil {
+		h = c.mk(g, uint64(w)+1)
+		c.handles[w] = h
+	}
+	return h
 }
 
 // Handle returns worker w's handle (0 <= w < Options.MaxWorkers), pinning
@@ -93,7 +131,7 @@ func (c *setCore) Handle(w int) SetHandle {
 		c.legacy = make([]SetHandle, c.arena)
 	}
 	if c.legacy[w] == nil {
-		c.legacy[w] = &leasedSet{setOps: c.mk(c.d.Guard(w), uint64(w)+1), d: c.d}
+		c.legacy[w] = &leasedSet{setOps: c.structureFor(c.d.Guard(w)), d: c.d, pinned: true}
 	}
 	return c.legacy[w]
 }
@@ -110,7 +148,7 @@ func newSetCore(opts Options, hps int, free func(Ref), mk func(g reclaim.Guard, 
 	if err != nil {
 		return nil, err
 	}
-	return &setCore{d: d.d, arena: opts.arena(), mk: mk}, nil
+	return &setCore{d: d.d, arena: opts.arena(), mk: mk, handles: make([]setOps, opts.arena())}, nil
 }
 
 func withHPs(opts Options, hps int) Options {
@@ -206,12 +244,11 @@ func (s *HashSet) Len() int { return s.m.Len() }
 
 // Queue is a lock-free FIFO queue (Michael–Scott) of uint64 values.
 type Queue struct {
-	q     *queue.Queue
-	d     reclaim.Domain
-	arena int
+	q *queue.Queue
+	d reclaim.Domain
 
-	mu     sync.Mutex
-	legacy []*queue.Handle
+	mu      sync.Mutex
+	handles []*queue.Handle // per-slot structure handles (see setCore.handles)
 }
 
 // NewQueue builds a queue wired to a reclamation domain.
@@ -221,7 +258,7 @@ func NewQueue(opts Options) (*Queue, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Queue{q: q, d: d.d, arena: opts.arena()}, nil
+	return &Queue{q: q, d: d.d, handles: make([]*queue.Handle, opts.arena())}, nil
 }
 
 // QueueHandle is a goroutine's leased view of a Queue. A handle must be
@@ -254,7 +291,27 @@ func (q *Queue) Acquire() (QueueHandle, error) {
 	if err != nil {
 		return QueueHandle{}, err
 	}
-	return QueueHandle{h: q.q.NewHandle(g), d: q.d, g: g, released: new(atomic.Bool)}, nil
+	return QueueHandle{h: q.structureFor(g), d: q.d, g: g, released: new(atomic.Bool)}, nil
+}
+
+// AcquireWait is Acquire that blocks while every slot is leased; it returns
+// ctx.Err() if ctx is done before a slot frees.
+func (q *Queue) AcquireWait(ctx context.Context) (QueueHandle, error) {
+	g, err := q.d.AcquireWait(ctx)
+	if err != nil {
+		return QueueHandle{}, err
+	}
+	return QueueHandle{h: q.structureFor(g), d: q.d, g: g, released: new(atomic.Bool)}, nil
+}
+
+// structureFor returns slot g's cached queue handle (slot-owner exclusive;
+// see setCore.handles for the ordering argument).
+func (q *Queue) structureFor(g reclaim.Guard) *queue.Handle {
+	w := reclaim.SlotIndex(g)
+	if q.handles[w] == nil {
+		q.handles[w] = q.q.NewHandle(g)
+	}
+	return q.handles[w]
 }
 
 // Handle returns worker w's handle, pinning slot w permanently.
@@ -263,13 +320,7 @@ func (q *Queue) Acquire() (QueueHandle, error) {
 func (q *Queue) Handle(w int) QueueHandle {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if q.legacy == nil {
-		q.legacy = make([]*queue.Handle, q.arena)
-	}
-	if q.legacy[w] == nil {
-		q.legacy[w] = q.q.NewHandle(q.d.Guard(w))
-	}
-	return QueueHandle{h: q.legacy[w], d: q.d}
+	return QueueHandle{h: q.structureFor(q.d.Guard(w)), d: q.d}
 }
 
 // Stats returns the reclamation counters.
@@ -283,12 +334,11 @@ func (q *Queue) Close() { q.d.Close() }
 
 // Stack is a lock-free LIFO stack (Treiber) of uint64 values.
 type Stack struct {
-	s     *stack.Stack
-	d     reclaim.Domain
-	arena int
+	s *stack.Stack
+	d reclaim.Domain
 
-	mu     sync.Mutex
-	legacy []*stack.Handle
+	mu      sync.Mutex
+	handles []*stack.Handle // per-slot structure handles (see setCore.handles)
 }
 
 // NewStack builds a stack wired to a reclamation domain.
@@ -298,7 +348,7 @@ func NewStack(opts Options) (*Stack, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Stack{s: s, d: d.d, arena: opts.arena()}, nil
+	return &Stack{s: s, d: d.d, handles: make([]*stack.Handle, opts.arena())}, nil
 }
 
 // StackHandle is a goroutine's leased view of a Stack. A handle must be
@@ -331,7 +381,27 @@ func (s *Stack) Acquire() (StackHandle, error) {
 	if err != nil {
 		return StackHandle{}, err
 	}
-	return StackHandle{h: s.s.NewHandle(g), d: s.d, g: g, released: new(atomic.Bool)}, nil
+	return StackHandle{h: s.structureFor(g), d: s.d, g: g, released: new(atomic.Bool)}, nil
+}
+
+// AcquireWait is Acquire that blocks while every slot is leased; it returns
+// ctx.Err() if ctx is done before a slot frees.
+func (s *Stack) AcquireWait(ctx context.Context) (StackHandle, error) {
+	g, err := s.d.AcquireWait(ctx)
+	if err != nil {
+		return StackHandle{}, err
+	}
+	return StackHandle{h: s.structureFor(g), d: s.d, g: g, released: new(atomic.Bool)}, nil
+}
+
+// structureFor returns slot g's cached stack handle (slot-owner exclusive;
+// see setCore.handles for the ordering argument).
+func (s *Stack) structureFor(g reclaim.Guard) *stack.Handle {
+	w := reclaim.SlotIndex(g)
+	if s.handles[w] == nil {
+		s.handles[w] = s.s.NewHandle(g)
+	}
+	return s.handles[w]
 }
 
 // Handle returns worker w's handle, pinning slot w permanently.
@@ -340,13 +410,7 @@ func (s *Stack) Acquire() (StackHandle, error) {
 func (s *Stack) Handle(w int) StackHandle {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.legacy == nil {
-		s.legacy = make([]*stack.Handle, s.arena)
-	}
-	if s.legacy[w] == nil {
-		s.legacy[w] = s.s.NewHandle(s.d.Guard(w))
-	}
-	return StackHandle{h: s.legacy[w], d: s.d}
+	return StackHandle{h: s.structureFor(s.d.Guard(w)), d: s.d}
 }
 
 // Stats returns the reclamation counters.

@@ -1,6 +1,7 @@
 package qsense
 
 import (
+	"context"
 	"sync/atomic"
 
 	"qsense/internal/mem"
@@ -110,9 +111,21 @@ func NewDomain(opts Options, free func(Ref)) (*Domain, error) {
 // path runs underneath (epoch adoption, aged-limbo reclamation), so guards
 // recycled from earlier workers resume cleanly. Returns ErrNoSlots when all
 // Options.MaxWorkers slots are in use; callers may retry after another
-// goroutine Releases.
+// goroutine Releases, or use AcquireWait to block instead.
 func (d *Domain) Acquire() (Guard, error) {
 	g, err := d.d.Acquire()
+	if err != nil {
+		return Guard{}, err
+	}
+	return Guard{g: g, d: d.d, released: new(atomic.Bool)}, nil
+}
+
+// AcquireWait is Acquire that blocks while every slot is leased: the caller
+// parks on the domain's waiter channel and is woken by the next Release —
+// no ErrNoSlots retry loop needed. It returns ctx.Err() if ctx is done
+// before a slot frees; with context.Background() it waits indefinitely.
+func (d *Domain) AcquireWait(ctx context.Context) (Guard, error) {
+	g, err := d.d.AcquireWait(ctx)
 	if err != nil {
 		return Guard{}, err
 	}
@@ -172,7 +185,11 @@ func (g Guard) End() { g.g.ClearHPs() }
 // Release returns a leased guard's slot to the domain: protections are
 // drained, epoch schemes Leave (the slot stops blocking grace periods and
 // QSense's presence scan), and the slot becomes available to other
-// goroutines' Acquires. Call exactly once, from the owning goroutine, at a
+// goroutines' Acquires. Retired nodes whose grace period has not yet
+// elapsed are moved to the domain's orphan list and freed later by other
+// workers' reclamation passes (see Stats.OrphanedNodes/AdoptedNodes) — a
+// released slot never strands memory, even if it is never leased again.
+// Call exactly once, from the owning goroutine, at a
 // point where the worker holds no references to shared nodes; the guard
 // must not be used afterwards. Extra calls and calls on pinned
 // (positional) guards are no-ops.

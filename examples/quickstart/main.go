@@ -1,7 +1,7 @@
 // Quickstart: a lock-free sorted set protected by QSense, through the
 // public API. A burst of short-lived goroutines — the shape of a Go server
 // handling requests — insert, delete and search concurrently; each leases
-// a handle with Acquire, works, and Releases it, while the reclamation
+// a handle with AcquireWait, works, and Releases it, while the reclamation
 // domain recycles deleted nodes safely underneath and recycles the guard
 // slots themselves between goroutines.
 //
@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -26,7 +27,7 @@ import (
 
 func main() {
 	const (
-		maxWorkers = 4  // concurrent leases; goroutines beyond this wait
+		maxWorkers = 4  // concurrent leases; goroutines beyond this park
 		goroutines = 64 // total short-lived workers across the run
 	)
 
@@ -38,22 +39,19 @@ func main() {
 		panic(err)
 	}
 
-	// A semaphore keeps at most maxWorkers goroutines holding leases, so
-	// Acquire never sees an exhausted arena.
-	sem := make(chan struct{}, maxWorkers)
+	// AcquireWait parks goroutines beyond maxWorkers until a slot frees —
+	// no semaphore or retry loop needed around the lease.
 	var wg sync.WaitGroup
 	for w := 0; w < goroutines; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
 
-			h, err := set.Acquire() // lease a handle for this goroutine
+			h, err := set.AcquireWait(context.Background())
 			if err != nil {
-				panic(err) // cannot happen under the semaphore
+				panic(err) // only on context cancellation
 			}
-			defer h.Release() // recycle the slot for the next goroutine
+			defer h.Release() // recycle the slot, waking the next waiter
 
 			rng := uint64(w)*0x9E3779B9 + 1
 			for i := 0; i < 3000; i++ {

@@ -141,19 +141,29 @@ func childField(n *node, key int64) *atomic.Uint64 {
 // (Condition 1 of §3.2 would be violated). Instead the seeker helps the
 // in-progress deletion to completion and restarts; only targets reached
 // through clean, validated edges are provably unretired at protection time.
+//
+// As the window shifts down a level, slot ROLES rotate with the nodes
+// instead of copying protections between slots: a cross-slot copy can be
+// missed entirely by a concurrent snapshot that reads the destination slot
+// before the copy and the source slot after its overwrite (see
+// skiplist.search). Each node therefore stays in the one slot it was
+// validated into: parent's slot becomes the ancestor slot, current's the
+// successor+parent slot (those two roles always alias here), next's the
+// leaf slot, and the freed ancestor slot protects the next descent target.
 func (h *Handle) seek(key int64) seekRecord {
 	pool := h.t.pool
 retry:
 	for {
+		sa, ss, sp, sl, sc := hpAnc, hpSucc, hpPar, hpLeaf, hpCur
 		anc := h.t.root
-		h.guard.Protect(hpAnc, anc)
+		h.guard.Protect(sa, anc)
 		succ := h.t.s // R.left target; this edge is immutable
-		h.guard.Protect(hpSucc, succ)
+		h.guard.Protect(ss, succ)
 		parent := succ
-		h.guard.Protect(hpPar, parent)
+		h.guard.Protect(sp, parent)
 		parentField := pool.Get(parent).left.Load() // S.left edge; never dirty (S is a sentinel)
 		current := addr(parentField)
-		h.guard.Protect(hpLeaf, current)
+		h.guard.Protect(sl, current)
 		if pool.Get(parent).left.Load() != parentField || parentField&(flagBit|tagBit) != 0 {
 			continue retry
 		}
@@ -172,7 +182,7 @@ retry:
 				curField = cn.right.Load()
 			}
 			next := addr(curField)
-			h.guard.Protect(hpCur, next)
+			h.guard.Protect(sc, next)
 			if childField(pool.Get(current), key).Load() != curField {
 				continue retry
 			}
@@ -187,17 +197,21 @@ retry:
 				h.cleanup(key, seekRecord{ancestor: parent, successor: current, parent: current, leaf: next})
 				continue retry
 			}
+			freed := sa
 			if !tagged(parentField) { // always true here; kept for symmetry with the paper
 				anc = parent
-				h.guard.Protect(hpAnc, parent)
+				sa = sp
 				succ = current
-				h.guard.Protect(hpSucc, current)
+				ss = sl
+			} else {
+				freed = sp // anc/succ stay; only parent's slot frees up
 			}
 			parent = current
-			h.guard.Protect(hpPar, current)
+			sp = sl
 			parentField = curField
 			current = next
-			h.guard.Protect(hpLeaf, next)
+			sl = sc
+			sc = freed
 		}
 	}
 }

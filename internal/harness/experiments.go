@@ -176,13 +176,6 @@ func DelayReclaim(ds string, workers, memoryLimit int) (reclaim.Config, error) {
 	return rc, nil
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // Fig5Bottom returns one Figure 5 (bottom) panel configuration.
 func Fig5Bottom(ds string, scale float64, memoryLimit int) DelayConfig {
 	var kr int64

@@ -110,20 +110,22 @@ func (h *Handle) linkOf(bucket uint64, prev mem.Ref) *atomic.Uint64 {
 }
 
 // search finds the position for key in its bucket: on return, cur is the
-// first node with key >= key (or nil at chain end), protected by hpCur;
-// prev (possibly nil for the bucket head) is protected by hpPrev. Marked
+// first node with key >= key (or nil at chain end) and prev (possibly nil
+// for the bucket head) is its predecessor, both protected by the two
+// traversal slots (which holds which rotates as the walk advances). Marked
 // nodes encountered are unlinked and retired, as in the list.
 func (h *Handle) search(bucket uint64, key int64) (prev, cur mem.Ref) {
 	pool := h.m.pool
 retry:
 	for {
+		ps, cs := hpPrev, hpCur
 		prev = 0
 		cur = mem.Ref(h.m.buckets[bucket].Load()).Untagged()
 		for {
 			if cur.IsNil() {
 				return prev, 0
 			}
-			h.guard.Protect(hpCur, cur)
+			h.guard.Protect(cs, cur)
 			if mem.Ref(h.linkOf(bucket, prev).Load()) != cur {
 				continue retry
 			}
@@ -140,8 +142,11 @@ retry:
 			if pool.Get(cur).key >= key {
 				return prev, cur
 			}
+			// Swap slot roles instead of copying the protection
+			// between slots — a cross-slot copy can vanish from a
+			// concurrent snapshot (see list.search).
 			prev = cur
-			h.guard.Protect(hpPrev, prev)
+			ps, cs = cs, ps
 			cur = next
 		}
 	}

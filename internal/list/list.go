@@ -94,19 +94,21 @@ func isMarked(w uint64) bool { return w&markBit != 0 }
 
 // search locates the first node with key >= key, unlinking (and retiring)
 // any marked nodes it passes — the paper's search_and_cleanup (Algorithm 7).
-// On return prev and cur are protected by hpPrev and hpCur, prev.key < key
-// <= cur.key, and prev.next == cur was observed unmarked.
+// On return prev and cur are protected (which of the two traversal slots
+// holds which rotates as the walk advances), prev.key < key <= cur.key, and
+// prev.next == cur was observed unmarked.
 func (h *Handle) search(key int64) (prev, cur mem.Ref) {
 	pool := h.l.pool
 retry:
 	for {
+		ps, cs := hpPrev, hpCur
 		prev = h.l.head
-		h.guard.Protect(hpPrev, prev) // head is immortal; protected for uniformity
+		h.guard.Protect(ps, prev) // head is immortal; protected for uniformity
 		cur = mem.Ref(pool.Get(prev).next.Load()).Untagged()
 		for {
 			// Protect cur, then validate the link we got it from
 			// (§3.2 step 4; no fence needed beyond the scheme's own).
-			h.guard.Protect(hpCur, cur)
+			h.guard.Protect(cs, cur)
 			if mem.Ref(pool.Get(prev).next.Load()) != cur {
 				continue retry
 			}
@@ -125,8 +127,13 @@ retry:
 			if pool.Get(cur).key >= key {
 				return prev, cur
 			}
+			// Advance by swapping slot ROLES, never by copying the
+			// protection between slots: scans read slots one at a
+			// time, so a cross-slot copy can be missed by a snapshot
+			// that reads the destination before the copy and the
+			// source after its overwrite — freeing a node mid-use.
 			prev = cur
-			h.guard.Protect(hpPrev, prev) // prev was cur: continuously protected
+			ps, cs = cs, ps // cur keeps its slot, now in the prev role
 			cur = next
 		}
 	}

@@ -1,6 +1,8 @@
 package reclaim
 
 import (
+	"context"
+
 	"qsense/internal/mem"
 	"qsense/internal/rooster"
 )
@@ -25,12 +27,13 @@ import (
 // demonstrably produces use-after-free violations (see cadence tests and
 // the §4.1 model in internal/tso).
 type Cadence struct {
-	cfg    Config
-	cnt    counters
-	mgr    *rooster.Manager
-	slots  *slotPool
-	recs   []*hprec
-	guards []*cadenceGuard
+	cfg     Config
+	cnt     counters
+	mgr     *rooster.Manager
+	slots   *slotPool
+	orphans orphanList
+	recs    []*hprec
+	guards  []*cadenceGuard
 }
 
 type cadenceGuard struct {
@@ -57,6 +60,7 @@ func NewCadence(cfg Config) (*Cadence, error) {
 		d.guards[i] = &cadenceGuard{d: d, id: i, rec: d.recs[i]}
 		d.mgr.Register(d.recs[i])
 	}
+	d.mgr.AddHook(1, d.orphans.adoptHook(d.mgr, d.recs, d.cfg, &d.cnt))
 	if !cfg.ManualRooster {
 		d.mgr.Start()
 	}
@@ -80,16 +84,31 @@ func (d *Cadence) Acquire() (Guard, error) {
 	if err != nil {
 		return nil, err
 	}
+	return d.join(w), nil
+}
+
+// AcquireWait implements Domain: Acquire that parks until a slot frees or
+// ctx is done.
+func (d *Cadence) AcquireWait(ctx context.Context) (Guard, error) {
+	w, err := d.slots.leaseWait(ctx, &d.cnt)
+	if err != nil {
+		return nil, err
+	}
+	return d.join(w), nil
+}
+
+func (d *Cadence) join(w int) Guard {
 	g := d.guards[w]
 	g.rec.clearPending()
 	g.rec.clearShared()
 	g.rec.leased.Store(true)
-	return g, nil
+	return g
 }
 
 // Release implements Domain: drain both hazard arrays, run one deferred
-// scan so the slot's retire list strands as little as possible (nodes not
-// yet old enough stay for the next tenant), hide the record, recycle.
+// scan so everything provably safe frees immediately, move the remainder
+// (protected or not yet old enough) to the orphan list — adopted by any
+// worker's later scan or by a rooster pass — hide the record, recycle.
 func (d *Cadence) Release(gd Guard) {
 	g, ok := gd.(*cadenceGuard)
 	if !ok || g.d != d {
@@ -99,7 +118,11 @@ func (d *Cadence) Release(gd Guard) {
 		g.rec.clearPending()
 		g.rec.clearShared()
 		if len(g.rl) > 0 {
-			g.rl = scanDeferred(&g.d.cnt, g.d.cfg, g.d.mgr, g.d.recs, g.rl, &g.scanBuf)
+			g.scan()
+		}
+		if len(g.rl) > 0 {
+			d.orphans.add(nil, g.rl, 0, &d.cnt)
+			g.rl = nil
 		}
 		g.rec.leased.Store(false)
 	})
@@ -121,8 +144,8 @@ func (d *Cadence) Stats() Stats {
 // Rooster exposes the manager so tests can drive passes deterministically.
 func (d *Cadence) Rooster() *rooster.Manager { return d.mgr }
 
-// Close implements Domain: stops the rooster and frees all pending retires.
-// Only call after all workers have stopped.
+// Close implements Domain: stops the rooster, frees all pending retires and
+// drains the orphan list. Only call after all workers have stopped.
 func (d *Cadence) Close() {
 	d.mgr.Stop()
 	for _, g := range d.guards {
@@ -132,6 +155,7 @@ func (d *Cadence) Close() {
 		d.cnt.freed.Add(uint64(len(g.rl)))
 		g.rl = g.rl[:0]
 	}
+	d.orphans.drain(d.cfg.Free, &d.cnt)
 }
 
 func (g *cadenceGuard) Begin() {}
@@ -155,28 +179,47 @@ func (g *cadenceGuard) Retire(r mem.Ref) {
 	g.d.cnt.noteRetire(g.d.cfg.MemoryLimit)
 	g.retires++
 	if g.retires%g.d.cfg.R == 0 {
-		g.rl = scanDeferred(&g.d.cnt, g.d.cfg, g.d.mgr, g.d.recs, g.rl, &g.scanBuf)
+		g.scan()
 	}
 }
 
-// scanDeferred is Cadence's scan (Algorithm 3, lines 14–33): free nodes that
-// are old enough and unprotected; keep the rest. Shared by QSense.
-func scanDeferred(cnt *counters, cfg Config, mgr *rooster.Manager, recs []*hprec, rl []retired, buf *[]uint64) []retired {
-	cnt.scans.Add(1)
-	snap := snapshotShared(recs, *buf)
-	*buf = snap.vals
+func (g *cadenceGuard) slotID() int { return g.id }
+
+// scan runs one deferred scan over the guard's retire list and then adopts
+// eligible orphans against the same snapshot. Order matters: the tick is
+// captured and the orphan chain detached BEFORE the snapshot (see
+// Manager.OldEnoughAt and orphanList.adoptDetached for the two halves of
+// the argument).
+func (g *cadenceGuard) scan() {
+	g.d.cnt.scans.Add(1)
+	tick := g.d.mgr.Tick()
+	batch := g.d.orphans.detach()
+	snap := snapshotShared(g.d.recs, g.scanBuf)
+	g.scanBuf = snap.vals
+	var freed int
+	g.rl, freed = filterDeferred(g.d.cfg, g.d.mgr, tick, snap, g.rl)
+	if freed > 0 {
+		g.d.cnt.freed.Add(uint64(freed))
+	}
+	g.d.orphans.adoptDetached(batch, snap, g.d.mgr, tick, g.d.cfg, &g.d.cnt)
+}
+
+// filterDeferred is the body of Cadence's scan (Algorithm 3, lines 14–33):
+// free the nodes of rl that are old enough — judged against a tick the
+// caller captured before taking snap, never the live clock — and
+// unprotected in snap; keep the rest (in place). A nil mgr skips the
+// oldness rule entirely (classic HP has no deferral). Shared by QSense and
+// the orphan adopters.
+func filterDeferred(cfg Config, mgr *rooster.Manager, tick uint64, snap hpSnapshot, rl []retired) ([]retired, int) {
 	kept := rl[:0]
 	freed := 0
 	for _, n := range rl {
-		if (!cfg.DisableDeferral && !mgr.OldEnough(n.stamp)) || snap.contains(n.ref) {
+		if (mgr != nil && !cfg.DisableDeferral && !mgr.OldEnoughAt(n.stamp, tick)) || snap.contains(n.ref) {
 			kept = append(kept, n)
 		} else {
 			cfg.Free(n.ref)
 			freed++
 		}
 	}
-	if freed > 0 {
-		cnt.freed.Add(uint64(freed))
-	}
-	return kept
+	return kept, freed
 }

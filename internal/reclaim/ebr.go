@@ -1,6 +1,7 @@
 package reclaim
 
 import (
+	"context"
 	"sync/atomic"
 
 	"qsense/internal/mem"
@@ -34,11 +35,12 @@ import (
 // could have obtained a reference (one announced at g-2 or earlier)
 // survives.
 type EBR struct {
-	cfg    Config
-	cnt    counters
-	epoch  atomic.Uint64
-	slots  *slotPool
-	guards []*ebrGuard
+	cfg     Config
+	cnt     counters
+	epoch   atomic.Uint64
+	slots   *slotPool
+	orphans orphanList
+	guards  []*ebrGuard
 }
 
 type ebrGuard struct {
@@ -46,11 +48,12 @@ type ebrGuard struct {
 	id int
 	// word packs (announced epoch << 1) | active. Peers read it in
 	// tryAdvance; the owner writes it in Begin/ClearHPs.
-	word     atomic.Uint64
-	lastSeen uint64 // last epoch whose bucket this guard freed
-	limbo    [3][]mem.Ref
-	retires  int
-	_        [40]byte // keep adjacent guards' hot words apart
+	word      atomic.Uint64
+	lastSeen  uint64 // last epoch whose bucket this guard freed
+	adoptSeen uint64 // last epoch at which this guard tried orphan adoption
+	limbo     [3][]mem.Ref
+	retires   int
+	_         [40]byte // keep adjacent guards' hot words apart
 }
 
 // NewEBR builds an epoch-based reclamation domain.
@@ -84,19 +87,41 @@ func (d *EBR) Acquire() (Guard, error) {
 	if err != nil {
 		return nil, err
 	}
+	return d.join(w), nil
+}
+
+// AcquireWait implements Domain: Acquire that parks until a slot frees or
+// ctx is done.
+func (d *EBR) AcquireWait(ctx context.Context) (Guard, error) {
+	w, err := d.slots.leaseWait(ctx, &d.cnt)
+	if err != nil {
+		return nil, err
+	}
+	return d.join(w), nil
+}
+
+func (d *EBR) join(w int) Guard {
 	g := d.guards[w]
 	if e := d.epoch.Load(); e != g.lastSeen {
 		g.lastSeen = e
 		g.freeBucket(int(e % 3))
 	}
 	g.tryAdvance()
-	return g, nil
+	// Orphan adoption, at most once per epoch advance (see Begin): batch
+	// maturity only changes with the epoch, so a lease-churn workload must
+	// not detach-and-repush immature batches on every Acquire.
+	if e := d.epoch.Load(); e != g.adoptSeen && !d.orphans.empty() {
+		g.adoptSeen = e
+		d.orphans.adoptEpoch(e, d.cfg.Free, &d.cnt)
+	}
+	return g
 }
 
 // Release implements Domain: exit the critical section (the guard goes
 // inactive, so it cannot block grace periods while the slot sits vacant),
-// help the epoch along, and recycle the slot. Remaining limbo stays with
-// the slot for the next tenant's Begin to rotate out.
+// help the epoch along, move the remaining limbo to the orphan list —
+// stamped with the current global epoch, so any worker's Begin adopts it
+// three advances later — and recycle the slot.
 func (d *EBR) Release(gd Guard) {
 	g, ok := gd.(*ebrGuard)
 	if !ok || g.d != d {
@@ -105,6 +130,7 @@ func (d *EBR) Release(gd Guard) {
 	d.slots.unlease(g.id, &d.cnt, func() {
 		g.ClearHPs()
 		g.tryAdvance()
+		g.orphanLimbo()
 	})
 }
 
@@ -124,14 +150,15 @@ func (d *EBR) Stats() Stats {
 	return s
 }
 
-// Close implements Domain: frees all limbo contents. Call only once all
-// workers have stopped.
+// Close implements Domain: frees all limbo contents and drains the orphan
+// list. Call only once all workers have stopped.
 func (d *EBR) Close() {
 	for _, g := range d.guards {
 		for b := range g.limbo {
 			g.freeBucket(b)
 		}
 	}
+	d.orphans.drain(d.cfg.Free, &d.cnt)
 }
 
 // Begin enters a critical section: announce the current global epoch and
@@ -145,6 +172,19 @@ func (g *ebrGuard) Begin() {
 	if e != g.lastSeen {
 		g.lastSeen = e
 		g.freeBucket(int(e % 3))
+	}
+	// Orphan adoption: when a released slot left a backlog behind, pure
+	// Begin activity must make progress on it — EBR's epoch otherwise only
+	// advances from Retire/Acquire/Release. The empty check keeps the
+	// common case to one pointer load; adoption itself runs at most once
+	// per epoch advance, since batch maturity only changes when the epoch
+	// does.
+	if !g.d.orphans.empty() {
+		g.tryAdvance()
+		if e := g.d.epoch.Load(); e != g.adoptSeen {
+			g.adoptSeen = e
+			g.d.orphans.adoptEpoch(e, g.d.cfg.Free, &g.d.cnt)
+		}
 	}
 }
 
@@ -184,6 +224,14 @@ func (g *ebrGuard) tryAdvance() {
 	if g.d.epoch.CompareAndSwap(e, e+1) {
 		g.d.cnt.epochs.Add(1)
 	}
+}
+
+func (g *ebrGuard) slotID() int { return g.id }
+
+// orphanLimbo moves the guard's remaining limbo to the domain's orphan list
+// in one batch stamped with the current global epoch (release drain only).
+func (g *ebrGuard) orphanLimbo() {
+	g.d.orphans.addRefBuckets(&g.limbo, g.d.epoch.Load(), &g.d.cnt)
 }
 
 func (g *ebrGuard) freeBucket(b int) {

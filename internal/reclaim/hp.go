@@ -1,6 +1,8 @@
 package reclaim
 
 import (
+	"context"
+
 	"qsense/internal/fence"
 	"qsense/internal/mem"
 )
@@ -15,11 +17,12 @@ import (
 // found in the snapshot. HP is wait-free and robust: no worker can block
 // another's reclamation beyond the K nodes it actually protects.
 type HP struct {
-	cfg    Config
-	cnt    counters
-	slots  *slotPool
-	recs   []*hprec
-	guards []*hpGuard
+	cfg     Config
+	cnt     counters
+	slots   *slotPool
+	orphans orphanList
+	recs    []*hprec
+	guards  []*hpGuard
 }
 
 type hpGuard struct {
@@ -69,16 +72,31 @@ func (d *HP) Acquire() (Guard, error) {
 	if err != nil {
 		return nil, err
 	}
+	return d.join(w), nil
+}
+
+// AcquireWait implements Domain: Acquire that parks until a slot frees or
+// ctx is done.
+func (d *HP) AcquireWait(ctx context.Context) (Guard, error) {
+	w, err := d.slots.leaseWait(ctx, &d.cnt)
+	if err != nil {
+		return nil, err
+	}
+	return d.join(w), nil
+}
+
+func (d *HP) join(w int) Guard {
 	g := d.guards[w]
 	g.rec.clearShared()
 	g.rec.leased.Store(true)
-	return g, nil
+	return g
 }
 
 // Release implements Domain: clear the guard's hazard pointers, scan once to
 // drain the retire list (everything not protected by other workers frees
-// immediately; the remainder waits for the next tenant's scans), hide the
-// record from scans, and recycle the slot.
+// immediately), move the protected remainder to the orphan list — any
+// worker's next scan adopts whatever its snapshot no longer protects — hide
+// the record from scans, and recycle the slot.
 func (d *HP) Release(gd Guard) {
 	g, ok := gd.(*hpGuard)
 	if !ok || g.d != d {
@@ -88,6 +106,10 @@ func (d *HP) Release(gd Guard) {
 		g.rec.clearShared()
 		if len(g.rl) > 0 {
 			g.scan()
+		}
+		if len(g.rl) > 0 {
+			d.orphans.add(nil, g.rl, 0, &d.cnt)
+			g.rl = nil
 		}
 		g.rec.leased.Store(false)
 	})
@@ -106,8 +128,8 @@ func (d *HP) Stats() Stats {
 	return s
 }
 
-// Close implements Domain: frees every node still in a retire list. Only
-// call after all workers have stopped.
+// Close implements Domain: frees every node still in a retire list and
+// drains the orphan list. Only call after all workers have stopped.
 func (d *HP) Close() {
 	for _, g := range d.guards {
 		for _, r := range g.rl {
@@ -116,6 +138,7 @@ func (d *HP) Close() {
 		d.cnt.freed.Add(uint64(len(g.rl)))
 		g.rl = g.rl[:0]
 	}
+	d.orphans.drain(d.cfg.Free, &d.cnt)
 }
 
 func (g *hpGuard) Begin() {}
@@ -140,9 +163,19 @@ func (g *hpGuard) Retire(r mem.Ref) {
 	}
 }
 
+func (g *hpGuard) slotID() int { return g.id }
+
 // scan is Michael's scan: snapshot shared HPs, free unprotected retirees.
+// The same snapshot then adopts any orphaned backlog released slots left
+// behind, so a vacated slot's protected remainder frees as soon as its
+// protectors move on. The orphan chain is detached BEFORE the snapshot:
+// Michael's argument needs every scanned node retired pre-snapshot (a
+// validated protection is then published, fenced, before the unlink and so
+// before the snapshot) — a batch pushed after the snapshot could hold a
+// node whose protector the stale snapshot missed.
 func (g *hpGuard) scan() {
 	g.d.cnt.scans.Add(1)
+	batch := g.d.orphans.detach()
 	snap := snapshotShared(g.d.recs, g.scanBuf)
 	g.scanBuf = snap.vals // reuse the buffer next scan
 	kept := g.rl[:0]
@@ -159,4 +192,5 @@ func (g *hpGuard) scan() {
 	if freed > 0 {
 		g.d.cnt.freed.Add(uint64(freed))
 	}
+	g.d.orphans.adoptDetached(batch, snap, nil, 0, g.d.cfg, &g.d.cnt)
 }

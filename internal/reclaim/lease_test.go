@@ -1,8 +1,8 @@
 package reclaim
 
 import (
+	"context"
 	"errors"
-	"runtime"
 	"sync"
 	"testing"
 
@@ -170,10 +170,12 @@ func TestReleasedSlotDoesNotBlockGracePeriods(t *testing.T) {
 	}
 }
 
-func TestReacquireFreesAgedBacklog(t *testing.T) {
-	// A released slot strands its unreclaimed limbo with the slot; the next
-	// tenant's adopt (the Join re-entry path) frees it once three epochs
-	// have passed — so slot churn cannot accumulate memory.
+func TestReleaseOrphansUnagedBacklog(t *testing.T) {
+	// A released slot's unaged limbo moves to the domain's orphan list and
+	// is adopted by another worker's quiescent states once three epochs
+	// pass — the vacated slot's re-lease is NOT required (the pre-orphan
+	// behaviour parked the backlog on the slot for its next tenant, which
+	// stranded it forever if the slot never re-leased).
 	pool := newTestPool()
 	d, err := NewQSBR(Config{Workers: 2, HPs: 1, Free: freeInto(pool), Q: 1})
 	if err != nil {
@@ -194,21 +196,21 @@ func TestReacquireFreesAgedBacklog(t *testing.T) {
 	if !pool.Valid(r) {
 		t.Fatal("backlog freed at Release although it had not aged")
 	}
-	for i := 0; i < 8; i++ { // >= 3 epoch advances while the slot is vacant
+	if st := d.Stats(); st.OrphanedNodes != 1 {
+		t.Fatalf("OrphanedNodes = %d, want 1", st.OrphanedNodes)
+	}
+	for i := 0; i < 8 && pool.Valid(r); i++ { // >= 3 epoch advances, slot vacant
 		active.Begin()
 	}
-	if !pool.Valid(r) {
-		t.Fatal("vacant slot's backlog freed without a tenant (buckets are guard-local)")
-	}
-	g, err := d.Acquire() // LIFO freelist: recycles the leaver's slot
-	if err != nil {
-		t.Fatal(err)
-	}
-	if g != leaver {
-		t.Fatal("expected the released slot back")
-	}
 	if pool.Valid(r) {
-		t.Fatal("re-acquire did not free the previous tenant's aged backlog")
+		t.Fatal("vacant slot's orphaned backlog was not adopted by the active worker")
+	}
+	st := d.Stats()
+	if st.AdoptedNodes != 1 {
+		t.Fatalf("AdoptedNodes = %d, want 1", st.AdoptedNodes)
+	}
+	if st.Pending != 0 {
+		t.Fatalf("Pending = %d after adoption, want 0", st.Pending)
 	}
 }
 
@@ -245,10 +247,11 @@ func TestEpochAdvancesUnderPureHandleChurn(t *testing.T) {
 }
 
 // TestLeaseChurnStress is the scheme-level recycling stress: short-lived
-// workers lease, churn the shared mailbox under full HP discipline, and
-// release, far more workers than slots. The poisoned pool turns any
-// use-after-free into a panic; the final accounting catches slot or node
-// leaks. Run with -race to check the allocator's publication ordering.
+// workers lease via the blocking AcquireWait, churn the shared mailbox
+// under full HP discipline, and release, far more workers than slots. The
+// poisoned pool turns any use-after-free into a panic; the final accounting
+// catches slot or node leaks. Run with -race to check the allocator's
+// publication ordering (and the waiter wake protocol).
 func TestLeaseChurnStress(t *testing.T) {
 	for _, scheme := range Schemes() {
 		t.Run(scheme, func(t *testing.T) {
@@ -282,13 +285,10 @@ func TestLeaseChurnStress(t *testing.T) {
 							panic(r)
 						}
 					}()
-					var g Guard
-					for {
-						var err error
-						if g, err = d.Acquire(); err == nil {
-							break
-						}
-						runtime.Gosched() // all slots leased: wait for a release
+					g, err := d.AcquireWait(context.Background())
+					if err != nil {
+						errs <- err
+						return
 					}
 					rng := uint64(id)*0x9e3779b9 + 1
 					for i := 0; i < iters; i++ {

@@ -1,6 +1,7 @@
 package reclaim
 
 import (
+	"context"
 	"sync/atomic"
 
 	"qsense/internal/mem"
@@ -19,11 +20,18 @@ type counters struct {
 	rejoins   atomic.Uint64
 	acquired  atomic.Uint64
 	released  atomic.Uint64
+	orphaned  atomic.Uint64
+	adopted   atomic.Uint64
 	failed    atomic.Bool
 }
 
+// pending loads freed BEFORE retired: freed never exceeds retired in real
+// time and retired only grows, so this order keeps the difference >= 0
+// even when the loads are arbitrarily far apart (a reader descheduled
+// between them would otherwise see frees of retires it never counted).
 func (c *counters) pending() int64 {
-	return int64(c.retired.Load()) - int64(c.freed.Load())
+	freed := c.freed.Load()
+	return int64(c.retired.Load()) - int64(freed)
 }
 
 func (c *counters) noteRetire(limit int) {
@@ -33,10 +41,26 @@ func (c *counters) noteRetire(limit int) {
 	}
 }
 
+// noteAdopted records n orphans freed by an adopter; adopted frees are
+// ordinary frees for the Pending arithmetic.
+func (c *counters) noteAdopted(n int) {
+	if n == 0 {
+		return
+	}
+	c.freed.Add(uint64(n))
+	c.adopted.Add(uint64(n))
+}
+
 func (c *counters) fill(s *Stats) {
-	s.Retired = c.retired.Load()
+	// Counters bounded above by another load first (see pending for the
+	// argument): adopted <= freed and adopted <= orphaned, freed <=
+	// retired, so no snapshot shows an impossible state however long the
+	// reader sleeps between loads.
+	s.AdoptedNodes = c.adopted.Load()
 	s.Freed = c.freed.Load()
-	s.Pending = c.pending()
+	s.Retired = c.retired.Load()
+	s.Pending = int64(s.Retired) - int64(s.Freed)
+	s.OrphanedNodes = c.orphaned.Load()
 	s.Scans = c.scans.Load()
 	s.QuiescentStates = c.quiesce.Load()
 	s.EpochAdvances = c.epochs.Load()
@@ -93,6 +117,17 @@ func (d *None) Acquire() (Guard, error) {
 	return d.guards[w], nil
 }
 
+// AcquireWait implements Domain: Acquire that parks until a slot frees or
+// ctx is done. Orphan adoption is a no-op for None — Retire leaks, so a
+// released slot has no backlog to strand in the first place.
+func (d *None) AcquireWait(ctx context.Context) (Guard, error) {
+	w, err := d.slots.leaseWait(ctx, &d.cnt)
+	if err != nil {
+		return nil, err
+	}
+	return d.guards[w], nil
+}
+
 // Release implements Domain.
 func (d *None) Release(g Guard) {
 	ng, ok := g.(*noneGuard)
@@ -119,6 +154,7 @@ func (d *None) Stats() Stats {
 // Close implements Domain. Leaked nodes stay leaked.
 func (d *None) Close() {}
 
+func (g *noneGuard) slotID() int              { return g.id }
 func (g *noneGuard) Begin()                   {}
 func (g *noneGuard) Protect(i int, r mem.Ref) {}
 func (g *noneGuard) ClearHPs()                {}

@@ -1,0 +1,346 @@
+package reclaim
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"qsense/internal/mem"
+)
+
+// mkOrphan builds a domain for the stranded-backlog tests: manual rooster
+// (deterministic ticks) and thresholds low enough that a handful of driver
+// operations complete a grace period.
+func mkOrphan(t *testing.T, scheme string, workers int) (*mem.Pool[tnode], Domain) {
+	t.Helper()
+	pool := newTestPool()
+	cfg := Config{Workers: workers, HPs: 1, Free: freeInto(pool), Q: 1, R: 4, ManualRooster: true}
+	if scheme == "qsense" {
+		cfg.C = LegalC(cfg)
+	}
+	d, err := New(scheme, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return pool, d
+}
+
+// TestStrandedBacklogIsAdopted is the acceptance scenario of the orphan
+// redesign: a worker retires nodes on a leased guard, Releases, and its
+// slot is never leased again (the rest of the arena stays pinned by live
+// leases, and the LIFO freelist is never popped). The stranded nodes must
+// still be freed — by other workers' quiescent states, scans, sweeps or
+// rooster passes adopting the orphaned backlog — driving Pending to 0 with
+// AdoptedNodes > 0. Before the orphan list, this backlog waited for the
+// vacated slot's next tenant forever.
+func TestStrandedBacklogIsAdopted(t *testing.T) {
+	const retires = 8
+	for _, scheme := range Schemes() {
+		t.Run(scheme, func(t *testing.T) {
+			pool, d := mkOrphan(t, scheme, 3)
+
+			leaver, err := d.Acquire()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The rest of the arena: leased and held for the whole test,
+			// so no Acquire can ever hand the leaver's slot back out.
+			helperA, err := d.Acquire()
+			if err != nil {
+				t.Fatal(err)
+			}
+			helperB, err := d.Acquire()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// The epoch schemes strand automatically (no grace period has
+			// elapsed at Release) and cadence/qsense strand via the
+			// old-enough rule (the manual rooster sits at tick 0). HP and
+			// RC free anything unprotected right in the release scan, so a
+			// helper must hold one node to force a strand.
+			refs := make([]mem.Ref, retires)
+			for i := range refs {
+				refs[i] = allocNode(pool, uint64(i))
+			}
+			if scheme == "hp" || scheme == "rc" {
+				helperA.Protect(0, refs[0])
+			}
+			for _, r := range refs {
+				leaver.Retire(r)
+			}
+			d.Release(leaver)
+
+			if scheme == "none" {
+				// The leaky baseline has nothing to orphan or adopt.
+				if st := d.Stats(); st.OrphanedNodes != 0 || st.AdoptedNodes != 0 {
+					t.Fatalf("none orphaned/adopted %d/%d nodes", st.OrphanedNodes, st.AdoptedNodes)
+				}
+				return
+			}
+			if st := d.Stats(); st.OrphanedNodes == 0 {
+				t.Fatalf("Release freed nothing yet orphaned nothing: %+v", st)
+			}
+			helperA.Protect(0, mem.Ref(0)) // drop the hold; adoption may proceed
+
+			// Drive the remaining workers (and, for the deferred schemes,
+			// the rooster) until the backlog is gone. No Acquire calls:
+			// the leaver's slot stays vacant throughout.
+			rooster := func() {}
+			switch dd := d.(type) {
+			case *Cadence:
+				rooster = dd.Rooster().Step
+			case *QSense:
+				rooster = dd.Rooster().Step
+			}
+			for i := 0; i < 200 && d.Stats().Pending > 0; i++ {
+				rooster()
+				helperA.Begin()
+				helperB.Begin()
+				if scheme == "hp" || scheme == "rc" {
+					// Pointer schemes adopt on scan/sweep passes, which
+					// trigger every R retires; retire disposable nodes to
+					// drive them (the junk itself frees on those passes).
+					helperA.Retire(allocNode(pool, ^uint64(i)))
+				}
+			}
+
+			st := d.Stats()
+			if st.Pending != 0 {
+				t.Fatalf("%s: %d nodes still pending with the slot vacant: %+v", scheme, st.Pending, st)
+			}
+			if st.AdoptedNodes == 0 {
+				t.Fatalf("%s: backlog drained without adoption?! %+v", scheme, st)
+			}
+			for _, r := range refs {
+				if pool.Valid(r) {
+					t.Fatalf("%s: stranded node %v still live", scheme, r)
+				}
+			}
+		})
+	}
+}
+
+// TestOrphansCountAgainstMemoryLimit: orphaned nodes are still Pending —
+// moving a backlog to the orphan list must not launder it past MemoryLimit.
+// Only adoption (real frees) brings Pending back down; Failed stays sticky.
+func TestOrphansCountAgainstMemoryLimit(t *testing.T) {
+	pool := newTestPool()
+	d, err := NewQSBR(Config{Workers: 2, HPs: 1, Free: freeInto(pool), Q: 1, MemoryLimit: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	leaver, err := d.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	active, err := d.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		leaver.Retire(allocNode(pool, uint64(i)))
+	}
+	d.Release(leaver)
+	st := d.Stats()
+	if st.OrphanedNodes != 8 || st.Pending != 8 {
+		t.Fatalf("orphaned/pending = %d/%d, want 8/8", st.OrphanedNodes, st.Pending)
+	}
+	if st.Failed {
+		t.Fatal("failed below MemoryLimit")
+	}
+	// Push past the limit: 8 orphans + 3 fresh retires = 11 > 10.
+	for i := 0; i < 3; i++ {
+		active.Retire(allocNode(pool, 100+uint64(i)))
+	}
+	if !d.Failed() {
+		t.Fatal("orphans did not count against MemoryLimit")
+	}
+	for i := 0; i < 8 && d.Stats().Pending > 0; i++ {
+		active.Begin()
+	}
+	st = d.Stats()
+	if st.Pending != 0 {
+		t.Fatalf("Pending = %d after adoption and epoch turns, want 0", st.Pending)
+	}
+	if st.AdoptedNodes != 8 {
+		t.Fatalf("AdoptedNodes = %d, want 8", st.AdoptedNodes)
+	}
+	if !st.Failed {
+		t.Fatal("Failed must stay sticky after the breach")
+	}
+}
+
+// TestAcquireWaitBlocksUntilRelease: the waiter parks while the arena is
+// exhausted and is woken by Release — no spinning, no ErrNoSlots.
+func TestAcquireWaitBlocksUntilRelease(t *testing.T) {
+	for _, scheme := range Schemes() {
+		t.Run(scheme, func(t *testing.T) {
+			_, d := mkOrphan(t, scheme, 1)
+			g, err := d.Acquire()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make(chan Guard)
+			go func() {
+				g2, err := d.AcquireWait(context.Background())
+				if err != nil {
+					t.Error(err)
+				}
+				got <- g2
+			}()
+			select {
+			case <-got:
+				t.Fatal("AcquireWait returned while the arena was exhausted")
+			case <-time.After(20 * time.Millisecond):
+			}
+			d.Release(g)
+			select {
+			case g2 := <-got:
+				d.Release(g2)
+			case <-time.After(2 * time.Second):
+				t.Fatal("AcquireWait not woken by Release")
+			}
+		})
+	}
+}
+
+// TestAcquireWaitHonorsContext: a done context unblocks the waiter with
+// ctx.Err(), and an already-cancelled context fails fast even when slots
+// are exhausted.
+func TestAcquireWaitHonorsContext(t *testing.T) {
+	pool := newTestPool()
+	d, err := NewQSBR(Config{Workers: 1, HPs: 1, Free: freeInto(pool), Q: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	g, err := d.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Release(g)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := d.AcquireWait(ctx)
+		errCh <- err
+	}()
+	select {
+	case err := <-errCh:
+		t.Fatalf("AcquireWait returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancellation did not unblock AcquireWait")
+	}
+	// With a free slot, AcquireWait succeeds regardless of pending cancel
+	// racing — but a context cancelled BEFORE the arena empties must not
+	// leak a lease if the slot race is lost. Exercise the fast-fail path.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := d.AcquireWait(ctx2); err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want nil (fast path) or context.Canceled", err)
+	}
+}
+
+// TestOrphanAdoptionChurn is the -race stress mixing everything the PR
+// adds: goroutines block in AcquireWait, retire against a shared mailbox,
+// and Release with live backlogs, so orphan pushes, concurrent adoption
+// from every worker's passes, and waiter wake-ups all interleave.
+func TestOrphanAdoptionChurn(t *testing.T) {
+	for _, scheme := range Schemes() {
+		t.Run(scheme, func(t *testing.T) {
+			const slots = 3
+			workers, rounds, opsPer := 12, 4, 60
+			if testing.Short() {
+				workers, rounds = 8, 2
+			}
+			pool := newTestPool()
+			cfg := Config{Workers: slots, HPs: 1, Free: freeInto(pool), Q: 2, R: 4}
+			if scheme == "qsense" {
+				cfg.C = LegalC(cfg)
+			}
+			d, err := New(scheme, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mb := newMailbox(pool, 16)
+			var wg sync.WaitGroup
+			errs := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					defer func() {
+						if r := recover(); r != nil {
+							if v, ok := r.(*mem.Violation); ok {
+								errs <- v
+								return
+							}
+							panic(r)
+						}
+					}()
+					rng := uint64(id)*0x9e3779b9 + 1
+					for round := 0; round < rounds; round++ {
+						g, err := d.AcquireWait(context.Background())
+						if err != nil {
+							errs <- err
+							return
+						}
+						for i := 0; i < opsPer; i++ {
+							g.Begin()
+							rng = rng*6364136223846793005 + 1442695040888963407
+							slot := int(rng>>33) % len(mb.slots)
+							if rng&1 == 0 {
+								mb.put(g, slot, rng)
+							} else {
+								mb.take(g, slot)
+							}
+						}
+						g.ClearHPs()
+						// Release mid-stream: whatever limbo this guard
+						// accumulated is orphaned and must be adopted by
+						// the other goroutines' ongoing activity.
+						d.Release(g)
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatalf("%s: %v", scheme, err)
+			}
+			st := d.Stats()
+			if st.AcquiredHandles != st.ReleasedHandles {
+				t.Fatalf("%s: %d leases vs %d releases", scheme, st.AcquiredHandles, st.ReleasedHandles)
+			}
+			g, err := d.Acquire()
+			if err != nil {
+				t.Fatalf("%s: arena not fully recycled: %v", scheme, err)
+			}
+			mb.drain(g)
+			d.Release(g)
+			d.Close()
+			if scheme != "none" {
+				if st := d.Stats(); st.Pending != 0 {
+					t.Fatalf("%s: %d pending after Close", scheme, st.Pending)
+				}
+				if live := pool.Stats().Live; live != 0 {
+					t.Fatalf("%s: %d nodes leaked", scheme, live)
+				}
+			}
+		})
+	}
+}

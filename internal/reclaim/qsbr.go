@@ -1,6 +1,7 @@
 package reclaim
 
 import (
+	"context"
 	"sync/atomic"
 
 	"qsense/internal/mem"
@@ -21,21 +22,23 @@ import (
 // the global epoch and no memory is ever reclaimed again (the robustness
 // problem of §3.1); with MemoryLimit set, the domain then reports Failed.
 type QSBR struct {
-	cfg    Config
-	cnt    counters
-	epoch  atomic.Uint64 // global epoch e_G
-	slots  *slotPool
-	guards []*qsbrGuard
+	cfg     Config
+	cnt     counters
+	epoch   atomic.Uint64 // global epoch e_G
+	slots   *slotPool
+	orphans orphanList
+	guards  []*qsbrGuard
 }
 
 type qsbrGuard struct {
-	d     *QSBR
-	id    int
-	local atomic.Uint64 // local epoch, read by peers in tryAdvance
-	limbo [3][]mem.Ref
-	calls int
-	mem   membership
-	_     [40]byte // keep hot fields of adjacent guards apart
+	d         *QSBR
+	id        int
+	local     atomic.Uint64 // local epoch, read by peers in tryAdvance
+	limbo     [3][]mem.Ref
+	calls     int
+	adoptSeen uint64 // last epoch at which this guard tried orphan adoption
+	mem       membership
+	_         [40]byte // keep hot fields of adjacent guards apart
 }
 
 // NewQSBR builds a QSBR domain.
@@ -74,17 +77,33 @@ func (d *QSBR) Acquire() (Guard, error) {
 	if err != nil {
 		return nil, err
 	}
+	return d.join(w), nil
+}
+
+// AcquireWait implements Domain: Acquire that parks until a slot frees or
+// ctx is done.
+func (d *QSBR) AcquireWait(ctx context.Context) (Guard, error) {
+	w, err := d.slots.leaseWait(ctx, &d.cnt)
+	if err != nil {
+		return nil, err
+	}
+	return d.join(w), nil
+}
+
+func (d *QSBR) join(w int) Guard {
 	g := d.guards[w]
 	g.mem.activate(g.adopt)
 	g.quiescent()
-	return g, nil
+	return g
 }
 
 // Release implements Domain: declare a final quiescent state (the caller
 // holds no shared references, per the Release contract), Leave so the slot
-// stops blocking grace periods, and recycle the slot. The guard's remaining
-// limbo backlog stays with the slot; the next tenant's adopt frees it once
-// it ages three epochs (the Join re-entry path).
+// stops blocking grace periods, move the guard's remaining limbo backlog to
+// the domain's orphan list — stamped with the current global epoch, so any
+// worker's later quiescent state adopts and frees it once three epochs pass
+// — and recycle the slot. The vacated slot strands nothing, whether or not
+// it is ever leased again.
 func (d *QSBR) Release(gd Guard) {
 	g, ok := gd.(*qsbrGuard)
 	if !ok || g.d != d {
@@ -93,6 +112,7 @@ func (d *QSBR) Release(gd Guard) {
 	d.slots.unlease(g.id, &d.cnt, func() {
 		g.quiescent()
 		g.Leave()
+		g.orphanLimbo()
 	})
 }
 
@@ -109,15 +129,16 @@ func (d *QSBR) Stats() Stats {
 	return s
 }
 
-// Close implements Domain: frees all limbo contents. Only call once all
-// workers have stopped — at that point every bucket has trivially passed a
-// grace period.
+// Close implements Domain: frees all limbo contents and drains the orphan
+// list. Only call once all workers have stopped — at that point every
+// bucket has trivially passed a grace period.
 func (d *QSBR) Close() {
 	for _, g := range d.guards {
 		for b := range g.limbo {
 			g.freeBucket(b)
 		}
 	}
+	d.orphans.drain(d.cfg.Free, &d.cnt)
 }
 
 // GlobalEpoch exposes the global epoch for tests.
@@ -152,6 +173,13 @@ func (g *qsbrGuard) quiescent() {
 	g.mem.stampQuiesce()
 	g.d.cnt.quiesce.Add(1)
 	global := g.d.epoch.Load()
+	// Orphan adoption, at most once per epoch advance: batch maturity only
+	// changes when the epoch does, so retrying within one epoch would just
+	// churn the shared list head.
+	if global != g.adoptSeen && !g.d.orphans.empty() {
+		g.adoptSeen = global
+		g.d.orphans.adoptEpoch(global, g.d.cfg.Free, &g.d.cnt)
+	}
 	local := g.local.Load()
 	if local != global {
 		g.local.Store(global)
@@ -177,6 +205,15 @@ func (g *qsbrGuard) quiescent() {
 		g.local.Store(global + 1)
 		g.freeBucket(int((global + 1) % 3))
 	}
+}
+
+func (g *qsbrGuard) slotID() int { return g.id }
+
+// orphanLimbo moves the guard's remaining limbo onto the domain's orphan
+// list in one batch stamped with the current global epoch (release drain
+// only).
+func (g *qsbrGuard) orphanLimbo() {
+	g.d.orphans.addRefBuckets(&g.limbo, g.d.epoch.Load(), &g.d.cnt)
 }
 
 func (g *qsbrGuard) freeBucket(b int) {

@@ -1,6 +1,7 @@
 package reclaim
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -41,6 +42,7 @@ type QSense struct {
 	presence []paddedBool
 	epoch    atomic.Uint64
 	slots    *slotPool
+	orphans  orphanList
 	recs     []*hprec
 	guards   []*qsenseGuard
 }
@@ -51,17 +53,18 @@ type paddedBool struct {
 }
 
 type qsenseGuard struct {
-	d        *QSense
-	id       int
-	rec      *hprec
-	local    atomic.Uint64 // local epoch, read by peers
-	limbo    [3][]retired
-	total    int // nodes across the three buckets
-	calls    int
-	retires  int
-	prevFall bool // prev_seen_fallback_flag
-	scanBuf  []uint64
-	mem      membership
+	d         *QSense
+	id        int
+	rec       *hprec
+	local     atomic.Uint64 // local epoch, read by peers
+	limbo     [3][]retired
+	total     int // nodes across the three buckets
+	calls     int
+	retires   int
+	adoptSeen uint64 // last epoch at which this guard tried orphan adoption
+	prevFall  bool   // prev_seen_fallback_flag
+	scanBuf   []uint64
+	mem       membership
 }
 
 // NewQSense builds the hybrid domain and starts its rooster manager (unless
@@ -86,6 +89,10 @@ func NewQSense(cfg Config) (*QSense, error) {
 		d.mgr.Register(d.recs[i])
 	}
 	d.mgr.AddHook(cfg.PresenceResetTicks, d.resetPresence)
+	// A QSense orphan batch carries both evidence forms; the hook uses the
+	// deferred-scan one, which works on either path — in particular in
+	// fallback mode, where the frozen epoch never matures the other.
+	d.mgr.AddHook(1, d.orphans.adoptHook(d.mgr, d.recs, d.cfg, &d.cnt))
 	if !cfg.ManualRooster {
 		d.mgr.Start()
 	}
@@ -138,6 +145,20 @@ func (d *QSense) Acquire() (Guard, error) {
 	if err != nil {
 		return nil, err
 	}
+	return d.join(w), nil
+}
+
+// AcquireWait implements Domain: Acquire that parks until a slot frees or
+// ctx is done.
+func (d *QSense) AcquireWait(ctx context.Context) (Guard, error) {
+	w, err := d.slots.leaseWait(ctx, &d.cnt)
+	if err != nil {
+		return nil, err
+	}
+	return d.join(w), nil
+}
+
+func (d *QSense) join(w int) Guard {
 	g := d.guards[w]
 	g.rec.clearPending()
 	g.rec.clearShared()
@@ -146,14 +167,16 @@ func (d *QSense) Acquire() (Guard, error) {
 	if !d.fallback.Load() {
 		g.quiescent()
 	}
-	return g, nil
+	return g
 }
 
 // Release implements Domain: drain the guard's hazard pointers, declare a
 // final quiescent state (the caller holds no references, per the Release
-// contract), run a Cadence scan over the remaining limbo so the backlog a
-// vacant slot strands stays small, then Leave — the slot no longer blocks
-// grace periods or the presence scan — and recycle the slot.
+// contract), run a Cadence scan over the remaining limbo so everything
+// provably safe frees now, move what survives to the orphan list — the
+// batch carries both evidence forms, so fast-path quiescent states (epoch)
+// and fallback/rooster scans (tick + HP) can both adopt it — then Leave and
+// recycle the slot.
 func (d *QSense) Release(gd Guard) {
 	g, ok := gd.(*qsenseGuard)
 	if !ok || g.d != d {
@@ -168,6 +191,7 @@ func (d *QSense) Release(gd Guard) {
 		if g.total > 0 {
 			g.scanAll()
 		}
+		g.orphanLimbo()
 		g.Leave()
 		g.rec.leased.Store(false)
 	})
@@ -195,8 +219,8 @@ func (d *QSense) Stats() Stats {
 	return s
 }
 
-// Close implements Domain: stops the rooster and frees all limbo contents.
-// Only call after all workers have stopped.
+// Close implements Domain: stops the rooster, frees all limbo contents and
+// drains the orphan list. Only call after all workers have stopped.
 func (d *QSense) Close() {
 	d.mgr.Stop()
 	for _, g := range d.guards {
@@ -209,6 +233,7 @@ func (d *QSense) Close() {
 		}
 		g.total = 0
 	}
+	d.orphans.drain(d.cfg.Free, &d.cnt)
 }
 
 // Begin is manage_qsense_state (Algorithm 5, lines 12–34).
@@ -248,6 +273,11 @@ func (g *qsenseGuard) quiescent() {
 	g.mem.stampQuiesce()
 	g.d.cnt.quiesce.Add(1)
 	global := g.d.epoch.Load()
+	// Orphan adoption, at most once per epoch advance (see qsbr.go).
+	if global != g.adoptSeen && !g.d.orphans.empty() {
+		g.adoptSeen = global
+		g.d.orphans.adoptEpoch(global, g.d.cfg.Free, &g.d.cnt)
+	}
 	local := g.local.Load()
 	if local != global {
 		g.local.Store(global)
@@ -340,11 +370,51 @@ func (g *qsenseGuard) Retire(r mem.Ref) {
 	}
 }
 
-// scanAll runs the Cadence scan over all three limbo buckets.
+func (g *qsenseGuard) slotID() int { return g.id }
+
+// scanAll runs the Cadence scan over all three limbo buckets with one
+// snapshot, then adopts eligible orphans against the same snapshot. Tick
+// capture and detach precede the snapshot (see cadenceGuard.scan).
 func (g *qsenseGuard) scanAll() {
+	g.d.cnt.scans.Add(1)
+	tick := g.d.mgr.Tick()
+	batch := g.d.orphans.detach()
+	snap := snapshotShared(g.d.recs, g.scanBuf)
+	g.scanBuf = snap.vals
 	g.total = 0
+	freed := 0
 	for b := range g.limbo {
-		g.limbo[b] = scanDeferred(&g.d.cnt, g.d.cfg, g.d.mgr, g.d.recs, g.limbo[b], &g.scanBuf)
+		var f int
+		g.limbo[b], f = filterDeferred(g.d.cfg, g.d.mgr, tick, snap, g.limbo[b])
 		g.total += len(g.limbo[b])
+		freed += f
 	}
+	if freed > 0 {
+		g.d.cnt.freed.Add(uint64(freed))
+	}
+	g.d.orphans.adoptDetached(batch, snap, g.d.mgr, tick, g.d.cfg, &g.d.cnt)
+}
+
+// orphanLimbo moves the guard's surviving limbo onto the orphan list in one
+// batch that keeps the nodes' tick stamps and records the current global
+// epoch — dual evidence, so whichever path the domain runs makes progress
+// on it (release drain only; slice ownership passes to the list).
+func (g *qsenseGuard) orphanLimbo() {
+	if g.total == 0 {
+		return
+	}
+	var nodes []retired
+	for b := range g.limbo {
+		if len(g.limbo[b]) == 0 {
+			continue
+		}
+		if nodes == nil {
+			nodes = g.limbo[b]
+		} else {
+			nodes = append(nodes, g.limbo[b]...)
+		}
+		g.limbo[b] = nil
+	}
+	g.total = 0
+	g.d.orphans.add(nil, nodes, g.d.epoch.Load(), &g.d.cnt)
 }

@@ -1,6 +1,7 @@
 package reclaim
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -32,11 +33,12 @@ import (
 // validation (the node was unlinked before retire, and generation tagging
 // defeats ABA on the link word), so it releases without dereferencing.
 type RC struct {
-	cfg    Config
-	cnt    counters
-	table  countTable
-	slots  *slotPool
-	guards []*rcGuard
+	cfg     Config
+	cnt     counters
+	table   countTable
+	slots   *slotPool
+	orphans orphanList
+	guards  []*rcGuard
 }
 
 type rcGuard struct {
@@ -80,9 +82,20 @@ func (d *RC) Acquire() (Guard, error) {
 	return d.guards[w], nil
 }
 
+// AcquireWait implements Domain: Acquire that parks until a slot frees or
+// ctx is done.
+func (d *RC) AcquireWait(ctx context.Context) (Guard, error) {
+	w, err := d.slots.leaseWait(ctx, &d.cnt)
+	if err != nil {
+		return nil, err
+	}
+	return d.guards[w], nil
+}
+
 // Release implements Domain: drop every counted reference, sweep the retire
-// list so the vacant slot strands only nodes other workers still hold, and
-// recycle the slot.
+// list so everything unheld frees now, move the still-held remainder to the
+// orphan list — any worker's later sweep claims each node the moment its
+// holders release it — and recycle the slot.
 func (d *RC) Release(gd Guard) {
 	g, ok := gd.(*rcGuard)
 	if !ok || g.d != d {
@@ -92,6 +105,10 @@ func (d *RC) Release(gd Guard) {
 		g.ClearHPs()
 		if len(g.rl) > 0 {
 			g.sweep()
+		}
+		if len(g.rl) > 0 {
+			d.orphans.add(g.rl, nil, 0, &d.cnt)
+			g.rl = nil
 		}
 	})
 }
@@ -110,7 +127,8 @@ func (d *RC) Stats() Stats {
 }
 
 // Close implements Domain: frees every node still awaiting reclamation,
-// ignoring counts (call only once all workers have stopped).
+// ignoring counts, and drains the orphan list (call only once all workers
+// have stopped).
 func (d *RC) Close() {
 	for _, g := range d.guards {
 		for _, r := range g.rl {
@@ -119,6 +137,7 @@ func (d *RC) Close() {
 		d.cnt.freed.Add(uint64(len(g.rl)))
 		g.rl = g.rl[:0]
 	}
+	d.orphans.drain(d.cfg.Free, &d.cnt)
 }
 
 func (g *rcGuard) Begin() {}
@@ -164,8 +183,11 @@ func (g *rcGuard) Retire(r mem.Ref) {
 	}
 }
 
+func (g *rcGuard) slotID() int { return g.id }
+
 // sweep frees the retired nodes whose count the claim CAS can take to the
-// next generation (i.e. nobody holds them); the rest stay for later.
+// next generation (i.e. nobody holds them); the rest stay for later. The
+// same pass adopts orphaned nodes whose holders have since released them.
 func (g *rcGuard) sweep() {
 	g.d.cnt.scans.Add(1)
 	kept := g.rl[:0]
@@ -182,6 +204,7 @@ func (g *rcGuard) sweep() {
 	if freed > 0 {
 		g.d.cnt.freed.Add(uint64(freed))
 	}
+	g.d.orphans.adoptClaim(&g.d.table, g.d.cfg.Free, &g.d.cnt)
 }
 
 // countTable maps slot indexes to (generation<<32 | count) words, growing

@@ -24,14 +24,19 @@
 // arena of guard slots. The paper does not support dynamic membership
 // (§5.2); this implementation builds out its sketched fix twice over:
 // membership.go lets epoch-scheme workers Leave/Join (and evicts crashed
-// ones), and slots.go leases whole guard slots dynamically — Acquire hands
-// a free slot to any goroutine, Release drains it and recycles it — so the
-// worker population may churn freely as long as no more than Config.Workers
-// guards are leased at once. The positional Guard(w) accessor remains for
-// callers that pin slots deterministically (tests, the experiment harness).
+// ones), and slots.go leases whole guard slots dynamically — Acquire (or
+// the blocking AcquireWait) hands a free slot to any goroutine, Release
+// drains it and recycles it — so the worker population may churn freely as
+// long as no more than Config.Workers guards are leased at once. Backlog a
+// Release cannot yet prove safe moves to a per-domain orphan list
+// (orphan.go) and is adopted by other workers' reclamation passes, so a
+// vacated slot never strands retired nodes. The positional Guard(w)
+// accessor remains for callers that pin slots deterministically (tests,
+// the experiment harness).
 package reclaim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -82,14 +87,24 @@ type Domain interface {
 	// recycled slot resumes cleanly. Returns ErrNoSlots when all
 	// Config.Workers slots are leased or pinned.
 	Acquire() (Guard, error)
+	// AcquireWait is Acquire that blocks while the arena is exhausted:
+	// the caller parks on the slot pool's waiter channel and is woken by
+	// the next Release, instead of spinning on ErrNoSlots. It returns
+	// ctx.Err() if ctx is done first.
+	AcquireWait(ctx context.Context) (Guard, error)
 	// Release returns g's slot to the freelist: protections are drained,
 	// epoch schemes Leave (so the slot no longer blocks grace periods or
 	// QSense's presence scan), and what backlog can be freed safely is
-	// freed. The guard must not be used after Release. Releasing a pinned
-	// or already-released guard is a no-op — but note the guard's slot
-	// may have been re-leased by then, so call Release exactly once, from
-	// the owning goroutine. (The public API wraps guards with a
-	// once-flag; internal callers keep the discipline themselves.)
+	// freed. Backlog that cannot yet be proven safe (unaged limbo,
+	// protected or too-young deferred nodes) is moved to the domain's
+	// orphan list, where any worker's later reclamation pass adopts and
+	// frees it — a vacated slot never strands retired nodes, even if it
+	// is never leased again. The guard must not be used after Release.
+	// Releasing a pinned or already-released guard is a no-op — but note
+	// the guard's slot may have been re-leased by then, so call Release
+	// exactly once, from the owning goroutine. (The public API wraps
+	// guards with a once-flag; internal callers keep the discipline
+	// themselves.)
 	Release(g Guard)
 	// Name returns the scheme name ("qsbr", "hp", ...).
 	Name() string
@@ -288,6 +303,11 @@ type Stats struct {
 	// AcquiredHandles and ReleasedHandles count slot leases granted and
 	// returned (slots.go); their difference is the leased count now.
 	AcquiredHandles, ReleasedHandles uint64
+	// OrphanedNodes counts nodes a Release could not yet prove safe and
+	// moved to the domain's orphan list (orphan.go); AdoptedNodes counts
+	// orphans later freed by other workers' reclamation passes. Orphans
+	// remain Pending (and count against MemoryLimit) until adopted.
+	OrphanedNodes, AdoptedNodes uint64
 	// InFallback reports QSense's current path.
 	InFallback bool
 	// RoosterPasses counts completed rooster flush passes.
@@ -296,11 +316,9 @@ type Stats struct {
 	Failed bool
 }
 
-func max(a int, bs ...int) int {
-	for _, b := range bs {
-		if b > a {
-			a = b
-		}
-	}
-	return a
+// SlotIndex reports the arena slot index a guard occupies, stable across
+// leases: slot w's guard is the same object for every tenant. The public
+// containers key their per-slot structure-handle caches by it.
+func SlotIndex(g Guard) int {
+	return g.(interface{ slotID() int }).slotID()
 }

@@ -26,6 +26,7 @@ package reclaim
 // order deliberately keeps recently released slots hot — their guards'
 // limbo backlogs are the youngest and their cache lines the warmest.
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync/atomic"
@@ -49,10 +50,18 @@ type slotPool struct {
 	head  atomic.Uint64   // (version<<32) | (top index+1); low word 0 = empty
 	next  []atomic.Uint32 // next[i] = successor index+1 in the freelist
 	state []atomic.Int32  // slotFree / slotLeased / slotPinned
+
+	// Waiter support for leaseWait: wake holds the current generation's
+	// broadcast channel; a release observing waiters > 0 closes it and
+	// installs a fresh one, waking every parked leaseWait to retry.
+	wake    atomic.Pointer[chan struct{}]
+	waiters atomic.Int32
 }
 
 func newSlotPool(n int) *slotPool {
 	p := &slotPool{next: make([]atomic.Uint32, n), state: make([]atomic.Int32, n)}
+	ch := make(chan struct{})
+	p.wake.Store(&ch)
 	// Push 0..n-1 so Acquire hands out low indices first.
 	for i := n - 1; i >= 0; i-- {
 		p.next[i].Store(uint32(p.head.Load()))
@@ -97,6 +106,45 @@ func (p *slotPool) lease(cnt *counters) (int, error) {
 	return w, nil
 }
 
+// leaseWait is lease that parks while the arena is exhausted, woken by the
+// next unlease, or fails with ctx.Err() when ctx is done first.
+//
+// Lost-wakeup freedom: the waiter loads the wake channel BEFORE its retry
+// pop, and unlease pushes the slot BEFORE checking the waiter count. If the
+// releaser misses our count (we registered after its check), its push is
+// already visible to our retry; if our retry misses the slot, the releaser
+// saw our count and closes the very channel generation we hold (or a
+// later release does) — either way we cannot sleep through a free slot.
+func (p *slotPool) leaseWait(ctx context.Context, cnt *counters) (int, error) {
+	if w := p.tryAcquire(); w >= 0 {
+		cnt.acquired.Add(1)
+		return w, nil
+	}
+	p.waiters.Add(1)
+	defer p.waiters.Add(-1)
+	for {
+		ch := *p.wake.Load()
+		if w := p.tryAcquire(); w >= 0 {
+			cnt.acquired.Add(1)
+			return w, nil
+		}
+		select {
+		case <-ctx.Done():
+			return -1, ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// wakeWaiters closes out the current wake generation so every parked
+// leaseWait retries. Each caller closes only the channel it swapped out, so
+// racing releases never double-close.
+func (p *slotPool) wakeWaiters() {
+	ch := make(chan struct{})
+	old := p.wake.Swap(&ch)
+	close(*old)
+}
+
 // unlease runs the release protocol for slot i: claim the release (exactly
 // one caller wins; pinned and already-released slots are refused), run the
 // scheme's drain while the slot is in the releasing state — invisible to
@@ -121,6 +169,9 @@ func (p *slotPool) unlease(i int, cnt *counters, drain func()) bool {
 		}
 	}
 	cnt.released.Add(1)
+	if p.waiters.Load() > 0 {
+		p.wakeWaiters()
+	}
 	return true
 }
 

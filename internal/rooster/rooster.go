@@ -118,7 +118,18 @@ func (m *Manager) Tick() uint64 { return m.tick.Load() }
 
 // OldEnough reports whether a node stamped at `stamp` may be reclaimed now.
 func (m *Manager) OldEnough(stamp uint64) bool {
-	return m.tick.Load() >= stamp+OldEnoughTicks+uint64(m.cfg.EpsilonTicks)
+	return m.OldEnoughAt(stamp, m.tick.Load())
+}
+
+// OldEnoughAt is OldEnough evaluated against a tick value the caller read
+// earlier. A deferred scan MUST capture the tick BEFORE snapshotting the
+// shared hazard pointers and judge oldness against that capture: oldness at
+// tick t guarantees every protection of the node was flushed by t, so it is
+// in any snapshot taken after t — whereas judging against the live clock
+// lets a pass that completes mid-scan make a node "old" whose protector's
+// flush the already-taken snapshot missed.
+func (m *Manager) OldEnoughAt(stamp, tick uint64) bool {
+	return tick >= stamp+OldEnoughTicks+uint64(m.cfg.EpsilonTicks)
 }
 
 // Step runs one synchronous rooster pass: flush all targets (split among

@@ -36,9 +36,29 @@ const (
 type node struct {
 	key      int64
 	topLevel int32
-	_        uint32
+	state    atomic.Uint32 // insert/delete retirement ownership (below)
 	next     [MaxLevel]atomic.Uint64
 }
+
+// Retirement ownership. An inserter keeps linking upper levels after its
+// node is already reachable at level 0; a concurrent deleter's cleanup
+// search can pass a level BEFORE the inserter links it, after which the
+// inserter transiently re-links a marked — possibly already retired — node
+// (the insert code prunes such levels before returning). Retiring a node
+// that can still become reachable breaks hazard pointers' fundamental
+// premise: a reader may then validate a protection AFTER the retirement,
+// and a scan whose slot-by-slot snapshot is preempted between that
+// reader's record and the inserter's pin can miss both, freeing the node
+// mid-use (the stress tests reproduce this as a use-after-free). The
+// state word restores strictness by handing the retirement to whoever
+// acts last: the deleter retires a stDone node; for a node still
+// stLinking it CASes to stAbandoned and the inserter — who alone can
+// re-link, and prunes before finishing — retires it (finishInsert).
+const (
+	stLinking   = 0 // inserter still linking upper levels (may re-link)
+	stDone      = 1 // insert complete; the deleter retires
+	stAbandoned = 2 // deleter done mid-insert; the inserter retires
+)
 
 // Config controls skip list construction.
 type Config struct {
@@ -127,8 +147,9 @@ func (h *Handle) randomLevel() int {
 
 // search positions h.preds/h.succs around key at every level, unlinking
 // marked nodes it encounters (Fraser's search with Michael-style eager
-// unlinking). On return preds[l] and succs[l] are protected by
-// hpLeft(l)/hpRight(l).
+// unlinking). On return preds[l] and succs[l] are protected by level l's
+// slot pair (which of the two holds which rotates as the walk advances —
+// see below).
 //
 // A marked node is unlinked immediately rather than walked through: a
 // node's marked next word is frozen, so re-validating a link THROUGH it
@@ -138,20 +159,33 @@ func (h *Handle) randomLevel() int {
 // keeps every protect/validate pair conclusive: a node validated reachable
 // through a clean edge cannot have passed its deleter's cleanup search yet,
 // so its retirement (and any scan) must come after our publication.
+//
+// Slot-role rotation. When the walk advances (left = right), the node's
+// protection must NOT be copied from the right slot to the left slot:
+// scans snapshot slots one at a time, so a concurrent snapshot can read
+// the destination before the copy and the source after it is overwritten,
+// missing a node that was covered the whole time — a use-after-free the
+// stress tests reproduce. Instead the two slot INDICES swap roles, so a
+// node stays in the one slot it was validated into for as long as it is
+// protected. (Copies with a stable source are fine: the descend re-uses
+// the level above's left slot, which is never overwritten again this
+// search, and Delete's pin copy happens strictly before the node's
+// retirement — both leave a conclusive slot for every snapshot to see.)
 func (h *Handle) search(key int64) {
 	pool := h.s.pool
 retry:
 	for {
 		left := h.s.head
 		for lvl := h.s.levels - 1; lvl >= 0; lvl-- {
-			h.guard.Protect(h.hpLeft(lvl), left)
+			ls, rs := h.hpLeft(lvl), h.hpRight(lvl)
+			h.guard.Protect(ls, left)
 			lw := pool.Get(left).next[lvl].Load()
 			if isMarked(lw) {
 				continue retry // left was deleted under us
 			}
 			right := mem.Ref(lw).Untagged()
 			for {
-				h.guard.Protect(h.hpRight(lvl), right)
+				h.guard.Protect(rs, right)
 				if pool.Get(left).next[lvl].Load() != lw {
 					continue retry
 				}
@@ -170,7 +204,7 @@ retry:
 				}
 				if pool.Get(right).key < key {
 					left = right
-					h.guard.Protect(h.hpLeft(lvl), left)
+					ls, rs = rs, ls // right keeps its slot, now in the left role
 					lw = rw
 					right = mem.Ref(rw).Untagged()
 					continue
@@ -213,6 +247,7 @@ func (h *Handle) Insert(key int64) bool {
 			nref, nptr = h.cache.Alloc()
 			nptr.key = key
 			nptr.topLevel = int32(topLevel)
+			nptr.state.Store(stLinking) // recycled slots carry stale states
 		}
 		for l := 0; l < topLevel; l++ {
 			nptr.next[l].Store(uint64(h.succs[l]))
@@ -227,15 +262,18 @@ func (h *Handle) Insert(key int64) bool {
 	}
 	// Link the upper levels. A concurrent delete marks levels top-down and
 	// then cleans up with a search; if it sneaks between our mark-check
-	// and our link CAS, our node could be re-linked at a level after the
+	// and our link CAS, our node is re-linked at a level after the
 	// deleter's cleanup pass. Every early exit below therefore runs one
 	// more search, which prunes any such level (its next word is marked),
-	// before we drop the pin. Without it the node could be freed while
-	// still reachable — a use-after-free.
+	// before we drop the pin — and every exit goes through finishInsert,
+	// which takes over the retirement if the deleter abandoned it to us
+	// mid-link. Without both, the node could be freed while still
+	// reachable — a use-after-free.
 	for l := 1; l < topLevel; l++ {
 		for {
 			if isMarked(nptr.next[l].Load()) {
 				h.search(key) // final cleanup pass, then done
+				h.finishInsert(nref, nptr, key)
 				return true
 			}
 			if pool.Get(h.preds[l]).next[l].CompareAndSwap(uint64(h.succs[l]), uint64(nref)) {
@@ -245,6 +283,7 @@ func (h *Handle) Insert(key int64) bool {
 			if h.succs[0] != nref {
 				// Our node was deleted and already pruned by the
 				// search we just ran.
+				h.finishInsert(nref, nptr, key)
 				return true
 			}
 			// Redirect our level-l pointer at the fresh successor.
@@ -261,6 +300,7 @@ func (h *Handle) Insert(key int64) bool {
 			}
 			if stop {
 				h.search(key)
+				h.finishInsert(nref, nptr, key)
 				return true
 			}
 		}
@@ -269,7 +309,21 @@ func (h *Handle) Insert(key int64) bool {
 	if isMarked(nptr.next[0].Load()) {
 		h.search(key)
 	}
+	h.finishInsert(nref, nptr, key)
 	return true
+}
+
+// finishInsert ends the linking phase: no further level can be (re-)linked
+// after it. If the deleter already finished its cleanup in the meantime, it
+// abandoned the retirement to us (see the state constants); the node is
+// marked at every level, so one more search strictly unlinks it, and we
+// retire it while still holding the pin.
+func (h *Handle) finishInsert(nref mem.Ref, nptr *node, key int64) {
+	if nptr.state.CompareAndSwap(stLinking, stDone) {
+		return
+	}
+	h.search(key)
+	h.guard.Retire(nref)
 }
 
 // Delete removes key; false if absent. Levels are marked top-down; whoever
@@ -285,7 +339,11 @@ func (h *Handle) Delete(key int64) bool {
 	if np.key != key {
 		return false
 	}
-	h.guard.Protect(h.hpPin(), n) // searches below will recycle hpRight(0)
+	// Pin n before marking: the cleanup search recycles level 0's slot
+	// pair. The pin copy is published strictly before n's retirement (this
+	// deleter retires it after the search), so every conclusive snapshot
+	// sees it.
+	h.guard.Protect(h.hpPin(), n)
 	topLevel := int(np.topLevel)
 	for l := topLevel - 1; l >= 1; l-- {
 		for {
@@ -305,6 +363,16 @@ func (h *Handle) Delete(key int64) bool {
 		}
 		if pool.Get(n).next[0].CompareAndSwap(w, w|markBit) {
 			h.search(key) // physical cleanup at every level
+			// Retirement ownership: if n's inserter is still linking
+			// upper levels, it can re-link a level our search already
+			// passed — retiring now would leave a reachable retired
+			// node. Hand the retirement over (state constants above);
+			// the inserter prunes and retires in finishInsert. A node
+			// whose insert has completed is strictly unreachable here.
+			np := pool.Get(n)
+			if np.state.Load() == stLinking && np.state.CompareAndSwap(stLinking, stAbandoned) {
+				return true
+			}
 			h.guard.Retire(n)
 			return true
 		}

@@ -1,29 +1,26 @@
 package qsense_test
 
 import (
+	"context"
 	"errors"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"qsense"
 )
 
-// acquireRetry leases a handle, yielding while the arena is full — the
-// pattern a goroutine-per-request server uses under load spikes.
-func acquireRetry[H any](t *testing.T, acquire func() (H, error)) H {
+// acquireWait leases a handle, blocking while the arena is full — what a
+// goroutine-per-request server does under load spikes, with the waiter
+// built into the API instead of a retry-on-ErrNoSlots spin.
+func acquireWait[H any](t *testing.T, acquire func(context.Context) (H, error)) H {
 	t.Helper()
-	for {
-		h, err := acquire()
-		if err == nil {
-			return h
-		}
-		if !errors.Is(err, qsense.ErrNoSlots) {
-			t.Fatalf("acquire: %v", err)
-		}
-		runtime.Gosched()
+	h, err := acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
 	}
+	return h
 }
 
 // TestSetAcquireRelease: the leased-handle surface of the four set
@@ -180,8 +177,8 @@ func TestDomainAcquireRelease(t *testing.T) {
 		t.Fatalf("lease counters %d/%d", st.AcquiredHandles, st.ReleasedHandles)
 	}
 	// Both slots must be back.
-	a := acquireRetry(t, dom.Acquire)
-	b := acquireRetry(t, dom.Acquire)
+	a := acquireWait(t, dom.AcquireWait)
+	b := acquireWait(t, dom.AcquireWait)
 	a.Release()
 	b.Release()
 }
@@ -227,7 +224,7 @@ func TestGoroutinePerRequestChurn(t *testing.T) {
 				go func(req int) {
 					defer wg.Done()
 					defer func() { <-sem }()
-					h := acquireRetry(t, set.Acquire)
+					h := acquireWait(t, set.AcquireWait)
 					defer h.Release()
 					rng := uint64(req)*0x9E3779B9 + 1
 					for i := 0; i < opsPer; i++ {
@@ -291,7 +288,7 @@ func TestReclamationWhileSlotsUnleased(t *testing.T) {
 	defer set.Close()
 	epochs0 := set.Stats().EpochAdvances
 	for cycle := 0; cycle < 50; cycle++ {
-		h := acquireRetry(t, set.Acquire)
+		h := acquireWait(t, set.AcquireWait)
 		for k := int64(0); k < 32; k++ {
 			h.Insert(k)
 			h.Delete(k)
@@ -305,4 +302,103 @@ func TestReclamationWhileSlotsUnleased(t *testing.T) {
 	if st.EpochAdvances == epochs0 {
 		t.Fatalf("epoch frozen while slots were unleased: %+v", st)
 	}
+}
+
+// TestAcquireWaitPublic: the blocking lease surface — a waiter parks while
+// the arena is exhausted, wakes on Release, and honors context
+// cancellation — on both the container and custom-structure APIs.
+func TestAcquireWaitPublic(t *testing.T) {
+	set, err := qsense.NewSet(qsense.Options{MaxWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	h, err := set.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan qsense.SetHandle)
+	go func() {
+		h2, err := set.AcquireWait(context.Background())
+		if err != nil {
+			t.Error(err)
+		}
+		got <- h2
+	}()
+	select {
+	case <-got:
+		t.Fatal("AcquireWait returned while the arena was exhausted")
+	case <-time.After(20 * time.Millisecond):
+	}
+	h.Release()
+	select {
+	case h2 := <-got:
+		h2.Insert(1)
+		h2.Release()
+	case <-time.After(2 * time.Second):
+		t.Fatal("AcquireWait not woken by Release")
+	}
+
+	// Context cancellation unblocks a parked waiter with ctx.Err().
+	h3, err := set.AcquireWait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := set.AcquireWait(ctx)
+		errCh <- err
+	}()
+	select {
+	case err := <-errCh:
+		t.Fatalf("AcquireWait returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancellation did not unblock AcquireWait")
+	}
+	h3.Release()
+}
+
+// TestOrphanStatsPublic: a released handle's unreclaimed backlog surfaces
+// as OrphanedNodes, stays Pending until other workers adopt it, and the
+// adoption shows up as AdoptedNodes — all through the public container API,
+// with the releasing slot never leased again.
+func TestOrphanStatsPublic(t *testing.T) {
+	set, err := qsense.NewSet(qsense.Options{MaxWorkers: 2, Scheme: qsense.SchemeQSBR, Q: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	worker := acquireWait(t, set.AcquireWait)
+	leaver := acquireWait(t, set.AcquireWait)
+	for k := int64(0); k < 16; k++ {
+		leaver.Insert(k)
+		leaver.Delete(k) // retires the node on the leaver's guard
+	}
+	leaver.Release()
+	st := set.Stats()
+	if st.OrphanedNodes == 0 {
+		t.Fatalf("released backlog was not orphaned: %+v", st)
+	}
+	// The other worker's quiescent states adopt the orphans; the leaver's
+	// slot stays vacant (no Acquire until the backlog is gone).
+	for i := 0; i < 64 && set.Stats().Pending > 0; i++ {
+		worker.Contains(int64(i))
+	}
+	st = set.Stats()
+	if st.Pending != 0 {
+		t.Fatalf("orphans not adopted while the slot sat vacant: %+v", st)
+	}
+	if st.AdoptedNodes == 0 {
+		t.Fatalf("Pending drained without adoption: %+v", st)
+	}
+	worker.Release()
 }

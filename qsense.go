@@ -21,14 +21,20 @@
 //	}
 //	defer set.Close()
 //	// in any goroutine (a request handler, a worker, ...):
-//	h, err := set.Acquire()
+//	h, err := set.AcquireWait(ctx) // blocks while every slot is leased
 //	if err != nil {
-//		// every slot leased: retry, or raise Options.MaxWorkers
+//		// only when ctx ended first; the non-blocking Acquire returns
+//		// ErrNoSlots instead, for callers that would rather shed load
 //	}
 //	defer h.Release()
 //	h.Insert(42)
 //	h.Contains(42)
 //	h.Delete(42)
+//
+// Release returns the slot immediately; retired nodes whose grace period
+// has not yet elapsed move to the domain's orphan list and are freed by
+// other workers' reclamation passes (Stats.OrphanedNodes/AdoptedNodes), so
+// a slot that never re-leases strands no memory.
 //
 // The positional Handle(w) accessor from the fixed-worker API survives as a
 // deprecated shim: it pins slot w permanently, which the experiment harness
@@ -192,6 +198,11 @@ type Stats struct {
 	// AcquiredHandles and ReleasedHandles count handle leases granted
 	// and returned; their difference is the number leased right now.
 	AcquiredHandles, ReleasedHandles uint64
+	// OrphanedNodes counts retired nodes a Release could not yet prove
+	// safe and moved to the domain's orphan list; AdoptedNodes counts
+	// orphans since freed by other workers' reclamation passes. Orphans
+	// remain Pending (and count against MemoryLimit) until adopted.
+	OrphanedNodes, AdoptedNodes uint64
 	// RoosterPasses counts completed rooster flush passes (Cadence,
 	// QSense).
 	RoosterPasses uint64
@@ -215,6 +226,8 @@ func fromReclaimStats(s reclaim.Stats) Stats {
 		Rejoins:            s.Rejoins,
 		AcquiredHandles:    s.AcquiredHandles,
 		ReleasedHandles:    s.ReleasedHandles,
+		OrphanedNodes:      s.OrphanedNodes,
+		AdoptedNodes:       s.AdoptedNodes,
 		RoosterPasses:      s.RoosterPasses,
 		Failed:             s.Failed,
 	}
