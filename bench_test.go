@@ -342,3 +342,38 @@ func BenchmarkListOps(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkLeaseChurn measures one Acquire/operate/Release cycle per
+// scheme with a warm, never-growing arena — the hot path the elastic
+// redesign must not tax: when no growth occurs the segment directory adds
+// at most one extra indirection per lease, so this stays within noise of
+// the fixed-arena baseline.
+func BenchmarkLeaseChurn(b *testing.B) {
+	for _, scheme := range reclaim.Schemes() {
+		b.Run(scheme, func(b *testing.B) {
+			pool := mem.NewPool[benchNode](mem.Config{Name: "bench"})
+			d, err := reclaim.New(scheme, reclaim.Config{
+				Workers: 4, HPs: 2, Free: func(r mem.Ref) { pool.Free(r) },
+				Q: 32, R: 64,
+				Rooster: rooster.Config{Interval: 2 * time.Millisecond},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+			r, _ := pool.Alloc()
+			defer pool.Free(r)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g, err := d.Acquire()
+				if err != nil {
+					b.Fatal(err)
+				}
+				g.Begin()
+				g.Protect(0, r)
+				g.ClearHPs()
+				d.Release(g)
+			}
+		})
+	}
+}

@@ -4,12 +4,18 @@
 // vs HP). Results print as aligned tables with §7.3-style overhead
 // summaries and can be written to CSV.
 //
+// It also hosts the leasing follow-up experiment: -experiment
+// leasevspinned runs each scheme twice over the same workload — pinned
+// positional guards vs short Acquire/Release leases — and reports the
+// lease overhead and its epoch-advance interaction.
+//
 // Examples:
 //
 //	qsense-bench -figure 3
 //	qsense-bench -figure 5top -ds skiplist -threads 1,2,4,8 -duration 2s
 //	qsense-bench -figure 5top -ds bst -paper   # full 2M-key BST
 //	qsense-bench -ds list -schemes qsbr,qsense -updates 30 -range 512
+//	qsense-bench -experiment leasevspinned -ds list -threads 8 -leaseevery 1
 package main
 
 import (
@@ -26,22 +32,33 @@ import (
 
 func main() {
 	var (
-		figure   = flag.String("figure", "", `preset: "3" or "5top" (overrides ds/schemes/updates/range)`)
-		ds       = flag.String("ds", "list", "data structure: list, skiplist, bst")
-		schemes  = flag.String("schemes", "none,qsbr,qsense,hp", "comma-separated schemes")
-		threads  = flag.String("threads", "1,2,4,8", "comma-separated worker counts (paper: 1..32)")
-		duration = flag.Duration("duration", time.Second, "measurement time per point")
-		updates  = flag.Int("updates", 50, "update percentage (rest are searches)")
-		keyRange = flag.Int64("range", 0, "key range (0 = the figure's default)")
-		paper    = flag.Bool("paper", false, "use the paper's full parameters (2M-key BST)")
-		csvPath  = flag.String("csv", "", "also write results to this CSV file")
-		seed     = flag.Uint64("seed", 1, "workload seed")
+		figure     = flag.String("figure", "", `preset: "3" or "5top" (overrides ds/schemes/updates/range)`)
+		ds         = flag.String("ds", "list", "data structure: list, skiplist, bst")
+		schemes    = flag.String("schemes", "none,qsbr,qsense,hp", "comma-separated schemes")
+		threads    = flag.String("threads", "1,2,4,8", "comma-separated worker counts (paper: 1..32)")
+		duration   = flag.Duration("duration", time.Second, "measurement time per point")
+		updates    = flag.Int("updates", 50, "update percentage (rest are searches)")
+		keyRange   = flag.Int64("range", 0, "key range (0 = the figure's default)")
+		paper      = flag.Bool("paper", false, "use the paper's full parameters (2M-key BST)")
+		csvPath    = flag.String("csv", "", "also write results to this CSV file")
+		seed       = flag.Uint64("seed", 1, "workload seed")
+		experiment = flag.String("experiment", "", `extra experiment: "leasevspinned"`)
+		leaseEvery = flag.Int("leaseevery", 1, "leasevspinned: 64-op batches per lease (1 = re-lease every batch)")
 	)
 	flag.Parse()
 
 	workers, err := parseInts(*threads)
 	if err != nil {
 		fatal(err)
+	}
+
+	switch *experiment {
+	case "leasevspinned":
+		runLeaseVsPinned(*ds, *schemes, workers, *leaseEvery, *keyRange, *paper, *duration, *seed)
+		return
+	case "":
+	default:
+		fatal(fmt.Errorf("unknown experiment %q (want leasevspinned)", *experiment))
 	}
 
 	var sc harness.ScalabilityConfig
@@ -86,6 +103,29 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *csvPath)
+	}
+}
+
+// runLeaseVsPinned drives the leased-vs-pinned comparison at each worker
+// count and prints a per-scheme summary table.
+func runLeaseVsPinned(ds, schemes string, workers []int, leaseEvery int, keyRange int64, paper bool, duration time.Duration, seed uint64) {
+	if keyRange <= 0 {
+		keyRange = defaultRange(ds, paper)
+	}
+	fmt.Printf("qsense-bench leasevspinned: %s, %d keys, 50%% updates, lease every %d batch(es) of 64 ops, %v per run, GOMAXPROCS=%d\n",
+		ds, keyRange, leaseEvery, duration, runtime.GOMAXPROCS(0))
+	for _, w := range workers {
+		fmt.Printf("-- %d workers --\n", w)
+		results, err := harness.RunLeaseVsPinned(ds, strings.Split(schemes, ","), w, leaseEvery, keyRange, duration, seed, os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range results {
+			if r.Leased.Reclaim.AcquiredHandles != r.Leased.Reclaim.ReleasedHandles {
+				fmt.Printf("WARNING: %s leaked %d leases\n", r.Scheme,
+					r.Leased.Reclaim.AcquiredHandles-r.Leased.Reclaim.ReleasedHandles)
+			}
+		}
 	}
 }
 

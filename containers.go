@@ -72,16 +72,19 @@ type setCore struct {
 	// hot path allocates no structure state (for SkipSet that includes
 	// its preds/succs buffers). Slot w's guard is a stable object, so the
 	// cached handle's guard binding stays correct across tenants; access
-	// to handles[w] is exclusive to the slot's current owner, ordered by
-	// the slot pool's lease/release atomics.
-	handles []setOps
+	// to an entry is exclusive to the slot's current owner, ordered by
+	// the slot pool's lease/release atomics. The table is segmented like
+	// the guard arena itself, so it covers slots minted by elastic
+	// growth.
+	handles *reclaim.SlotTable[setOps]
 
 	mu     sync.Mutex
 	legacy []SetHandle // lazily built positional handles (pinned slots)
 }
 
-// Acquire leases a handle for the calling goroutine. Returns ErrNoSlots
-// when all Options.MaxWorkers slots are in use; AcquireWait blocks instead.
+// Acquire leases a handle for the calling goroutine, growing the guard
+// arena when all slots are in use. It returns ErrNoSlots only at an
+// Options.HardMaxWorkers cap; AcquireWait blocks there instead.
 func (c *setCore) Acquire() (SetHandle, error) {
 	g, err := c.d.Acquire()
 	if err != nil {
@@ -110,21 +113,26 @@ func (c *setCore) wrap(g reclaim.Guard) SetHandle {
 // exactly as the positional path always did.
 func (c *setCore) structureFor(g reclaim.Guard) setOps {
 	w := reclaim.SlotIndex(g)
-	h := c.handles[w]
-	if h == nil {
-		h = c.mk(g, uint64(w)+1)
-		c.handles[w] = h
+	p := c.handles.Get(w)
+	if *p == nil {
+		*p = c.mk(g, uint64(w)+1)
 	}
-	return h
+	return *p
 }
 
-// Handle returns worker w's handle (0 <= w < Options.MaxWorkers), pinning
-// slot w permanently: it never returns to the Acquire pool.
+// Handle returns worker w's handle, pinning slot w permanently: it never
+// returns to the Acquire pool. The positional range is the INITIAL arena
+// only — 0 <= w < Options.Workers when set, else MaxWorkers (clamped to
+// any smaller HardMaxWorkers); slots minted by elastic growth belong to
+// Acquire. Out-of-range w panics.
 //
 // Deprecated: positional handles exist for fixed-worker callers that need
 // deterministic worker↔slot assignment. New code should use Acquire and
 // Release.
 func (c *setCore) Handle(w int) SetHandle {
+	if w < 0 || w >= c.arena {
+		panic("qsense: positional Handle(w) outside the initial arena — set Options.Workers to size the positional range")
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.legacy == nil {
@@ -148,7 +156,10 @@ func newSetCore(opts Options, hps int, free func(Ref), mk func(g reclaim.Guard, 
 	if err != nil {
 		return nil, err
 	}
-	return &setCore{d: d.d, arena: opts.arena(), mk: mk, handles: make([]setOps, opts.arena())}, nil
+	return &setCore{
+		d: d.d, arena: opts.arena(), mk: mk,
+		handles: reclaim.NewSlotTable[setOps](opts.arena(), opts.HardMaxWorkers),
+	}, nil
 }
 
 func withHPs(opts Options, hps int) Options {
@@ -248,7 +259,7 @@ type Queue struct {
 	d reclaim.Domain
 
 	mu      sync.Mutex
-	handles []*queue.Handle // per-slot structure handles (see setCore.handles)
+	handles *reclaim.SlotTable[*queue.Handle] // per-slot structure handles (see setCore.handles)
 }
 
 // NewQueue builds a queue wired to a reclamation domain.
@@ -258,7 +269,7 @@ func NewQueue(opts Options) (*Queue, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Queue{q: q, d: d.d, handles: make([]*queue.Handle, opts.arena())}, nil
+	return &Queue{q: q, d: d.d, handles: reclaim.NewSlotTable[*queue.Handle](opts.arena(), opts.HardMaxWorkers)}, nil
 }
 
 // QueueHandle is a goroutine's leased view of a Queue. A handle must be
@@ -307,14 +318,15 @@ func (q *Queue) AcquireWait(ctx context.Context) (QueueHandle, error) {
 // structureFor returns slot g's cached queue handle (slot-owner exclusive;
 // see setCore.handles for the ordering argument).
 func (q *Queue) structureFor(g reclaim.Guard) *queue.Handle {
-	w := reclaim.SlotIndex(g)
-	if q.handles[w] == nil {
-		q.handles[w] = q.q.NewHandle(g)
+	p := q.handles.Get(reclaim.SlotIndex(g))
+	if *p == nil {
+		*p = q.q.NewHandle(g)
 	}
-	return q.handles[w]
+	return *p
 }
 
-// Handle returns worker w's handle, pinning slot w permanently.
+// Handle returns worker w's handle, pinning slot w permanently. w must lie
+// in the initial arena (see setCore.Handle); out-of-range w panics.
 //
 // Deprecated: use Acquire and Release.
 func (q *Queue) Handle(w int) QueueHandle {
@@ -338,7 +350,7 @@ type Stack struct {
 	d reclaim.Domain
 
 	mu      sync.Mutex
-	handles []*stack.Handle // per-slot structure handles (see setCore.handles)
+	handles *reclaim.SlotTable[*stack.Handle] // per-slot structure handles (see setCore.handles)
 }
 
 // NewStack builds a stack wired to a reclamation domain.
@@ -348,7 +360,7 @@ func NewStack(opts Options) (*Stack, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Stack{s: s, d: d.d, handles: make([]*stack.Handle, opts.arena())}, nil
+	return &Stack{s: s, d: d.d, handles: reclaim.NewSlotTable[*stack.Handle](opts.arena(), opts.HardMaxWorkers)}, nil
 }
 
 // StackHandle is a goroutine's leased view of a Stack. A handle must be
@@ -397,14 +409,15 @@ func (s *Stack) AcquireWait(ctx context.Context) (StackHandle, error) {
 // structureFor returns slot g's cached stack handle (slot-owner exclusive;
 // see setCore.handles for the ordering argument).
 func (s *Stack) structureFor(g reclaim.Guard) *stack.Handle {
-	w := reclaim.SlotIndex(g)
-	if s.handles[w] == nil {
-		s.handles[w] = s.s.NewHandle(g)
+	p := s.handles.Get(reclaim.SlotIndex(g))
+	if *p == nil {
+		*p = s.s.NewHandle(g)
 	}
-	return s.handles[w]
+	return *p
 }
 
-// Handle returns worker w's handle, pinning slot w permanently.
+// Handle returns worker w's handle, pinning slot w permanently. w must lie
+// in the initial arena (see setCore.Handle); out-of-range w panics.
 //
 // Deprecated: use Acquire and Release.
 func (s *Stack) Handle(w int) StackHandle {

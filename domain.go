@@ -86,7 +86,9 @@ func (p *Pool[T]) FreeFunc() func(Ref) { return func(r Ref) { p.p.Free(mem.Ref(r
 
 // Domain manages safe memory reclamation for one custom structure. Create
 // with NewDomain; each goroutine leases a Guard with Acquire and returns it
-// with Release when done — up to Options.MaxWorkers concurrent leases.
+// with Release when done. The guard arena starts at Options.MaxWorkers and
+// grows on demand, so concurrent leases are unbounded unless
+// Options.HardMaxWorkers caps them.
 type Domain struct {
 	d reclaim.Domain
 }
@@ -107,11 +109,13 @@ func NewDomain(opts Options, free func(Ref)) (*Domain, error) {
 	return &Domain{d: d}, nil
 }
 
-// Acquire leases a guard slot to the calling goroutine. The scheme's join
-// path runs underneath (epoch adoption, aged-limbo reclamation), so guards
-// recycled from earlier workers resume cleanly. Returns ErrNoSlots when all
-// Options.MaxWorkers slots are in use; callers may retry after another
-// goroutine Releases, or use AcquireWait to block instead.
+// Acquire leases a guard slot to the calling goroutine, growing the
+// domain's arena when every slot is in use — by default it does not fail.
+// The scheme's join path runs underneath (epoch adoption, aged-limbo
+// reclamation), so guards recycled from earlier workers resume cleanly.
+// With Options.HardMaxWorkers set it returns ErrNoSlots at the cap;
+// callers may then retry after another goroutine Releases, or use
+// AcquireWait to block instead.
 func (d *Domain) Acquire() (Guard, error) {
 	g, err := d.d.Acquire()
 	if err != nil {
@@ -120,10 +124,12 @@ func (d *Domain) Acquire() (Guard, error) {
 	return Guard{g: g, d: d.d, released: new(atomic.Bool)}, nil
 }
 
-// AcquireWait is Acquire that blocks while every slot is leased: the caller
-// parks on the domain's waiter channel and is woken by the next Release —
-// no ErrNoSlots retry loop needed. It returns ctx.Err() if ctx is done
-// before a slot frees; with context.Background() it waits indefinitely.
+// AcquireWait is Acquire that blocks while the arena is exhausted at an
+// Options.HardMaxWorkers cap: the caller parks on the domain's waiter
+// channel and is woken by the next Release — no ErrNoSlots retry loop
+// needed. It returns ctx.Err() if ctx is done before a slot frees; with
+// context.Background() it waits indefinitely. On an elastic domain (no
+// hard cap) it behaves exactly like Acquire — growth preempts waiting.
 func (d *Domain) AcquireWait(ctx context.Context) (Guard, error) {
 	g, err := d.d.AcquireWait(ctx)
 	if err != nil {
@@ -132,9 +138,12 @@ func (d *Domain) AcquireWait(ctx context.Context) (Guard, error) {
 	return Guard{g: g, d: d.d, released: new(atomic.Bool)}, nil
 }
 
-// Guard returns worker w's guard (0 <= w < Options.MaxWorkers), pinning
-// slot w permanently: it never returns to the Acquire pool. Each guard must
-// be used by one goroutine at a time.
+// Guard returns worker w's guard, pinning slot w permanently: it never
+// returns to the Acquire pool. The positional range is the INITIAL arena
+// only — 0 <= w < Options.Workers when set, else MaxWorkers (clamped to
+// any smaller HardMaxWorkers); slots minted by elastic growth belong to
+// Acquire, and out-of-range w panics. Each guard must be used by one
+// goroutine at a time.
 //
 // Deprecated: positional guards exist for fixed-worker callers that need
 // deterministic worker↔slot assignment (the experiment harness). New code

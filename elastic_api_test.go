@@ -1,0 +1,222 @@
+package qsense_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"qsense"
+)
+
+// TestElasticAcquireNeverFails is the acceptance criterion of the elastic
+// redesign: with DEFAULT Options, Acquire never returns ErrNoSlots even
+// when 10,000 goroutines hold handles at once — the guard arena grows on
+// demand (ArenaGrowths > 0), every goroutine gets a distinct live slot
+// (HighWaterWorkers reaches the population), and the domain still
+// reclaims and recycles cleanly afterwards.
+func TestElasticAcquireNeverFails(t *testing.T) {
+	goroutines := 10000
+	if testing.Short() {
+		goroutines = 2000
+	}
+	set, err := qsense.NewSet(qsense.Options{}) // all defaults: elastic QSense
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+
+	var failures atomic.Uint64
+	var wg, holding sync.WaitGroup
+	holding.Add(goroutines)
+	allHeld := make(chan struct{})
+	go func() { holding.Wait(); close(allHeld) }()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h, err := set.Acquire()
+			holding.Done()
+			if err != nil {
+				failures.Add(1)
+				return
+			}
+			defer h.Release()
+			// Barrier: nobody releases until every goroutine holds a
+			// handle, so the domain really carries `goroutines` leases at
+			// once — growth MUST engage whatever GOMAXPROCS is.
+			<-allHeld
+			rng := uint64(g)*0x9E3779B9 + 1
+			for i := 0; i < 8; i++ {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				k := int64(rng>>33)%1024 + 1
+				switch rng % 4 {
+				case 0:
+					h.Insert(k)
+				case 1:
+					h.Delete(k)
+				default:
+					h.Contains(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d of %d Acquires failed on a default (elastic) domain", n, goroutines)
+	}
+	st := set.Stats()
+	if st.AcquiredHandles != uint64(goroutines) || st.ReleasedHandles != uint64(goroutines) {
+		t.Fatalf("lease counters %d/%d, want %d/%d",
+			st.AcquiredHandles, st.ReleasedHandles, goroutines, goroutines)
+	}
+	if st.ArenaGrowths == 0 {
+		t.Fatalf("%d concurrent leases never grew the arena: %+v", goroutines, st)
+	}
+	if st.HighWaterWorkers > st.ArenaSize {
+		t.Fatalf("HighWaterWorkers %d exceeds ArenaSize %d", st.HighWaterWorkers, st.ArenaSize)
+	}
+	if st.HighWaterWorkers != goroutines {
+		t.Fatalf("HighWaterWorkers = %d, want %d (every goroutine held a slot at the barrier)",
+			st.HighWaterWorkers, goroutines)
+	}
+	set.Close()
+	if st := set.Stats(); st.Pending != 0 {
+		t.Fatalf("pending after Close: %+v", st)
+	}
+}
+
+// TestHardMaxBackpressurePublic: with Options.HardMaxWorkers the
+// pre-elastic semantics hold through the public API — ErrNoSlots at the
+// cap, AcquireWait parking until Release, context cancellation honored.
+func TestHardMaxBackpressurePublic(t *testing.T) {
+	set, err := qsense.NewSet(qsense.Options{MaxWorkers: 2, HardMaxWorkers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+
+	var held []qsense.SetHandle
+	for i := 0; i < 3; i++ {
+		h, err := set.Acquire()
+		if err != nil {
+			t.Fatalf("acquire %d below the cap: %v", i, err)
+		}
+		held = append(held, h)
+	}
+	if _, err := set.Acquire(); !errors.Is(err, qsense.ErrNoSlots) {
+		t.Fatalf("acquire past HardMaxWorkers: err = %v, want ErrNoSlots", err)
+	}
+	if st := set.Stats(); st.ArenaSize != 3 || st.HighWaterWorkers != 3 {
+		t.Fatalf("arena/highwater = %d/%d, want 3/3", st.ArenaSize, st.HighWaterWorkers)
+	}
+
+	got := make(chan qsense.SetHandle)
+	go func() {
+		h, err := set.AcquireWait(context.Background())
+		if err != nil {
+			t.Error(err)
+		}
+		got <- h
+	}()
+	select {
+	case <-got:
+		t.Fatal("AcquireWait returned at the hard cap")
+	case <-time.After(20 * time.Millisecond):
+	}
+	held[0].Release()
+	select {
+	case h := <-got:
+		h.Release()
+	case <-time.After(2 * time.Second):
+		t.Fatal("AcquireWait not woken by Release")
+	}
+	for _, h := range held[1:] {
+		h.Release()
+	}
+}
+
+// TestHardCapBelowInitial: a hard cap below MaxWorkers lowers the initial
+// arena to the cap rather than erroring or exceeding it.
+func TestHardCapBelowInitial(t *testing.T) {
+	set, err := qsense.NewSet(qsense.Options{MaxWorkers: 8, HardMaxWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	a, err1 := set.Acquire()
+	b, err2 := set.Acquire()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("acquires below cap: %v / %v", err1, err2)
+	}
+	if _, err := set.Acquire(); !errors.Is(err, qsense.ErrNoSlots) {
+		t.Fatalf("err = %v, want ErrNoSlots at cap 2", err)
+	}
+	if st := set.Stats(); st.ArenaSize != 2 {
+		t.Fatalf("ArenaSize = %d, want 2 (cap wins over MaxWorkers)", st.ArenaSize)
+	}
+	a.Release()
+	b.Release()
+}
+
+// TestDeprecatedWorkersBeatsHardCap: a legacy fixed-worker caller adding a
+// smaller HardMaxWorkers must keep its positional handles in range — the
+// Workers contract raises the cap rather than shrinking the arena under it.
+func TestDeprecatedWorkersBeatsHardCap(t *testing.T) {
+	set, err := qsense.NewSet(qsense.Options{Workers: 3, HardMaxWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	for w := 0; w < 3; w++ {
+		h := set.Handle(w) // must not panic: slots [0,3) exist
+		h.Insert(int64(w))
+	}
+	if st := set.Stats(); st.ArenaSize != 3 {
+		t.Fatalf("ArenaSize = %d, want 3 (Workers wins over the smaller cap)", st.ArenaSize)
+	}
+	if _, err := set.Acquire(); !errors.Is(err, qsense.ErrNoSlots) {
+		t.Fatalf("err = %v, want ErrNoSlots (all slots pinned, cap raised to Workers)", err)
+	}
+}
+
+// TestPositionalHandleOutsideInitialArenaPanics: with a hard cap below
+// MaxWorkers the initial arena shrinks to the cap, and a positional
+// Handle(w) beyond it must fail loudly with the contract in the message
+// rather than an opaque index panic.
+func TestPositionalHandleOutsideInitialArenaPanics(t *testing.T) {
+	set, err := qsense.NewSet(qsense.Options{MaxWorkers: 8, HardMaxWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Handle(4) beyond the 2-slot initial arena did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "positional Handle") {
+			t.Fatalf("panic %v does not explain the positional contract", r)
+		}
+	}()
+	set.Handle(4)
+}
+
+// TestDeprecatedWorkersAloneSizesArenaExactly: Options{Workers: N} with
+// nothing else set must produce an arena of exactly N — the paper's fixed
+// N, whose C legality and memory bounds a legacy caller computed — not the
+// machine default.
+func TestDeprecatedWorkersAloneSizesArenaExactly(t *testing.T) {
+	set, err := qsense.NewSet(qsense.Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	if st := set.Stats(); st.ArenaSize != 3 {
+		t.Fatalf("ArenaSize = %d with Workers=3 alone, want exactly 3", st.ArenaSize)
+	}
+}

@@ -32,8 +32,12 @@ const (
 
 func main() {
 	book := skiplist.New(skiplist.Config{Levels: 14})
+	// Workers is only the INITIAL arena size: it is deliberately set below
+	// the goroutine count here, so the run demonstrates elastic growth —
+	// the extra workers' Acquires publish new guard segments on demand
+	// (watch ArenaSize/ArenaGrowths in the final stats) instead of failing.
 	dom, err := reclaim.New("qsense", reclaim.Config{
-		Workers: workers,
+		Workers: 2,
 		HPs:     skiplist.HPsFor(book.Levels()),
 		Free:    book.FreeNode,
 	})
@@ -46,9 +50,9 @@ func main() {
 	var wg sync.WaitGroup
 	worker := func(id int, body func(h *skiplist.Handle, rng *workload.RNG)) {
 		defer wg.Done()
-		g, err := dom.Acquire() // lease a guard slot for this goroutine
+		g, err := dom.Acquire() // lease a guard slot; the arena grows on demand
 		if err != nil {
-			panic(err) // ≤ `workers` goroutines run at once, so slots suffice
+			panic(err) // unreachable: no HardMaxWorkers cap is set
 		}
 		defer dom.Release(g)
 		h := book.NewHandle(g, uint64(id+1))
@@ -98,6 +102,8 @@ func main() {
 	fmt.Printf("  memory: %d nodes allocated, %d freed, %d live\n", pst.Allocs, pst.Frees, pst.Live)
 	fmt.Printf("  reclamation: retired %d, freed %d online, pending %d, quiescent states %d\n",
 		st.Retired, st.Freed, st.Pending, st.QuiescentStates)
+	fmt.Printf("  guard arena: started at 2 slots, grew %d time(s) to %d (peak %d workers leased at once)\n",
+		st.ArenaGrowths, st.ArenaSize, st.HighWaterWorkers)
 
 	dom.Close()
 	if got, want := book.Pool().Stats().Live, uint64(open+2); got != want {

@@ -5,6 +5,13 @@
 // domain recycles deleted nodes safely underneath and recycles the guard
 // slots themselves between goroutines.
 //
+// This example deliberately sets HardMaxWorkers, making it the
+// backpressure demo: the cap turns AcquireWait into an admission
+// controller that parks goroutines beyond the limit until a slot frees.
+// Omit HardMaxWorkers (the default) and the domain is elastic instead —
+// the arena grows on demand, plain Acquire never fails, and no goroutine
+// ever waits; see examples/workqueue and examples/kvstore for that shape.
+//
 // Under the hood this is the paper's three-call interface (§4.2) —
 // manage_qsense_state / assign_HP / free_node_later — already placed
 // inside the container's code; an application only picks a scheme and
@@ -27,20 +34,22 @@ import (
 
 func main() {
 	const (
-		maxWorkers = 4  // concurrent leases; goroutines beyond this park
+		maxWorkers = 4  // hard cap on concurrent leases; goroutines beyond this park
 		goroutines = 64 // total short-lived workers across the run
 	)
 
 	set, err := qsense.NewSet(qsense.Options{
-		MaxWorkers: maxWorkers,
-		Scheme:     qsense.SchemeQSense,
+		MaxWorkers:     maxWorkers,
+		HardMaxWorkers: maxWorkers, // cap growth: this demo wants backpressure
+		Scheme:         qsense.SchemeQSense,
 	})
 	if err != nil {
 		panic(err)
 	}
 
-	// AcquireWait parks goroutines beyond maxWorkers until a slot frees —
-	// no semaphore or retry loop needed around the lease.
+	// AcquireWait parks goroutines beyond the hard cap until a slot frees —
+	// no semaphore or retry loop needed around the lease. (Without the cap
+	// the arena would simply grow and nobody would wait.)
 	var wg sync.WaitGroup
 	for w := 0; w < goroutines; w++ {
 		wg.Add(1)

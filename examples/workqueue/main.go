@@ -40,20 +40,22 @@ func main() {
 
 	// The payload substrate: pool + reclamation domain. One hazard
 	// pointer per worker is enough (a consumer holds one task at a time).
+	// No MaxWorkers sizing: domains are elastic, so Acquire below simply
+	// grows the guard arena if the stage count ever exceeds the initial
+	// size — no capacity guess, no AcquireWait loop, no semaphore.
 	pool := qsense.NewPool[task](qsense.PoolOptions{Name: "tasks"})
 	dom, err := qsense.NewDomain(qsense.Options{
-		MaxWorkers: workers,
-		HPs:        1,
-		Scheme:     qsense.SchemeQSense,
-		Q:          8,
-		C:          4096, // fallback trigger: must exceed the healthy burst backlog (§5.2)
+		HPs:    1,
+		Scheme: qsense.SchemeQSense,
+		Q:      8,
+		C:      4096, // fallback trigger: must exceed the healthy burst backlog (§5.2)
 	}, pool.FreeFunc())
 	if err != nil {
 		panic(err)
 	}
 
 	// The conveyor: task Refs travel through the lock-free queue.
-	q, err := qsense.NewQueue(qsense.Options{MaxWorkers: workers})
+	q, err := qsense.NewQueue(qsense.Options{})
 	if err != nil {
 		panic(err)
 	}
@@ -67,7 +69,7 @@ func main() {
 			defer wg.Done()
 			g, err := dom.Acquire() // lease a guard for this goroutine's lifetime
 			if err != nil {
-				panic(err)
+				panic(err) // unreachable on an elastic domain
 			}
 			defer g.Release()
 			qh, err := q.Acquire()

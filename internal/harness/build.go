@@ -13,8 +13,10 @@ import (
 // builtSet bundles a constructed data structure with its reclamation domain
 // and per-worker handles.
 type builtSet struct {
-	handles     []SetHandle
+	handles     []SetHandle // pinned positional handles (nil when cfg.Leased)
 	dom         reclaim.Domain
+	mkHandle    func(g reclaim.Guard, w int) SetHandle
+	cache       *reclaim.SlotTable[SetHandle] // per-slot handles for leased mode
 	poolLive    func() uint64
 	closeDomain func()
 	closed      bool
@@ -24,6 +26,18 @@ func (b *builtSet) close() {
 	if !b.closed {
 		b.closeDomain()
 	}
+}
+
+// leasedHandle returns the slot-cached structure handle for a leased guard,
+// building it on the slot's first lease (same per-slot caching as the
+// public containers: slot ownership serializes access to one entry).
+func (b *builtSet) leasedHandle(g reclaim.Guard) SetHandle {
+	w := reclaim.SlotIndex(g)
+	p := b.cache.Get(w)
+	if *p == nil {
+		*p = b.mkHandle(g, w)
+	}
+	return *p
 }
 
 // DataStructures lists the structures of the paper's evaluation (§7), in
@@ -54,11 +68,13 @@ func HPsForDS(ds string, skipLevels int) (int, error) {
 // handles bound to the domain's guards — the integration pattern from the
 // paper's Appendix B.
 //
-// The harness deliberately stays on the deprecated positional Guard(w)
-// accessor rather than Acquire/Release: the paper's experiments assume a
-// fixed worker↔slot assignment (delay plans target worker 0, per-worker
-// series are reported by index), and pinning keeps runs reproducible.
-// Dynamic leasing is exercised by the lease stress tests instead.
+// Two handle modes exist. The default stays on the deprecated positional
+// Guard(w) accessor: the paper's experiments assume a fixed worker↔slot
+// assignment (delay plans target worker 0, per-worker series are reported
+// by index), and pinning keeps runs reproducible. With cfg.Leased the
+// workers instead lease guards with Acquire/Release on a short cadence —
+// the leasevspinned experiment measuring the lease overhead and its
+// epoch-advance interaction.
 func buildSet(cfg *Config) (*builtSet, error) {
 	rc := cfg.Reclaim
 	rc.Workers = cfg.Workers
@@ -74,60 +90,44 @@ func buildSet(cfg *Config) (*builtSet, error) {
 		rc.MaxRemovePerOp = 1
 	}
 
-	b := &builtSet{handles: make([]SetHandle, cfg.Workers)}
+	b := &builtSet{}
 	switch cfg.DS {
 	case "list":
 		l := list.New(list.Config{})
 		rc.Free = l.FreeNode
-		dom, err := reclaim.New(cfg.Scheme, rc)
-		if err != nil {
-			return nil, err
-		}
-		for i := range b.handles {
-			b.handles[i] = l.NewHandle(dom.Guard(i))
-		}
-		b.dom = dom
+		b.mkHandle = func(g reclaim.Guard, _ int) SetHandle { return l.NewHandle(g) }
 		b.poolLive = func() uint64 { return l.Pool().Stats().Live }
 	case "skiplist":
 		s := skiplist.New(skiplist.Config{Levels: cfg.SkipLevels})
 		rc.Free = s.FreeNode
-		dom, err := reclaim.New(cfg.Scheme, rc)
-		if err != nil {
-			return nil, err
-		}
-		for i := range b.handles {
-			b.handles[i] = s.NewHandle(dom.Guard(i), cfg.Seed+uint64(i)+1)
-		}
-		b.dom = dom
+		b.mkHandle = func(g reclaim.Guard, w int) SetHandle { return s.NewHandle(g, cfg.Seed+uint64(w)+1) }
 		b.poolLive = func() uint64 { return s.Pool().Stats().Live }
 	case "bst":
 		t := bst.New(bst.Config{})
 		rc.Free = t.FreeNode
-		dom, err := reclaim.New(cfg.Scheme, rc)
-		if err != nil {
-			return nil, err
-		}
-		for i := range b.handles {
-			b.handles[i] = t.NewHandle(dom.Guard(i))
-		}
-		b.dom = dom
+		b.mkHandle = func(g reclaim.Guard, _ int) SetHandle { return t.NewHandle(g) }
 		b.poolLive = func() uint64 { return t.Pool().Stats().Live }
 	case "hashmap":
 		m := hashmap.New(hashmap.Config{})
 		rc.Free = m.FreeNode
-		dom, err := reclaim.New(cfg.Scheme, rc)
-		if err != nil {
-			return nil, err
-		}
-		for i := range b.handles {
-			b.handles[i] = m.NewHandle(dom.Guard(i))
-		}
-		b.dom = dom
+		b.mkHandle = func(g reclaim.Guard, _ int) SetHandle { return m.NewHandle(g) }
 		b.poolLive = func() uint64 { return m.Pool().Stats().Live }
 	default:
 		return nil, fmt.Errorf("harness: unknown data structure %q", cfg.DS)
 	}
-	dom := b.dom
+	dom, err := reclaim.New(cfg.Scheme, rc)
+	if err != nil {
+		return nil, err
+	}
+	b.dom = dom
+	if cfg.Leased {
+		b.cache = reclaim.NewSlotTable[SetHandle](rc.Workers, rc.HardMaxWorkers)
+	} else {
+		b.handles = make([]SetHandle, cfg.Workers)
+		for i := range b.handles {
+			b.handles[i] = b.mkHandle(dom.Guard(i), i)
+		}
+	}
 	b.closeDomain = func() {
 		if !b.closed {
 			b.closed = true

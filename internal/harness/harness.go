@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -35,6 +36,17 @@ type Config struct {
 	// Reclaim carries scheme tuning (Q, R, C, rooster interval,
 	// MemoryLimit...). Workers, HPs and Free are filled by the harness.
 	Reclaim reclaim.Config
+
+	// Leased switches workers from pinned positional guards to
+	// Acquire/Release leases recycled every LeaseEvery op batches — the
+	// leasevspinned experiment. Delay injection stalls the worker while
+	// unleased (a parked goroutine holds no slot), so the stall measures
+	// the schemes with the stalled worker OUT of the protocol, where the
+	// pinned mode measures it IN.
+	Leased bool
+	// LeaseEvery is how many 64-op batches a leased worker runs per
+	// lease. Default 1: maximal lease churn.
+	LeaseEvery int
 
 	// SkipLevels sets the skip list height (default 16).
 	SkipLevels int
@@ -94,7 +106,16 @@ func Run(cfg Config) (Result, error) {
 	defer set.close()
 
 	if !cfg.NoFill {
-		fill(set.handles[0], cfg.KeyRange, cfg.Seed)
+		if cfg.Leased {
+			g, err := set.dom.Acquire()
+			if err != nil {
+				return Result{}, err
+			}
+			fill(set.leasedHandle(g), cfg.KeyRange, cfg.Seed)
+			set.dom.Release(g)
+		} else {
+			fill(set.handles[0], cfg.KeyRange, cfg.Seed)
+		}
 	}
 
 	ops := make([]padCounter, cfg.Workers)
@@ -146,6 +167,10 @@ func Run(cfg Config) (Result, error) {
 // delay plan and the failure flag once per small batch so the hot path
 // stays just the data structure operation.
 func runWorker(cfg *Config, set *builtSet, w int, opCount *atomic.Uint64, stop *atomic.Bool, failedAt *atomic.Int64, start time.Time) {
+	if cfg.Leased {
+		runWorkerLeased(cfg, set, w, opCount, stop, failedAt, start)
+		return
+	}
 	h := set.handles[w]
 	rng := workload.NewRNG(cfg.Seed + uint64(w)*7919 + 1)
 	mix := workload.Mix{UpdatePct: cfg.UpdatePct}
@@ -168,21 +193,76 @@ func runWorker(cfg *Config, set *builtSet, w int, opCount *atomic.Uint64, stop *
 			failedAt.CompareAndSwap(0, int64(time.Since(start)))
 			return
 		}
-		for i := 0; i < batch; i++ {
-			k := rng.Key(cfg.KeyRange)
-			switch mix.Choose(rng.Next()) {
-			case workload.OpSearch:
-				h.Contains(k)
-			case workload.OpInsert:
-				h.Insert(k)
-			case workload.OpDelete:
-				h.Delete(k)
-			}
-			local++
-		}
+		local = runBatch(h, rng, mix, cfg.KeyRange, local)
 		opCount.Store(local)
 	}
 	opCount.Store(local)
+}
+
+// runWorkerLeased is runWorker in leased mode: the worker Acquires a guard,
+// runs LeaseEvery batches through the slot's cached handle, and Releases —
+// so the run pays one lease/release pair (plus the scheme's join and drain
+// paths) every LeaseEvery*64 operations, and the epoch machinery sees the
+// worker appear and disappear at that cadence.
+func runWorkerLeased(cfg *Config, set *builtSet, w int, opCount *atomic.Uint64, stop *atomic.Bool, failedAt *atomic.Int64, start time.Time) {
+	rng := workload.NewRNG(cfg.Seed + uint64(w)*7919 + 1)
+	mix := workload.Mix{UpdatePct: cfg.UpdatePct}
+	leaseEvery := cfg.LeaseEvery
+	if leaseEvery <= 0 {
+		leaseEvery = 1
+	}
+	local := uint64(0)
+	for !stop.Load() {
+		// Delay injection happens between leases: a parked goroutine
+		// holds no slot, so the stall exercises the schemes with the
+		// stalled worker fully OUT of the protocol.
+		if cfg.Delays != nil && cfg.Delays.Worker == w {
+			if stalled, until := cfg.Delays.StalledAt(time.Since(start)); stalled {
+				for time.Since(start) < until && !stop.Load() {
+					time.Sleep(time.Millisecond)
+				}
+				continue
+			}
+		}
+		if set.dom.Failed() {
+			failedAt.CompareAndSwap(0, int64(time.Since(start)))
+			return
+		}
+		// AcquireWait, not Acquire: a leased run against a hard-capped
+		// domain should queue at the cap (the backpressure semantics),
+		// not silently drop workers from the measurement. The background
+		// context never cancels, so err is impossible — fail loudly
+		// rather than deflate Ops if that ever changes.
+		g, err := set.dom.AcquireWait(context.Background())
+		if err != nil {
+			panic(fmt.Sprintf("harness: leased worker lost its guard: %v", err))
+		}
+		h := set.leasedHandle(g)
+		for b := 0; b < leaseEvery && !stop.Load(); b++ {
+			local = runBatch(h, rng, mix, cfg.KeyRange, local)
+			opCount.Store(local)
+		}
+		set.dom.Release(g)
+	}
+	opCount.Store(local)
+}
+
+// runBatch runs one 64-op batch and returns the updated local op count.
+func runBatch(h SetHandle, rng *workload.RNG, mix workload.Mix, keyRange int64, local uint64) uint64 {
+	const batch = 64
+	for i := 0; i < batch; i++ {
+		k := rng.Key(keyRange)
+		switch mix.Choose(rng.Next()) {
+		case workload.OpSearch:
+			h.Contains(k)
+		case workload.OpInsert:
+			h.Insert(k)
+		case workload.OpDelete:
+			h.Delete(k)
+		}
+		local++
+	}
+	return local
 }
 
 // sampleLoop records throughput at cfg.SampleEvery until cfg.Duration.

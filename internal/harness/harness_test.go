@@ -269,3 +269,50 @@ func TestFillReachesTarget(t *testing.T) {
 		t.Fatalf("pool live %d suggests fill did not run", res.PoolLive)
 	}
 }
+
+func TestRunLeasedMode(t *testing.T) {
+	// The leasevspinned experiment's leased half: workers re-lease their
+	// guard every batch, so the run must record lease churn (balanced
+	// acquire/release counters) and still drain every retiree at close.
+	for _, scheme := range []string{"qsbr", "qsense", "hp"} {
+		t.Run(scheme, func(t *testing.T) {
+			cfg := quickCfg("list", scheme, 2)
+			cfg.Leased = true
+			cfg.LeaseEvery = 1
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ops == 0 {
+				t.Fatal("no operations performed")
+			}
+			// The fill lease plus at least one lease per worker.
+			if res.Reclaim.AcquiredHandles < 3 {
+				t.Fatalf("AcquiredHandles = %d: workers did not lease", res.Reclaim.AcquiredHandles)
+			}
+			if res.Reclaim.AcquiredHandles != res.Reclaim.ReleasedHandles {
+				t.Fatalf("leases leaked: %d acquired vs %d released",
+					res.Reclaim.AcquiredHandles, res.Reclaim.ReleasedHandles)
+			}
+			if res.Reclaim.Retired > 0 && res.Reclaim.Pending != 0 {
+				t.Fatalf("pending %d after close", res.Reclaim.Pending)
+			}
+		})
+	}
+}
+
+func TestRunLeaseVsPinned(t *testing.T) {
+	out, err := RunLeaseVsPinned("list", []string{"qsbr"}, 2, 1, 128, 60*time.Millisecond, 42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Scheme != "qsbr" {
+		t.Fatalf("unexpected results: %+v", out)
+	}
+	if out[0].Pinned.Ops == 0 || out[0].Leased.Ops == 0 {
+		t.Fatalf("empty runs: pinned %d ops, leased %d ops", out[0].Pinned.Ops, out[0].Leased.Ops)
+	}
+	if out[0].Leased.Reclaim.AcquiredHandles == 0 {
+		t.Fatal("leased run recorded no leases")
+	}
+}

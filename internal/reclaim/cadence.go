@@ -32,8 +32,8 @@ type Cadence struct {
 	mgr     *rooster.Manager
 	slots   *slotPool
 	orphans orphanList
-	recs    []*hprec
-	guards  []*cadenceGuard
+	recs    *arena[*hprec]
+	guards  *arena[*cadenceGuard]
 }
 
 type cadenceGuard struct {
@@ -52,14 +52,28 @@ func NewCadence(cfg Config) (*Cadence, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	d := &Cadence{cfg: cfg, mgr: rooster.NewManager(cfg.Rooster), slots: newSlotPool(cfg.Workers)}
-	d.recs = make([]*hprec, cfg.Workers)
-	d.guards = make([]*cadenceGuard, cfg.Workers)
-	for i := range d.guards {
-		d.recs[i] = newHPRec(cfg.HPs)
-		d.guards[i] = &cadenceGuard{d: d, id: i, rec: d.recs[i]}
-		d.mgr.Register(d.recs[i])
+	d := &Cadence{cfg: cfg, mgr: rooster.NewManager(cfg.Rooster)}
+	d.recs = newArena(cfg.Workers, cfg.HardMaxWorkers, func(i int) *hprec {
+		return newHPRec(cfg.HPs)
+	})
+	d.guards = newArena(cfg.Workers, cfg.HardMaxWorkers, func(i int) *cadenceGuard {
+		return &cadenceGuard{d: d, id: i, rec: d.recs.at(i)}
+	})
+	for i := 0; i < d.recs.len(); i++ {
+		d.mgr.Register(d.recs.at(i))
 	}
+	d.slots = newSlotPool(cfg.Workers, cfg.HardMaxWorkers, func(hi int) {
+		lo := d.recs.len()
+		d.recs.grow(hi)
+		d.guards.grow(hi)
+		// Register the new records with the rooster so flush passes cover
+		// them; Register is mutex-guarded and safe mid-run. Their slots
+		// cannot lease before this hook returns, so no protection is ever
+		// published into an unflushed record.
+		for i := lo; i < hi; i++ {
+			d.mgr.Register(d.recs.at(i))
+		}
+	})
 	d.mgr.AddHook(1, d.orphans.adoptHook(d.mgr, d.recs, d.cfg, &d.cnt))
 	if !cfg.ManualRooster {
 		d.mgr.Start()
@@ -70,10 +84,10 @@ func NewCadence(cfg Config) (*Cadence, error) {
 // Guard implements Domain (deprecated positional access): pins slot w and
 // marks its hazard record live for scans and rooster flushes.
 func (d *Cadence) Guard(w int) Guard {
-	if d.slots.pin(w) {
-		d.recs[w].leased.Store(true)
+	if d.slots.pin(w, &d.cnt) {
+		d.recs.at(w).leased.Store(true)
 	}
-	return d.guards[w]
+	return d.guards.at(w)
 }
 
 // Acquire implements Domain: lease a slot, drain any hazard state a racing
@@ -98,7 +112,7 @@ func (d *Cadence) AcquireWait(ctx context.Context) (Guard, error) {
 }
 
 func (d *Cadence) join(w int) Guard {
-	g := d.guards[w]
+	g := d.guards.at(w)
 	g.rec.clearPending()
 	g.rec.clearShared()
 	g.rec.leased.Store(true)
@@ -138,6 +152,7 @@ func (d *Cadence) Failed() bool { return d.cnt.failed.Load() }
 func (d *Cadence) Stats() Stats {
 	s := Stats{Scheme: "cadence", RoosterPasses: d.mgr.Tick()}
 	d.cnt.fill(&s)
+	d.slots.fillArena(&s)
 	return s
 }
 
@@ -148,7 +163,8 @@ func (d *Cadence) Rooster() *rooster.Manager { return d.mgr }
 // drains the orphan list. Only call after all workers have stopped.
 func (d *Cadence) Close() {
 	d.mgr.Stop()
-	for _, g := range d.guards {
+	for i, n := 0, d.guards.len(); i < n; i++ {
+		g := d.guards.at(i)
 		for _, r := range g.rl {
 			d.cfg.Free(r.ref)
 		}

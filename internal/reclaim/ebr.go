@@ -40,7 +40,7 @@ type EBR struct {
 	epoch   atomic.Uint64
 	slots   *slotPool
 	orphans orphanList
-	guards  []*ebrGuard
+	guards  *arena[*ebrGuard]
 }
 
 type ebrGuard struct {
@@ -62,11 +62,11 @@ func NewEBR(cfg Config) (*EBR, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	d := &EBR{cfg: cfg, slots: newSlotPool(cfg.Workers)}
-	d.guards = make([]*ebrGuard, cfg.Workers)
-	for i := range d.guards {
-		d.guards[i] = &ebrGuard{d: d, id: i}
-	}
+	d := &EBR{cfg: cfg}
+	d.guards = newArena(cfg.Workers, cfg.HardMaxWorkers, func(i int) *ebrGuard {
+		return &ebrGuard{d: d, id: i}
+	})
+	d.slots = newSlotPool(cfg.Workers, cfg.HardMaxWorkers, d.guards.grow)
 	return d, nil
 }
 
@@ -74,8 +74,8 @@ func NewEBR(cfg Config) (*EBR, error) {
 // born inactive (outside any critical section), so pinning needs no
 // membership work: an idle guard never blocks grace periods.
 func (d *EBR) Guard(w int) Guard {
-	d.slots.pin(w)
-	return d.guards[w]
+	d.slots.pin(w, &d.cnt)
+	return d.guards.at(w)
 }
 
 // Acquire implements Domain: lease a slot and catch it up — free the limbo
@@ -101,7 +101,7 @@ func (d *EBR) AcquireWait(ctx context.Context) (Guard, error) {
 }
 
 func (d *EBR) join(w int) Guard {
-	g := d.guards[w]
+	g := d.guards.at(w)
 	if e := d.epoch.Load(); e != g.lastSeen {
 		g.lastSeen = e
 		g.freeBucket(int(e % 3))
@@ -147,13 +147,15 @@ func (d *EBR) GlobalEpoch() uint64 { return d.epoch.Load() }
 func (d *EBR) Stats() Stats {
 	s := Stats{Scheme: "ebr"}
 	d.cnt.fill(&s)
+	d.slots.fillArena(&s)
 	return s
 }
 
 // Close implements Domain: frees all limbo contents and drains the orphan
 // list. Call only once all workers have stopped.
 func (d *EBR) Close() {
-	for _, g := range d.guards {
+	for i, n := 0, d.guards.len(); i < n; i++ {
+		g := d.guards.at(i)
 		for b := range g.limbo {
 			g.freeBucket(b)
 		}
@@ -212,11 +214,13 @@ func (g *ebrGuard) Retire(r mem.Ref) {
 
 // tryAdvance increments the global epoch if every active worker has
 // announced it. Inactive workers (idle between operations) are skipped —
-// the robustness half EBR has over QSBR.
+// the robustness half EBR has over QSBR. The bound is loaded once: a
+// grown slot's worker is born inactive and announces only epochs current
+// at or after its lease, so missing it cannot fake a grace period.
 func (g *ebrGuard) tryAdvance() {
 	e := g.d.epoch.Load()
-	for _, peer := range g.d.guards {
-		w := peer.word.Load()
+	for i, n := 0, g.d.guards.len(); i < n; i++ {
+		w := g.d.guards.at(i).word.Load()
 		if w&1 == 1 && w>>1 != e {
 			return
 		}

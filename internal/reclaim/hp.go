@@ -21,8 +21,8 @@ type HP struct {
 	cnt     counters
 	slots   *slotPool
 	orphans orphanList
-	recs    []*hprec
-	guards  []*hpGuard
+	recs    *arena[*hprec]
+	guards  *arena[*hpGuard]
 }
 
 type hpGuard struct {
@@ -45,23 +45,27 @@ func NewHP(cfg Config) (*HP, error) {
 	if cost == 0 {
 		cost = fence.DefaultCost
 	}
-	d := &HP{cfg: cfg, slots: newSlotPool(cfg.Workers)}
-	d.recs = make([]*hprec, cfg.Workers)
-	d.guards = make([]*hpGuard, cfg.Workers)
-	for i := range d.guards {
-		d.recs[i] = newHPRec(cfg.HPs)
-		d.guards[i] = &hpGuard{d: d, id: i, rec: d.recs[i], fence: fence.NewModel(cost)}
-	}
+	d := &HP{cfg: cfg}
+	d.recs = newArena(cfg.Workers, cfg.HardMaxWorkers, func(i int) *hprec {
+		return newHPRec(cfg.HPs)
+	})
+	d.guards = newArena(cfg.Workers, cfg.HardMaxWorkers, func(i int) *hpGuard {
+		return &hpGuard{d: d, id: i, rec: d.recs.at(i), fence: fence.NewModel(cost)}
+	})
+	d.slots = newSlotPool(cfg.Workers, cfg.HardMaxWorkers, func(hi int) {
+		d.recs.grow(hi) // records first: guards (and scans) index into them
+		d.guards.grow(hi)
+	})
 	return d, nil
 }
 
 // Guard implements Domain (deprecated positional access): pins slot w and
 // marks its hazard record live for scans.
 func (d *HP) Guard(w int) Guard {
-	if d.slots.pin(w) {
-		d.recs[w].leased.Store(true)
+	if d.slots.pin(w, &d.cnt) {
+		d.recs.at(w).leased.Store(true)
 	}
-	return d.guards[w]
+	return d.guards.at(w)
 }
 
 // Acquire implements Domain. HP needs no join protocol — a guard protects
@@ -86,7 +90,7 @@ func (d *HP) AcquireWait(ctx context.Context) (Guard, error) {
 }
 
 func (d *HP) join(w int) Guard {
-	g := d.guards[w]
+	g := d.guards.at(w)
 	g.rec.clearShared()
 	g.rec.leased.Store(true)
 	return g
@@ -125,13 +129,15 @@ func (d *HP) Failed() bool { return d.cnt.failed.Load() }
 func (d *HP) Stats() Stats {
 	s := Stats{Scheme: "hp"}
 	d.cnt.fill(&s)
+	d.slots.fillArena(&s)
 	return s
 }
 
 // Close implements Domain: frees every node still in a retire list and
 // drains the orphan list. Only call after all workers have stopped.
 func (d *HP) Close() {
-	for _, g := range d.guards {
+	for i, n := 0, d.guards.len(); i < n; i++ {
+		g := d.guards.at(i)
 		for _, r := range g.rl {
 			d.cfg.Free(r.ref)
 		}

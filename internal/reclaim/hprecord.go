@@ -90,9 +90,14 @@ type hpSnapshot struct {
 }
 
 // snapshotShared collects the non-nil shared HPs of all leased records.
-func snapshotShared(recs []*hprec, buf []uint64) hpSnapshot {
+// The record arena's published bound is loaded once, before the slot
+// reads: a record published after that load can only carry protections
+// published after it (its slot leases later still), which Michael's
+// retire-before-snapshot argument already tolerates — see arena.go.
+func snapshotShared(recs *arena[*hprec], buf []uint64) hpSnapshot {
 	vals := buf[:0]
-	for _, r := range recs {
+	for w, n := 0, recs.len(); w < n; w++ {
+		r := recs.at(w)
 		if !r.leased.Load() {
 			continue
 		}

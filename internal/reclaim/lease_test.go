@@ -11,10 +11,13 @@ import (
 
 // mkLease builds a small domain of the named scheme over the shared test
 // pool, with thresholds low enough that reclamation cycles within a test.
+// The arena is capped at its initial size (HardMaxWorkers = workers): these
+// tests exercise the fixed-arena exhaustion/backpressure semantics; elastic
+// growth has its own suite in elastic_test.go.
 func mkLease(t *testing.T, scheme string, workers int) Domain {
 	t.Helper()
 	pool := newTestPool()
-	cfg := Config{Workers: workers, HPs: 1, Free: freeInto(pool), Q: 1, R: 4}
+	cfg := Config{Workers: workers, HardMaxWorkers: workers, HPs: 1, Free: freeInto(pool), Q: 1, R: 4}
 	if scheme == "qsense" {
 		cfg.C = LegalC(cfg)
 	}
@@ -139,7 +142,7 @@ func TestReleasedSlotDoesNotBlockGracePeriods(t *testing.T) {
 	for _, scheme := range []string{"qsbr", "qsense"} {
 		t.Run(scheme, func(t *testing.T) {
 			pool := newTestPool()
-			cfg := Config{Workers: 2, HPs: 1, Free: freeInto(pool), Q: 1, ManualRooster: true}
+			cfg := Config{Workers: 2, HardMaxWorkers: 2, HPs: 1, Free: freeInto(pool), Q: 1, ManualRooster: true}
 			if scheme == "qsense" {
 				cfg.C = LegalC(cfg)
 			}
@@ -261,7 +264,7 @@ func TestLeaseChurnStress(t *testing.T) {
 				workers, iters = 12, 150
 			}
 			pool := newTestPool()
-			cfg := Config{Workers: slots, HPs: 1, Free: freeInto(pool), Q: 4, R: 8}
+			cfg := Config{Workers: slots, HardMaxWorkers: slots, HPs: 1, Free: freeInto(pool), Q: 4, R: 8}
 			if scheme == "qsense" {
 				cfg.C = LegalC(cfg)
 			}

@@ -80,7 +80,7 @@ type None struct {
 	cfg    Config
 	cnt    counters
 	slots  *slotPool
-	guards []*noneGuard
+	guards *arena[*noneGuard]
 }
 
 type noneGuard struct {
@@ -94,18 +94,18 @@ func NewNone(cfg Config) (*None, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	d := &None{cfg: cfg, slots: newSlotPool(cfg.Workers)}
-	d.guards = make([]*noneGuard, cfg.Workers)
-	for i := range d.guards {
-		d.guards[i] = &noneGuard{d: d, id: i}
-	}
+	d := &None{cfg: cfg}
+	d.guards = newArena(cfg.Workers, cfg.HardMaxWorkers, func(i int) *noneGuard {
+		return &noneGuard{d: d, id: i}
+	})
+	d.slots = newSlotPool(cfg.Workers, cfg.HardMaxWorkers, d.guards.grow)
 	return d, nil
 }
 
 // Guard implements Domain (deprecated positional access; pins the slot).
 func (d *None) Guard(w int) Guard {
-	d.slots.pin(w)
-	return d.guards[w]
+	d.slots.pin(w, &d.cnt)
+	return d.guards.at(w)
 }
 
 // Acquire implements Domain. None has no reclamation state to join.
@@ -114,7 +114,7 @@ func (d *None) Acquire() (Guard, error) {
 	if err != nil {
 		return nil, err
 	}
-	return d.guards[w], nil
+	return d.guards.at(w), nil
 }
 
 // AcquireWait implements Domain: Acquire that parks until a slot frees or
@@ -125,7 +125,7 @@ func (d *None) AcquireWait(ctx context.Context) (Guard, error) {
 	if err != nil {
 		return nil, err
 	}
-	return d.guards[w], nil
+	return d.guards.at(w), nil
 }
 
 // Release implements Domain.
@@ -148,6 +148,7 @@ func (d *None) Failed() bool { return d.cnt.failed.Load() }
 func (d *None) Stats() Stats {
 	s := Stats{Scheme: "none"}
 	d.cnt.fill(&s)
+	d.slots.fillArena(&s)
 	return s
 }
 

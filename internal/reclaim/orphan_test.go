@@ -11,12 +11,13 @@ import (
 )
 
 // mkOrphan builds a domain for the stranded-backlog tests: manual rooster
-// (deterministic ticks) and thresholds low enough that a handful of driver
-// operations complete a grace period.
+// (deterministic ticks), thresholds low enough that a handful of driver
+// operations complete a grace period, and a hard cap at the initial size
+// (these tests depend on exhaustion keeping a vacated slot vacant).
 func mkOrphan(t *testing.T, scheme string, workers int) (*mem.Pool[tnode], Domain) {
 	t.Helper()
 	pool := newTestPool()
-	cfg := Config{Workers: workers, HPs: 1, Free: freeInto(pool), Q: 1, R: 4, ManualRooster: true}
+	cfg := Config{Workers: workers, HardMaxWorkers: workers, HPs: 1, Free: freeInto(pool), Q: 1, R: 4, ManualRooster: true}
 	if scheme == "qsense" {
 		cfg.C = LegalC(cfg)
 	}
@@ -214,7 +215,7 @@ func TestAcquireWaitBlocksUntilRelease(t *testing.T) {
 // are exhausted.
 func TestAcquireWaitHonorsContext(t *testing.T) {
 	pool := newTestPool()
-	d, err := NewQSBR(Config{Workers: 1, HPs: 1, Free: freeInto(pool), Q: 1})
+	d, err := NewQSBR(Config{Workers: 1, HardMaxWorkers: 1, HPs: 1, Free: freeInto(pool), Q: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +269,9 @@ func TestOrphanAdoptionChurn(t *testing.T) {
 				workers, rounds = 8, 2
 			}
 			pool := newTestPool()
-			cfg := Config{Workers: slots, HPs: 1, Free: freeInto(pool), Q: 2, R: 4}
+			// Capped: the AcquireWait parking/waking machinery only engages
+			// under backpressure.
+			cfg := Config{Workers: slots, HardMaxWorkers: slots, HPs: 1, Free: freeInto(pool), Q: 2, R: 4}
 			if scheme == "qsense" {
 				cfg.C = LegalC(cfg)
 			}

@@ -27,7 +27,7 @@ type QSBR struct {
 	epoch   atomic.Uint64 // global epoch e_G
 	slots   *slotPool
 	orphans orphanList
-	guards  []*qsbrGuard
+	guards  *arena[*qsbrGuard]
 }
 
 type qsbrGuard struct {
@@ -47,12 +47,13 @@ func NewQSBR(cfg Config) (*QSBR, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	d := &QSBR{cfg: cfg, slots: newSlotPool(cfg.Workers)}
-	d.guards = make([]*qsbrGuard, cfg.Workers)
-	for i := range d.guards {
-		d.guards[i] = &qsbrGuard{d: d, id: i}
-		d.guards[i].mem.init()
-	}
+	d := &QSBR{cfg: cfg}
+	d.guards = newArena(cfg.Workers, cfg.HardMaxWorkers, func(i int) *qsbrGuard {
+		g := &qsbrGuard{d: d, id: i}
+		g.mem.init()
+		return g
+	})
+	d.slots = newSlotPool(cfg.Workers, cfg.HardMaxWorkers, d.guards.grow)
 	return d, nil
 }
 
@@ -60,8 +61,9 @@ func NewQSBR(cfg Config) (*QSBR, error) {
 // activates its membership, so the guard participates in grace periods from
 // this point on, exactly like a fixed worker of the paper's model.
 func (d *QSBR) Guard(w int) Guard {
-	g := d.guards[w]
-	if d.slots.pin(w) {
+	first := d.slots.pin(w, &d.cnt) // also bounds-checks the positional range
+	g := d.guards.at(w)
+	if first {
 		g.mem.activate(g.adopt)
 	}
 	return g
@@ -91,7 +93,7 @@ func (d *QSBR) AcquireWait(ctx context.Context) (Guard, error) {
 }
 
 func (d *QSBR) join(w int) Guard {
-	g := d.guards[w]
+	g := d.guards.at(w)
 	g.mem.activate(g.adopt)
 	g.quiescent()
 	return g
@@ -126,6 +128,7 @@ func (d *QSBR) Failed() bool { return d.cnt.failed.Load() }
 func (d *QSBR) Stats() Stats {
 	s := Stats{Scheme: "qsbr"}
 	d.cnt.fill(&s)
+	d.slots.fillArena(&s)
 	return s
 }
 
@@ -133,7 +136,8 @@ func (d *QSBR) Stats() Stats {
 // list. Only call once all workers have stopped — at that point every
 // bucket has trivially passed a grace period.
 func (d *QSBR) Close() {
-	for _, g := range d.guards {
+	for i, n := 0, d.guards.len(); i < n; i++ {
+		g := d.guards.at(i)
 		for b := range g.limbo {
 			g.freeBucket(b)
 		}
@@ -187,8 +191,12 @@ func (g *qsbrGuard) quiescent() {
 		return
 	}
 	// Already current: try to advance the global epoch. Inactive peers
-	// are skipped; stale peers are evicted first when enabled.
-	for _, peer := range g.d.guards {
+	// are skipped; stale peers are evicted first when enabled. The bound
+	// is loaded once: a slot published after it can only hold a worker
+	// that joined (quiescent, holding nothing) at the current epoch or
+	// later, which cannot invalidate this grace period — see arena.go.
+	for i, n := 0, g.d.guards.len(); i < n; i++ {
+		peer := g.d.guards.at(i)
 		if peer == g {
 			continue
 		}

@@ -39,23 +39,21 @@ type QSense struct {
 	cnt      counters
 	mgr      *rooster.Manager
 	fallback atomic.Bool
-	presence []paddedBool
 	epoch    atomic.Uint64
 	slots    *slotPool
 	orphans  orphanList
-	recs     []*hprec
-	guards   []*qsenseGuard
-}
-
-type paddedBool struct {
-	v atomic.Bool
-	_ [63]byte
+	recs     *arena[*hprec]
+	guards   *arena[*qsenseGuard]
 }
 
 type qsenseGuard struct {
-	d         *QSense
-	id        int
-	rec       *hprec
+	d   *QSense
+	id  int
+	rec *hprec
+	// presence is the §5.2 switch-back flag, set every Q-th Begin and
+	// cleared by the rooster's periodic reset. It lives on the guard (not
+	// a separate fixed array) so it grows with the elastic arena.
+	presence  atomic.Bool
 	local     atomic.Uint64 // local epoch, read by peers
 	limbo     [3][]retired
 	total     int // nodes across the three buckets
@@ -65,6 +63,7 @@ type qsenseGuard struct {
 	prevFall  bool   // prev_seen_fallback_flag
 	scanBuf   []uint64
 	mem       membership
+	_         [40]byte // keep hot fields of adjacent guards apart
 }
 
 // NewQSense builds the hybrid domain and starts its rooster manager (unless
@@ -78,16 +77,28 @@ func NewQSense(cfg Config) (*QSense, error) {
 	if legal := LegalC(cfg); cfg.C < legal {
 		return nil, fmt.Errorf("reclaim: C=%d is not legal (need >= %d; see §6.2)", cfg.C, legal)
 	}
-	d := &QSense{cfg: cfg, mgr: rooster.NewManager(cfg.Rooster), slots: newSlotPool(cfg.Workers)}
-	d.presence = make([]paddedBool, cfg.Workers)
-	d.recs = make([]*hprec, cfg.Workers)
-	d.guards = make([]*qsenseGuard, cfg.Workers)
-	for i := range d.guards {
-		d.recs[i] = newHPRec(cfg.HPs)
-		d.guards[i] = &qsenseGuard{d: d, id: i, rec: d.recs[i]}
-		d.guards[i].mem.init()
-		d.mgr.Register(d.recs[i])
+	d := &QSense{cfg: cfg, mgr: rooster.NewManager(cfg.Rooster)}
+	d.recs = newArena(cfg.Workers, cfg.HardMaxWorkers, func(i int) *hprec {
+		return newHPRec(cfg.HPs)
+	})
+	d.guards = newArena(cfg.Workers, cfg.HardMaxWorkers, func(i int) *qsenseGuard {
+		g := &qsenseGuard{d: d, id: i, rec: d.recs.at(i)}
+		g.mem.init()
+		return g
+	})
+	for i := 0; i < d.recs.len(); i++ {
+		d.mgr.Register(d.recs.at(i))
 	}
+	d.slots = newSlotPool(cfg.Workers, cfg.HardMaxWorkers, func(hi int) {
+		lo := d.recs.len()
+		d.recs.grow(hi)
+		d.guards.grow(hi)
+		// New records join the rooster's flush set before their slots can
+		// lease (Register is mutex-guarded, safe mid-run).
+		for i := lo; i < hi; i++ {
+			d.mgr.Register(d.recs.at(i))
+		}
+	})
 	d.mgr.AddHook(cfg.PresenceResetTicks, d.resetPresence)
 	// A QSense orphan batch carries both evidence forms; the hook uses the
 	// deferred-scan one, which works on either path — in particular in
@@ -100,8 +111,8 @@ func NewQSense(cfg Config) (*QSense, error) {
 }
 
 func (d *QSense) resetPresence() {
-	for i := range d.presence {
-		d.presence[i].v.Store(false)
+	for i, n := 0, d.guards.len(); i < n; i++ {
+		d.guards.at(i).presence.Store(false)
 	}
 }
 
@@ -113,11 +124,12 @@ func (d *QSense) resetPresence() {
 // must happen here as well as in the epoch check: on the fallback path
 // nobody declares quiescent states, so the epoch check never runs.
 func (d *QSense) allActive() bool {
-	for i := range d.presence {
-		if d.guards[i].mem.skipOrEvict(d.cfg.EvictAfter, &d.cnt.evictions) {
+	for i, n := 0, d.guards.len(); i < n; i++ {
+		g := d.guards.at(i)
+		if g.mem.skipOrEvict(d.cfg.EvictAfter, &d.cnt.evictions) {
 			continue
 		}
-		if !d.presence[i].v.Load() {
+		if !g.presence.Load() {
 			return false
 		}
 	}
@@ -127,8 +139,9 @@ func (d *QSense) allActive() bool {
 // Guard implements Domain (deprecated positional access): pins slot w,
 // activates its membership and marks its hazard record live for scans.
 func (d *QSense) Guard(w int) Guard {
-	g := d.guards[w]
-	if d.slots.pin(w) {
+	first := d.slots.pin(w, &d.cnt) // also bounds-checks the positional range
+	g := d.guards.at(w)
+	if first {
 		g.rec.leased.Store(true)
 		g.mem.activate(g.adopt)
 	}
@@ -159,7 +172,7 @@ func (d *QSense) AcquireWait(ctx context.Context) (Guard, error) {
 }
 
 func (d *QSense) join(w int) Guard {
-	g := d.guards[w]
+	g := d.guards.at(w)
 	g.rec.clearPending()
 	g.rec.clearShared()
 	g.rec.leased.Store(true)
@@ -216,6 +229,7 @@ func (d *QSense) GlobalEpoch() uint64 { return d.epoch.Load() }
 func (d *QSense) Stats() Stats {
 	s := Stats{Scheme: "qsense", InFallback: d.fallback.Load(), RoosterPasses: d.mgr.Tick()}
 	d.cnt.fill(&s)
+	d.slots.fillArena(&s)
 	return s
 }
 
@@ -223,7 +237,8 @@ func (d *QSense) Stats() Stats {
 // drains the orphan list. Only call after all workers have stopped.
 func (d *QSense) Close() {
 	d.mgr.Stop()
-	for _, g := range d.guards {
+	for i, n := 0, d.guards.len(); i < n; i++ {
+		g := d.guards.at(i)
 		for b := range g.limbo {
 			for _, n := range g.limbo[b] {
 				d.cfg.Free(n.ref)
@@ -245,7 +260,7 @@ func (g *qsenseGuard) Begin() {
 	// Signal that this worker is active (presence for the switch-back
 	// protocol, the liveness stamp for the eviction clock — fallback-path
 	// workers never quiesce but are very much alive).
-	g.d.presence[g.id].v.Store(true)
+	g.presence.Store(true)
 	g.mem.stampQuiesce()
 	if !g.d.fallback.Load() {
 		// Common case: run the fast path.
@@ -284,7 +299,8 @@ func (g *qsenseGuard) quiescent() {
 		g.freeBucket(int(global % 3))
 		return
 	}
-	for _, peer := range g.d.guards {
+	for i, n := 0, g.d.guards.len(); i < n; i++ {
+		peer := g.d.guards.at(i)
 		if peer == g {
 			continue
 		}

@@ -38,7 +38,7 @@ type RC struct {
 	table   countTable
 	slots   *slotPool
 	orphans orphanList
-	guards  []*rcGuard
+	guards  *arena[*rcGuard]
 }
 
 type rcGuard struct {
@@ -57,19 +57,19 @@ func NewRC(cfg Config) (*RC, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	d := &RC{cfg: cfg, slots: newSlotPool(cfg.Workers)}
-	d.guards = make([]*rcGuard, cfg.Workers)
-	for i := range d.guards {
-		d.guards[i] = &rcGuard{d: d, id: i, held: make([]mem.Ref, cfg.HPs)}
-	}
+	d := &RC{cfg: cfg}
+	d.guards = newArena(cfg.Workers, cfg.HardMaxWorkers, func(i int) *rcGuard {
+		return &rcGuard{d: d, id: i, held: make([]mem.Ref, cfg.HPs)}
+	})
+	d.slots = newSlotPool(cfg.Workers, cfg.HardMaxWorkers, d.guards.grow)
 	return d, nil
 }
 
 // Guard implements Domain (deprecated positional access). Counts are
 // per-node, not per-worker, so pinning needs no scheme work.
 func (d *RC) Guard(w int) Guard {
-	d.slots.pin(w)
-	return d.guards[w]
+	d.slots.pin(w, &d.cnt)
+	return d.guards.at(w)
 }
 
 // Acquire implements Domain. A fresh RC guard holds no counted references;
@@ -79,7 +79,7 @@ func (d *RC) Acquire() (Guard, error) {
 	if err != nil {
 		return nil, err
 	}
-	return d.guards[w], nil
+	return d.guards.at(w), nil
 }
 
 // AcquireWait implements Domain: Acquire that parks until a slot frees or
@@ -89,7 +89,7 @@ func (d *RC) AcquireWait(ctx context.Context) (Guard, error) {
 	if err != nil {
 		return nil, err
 	}
-	return d.guards[w], nil
+	return d.guards.at(w), nil
 }
 
 // Release implements Domain: drop every counted reference, sweep the retire
@@ -123,6 +123,7 @@ func (d *RC) Failed() bool { return d.cnt.failed.Load() }
 func (d *RC) Stats() Stats {
 	s := Stats{Scheme: "rc"}
 	d.cnt.fill(&s)
+	d.slots.fillArena(&s)
 	return s
 }
 
@@ -130,7 +131,8 @@ func (d *RC) Stats() Stats {
 // ignoring counts, and drains the orphan list (call only once all workers
 // have stopped).
 func (d *RC) Close() {
-	for _, g := range d.guards {
+	for i, n := 0, d.guards.len(); i < n; i++ {
+		g := d.guards.at(i)
 		for _, r := range g.rl {
 			d.cfg.Free(r)
 		}

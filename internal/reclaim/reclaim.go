@@ -20,19 +20,21 @@
 //	assign_HP            ->  Guard.Protect
 //	free_node_later      ->  Guard.Retire
 //
-// A Domain manages reclamation for one data structure instance over a fixed
-// arena of guard slots. The paper does not support dynamic membership
-// (§5.2); this implementation builds out its sketched fix twice over:
-// membership.go lets epoch-scheme workers Leave/Join (and evicts crashed
-// ones), and slots.go leases whole guard slots dynamically — Acquire (or
-// the blocking AcquireWait) hands a free slot to any goroutine, Release
-// drains it and recycles it — so the worker population may churn freely as
-// long as no more than Config.Workers guards are leased at once. Backlog a
-// Release cannot yet prove safe moves to a per-domain orphan list
-// (orphan.go) and is adopted by other workers' reclamation passes, so a
-// vacated slot never strands retired nodes. The positional Guard(w)
-// accessor remains for callers that pin slots deterministically (tests,
-// the experiment harness).
+// A Domain manages reclamation for one data structure instance over an
+// elastic arena of guard slots. The paper does not support dynamic
+// membership (§5.2); this implementation builds out its sketched fix three
+// times over: membership.go lets epoch-scheme workers Leave/Join (and
+// evicts crashed ones), slots.go leases whole guard slots dynamically —
+// Acquire (or the blocking AcquireWait) hands a free slot to any
+// goroutine, Release drains it and recycles it — and the arena itself
+// GROWS when the freelist runs dry (arena.go): Config.Workers is only the
+// initial soft size, and Acquire appends publish-once slot segments on
+// demand, failing with ErrNoSlots only at an optional Config.HardMaxWorkers
+// cap. Backlog a Release cannot yet prove safe moves to a per-domain
+// orphan list (orphan.go) and is adopted by other workers' reclamation
+// passes, so a vacated slot never strands retired nodes. The positional
+// Guard(w) accessor remains for callers that pin slots deterministically
+// (tests, the experiment harness).
 package reclaim
 
 import (
@@ -84,13 +86,16 @@ type Domain interface {
 	Guard(w int) Guard
 	// Acquire leases a free guard slot to the calling goroutine, running
 	// the scheme's join path (epoch adoption, aged-limbo frees) so a
-	// recycled slot resumes cleanly. Returns ErrNoSlots when all
-	// Config.Workers slots are leased or pinned.
+	// recycled slot resumes cleanly. When the freelist is empty the arena
+	// grows by a publish-once slot segment, so by default Acquire does not
+	// fail; it returns ErrNoSlots only once the arena has reached
+	// Config.HardMaxWorkers with every slot leased or pinned.
 	Acquire() (Guard, error)
-	// AcquireWait is Acquire that blocks while the arena is exhausted:
-	// the caller parks on the slot pool's waiter channel and is woken by
-	// the next Release, instead of spinning on ErrNoSlots. It returns
-	// ctx.Err() if ctx is done first.
+	// AcquireWait is Acquire that blocks while the arena is exhausted at
+	// its hard cap: the caller parks on the slot pool's waiter channel and
+	// is woken by the next Release, instead of spinning on ErrNoSlots. It
+	// returns ctx.Err() if ctx is done first. On an elastic domain (no
+	// hard cap) it behaves exactly like Acquire — growth preempts waiting.
 	AcquireWait(ctx context.Context) (Guard, error)
 	// Release returns g's slot to the freelist: protections are drained,
 	// epoch schemes Leave (so the slot no longer blocks grace periods or
@@ -123,11 +128,20 @@ type Domain interface {
 // Config parameterizes a Domain. The zero value is not usable: Workers,
 // HPs and Free are mandatory (Free may be omitted only for None).
 type Config struct {
-	// Workers is the guard-slot arena size (the paper's N): the maximum
-	// number of simultaneously leased/pinned guards, not a count of
-	// OS threads — any number of goroutines may share the arena through
-	// Acquire/Release over time.
+	// Workers is the INITIAL guard-slot arena size (the paper's N; the
+	// public Options.MaxWorkers): segment 0 of the elastic arena, and the
+	// grain by which growth doubles it. It is a soft size — when more
+	// guards are leased simultaneously, the arena grows (see
+	// HardMaxWorkers) — and not a count of OS threads: any number of
+	// goroutines may share the arena through Acquire/Release over time.
 	Workers int
+	// HardMaxWorkers caps elastic growth: once the arena holds this many
+	// slots and all are leased or pinned, Acquire returns ErrNoSlots and
+	// AcquireWait blocks — the pre-elastic backpressure semantics. 0 (the
+	// default) leaves the domain elastic up to the library ceiling
+	// MaxArenaSlots; set it equal to Workers to reproduce the fixed-arena
+	// behaviour exactly. Values below Workers are raised to Workers.
+	HardMaxWorkers int
 	// HPs is the number of hazard pointers per worker (K). The linked
 	// list uses 3, the BST 6, the skip list 2*levels+2 (§7.3).
 	HPs int
@@ -194,6 +208,12 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if c.HardMaxWorkers <= 0 {
+		c.HardMaxWorkers = MaxArenaSlots
+	}
+	if c.HardMaxWorkers < c.Workers {
+		c.HardMaxWorkers = c.Workers
+	}
 	if c.Q <= 0 {
 		c.Q = 32
 	}
@@ -303,6 +323,12 @@ type Stats struct {
 	// AcquiredHandles and ReleasedHandles count slot leases granted and
 	// returned (slots.go); their difference is the leased count now.
 	AcquiredHandles, ReleasedHandles uint64
+	// ArenaSize is the current guard-slot arena size (published slots —
+	// Config.Workers until growth engages); HighWaterWorkers is the peak
+	// number of simultaneously occupied (leased + pinned) slots; and
+	// ArenaGrowths counts elastic segment publications past construction.
+	ArenaSize, HighWaterWorkers int
+	ArenaGrowths                uint64
 	// OrphanedNodes counts nodes a Release could not yet prove safe and
 	// moved to the domain's orphan list (orphan.go); AdoptedNodes counts
 	// orphans later freed by other workers' reclamation passes. Orphans

@@ -1,14 +1,20 @@
 package reclaim
 
-// Dynamic handle leasing — the slot allocator behind Domain.Acquire/Release.
+// Dynamic handle leasing — the elastic slot allocator behind
+// Domain.Acquire/Release.
 //
-// A domain owns a fixed arena of Config.Workers guard slots (the paper's N;
-// sized by the public Options.MaxWorkers). The paper freezes the worker set
-// at construction; leasing turns each slot into a recyclable resource so an
-// unbounded population of short-lived goroutines (a Go server's
-// goroutine-per-request world) can share the arena: Acquire pops a free
-// slot from a lock-free freelist, Release drains the slot's reclamation
-// state and pushes it back.
+// A domain owns an arena of guard slots that starts at Config.Workers (the
+// paper's N; the public Options.MaxWorkers) and, by default, GROWS on
+// demand: when Acquire finds the freelist empty, the pool appends a
+// publish-once segment of fresh slots (see arena.go for the geometry and
+// the publication ordering), so Acquire only fails once the arena has
+// reached Config.HardMaxWorkers with every slot leased — and an elastic
+// domain (no hard cap) effectively never fails. The paper freezes the
+// worker set at construction; leasing turned each slot into a recyclable
+// resource, and elasticity removes the last sizing guess: an unbounded
+// population of short-lived goroutines (a Go server's
+// goroutine-per-request world) can share the arena without anyone
+// predicting its peak.
 //
 // Each slot is in one of three states:
 //
@@ -24,18 +30,23 @@ package reclaim
 // head (the same ABA discipline the node pools use): head packs
 // (version<<32 | index+1), next[i] holds the successor's index+1. LIFO
 // order deliberately keeps recently released slots hot — their guards'
-// limbo backlogs are the youngest and their cache lines the warmest.
+// limbo backlogs are the youngest and their cache lines the warmest — and
+// means growth happens only when the *concurrent* lease count exceeds
+// everything released so far, never from mere churn.
 import (
 	"context"
 	"errors"
 	"runtime"
+	"sync"
 	"sync/atomic"
 )
 
-// ErrNoSlots is returned by Acquire when every slot in the arena is leased
-// or pinned. Callers can retry after other workers Release, or build the
-// domain with a larger MaxWorkers.
-var ErrNoSlots = errors.New("reclaim: all worker slots are leased (raise MaxWorkers or release a handle)")
+// ErrNoSlots is returned by Acquire when the arena has grown to its
+// HardMaxWorkers cap and every slot is leased or pinned. Callers can wait
+// with AcquireWait, retry after other workers Release, or build the domain
+// with a larger (or absent) cap. Elastic domains — no cap configured —
+// only see it at the library ceiling MaxArenaSlots.
+var ErrNoSlots = errors.New("reclaim: all worker slots are leased up to the hard cap (raise HardMaxWorkers or release a handle)")
 
 const (
 	slotFree int32 = iota
@@ -44,12 +55,35 @@ const (
 	slotPinned
 )
 
-// slotPool is the lock-free slot allocator. All methods are safe for
-// concurrent use.
-type slotPool struct {
-	head  atomic.Uint64   // (version<<32) | (top index+1); low word 0 = empty
-	next  []atomic.Uint32 // next[i] = successor index+1 in the freelist
+// slotSeg is one published segment of allocator state; next and state are
+// indexed by in-segment offset.
+type slotSeg struct {
+	next  []atomic.Uint32 // next[off] = freelist successor's index+1 (global)
 	state []atomic.Int32  // slotFree / slotLeased / slotPinned
+}
+
+// slotPool is the lock-free slot allocator. All methods are safe for
+// concurrent use; growth is serialized by growMu but never blocks pops of
+// already-published slots.
+type slotPool struct {
+	head atomic.Uint64 // (version<<32) | (top index+1); low word 0 = empty
+	init uint32        // initial (soft) arena size, segment-0 size
+	cap  uint32        // hard slot-count ceiling (HardMaxWorkers)
+	high atomic.Uint32 // published slot count; monotone
+	segs []atomic.Pointer[slotSeg]
+
+	seg0 *slotSeg // segment 0, immutable after construction: the fast path
+
+	growMu sync.Mutex
+	// onGrow publishes the owning scheme's per-slot state (guards, hazard
+	// records, rooster registration) for all slots below the given bound,
+	// BEFORE the pool's own segment and high are published — so a leased
+	// index always resolves in every scheme-side table.
+	onGrow func(hi int)
+
+	grows     atomic.Uint64 // segment publications past the initial one
+	pinned    atomic.Int64  // slots claimed by the positional pin path
+	highWater atomic.Int64  // peak simultaneous occupancy (leases + pins)
 
 	// Waiter support for leaseWait: wake holds the current generation's
 	// broadcast channel; a release observing waiters > 0 closes it and
@@ -58,35 +92,76 @@ type slotPool struct {
 	waiters atomic.Int32
 }
 
-func newSlotPool(n int) *slotPool {
-	p := &slotPool{next: make([]atomic.Uint32, n), state: make([]atomic.Int32, n)}
+// newSlotPool builds the allocator with segment 0 (the initial soft size)
+// published and its slots pushed free, low indices on top.
+func newSlotPool(init, hardMax int, onGrow func(hi int)) *slotPool {
+	p := &slotPool{
+		init:   uint32(init),
+		cap:    uint32(hardMax),
+		onGrow: onGrow,
+		segs:   make([]atomic.Pointer[slotSeg], numSegs(uint32(init), uint32(hardMax))),
+	}
 	ch := make(chan struct{})
 	p.wake.Store(&ch)
-	// Push 0..n-1 so Acquire hands out low indices first.
-	for i := n - 1; i >= 0; i-- {
-		p.next[i].Store(uint32(p.head.Load()))
-		p.head.Store(uint64(i + 1))
+	p.seg0 = &slotSeg{next: make([]atomic.Uint32, init), state: make([]atomic.Int32, init)}
+	p.segs[0].Store(p.seg0)
+	p.high.Store(uint32(init))
+	for i := init - 1; i >= 0; i-- {
+		p.pushSlot(i)
 	}
 	return p
 }
 
+// slot resolves index i to its allocator cells. Segment-0 indices — all of
+// them until growth happens — take the direct path; grown indices pay one
+// directory hop (the elastic redesign's single extra indirection).
+func (p *slotPool) slot(i int) (next *atomic.Uint32, state *atomic.Int32) {
+	if u := uint32(i); u < p.init {
+		return &p.seg0.next[u], &p.seg0.state[u]
+	}
+	s, off := segOf(uint32(i), p.init)
+	sg := p.segs[s].Load()
+	return &sg.next[off], &sg.state[off]
+}
+
+// pushSlot is the Treiber push of slot i (construction, growth, unlease).
+func (p *slotPool) pushSlot(i int) {
+	nx, _ := p.slot(i)
+	p.pushSlotVia(nx, i)
+}
+
+func (p *slotPool) pushSlotVia(nx *atomic.Uint32, i int) {
+	for {
+		h := p.head.Load()
+		nx.Store(uint32(h))
+		if p.head.CompareAndSwap(h, (h>>32+1)<<32|uint64(i+1)) {
+			return
+		}
+	}
+}
+
 // tryAcquire pops a free slot and marks it leased, discarding pinned slots
-// it encounters. Returns -1 when the freelist is exhausted.
+// it encounters and growing the arena when the freelist runs dry. Returns
+// -1 only at the hard cap with every slot out.
 func (p *slotPool) tryAcquire() int {
 	for {
 		h := p.head.Load()
 		top := uint32(h)
 		if top == 0 {
-			return -1
+			if !p.grow() {
+				return -1
+			}
+			continue
 		}
 		i := int(top - 1)
-		nxt := p.next[i].Load()
+		nx, st := p.slot(i)
+		nxt := nx.Load()
 		// The version bump makes a concurrent pop/push cycle of the same
 		// slot fail this CAS instead of corrupting the list (ABA).
 		if !p.head.CompareAndSwap(h, (h>>32+1)<<32|uint64(nxt)) {
 			continue
 		}
-		if p.state[i].CompareAndSwap(slotFree, slotLeased) {
+		if st.CompareAndSwap(slotFree, slotLeased) {
 			return i
 		}
 		// Pinned after it was listed: drop it and keep popping. (A
@@ -95,19 +170,90 @@ func (p *slotPool) tryAcquire() int {
 	}
 }
 
-// lease pops a free slot, counting the lease. The scheme-specific join
-// hooks run in the caller, on the returned index.
+// grow appends the next slot segment, publishing scheme state first and
+// pushing the new slots free last (lowest index on top). Reports false at
+// the hard cap. Racing growers serialize on growMu; the loser usually
+// finds the list refilled and just retries its pop.
+func (p *slotPool) grow() bool {
+	p.growMu.Lock()
+	defer p.growMu.Unlock()
+	if uint32(p.head.Load()) != 0 {
+		return true // another grower (or a release) refilled the list
+	}
+	hi := p.high.Load()
+	if hi >= p.cap {
+		return false
+	}
+	s, _ := segOf(hi, p.init) // hi is a segment boundary: the next segment
+	lo, end := segBounds(s, p.init, p.cap)
+	seg := &slotSeg{next: make([]atomic.Uint32, end-lo), state: make([]atomic.Int32, end-lo)}
+	if p.onGrow != nil {
+		p.onGrow(int(end)) // guards/records for [lo,end) exist before any lease
+	}
+	p.segs[s].Store(seg)
+	p.high.Store(end)
+	p.grows.Add(1)
+	for i := int(end) - 1; i >= int(lo); i-- {
+		p.pushSlot(i)
+	}
+	return true
+}
+
+// noteHighWater raises the occupancy high-water mark. Steady state (occ
+// below the recorded peak) is a single load; the CAS loop only runs while
+// the peak is actually climbing. Candidate values are clamped to the
+// published arena size: occupancy estimates mix counter reads from
+// different instants (see countLease) and can transiently exceed truth,
+// but true occupancy never exceeds the arena, so the clamp keeps
+// HighWaterWorkers <= ArenaSize invariantly (both are monotone).
+func (p *slotPool) noteHighWater(occ int64) {
+	if hi := int64(p.high.Load()); occ > hi {
+		occ = hi
+	}
+	for {
+		hw := p.highWater.Load()
+		if occ <= hw || p.highWater.CompareAndSwap(hw, occ) {
+			return
+		}
+	}
+}
+
+// countLease records a granted lease and folds the moment's occupancy into
+// the high-water mark. Occupancy derives from counters the lease path
+// already maintains (acquired/released) plus the pin count, so the hot
+// path pays loads, not extra RMWs. The three reads are not one atomic
+// snapshot — a reader descheduled between them can combine a stale
+// released count with fresh pins and over-estimate — so the mark is an
+// approximation bounded above by noteHighWater's arena-size clamp and
+// below by the true peak of this counter arithmetic at any single
+// instant.
+func (p *slotPool) countLease(cnt *counters) {
+	a := cnt.acquired.Add(1)
+	p.noteHighWater(int64(a) - int64(cnt.released.Load()) + p.pinned.Load())
+}
+
+// fillArena adds the capacity-subsystem counters to a Stats snapshot.
+func (p *slotPool) fillArena(s *Stats) {
+	s.ArenaSize = int(p.high.Load())
+	s.HighWaterWorkers = int(p.highWater.Load())
+	s.ArenaGrowths = p.grows.Load()
+}
+
+// lease pops (or grows) a free slot, counting the lease. The
+// scheme-specific join hooks run in the caller, on the returned index.
 func (p *slotPool) lease(cnt *counters) (int, error) {
 	w := p.tryAcquire()
 	if w < 0 {
 		return -1, ErrNoSlots
 	}
-	cnt.acquired.Add(1)
+	p.countLease(cnt)
 	return w, nil
 }
 
-// leaseWait is lease that parks while the arena is exhausted, woken by the
-// next unlease, or fails with ctx.Err() when ctx is done first.
+// leaseWait is lease that parks while the arena is exhausted at its hard
+// cap, woken by the next unlease, or fails with ctx.Err() when ctx is done
+// first. (An elastic domain grows instead of parking, so leaseWait only
+// ever blocks under a HardMaxWorkers cap.)
 //
 // Lost-wakeup freedom: the waiter loads the wake channel BEFORE its retry
 // pop, and unlease pushes the slot BEFORE checking the waiter count. If the
@@ -117,7 +263,7 @@ func (p *slotPool) lease(cnt *counters) (int, error) {
 // later release does) — either way we cannot sleep through a free slot.
 func (p *slotPool) leaseWait(ctx context.Context, cnt *counters) (int, error) {
 	if w := p.tryAcquire(); w >= 0 {
-		cnt.acquired.Add(1)
+		p.countLease(cnt)
 		return w, nil
 	}
 	p.waiters.Add(1)
@@ -125,7 +271,7 @@ func (p *slotPool) leaseWait(ctx context.Context, cnt *counters) (int, error) {
 	for {
 		ch := *p.wake.Load()
 		if w := p.tryAcquire(); w >= 0 {
-			cnt.acquired.Add(1)
+			p.countLease(cnt)
 			return w, nil
 		}
 		select {
@@ -156,18 +302,13 @@ func (p *slotPool) wakeWaiters() {
 // refuses it, so a drain's trailing cleanup (e.g. hiding an hprec from
 // scans) can never clobber a new pin's setup.
 func (p *slotPool) unlease(i int, cnt *counters, drain func()) bool {
-	if !p.state[i].CompareAndSwap(slotLeased, slotReleasing) {
+	nx, st := p.slot(i)
+	if !st.CompareAndSwap(slotLeased, slotReleasing) {
 		return false
 	}
 	drain()
-	p.state[i].Store(slotFree)
-	for {
-		h := p.head.Load()
-		p.next[i].Store(uint32(h))
-		if p.head.CompareAndSwap(h, (h>>32+1)<<32|uint64(i+1)) {
-			break
-		}
-	}
+	st.Store(slotFree)
+	p.pushSlotVia(nx, i)
 	cnt.released.Add(1)
 	if p.waiters.Load() > 0 {
 		p.wakeWaiters()
@@ -179,15 +320,27 @@ func (p *slotPool) unlease(i int, cnt *counters, drain func()) bool {
 const errForeignGuard = "reclaim: Release of a guard from another domain"
 
 // pin claims slot i forever for the positional Guard(w) path. Reports
-// whether this call performed the transition (first pin). A slot mid-
-// release is waited out; pinning a slot some goroutine holds via Acquire
-// is a caller error that would silently alias the guard across two
-// goroutines — it panics rather than corrupt.
-func (p *slotPool) pin(i int) bool {
+// whether this call performed the transition (first pin). The positional
+// range is the INITIAL arena only — grown slots belong to Acquire — so an
+// out-of-range index fails loudly here with the contract spelled out,
+// instead of as an index panic deeper in the directory. A slot mid-release
+// is waited out; pinning a slot some goroutine holds via Acquire is a
+// caller error that would silently alias the guard across two goroutines —
+// it panics rather than corrupt.
+func (p *slotPool) pin(i int, cnt *counters) bool {
+	if i < 0 || uint32(i) >= p.init {
+		panic("reclaim: positional Guard(w) outside the initial arena [0, Workers) — size Config.Workers (public Options.Workers) to cover every pinned slot")
+	}
+	_, st := p.slot(i)
 	for {
-		switch p.state[i].Load() {
+		switch st.Load() {
 		case slotFree:
-			if p.state[i].CompareAndSwap(slotFree, slotPinned) {
+			if st.CompareAndSwap(slotFree, slotPinned) {
+				// Occupancy = pins + live leases, same accounting as
+				// countLease from the other side.
+				occ := p.pinned.Add(1) +
+					int64(cnt.acquired.Load()) - int64(cnt.released.Load())
+				p.noteHighWater(occ)
 				return true
 			}
 		case slotReleasing:

@@ -154,47 +154,57 @@ func TestSkipListReclaimsDeletedNodes(t *testing.T) {
 	}
 }
 
+// runDisjointRanges is one round of the disjoint-ranges workload: each
+// worker insert/contains/deletes its own key span, so every structural
+// conflict happens at the range boundaries and in the upper index levels.
+// This is the workload that reproduces the known hp/rc use-after-free (see
+// TestSkipListUAFReproHPRC in stress_test.go and ROADMAP.md).
+func runDisjointRanges(t *testing.T, scheme string) {
+	t.Helper()
+	const workers = 4
+	const span = 256
+	s, d, hs := newSet(t, scheme, workers, 16)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := hs[w]
+			base := int64(w * span)
+			for rep := 0; rep < 3; rep++ {
+				for k := base; k < base+span; k++ {
+					if !h.Insert(k) {
+						t.Errorf("insert %d", k)
+						return
+					}
+				}
+				for k := base; k < base+span; k++ {
+					if !h.Contains(k) {
+						t.Errorf("missing %d", k)
+						return
+					}
+				}
+				for k := base; k < base+span; k++ {
+					if !h.Delete(k) {
+						t.Errorf("delete %d", k)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n, msg := s.Validate(); msg != "" || n != 0 {
+		t.Fatalf("validate: n=%d %s", n, msg)
+	}
+	d.Close()
+}
+
 func TestSkipListConcurrentDisjointRanges(t *testing.T) {
 	for _, scheme := range reclaim.Schemes() {
 		scheme := scheme
 		t.Run(scheme, func(t *testing.T) {
-			const workers = 4
-			const span = 256
-			s, d, hs := newSet(t, scheme, workers, 16)
-			var wg sync.WaitGroup
-			for w := 0; w < workers; w++ {
-				wg.Add(1)
-				go func(w int) {
-					defer wg.Done()
-					h := hs[w]
-					base := int64(w * span)
-					for rep := 0; rep < 3; rep++ {
-						for k := base; k < base+span; k++ {
-							if !h.Insert(k) {
-								t.Errorf("insert %d", k)
-								return
-							}
-						}
-						for k := base; k < base+span; k++ {
-							if !h.Contains(k) {
-								t.Errorf("missing %d", k)
-								return
-							}
-						}
-						for k := base; k < base+span; k++ {
-							if !h.Delete(k) {
-								t.Errorf("delete %d", k)
-								return
-							}
-						}
-					}
-				}(w)
-			}
-			wg.Wait()
-			if n, msg := s.Validate(); msg != "" || n != 0 {
-				t.Fatalf("validate: n=%d %s", n, msg)
-			}
-			d.Close()
+			runDisjointRanges(t, scheme)
 		})
 	}
 }

@@ -1,0 +1,45 @@
+package skiplist
+
+// Guarded regression harness for the known pre-existing use-after-free in
+// the skip list under the hp and rc schemes (ROADMAP.md "Known
+// pre-existing use-after-free"). The repro is probabilistic per run but
+// near-certain over a batch: the PR 2 diagnosis pinned the proximate
+// mechanism to an edge-value ABA at upper levels — a search's splice of a
+// marked node writes that node's FROZEN successor back into the chain
+// after the successor was already retired and freed (the splice CAS's
+// expected value returns, defeating the check). The epoch schemes are
+// immune; hp and rc fail because their per-node grace arguments do not
+// cover the re-linked edge.
+//
+// The harness is env-gated so ordinary CI stays green while the bug is
+// open; the dedicated bughunt PR gets a deterministic one-command repro:
+//
+//	QSENSE_SKIPLIST_STRESS=30 go test ./internal/skiplist -run UAFRepro -cpu=2,4 -v
+//
+// (30 repetitions per scheme ≈ the ROADMAP `-count=30` recipe; most
+// batches fail with a mem.Violation panic or a validate error. When a fix
+// lands, drop the gate so the batch becomes a permanent regression test.)
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+func TestSkipListUAFReproHPRC(t *testing.T) {
+	reps, _ := strconv.Atoi(os.Getenv("QSENSE_SKIPLIST_STRESS"))
+	if reps <= 0 {
+		t.Skip("set QSENSE_SKIPLIST_STRESS=<reps> to run the hp/rc use-after-free repro batch (see ROADMAP.md)")
+	}
+	for _, scheme := range []string{"hp", "rc"} {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			for rep := 0; rep < reps; rep++ {
+				runDisjointRanges(t, scheme)
+				if t.Failed() {
+					t.Fatalf("failed at repetition %d/%d", rep+1, reps)
+				}
+			}
+		})
+	}
+}

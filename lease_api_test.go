@@ -41,7 +41,10 @@ func TestSetAcquireRelease(t *testing.T) {
 	for name, mk := range containers {
 		for _, scheme := range apiSchemes {
 			t.Run(name+"/"+string(scheme), func(t *testing.T) {
-				s, err := mk(qsense.Options{MaxWorkers: 2, Scheme: scheme})
+				// Hard-capped at 2: this test exercises the fixed-arena
+				// recycle/exhaustion semantics (elastic growth is covered
+				// by TestElasticAcquireNeverFails).
+				s, err := mk(qsense.Options{MaxWorkers: 2, HardMaxWorkers: 2, Scheme: scheme})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -308,7 +311,7 @@ func TestReclamationWhileSlotsUnleased(t *testing.T) {
 // the arena is exhausted, wakes on Release, and honors context
 // cancellation — on both the container and custom-structure APIs.
 func TestAcquireWaitPublic(t *testing.T) {
-	set, err := qsense.NewSet(qsense.Options{MaxWorkers: 1})
+	set, err := qsense.NewSet(qsense.Options{MaxWorkers: 1, HardMaxWorkers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,8 +12,7 @@
 // NewTreeSet (Natarajan–Mittal external BST), NewHashSet (Michael hash
 // table), NewQueue (Michael–Scott FIFO) and NewStack (Treiber LIFO). A
 // goroutine leases a handle with Acquire, uses it exclusively, and returns
-// it with Release — any number of goroutines may come and go, with up to
-// Options.MaxWorkers leases live at once:
+// it with Release — any number of goroutines may come and go:
 //
 //	set, err := qsense.NewSet(qsense.Options{})
 //	if err != nil {
@@ -21,15 +20,26 @@
 //	}
 //	defer set.Close()
 //	// in any goroutine (a request handler, a worker, ...):
-//	h, err := set.AcquireWait(ctx) // blocks while every slot is leased
+//	h, err := set.Acquire() // grows the guard arena on demand; no sizing guess
 //	if err != nil {
-//		// only when ctx ended first; the non-blocking Acquire returns
-//		// ErrNoSlots instead, for callers that would rather shed load
+//		// only with Options.HardMaxWorkers set (backpressure); see below
 //	}
 //	defer h.Release()
 //	h.Insert(42)
 //	h.Contains(42)
 //	h.Delete(42)
+//
+// # Capacity model
+//
+// Options.MaxWorkers is only the arena's initial (soft) size: when more
+// goroutines lease simultaneously, the domain grows its guard arena by
+// publish-once segments — Acquire succeeds instead of failing, so a
+// goroutine-per-request server needs no worker-count guess. Callers that
+// WANT admission control set Options.HardMaxWorkers: at that many live
+// leases Acquire returns ErrNoSlots (shed load) and AcquireWait blocks
+// until a Release (queue load) — the only configurations in which
+// AcquireWait still matters. Stats reports the subsystem's behaviour:
+// ArenaSize, HighWaterWorkers, ArenaGrowths.
 //
 // Release returns the slot immediately; retired nodes whose grace period
 // has not yet elapsed move to the domain's orphan list and are freed by
@@ -70,9 +80,12 @@ import (
 	"qsense/internal/rooster"
 )
 
-// ErrNoSlots is returned by the Acquire methods when every guard slot is
-// leased or pinned. Callers can retry once another goroutine Releases, or
-// construct the domain/container with a larger Options.MaxWorkers.
+// ErrNoSlots is returned by the Acquire methods only when the domain was
+// built with Options.HardMaxWorkers and the arena has grown to that cap
+// with every guard slot leased or pinned. By default domains are elastic —
+// the arena grows on demand and Acquire does not fail. Callers at a hard
+// cap can block with AcquireWait, retry once another goroutine Releases,
+// or construct the domain/container with a larger (or no) cap.
 var ErrNoSlots = reclaim.ErrNoSlots
 
 // Scheme selects a reclamation algorithm.
@@ -100,15 +113,28 @@ const (
 )
 
 // Options configures a container or a custom Domain. The zero value means
-// SchemeQSense with library defaults and a slot arena sized for the
-// machine (2×GOMAXPROCS concurrent leases).
+// SchemeQSense with library defaults and an elastic slot arena that starts
+// sized for the machine (2×GOMAXPROCS) and grows on demand — Acquire does
+// not fail, however many goroutines lease at once.
 type Options struct {
-	// MaxWorkers is the guard-slot arena size: the maximum number of
-	// simultaneously leased handles/guards. It bounds concurrency, not
-	// population — any number of goroutines may share the arena through
-	// Acquire/Release over time. Default 2*runtime.GOMAXPROCS(0) (or
-	// Workers, if that is larger).
+	// MaxWorkers is the INITIAL guard-slot arena size: how many
+	// simultaneous leases the domain accommodates before it grows, and
+	// the grain by which growth doubles capacity. It is a soft size — a
+	// burst of goroutines beyond it makes the arena grow (by publish-once
+	// slot segments; existing guards never move) rather than fail; set
+	// HardMaxWorkers to bound that growth. Default
+	// 2*runtime.GOMAXPROCS(0) (or Workers, if that is larger).
 	MaxWorkers int
+	// HardMaxWorkers, when > 0, caps arena growth: once the arena holds
+	// this many slots and all are leased, Acquire returns ErrNoSlots and
+	// AcquireWait blocks until a Release — the backpressure semantics for
+	// callers that would rather shed or queue load than admit it. 0 (the
+	// default) means elastic: growth up to a large library ceiling, and
+	// Acquire effectively never fails. A cap below the initial size
+	// lowers the initial size to the cap — except below a deprecated
+	// fixed Workers count, which raises the cap instead so positional
+	// handles stay in range.
+	HardMaxWorkers int
 	// Workers is the fixed worker count of the pre-leasing API.
 	//
 	// Deprecated: the positional Handle(w)/Guard(w) accessors it sizes
@@ -146,14 +172,15 @@ func (o Options) reclaimConfig(hps int, free func(mem.Ref)) reclaim.Config {
 		hps = o.HPs
 	}
 	return reclaim.Config{
-		Workers:     o.arena(),
-		HPs:         hps,
-		Free:        free,
-		Q:           o.Q,
-		R:           o.R,
-		C:           o.C,
-		MemoryLimit: o.MemoryLimit,
-		Rooster:     rooster.Config{Interval: o.RoosterInterval},
+		Workers:        o.arena(),
+		HardMaxWorkers: o.HardMaxWorkers,
+		HPs:            hps,
+		Free:           free,
+		Q:              o.Q,
+		R:              o.R,
+		C:              o.C,
+		MemoryLimit:    o.MemoryLimit,
+		Rooster:        rooster.Config{Interval: o.RoosterInterval},
 	}
 }
 
@@ -164,15 +191,26 @@ func (o Options) scheme() string {
 	return string(o.Scheme)
 }
 
-// arena is the guard-slot arena size: MaxWorkers, stretched to cover any
-// deprecated fixed Workers count so positional handles stay in range.
+// arena is the initial guard-slot arena size: MaxWorkers (or the machine
+// default), lowered to HardMaxWorkers when a smaller cap is set — but
+// never below a deprecated fixed Workers count, whose positional
+// Handle(w)/Guard(w) contract guarantees slots [0, Workers) exist. When
+// Workers exceeds the cap, the internal layer raises the cap to match
+// (reclaim.Config.withDefaults), so the two layers resolve the conflict
+// identically: the positional range always wins.
 func (o Options) arena() int {
 	n := o.MaxWorkers
+	if n <= 0 && o.Workers <= 0 {
+		// Machine default only when the caller sized nothing: a bare
+		// deprecated Workers count must stay exactly the paper's N (its C
+		// legality and memory bounds scale with N).
+		n = 2 * runtime.GOMAXPROCS(0)
+	}
+	if o.HardMaxWorkers > 0 && n > o.HardMaxWorkers {
+		n = o.HardMaxWorkers
+	}
 	if o.Workers > n {
 		n = o.Workers
-	}
-	if n <= 0 {
-		n = 2 * runtime.GOMAXPROCS(0)
 	}
 	return n
 }
@@ -203,6 +241,13 @@ type Stats struct {
 	// orphans since freed by other workers' reclamation passes. Orphans
 	// remain Pending (and count against MemoryLimit) until adopted.
 	OrphanedNodes, AdoptedNodes uint64
+	// ArenaSize is the current guard-slot arena size (MaxWorkers until
+	// growth engages); HighWaterWorkers is the peak number of
+	// simultaneously leased/pinned slots; ArenaGrowths counts elastic
+	// segment publications. ArenaGrowths > 0 on a long-lived domain is a
+	// hint that MaxWorkers undershoots the real concurrency.
+	ArenaSize, HighWaterWorkers int
+	ArenaGrowths                uint64
 	// RoosterPasses counts completed rooster flush passes (Cadence,
 	// QSense).
 	RoosterPasses uint64
@@ -228,6 +273,9 @@ func fromReclaimStats(s reclaim.Stats) Stats {
 		ReleasedHandles:    s.ReleasedHandles,
 		OrphanedNodes:      s.OrphanedNodes,
 		AdoptedNodes:       s.AdoptedNodes,
+		ArenaSize:          s.ArenaSize,
+		HighWaterWorkers:   s.HighWaterWorkers,
+		ArenaGrowths:       s.ArenaGrowths,
 		RoosterPasses:      s.RoosterPasses,
 		Failed:             s.Failed,
 	}
