@@ -44,6 +44,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "workload seed")
 		experiment = flag.String("experiment", "", `extra experiment: "leasevspinned"`)
 		leaseEvery = flag.Int("leaseevery", 1, "leasevspinned: 64-op batches per lease (1 = re-lease every batch)")
+		jsonOut    = flag.Bool("json", false, "also write results to BENCH_<experiment>.json (for CI artifacts / perf tracking)")
 	)
 	flag.Parse()
 
@@ -54,7 +55,7 @@ func main() {
 
 	switch *experiment {
 	case "leasevspinned":
-		runLeaseVsPinned(*ds, *schemes, workers, *leaseEvery, *keyRange, *paper, *duration, *seed)
+		runLeaseVsPinned(*ds, *schemes, workers, *leaseEvery, *keyRange, *paper, *duration, *seed, *jsonOut)
 		return
 	case "":
 	default:
@@ -104,16 +105,58 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *csvPath)
 	}
+	if *jsonOut {
+		name := "custom"
+		switch *figure {
+		case "3":
+			name = "fig3"
+		case "5top":
+			name = "fig5top"
+		}
+		writeBenchJSON(name, harness.BenchJSON{
+			Experiment: name, DS: sc.DS, KeyRange: sc.KeyRange,
+			UpdatePct: sc.UpdatePct, DurationMS: sc.Duration.Milliseconds(),
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+		}, curves)
+	}
+}
+
+// writeBenchJSON writes curves as BENCH_<name>.json in the working
+// directory — the artifact CI uploads to seed the perf trajectory.
+func writeBenchJSON(name string, meta harness.BenchJSON, curves []harness.Curve) {
+	path := "BENCH_" + name + ".json"
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := harness.WriteCurvesJSON(f, meta, curves); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
 }
 
 // runLeaseVsPinned drives the leased-vs-pinned comparison at each worker
 // count and prints a per-scheme summary table.
-func runLeaseVsPinned(ds, schemes string, workers []int, leaseEvery int, keyRange int64, paper bool, duration time.Duration, seed uint64) {
+func runLeaseVsPinned(ds, schemes string, workers []int, leaseEvery int, keyRange int64, paper bool, duration time.Duration, seed uint64, jsonOut bool) {
 	if keyRange <= 0 {
 		keyRange = defaultRange(ds, paper)
 	}
 	fmt.Printf("qsense-bench leasevspinned: %s, %d keys, 50%% updates, lease every %d batch(es) of 64 ops, %v per run, GOMAXPROCS=%d\n",
 		ds, keyRange, leaseEvery, duration, runtime.GOMAXPROCS(0))
+	// Accumulate pinned/leased throughput series per scheme so -json can
+	// emit the experiment in the same curve format as the figures.
+	curveIx := map[string]int{}
+	var curves []harness.Curve
+	addPoint := func(name string, w int, res harness.Result) {
+		i, ok := curveIx[name]
+		if !ok {
+			i = len(curves)
+			curveIx[name] = i
+			curves = append(curves, harness.Curve{Scheme: name})
+		}
+		curves[i].Points = append(curves[i].Points, harness.Point{Workers: w, Res: res})
+	}
 	for _, w := range workers {
 		fmt.Printf("-- %d workers --\n", w)
 		results, err := harness.RunLeaseVsPinned(ds, strings.Split(schemes, ","), w, leaseEvery, keyRange, duration, seed, os.Stdout)
@@ -125,7 +168,16 @@ func runLeaseVsPinned(ds, schemes string, workers []int, leaseEvery int, keyRang
 				fmt.Printf("WARNING: %s leaked %d leases\n", r.Scheme,
 					r.Leased.Reclaim.AcquiredHandles-r.Leased.Reclaim.ReleasedHandles)
 			}
+			addPoint(r.Scheme+"-pinned", w, r.Pinned)
+			addPoint(r.Scheme+"-leased", w, r.Leased)
 		}
+	}
+	if jsonOut {
+		writeBenchJSON("leasevspinned", harness.BenchJSON{
+			Experiment: "leasevspinned", DS: ds, KeyRange: keyRange, UpdatePct: 50,
+			DurationMS: duration.Milliseconds(), GoMaxProcs: runtime.GOMAXPROCS(0),
+			Extra: map[string]string{"lease_every": fmt.Sprint(leaseEvery)},
+		}, curves)
 	}
 }
 

@@ -84,6 +84,27 @@ func TestElasticAcquireNeverFails(t *testing.T) {
 		t.Fatalf("HighWaterWorkers = %d, want %d (every goroutine held a slot at the barrier)",
 			st.HighWaterWorkers, goroutines)
 	}
+	if st.RRetunes == 0 {
+		t.Fatalf("scan threshold never re-tuned while growing to %d slots: %+v", st.ArenaSize, st)
+	}
+	// Occupancy-proportional decay: with the burst drained, a few solo
+	// lease cycles must leave the grown capacity parked — every later scan
+	// and epoch advance walks a near-empty arena, not the 10k high-water.
+	for i := 0; i < 4; i++ {
+		h, err := set.Acquire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Contains(1)
+		h.Release()
+	}
+	st = set.Stats()
+	if st.SegmentParks == 0 || st.ParkedSlots == 0 {
+		t.Fatalf("grown capacity never parked after the burst drained: %+v", st)
+	}
+	if walked := st.ArenaSize - st.ParkedSlots; walked > st.ArenaSize/2 {
+		t.Fatalf("%d of %d slots still walked after the burst drained", walked, st.ArenaSize)
+	}
 	set.Close()
 	if st := set.Stats(); st.Pending != 0 {
 		t.Fatalf("pending after Close: %+v", st)

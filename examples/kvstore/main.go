@@ -104,6 +104,9 @@ func main() {
 		st.Retired, st.Freed, st.Pending, st.QuiescentStates)
 	fmt.Printf("  guard arena: started at 2 slots, grew %d time(s) to %d (peak %d workers leased at once)\n",
 		st.ArenaGrowths, st.ArenaSize, st.HighWaterWorkers)
+	fmt.Printf("  occupancy: %d slots parked (%d parks / %d unparks), %d records walked over %d scans+advances, R now %d after %d retune(s)\n",
+		st.ParkedSlots, st.SegmentParks, st.SegmentUnparks,
+		st.ScannedRecords, st.Scans+st.EpochAdvances, st.EffectiveR, st.RRetunes)
 
 	dom.Close()
 	if got, want := book.Pool().Stats().Live, uint64(open+2); got != want {

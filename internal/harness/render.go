@@ -1,11 +1,74 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
 )
+
+// BenchJSON is the machine-readable form of a scalability experiment that
+// qsense-bench's -json flag emits (BENCH_<experiment>.json): enough
+// metadata to identify the run plus one throughput series per scheme, so
+// CI can archive results as artifacts and a perf trajectory can be plotted
+// across commits without re-parsing the human tables.
+type BenchJSON struct {
+	Experiment string            `json:"experiment"`
+	DS         string            `json:"ds"`
+	KeyRange   int64             `json:"key_range"`
+	UpdatePct  int               `json:"update_pct"`
+	DurationMS int64             `json:"duration_ms"`
+	GoMaxProcs int               `json:"gomaxprocs"`
+	Curves     []BenchCurveJSON  `json:"curves"`
+	Extra      map[string]string `json:"extra,omitempty"`
+}
+
+// BenchCurveJSON is one scheme's series in BenchJSON.
+type BenchCurveJSON struct {
+	Scheme string           `json:"scheme"`
+	Points []BenchPointJSON `json:"points"`
+}
+
+// BenchPointJSON is one (workers, throughput) sample, with the reclamation
+// counters a perf dashboard most wants next to the headline number.
+type BenchPointJSON struct {
+	Workers        int     `json:"workers"`
+	Mops           float64 `json:"mops"`
+	Retired        uint64  `json:"retired"`
+	Scans          uint64  `json:"scans"`
+	ScannedRecords uint64  `json:"scanned_records"`
+	ArenaSize      int     `json:"arena_size"`
+	ParkedSlots    int     `json:"parked_slots"`
+	RRetunes       uint64  `json:"r_retunes"`
+	CRetunes       uint64  `json:"c_retunes"`
+	Failed         bool    `json:"failed"`
+}
+
+// WriteCurvesJSON emits a scalability experiment as indented JSON.
+func WriteCurvesJSON(w io.Writer, meta BenchJSON, curves []Curve) error {
+	for _, c := range curves {
+		jc := BenchCurveJSON{Scheme: c.Scheme}
+		for _, p := range c.Points {
+			jc.Points = append(jc.Points, BenchPointJSON{
+				Workers:        p.Workers,
+				Mops:           p.Res.Mops,
+				Retired:        p.Res.Reclaim.Retired,
+				Scans:          p.Res.Reclaim.Scans,
+				ScannedRecords: p.Res.Reclaim.ScannedRecords,
+				ArenaSize:      p.Res.Reclaim.ArenaSize,
+				ParkedSlots:    p.Res.Reclaim.ParkedSlots,
+				RRetunes:       p.Res.Reclaim.RRetunes,
+				CRetunes:       p.Res.Reclaim.CRetunes,
+				Failed:         p.Res.Failed,
+			})
+		}
+		meta.Curves = append(meta.Curves, jc)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(meta)
+}
 
 // WriteCurvesCSV emits a scalability experiment as CSV: one row per worker
 // count, one column per scheme (Mops/s) — the format of Figure 3 and the

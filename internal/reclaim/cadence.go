@@ -16,7 +16,9 @@ import (
 //     a bare store; the rooster manager copies pending into the shared slots
 //     every interval T. A hazard pointer therefore becomes visible to scans
 //     at most one full pass after it is stored — the analog of the paper's
-//     context-switch-drains-store-buffer argument.
+//     context-switch-drains-store-buffer argument. The domain registers one
+//     flush target (recFlusher) that walks the occupancy index, so a pass
+//     flushes only live records however large the arena once grew.
 //  2. Deferred reclamation. Retire stamps the node with the current rooster
 //     tick; scan only frees nodes whose stamp is at least two completed
 //     passes old (rooster.OldEnough — Figure 4's T+ε condition in tick
@@ -29,6 +31,7 @@ import (
 type Cadence struct {
 	cfg     Config
 	cnt     counters
+	tune    *tuner
 	mgr     *rooster.Manager
 	slots   *slotPool
 	orphans orphanList
@@ -37,12 +40,14 @@ type Cadence struct {
 }
 
 type cadenceGuard struct {
-	d       *Cadence
-	id      int
-	rec     *hprec
-	rl      []retired
-	retires int
-	scanBuf []uint64
+	d         *Cadence
+	id        int
+	rec       *hprec
+	rl        []retired
+	sinceScan int
+	tally     tally
+	tc        tunerCache
+	scanBuf   []uint64
 }
 
 // NewCadence builds a stand-alone Cadence domain and starts its rooster
@@ -53,28 +58,24 @@ func NewCadence(cfg Config) (*Cadence, error) {
 	}
 	cfg = cfg.withDefaults()
 	d := &Cadence{cfg: cfg, mgr: rooster.NewManager(cfg.Rooster)}
+	d.tune = newTuner(cfg, &d.cnt)
 	d.recs = newArena(cfg.Workers, cfg.HardMaxWorkers, func(i int) *hprec {
 		return newHPRec(cfg.HPs)
 	})
 	d.guards = newArena(cfg.Workers, cfg.HardMaxWorkers, func(i int) *cadenceGuard {
-		return &cadenceGuard{d: d, id: i, rec: d.recs.at(i)}
+		return &cadenceGuard{d: d, id: i, rec: d.recs.at(i),
+			tc: tunerCache{r: cfg.R, c: cfg.C}}
 	})
-	for i := 0; i < d.recs.len(); i++ {
-		d.mgr.Register(d.recs.at(i))
-	}
-	d.slots = newSlotPool(cfg.Workers, cfg.HardMaxWorkers, func(hi int) {
-		lo := d.recs.len()
+	d.slots = newSlotPool(cfg.Workers, cfg.HardMaxWorkers, &d.cnt, d.tune, func(hi int) {
 		d.recs.grow(hi)
 		d.guards.grow(hi)
-		// Register the new records with the rooster so flush passes cover
-		// them; Register is mutex-guarded and safe mid-run. Their slots
-		// cannot lease before this hook returns, so no protection is ever
-		// published into an unflushed record.
-		for i := lo; i < hi; i++ {
-			d.mgr.Register(d.recs.at(i))
-		}
 	})
-	d.mgr.AddHook(1, d.orphans.adoptHook(d.mgr, d.recs, d.cfg, &d.cnt))
+	// One occupancy-walking flush target covers every record, current and
+	// future: growth publishes records before their slots can lease, and
+	// the walk visits exactly the occupied ones — so rooster registration
+	// is a construction-time affair and flush passes cost O(live).
+	d.mgr.Register(&recFlusher{p: d.slots, recs: d.recs, cnt: &d.cnt})
+	d.mgr.AddHook(1, d.orphans.adoptHook(d.mgr, d.slots, d.recs, d.cfg, &d.cnt))
 	if !cfg.ManualRooster {
 		d.mgr.Start()
 	}
@@ -84,7 +85,7 @@ func NewCadence(cfg Config) (*Cadence, error) {
 // Guard implements Domain (deprecated positional access): pins slot w and
 // marks its hazard record live for scans and rooster flushes.
 func (d *Cadence) Guard(w int) Guard {
-	if d.slots.pin(w, &d.cnt) {
+	if d.slots.pin(w) {
 		d.recs.at(w).leased.Store(true)
 	}
 	return d.guards.at(w)
@@ -94,7 +95,7 @@ func (d *Cadence) Guard(w int) Guard {
 // rooster flush may have re-published after the previous release, and make
 // the record visible to scans and flush passes again.
 func (d *Cadence) Acquire() (Guard, error) {
-	w, err := d.slots.lease(&d.cnt)
+	w, err := d.slots.lease()
 	if err != nil {
 		return nil, err
 	}
@@ -104,7 +105,7 @@ func (d *Cadence) Acquire() (Guard, error) {
 // AcquireWait implements Domain: Acquire that parks until a slot frees or
 // ctx is done.
 func (d *Cadence) AcquireWait(ctx context.Context) (Guard, error) {
-	w, err := d.slots.leaseWait(ctx, &d.cnt)
+	w, err := d.slots.leaseWait(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -116,6 +117,7 @@ func (d *Cadence) join(w int) Guard {
 	g.rec.clearPending()
 	g.rec.clearShared()
 	g.rec.leased.Store(true)
+	g.tc.refresh(d.tune)
 	return g
 }
 
@@ -128,7 +130,7 @@ func (d *Cadence) Release(gd Guard) {
 	if !ok || g.d != d {
 		panic(errForeignGuard)
 	}
-	d.slots.unlease(g.id, &d.cnt, func() {
+	d.slots.unlease(g.id, func() {
 		g.rec.clearPending()
 		g.rec.clearShared()
 		if len(g.rl) > 0 {
@@ -138,6 +140,7 @@ func (d *Cadence) Release(gd Guard) {
 			d.orphans.add(nil, g.rl, 0, &d.cnt)
 			g.rl = nil
 		}
+		d.cnt.releaseTally(&g.tally, d.cfg.MemoryLimit)
 		g.rec.leased.Store(false)
 	})
 }
@@ -151,7 +154,7 @@ func (d *Cadence) Failed() bool { return d.cnt.failed.Load() }
 // Stats implements Domain.
 func (d *Cadence) Stats() Stats {
 	s := Stats{Scheme: "cadence", RoosterPasses: d.mgr.Tick()}
-	d.cnt.fill(&s)
+	d.cnt.fill(&s, d.slots, func(i int) *tally { return &d.guards.at(i).tally })
 	d.slots.fillArena(&s)
 	return s
 }
@@ -168,8 +171,9 @@ func (d *Cadence) Close() {
 		for _, r := range g.rl {
 			d.cfg.Free(r.ref)
 		}
-		d.cnt.freed.Add(uint64(len(g.rl)))
+		d.cnt.tallyFree(&g.tally, len(g.rl))
 		g.rl = g.rl[:0]
+		d.cnt.drainTally(&g.tally)
 	}
 	d.orphans.drain(d.cfg.Free, &d.cnt)
 }
@@ -192,9 +196,10 @@ func (g *cadenceGuard) Retire(r mem.Ref) {
 	}
 	g.d.mgr.Poll() // cooperative rooster: run an overdue pass inline
 	g.rl = append(g.rl, retired{ref: r.Untagged(), stamp: g.d.mgr.Tick()})
-	g.d.cnt.noteRetire(g.d.cfg.MemoryLimit)
-	g.retires++
-	if g.retires%g.d.cfg.R == 0 {
+	g.d.cnt.tallyRetire(&g.tally, g.d.cfg.MemoryLimit)
+	g.sinceScan++
+	if g.sinceScan >= g.tc.r {
+		g.sinceScan = 0
 		g.scan()
 	}
 }
@@ -210,14 +215,15 @@ func (g *cadenceGuard) scan() {
 	g.d.cnt.scans.Add(1)
 	tick := g.d.mgr.Tick()
 	batch := g.d.orphans.detach()
-	snap := snapshotShared(g.d.recs, g.scanBuf)
+	snap, visited := snapshotShared(g.d.slots, g.d.recs, g.scanBuf)
+	g.d.cnt.tallyScanned(&g.tally, visited)
 	g.scanBuf = snap.vals
 	var freed int
 	g.rl, freed = filterDeferred(g.d.cfg, g.d.mgr, tick, snap, g.rl)
-	if freed > 0 {
-		g.d.cnt.freed.Add(uint64(freed))
-	}
+	g.d.cnt.tallyFree(&g.tally, freed)
 	g.d.orphans.adoptDetached(batch, snap, g.d.mgr, tick, g.d.cfg, &g.d.cnt)
+	g.d.cnt.flushTally(&g.tally, g.d.cfg.MemoryLimit)
+	g.tc.refresh(g.d.tune)
 }
 
 // filterDeferred is the body of Cadence's scan (Algorithm 3, lines 14–33):

@@ -8,7 +8,7 @@ import (
 )
 
 // EBR is epoch-based reclamation in the Fraser style (paper references
-// [11], [13]; §8 "Epoch-based techniques") — the second classic baseline
+// [11], [13], §8 "Epoch-based techniques") — the second classic baseline
 // next to QSBR, implemented for the related-work comparison and the
 // ablation benchmarks.
 //
@@ -29,14 +29,16 @@ import (
 //
 // Epoch arithmetic: retires go into bucket (announced epoch mod 3); the
 // global epoch may only advance from e to e+1 when every active worker has
-// announced e; a worker freshly announcing epoch g frees its bucket
-// (g mod 3), whose contents were retired at announced epoch g-3. By then
-// advances to g-1 and g have both happened, so no critical section that
-// could have obtained a reference (one announced at g-2 or earlier)
-// survives.
+// announced e — a check that walks only OCCUPIED slots (occupancy.go), so
+// its cost tracks live workers, not the arena's high-water size; a worker
+// freshly announcing epoch g frees its bucket (g mod 3), whose contents
+// were retired at announced epoch g-3. By then advances to g-1 and g have
+// both happened, so no critical section that could have obtained a
+// reference (one announced at g-2 or earlier) survives.
 type EBR struct {
 	cfg     Config
 	cnt     counters
+	tune    *tuner
 	epoch   atomic.Uint64
 	slots   *slotPool
 	orphans orphanList
@@ -48,12 +50,14 @@ type ebrGuard struct {
 	id int
 	// word packs (announced epoch << 1) | active. Peers read it in
 	// tryAdvance; the owner writes it in Begin/ClearHPs.
-	word      atomic.Uint64
-	lastSeen  uint64 // last epoch whose bucket this guard freed
-	adoptSeen uint64 // last epoch at which this guard tried orphan adoption
-	limbo     [3][]mem.Ref
-	retires   int
-	_         [40]byte // keep adjacent guards' hot words apart
+	word         atomic.Uint64
+	lastSeen     uint64 // last epoch whose bucket this guard freed
+	adoptSeen    uint64 // last epoch at which this guard tried orphan adoption
+	limbo        [3][]mem.Ref
+	sinceAdvance int
+	tally        tally
+	tc           tunerCache
+	_            [40]byte // keep adjacent guards' hot words apart
 }
 
 // NewEBR builds an epoch-based reclamation domain.
@@ -63,10 +67,11 @@ func NewEBR(cfg Config) (*EBR, error) {
 	}
 	cfg = cfg.withDefaults()
 	d := &EBR{cfg: cfg}
+	d.tune = newTuner(cfg, &d.cnt)
 	d.guards = newArena(cfg.Workers, cfg.HardMaxWorkers, func(i int) *ebrGuard {
-		return &ebrGuard{d: d, id: i}
+		return &ebrGuard{d: d, id: i, tc: tunerCache{r: cfg.R, c: cfg.C}}
 	})
-	d.slots = newSlotPool(cfg.Workers, cfg.HardMaxWorkers, d.guards.grow)
+	d.slots = newSlotPool(cfg.Workers, cfg.HardMaxWorkers, &d.cnt, d.tune, d.guards.grow)
 	return d, nil
 }
 
@@ -74,7 +79,7 @@ func NewEBR(cfg Config) (*EBR, error) {
 // born inactive (outside any critical section), so pinning needs no
 // membership work: an idle guard never blocks grace periods.
 func (d *EBR) Guard(w int) Guard {
-	d.slots.pin(w, &d.cnt)
+	d.slots.pin(w)
 	return d.guards.at(w)
 }
 
@@ -83,7 +88,7 @@ func (d *EBR) Guard(w int) Guard {
 // announcement) and nudge the global epoch, which under pure handle churn
 // is the main advance driver.
 func (d *EBR) Acquire() (Guard, error) {
-	w, err := d.slots.lease(&d.cnt)
+	w, err := d.slots.lease()
 	if err != nil {
 		return nil, err
 	}
@@ -93,7 +98,7 @@ func (d *EBR) Acquire() (Guard, error) {
 // AcquireWait implements Domain: Acquire that parks until a slot frees or
 // ctx is done.
 func (d *EBR) AcquireWait(ctx context.Context) (Guard, error) {
-	w, err := d.slots.leaseWait(ctx, &d.cnt)
+	w, err := d.slots.leaseWait(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -114,6 +119,8 @@ func (d *EBR) join(w int) Guard {
 		g.adoptSeen = e
 		d.orphans.adoptEpoch(e, d.cfg.Free, &d.cnt)
 	}
+	d.cnt.flushTally(&g.tally, d.cfg.MemoryLimit)
+	g.tc.refresh(d.tune)
 	return g
 }
 
@@ -127,10 +134,11 @@ func (d *EBR) Release(gd Guard) {
 	if !ok || g.d != d {
 		panic(errForeignGuard)
 	}
-	d.slots.unlease(g.id, &d.cnt, func() {
+	d.slots.unlease(g.id, func() {
 		g.ClearHPs()
 		g.tryAdvance()
 		g.orphanLimbo()
+		d.cnt.releaseTally(&g.tally, d.cfg.MemoryLimit)
 	})
 }
 
@@ -146,7 +154,7 @@ func (d *EBR) GlobalEpoch() uint64 { return d.epoch.Load() }
 // Stats implements Domain.
 func (d *EBR) Stats() Stats {
 	s := Stats{Scheme: "ebr"}
-	d.cnt.fill(&s)
+	d.cnt.fill(&s, d.slots, func(i int) *tally { return &d.guards.at(i).tally })
 	d.slots.fillArena(&s)
 	return s
 }
@@ -159,6 +167,7 @@ func (d *EBR) Close() {
 		for b := range g.limbo {
 			g.freeBucket(b)
 		}
+		d.cnt.drainTally(&g.tally)
 	}
 	d.orphans.drain(d.cfg.Free, &d.cnt)
 }
@@ -174,6 +183,7 @@ func (g *ebrGuard) Begin() {
 	if e != g.lastSeen {
 		g.lastSeen = e
 		g.freeBucket(int(e % 3))
+		g.d.cnt.flushTally(&g.tally, g.d.cfg.MemoryLimit)
 	}
 	// Orphan adoption: when a released slot left a backlog behind, pure
 	// Begin activity must make progress on it — EBR's epoch otherwise only
@@ -205,25 +215,38 @@ func (g *ebrGuard) Retire(r mem.Ref) {
 	}
 	e := g.word.Load() >> 1
 	g.limbo[e%3] = append(g.limbo[e%3], r.Untagged())
-	g.d.cnt.noteRetire(g.d.cfg.MemoryLimit)
-	g.retires++
-	if g.retires%g.d.cfg.R == 0 {
+	g.d.cnt.tallyRetire(&g.tally, g.d.cfg.MemoryLimit)
+	g.sinceAdvance++
+	if g.sinceAdvance >= g.tc.r {
+		g.sinceAdvance = 0
 		g.tryAdvance()
+		g.tc.refresh(g.d.tune)
 	}
 }
 
 // tryAdvance increments the global epoch if every active worker has
-// announced it. Inactive workers (idle between operations) are skipped —
-// the robustness half EBR has over QSBR. The bound is loaded once: a
-// grown slot's worker is born inactive and announces only epochs current
-// at or after its lease, so missing it cannot fake a grace period.
+// announced it. The check walks only occupied slots — a vacant guard's
+// word has the active bit clear (Release runs ClearHPs in its drain), so
+// skipping it changes no outcome — and inactive workers (idle between
+// operations) are skipped as before: the robustness half EBR has over
+// QSBR. A tenant whose lease races the walk is born inactive and announces
+// only epochs current at or after its lease, so missing it cannot fake a
+// grace period (the argument of occupancy.go, previously made in arena.go
+// for the published-high bound).
 func (g *ebrGuard) tryAdvance() {
 	e := g.d.epoch.Load()
-	for i, n := 0, g.d.guards.len(); i < n; i++ {
+	ok := true
+	visited := g.d.slots.walkOccupied(func(i int) bool {
 		w := g.d.guards.at(i).word.Load()
 		if w&1 == 1 && w>>1 != e {
-			return
+			ok = false
+			return false
 		}
+		return true
+	})
+	g.d.cnt.tallyScanned(&g.tally, visited)
+	if !ok {
+		return
 	}
 	if g.d.epoch.CompareAndSwap(e, e+1) {
 		g.d.cnt.epochs.Add(1)
@@ -246,6 +269,6 @@ func (g *ebrGuard) freeBucket(b int) {
 	for _, r := range bucket {
 		g.d.cfg.Free(r)
 	}
-	g.d.cnt.freed.Add(uint64(len(bucket)))
+	g.d.cnt.tallyFree(&g.tally, len(bucket))
 	g.limbo[b] = bucket[:0]
 }

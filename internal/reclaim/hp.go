@@ -13,12 +13,16 @@ import (
 // a full memory barrier — the per-node fence whose cost (modeled by
 // internal/fence, see DESIGN.md §2) is the scheme's notorious overhead and
 // the paper's motivation for Cadence. Every R retires the guard scans: it
-// snapshots all N*K shared hazard pointers and frees the retired nodes not
-// found in the snapshot. HP is wait-free and robust: no worker can block
-// another's reclamation beyond the K nodes it actually protects.
+// snapshots the shared hazard pointers of every OCCUPIED slot (the
+// occupancy index of occupancy.go, so scan cost tracks live workers, not
+// the arena's high-water size) and frees the retired nodes not found in the
+// snapshot. R itself re-tunes with live occupancy on capacity transitions
+// (tune.go). HP is wait-free and robust: no worker can block another's
+// reclamation beyond the K nodes it actually protects.
 type HP struct {
 	cfg     Config
 	cnt     counters
+	tune    *tuner
 	slots   *slotPool
 	orphans orphanList
 	recs    *arena[*hprec]
@@ -26,13 +30,15 @@ type HP struct {
 }
 
 type hpGuard struct {
-	d       *HP
-	id      int
-	rec     *hprec
-	fence   *fence.Model // per guard: a fence stalls only its own core
-	rl      []retired
-	retires int
-	scanBuf []uint64
+	d         *HP
+	id        int
+	rec       *hprec
+	fence     *fence.Model // per guard: a fence stalls only its own core
+	rl        []retired
+	sinceScan int
+	tally     tally
+	tc        tunerCache
+	scanBuf   []uint64
 }
 
 // NewHP builds a hazard pointer domain.
@@ -46,13 +52,15 @@ func NewHP(cfg Config) (*HP, error) {
 		cost = fence.DefaultCost
 	}
 	d := &HP{cfg: cfg}
+	d.tune = newTuner(cfg, &d.cnt)
 	d.recs = newArena(cfg.Workers, cfg.HardMaxWorkers, func(i int) *hprec {
 		return newHPRec(cfg.HPs)
 	})
 	d.guards = newArena(cfg.Workers, cfg.HardMaxWorkers, func(i int) *hpGuard {
-		return &hpGuard{d: d, id: i, rec: d.recs.at(i), fence: fence.NewModel(cost)}
+		return &hpGuard{d: d, id: i, rec: d.recs.at(i), fence: fence.NewModel(cost),
+			tc: tunerCache{r: cfg.R, c: cfg.C}}
 	})
-	d.slots = newSlotPool(cfg.Workers, cfg.HardMaxWorkers, func(hi int) {
+	d.slots = newSlotPool(cfg.Workers, cfg.HardMaxWorkers, &d.cnt, d.tune, func(hi int) {
 		d.recs.grow(hi) // records first: guards (and scans) index into them
 		d.guards.grow(hi)
 	})
@@ -62,7 +70,7 @@ func NewHP(cfg Config) (*HP, error) {
 // Guard implements Domain (deprecated positional access): pins slot w and
 // marks its hazard record live for scans.
 func (d *HP) Guard(w int) Guard {
-	if d.slots.pin(w, &d.cnt) {
+	if d.slots.pin(w) {
 		d.recs.at(w).leased.Store(true)
 	}
 	return d.guards.at(w)
@@ -72,7 +80,7 @@ func (d *HP) Guard(w int) Guard {
 // only what it publishes — so leasing is just slot bookkeeping plus making
 // the record visible to scans.
 func (d *HP) Acquire() (Guard, error) {
-	w, err := d.slots.lease(&d.cnt)
+	w, err := d.slots.lease()
 	if err != nil {
 		return nil, err
 	}
@@ -82,7 +90,7 @@ func (d *HP) Acquire() (Guard, error) {
 // AcquireWait implements Domain: Acquire that parks until a slot frees or
 // ctx is done.
 func (d *HP) AcquireWait(ctx context.Context) (Guard, error) {
-	w, err := d.slots.leaseWait(ctx, &d.cnt)
+	w, err := d.slots.leaseWait(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -93,6 +101,7 @@ func (d *HP) join(w int) Guard {
 	g := d.guards.at(w)
 	g.rec.clearShared()
 	g.rec.leased.Store(true)
+	g.tc.refresh(d.tune)
 	return g
 }
 
@@ -106,7 +115,7 @@ func (d *HP) Release(gd Guard) {
 	if !ok || g.d != d {
 		panic(errForeignGuard)
 	}
-	d.slots.unlease(g.id, &d.cnt, func() {
+	d.slots.unlease(g.id, func() {
 		g.rec.clearShared()
 		if len(g.rl) > 0 {
 			g.scan()
@@ -115,6 +124,7 @@ func (d *HP) Release(gd Guard) {
 			d.orphans.add(nil, g.rl, 0, &d.cnt)
 			g.rl = nil
 		}
+		d.cnt.releaseTally(&g.tally, d.cfg.MemoryLimit)
 		g.rec.leased.Store(false)
 	})
 }
@@ -128,7 +138,7 @@ func (d *HP) Failed() bool { return d.cnt.failed.Load() }
 // Stats implements Domain.
 func (d *HP) Stats() Stats {
 	s := Stats{Scheme: "hp"}
-	d.cnt.fill(&s)
+	d.cnt.fill(&s, d.slots, func(i int) *tally { return &d.guards.at(i).tally })
 	d.slots.fillArena(&s)
 	return s
 }
@@ -141,8 +151,9 @@ func (d *HP) Close() {
 		for _, r := range g.rl {
 			d.cfg.Free(r.ref)
 		}
-		d.cnt.freed.Add(uint64(len(g.rl)))
+		d.cnt.tallyFree(&g.tally, len(g.rl))
 		g.rl = g.rl[:0]
+		d.cnt.drainTally(&g.tally)
 	}
 	d.orphans.drain(d.cfg.Free, &d.cnt)
 }
@@ -162,9 +173,10 @@ func (g *hpGuard) Retire(r mem.Ref) {
 		panic("reclaim: retire of nil Ref")
 	}
 	g.rl = append(g.rl, retired{ref: r.Untagged()})
-	g.d.cnt.noteRetire(g.d.cfg.MemoryLimit)
-	g.retires++
-	if g.retires%g.d.cfg.R == 0 {
+	g.d.cnt.tallyRetire(&g.tally, g.d.cfg.MemoryLimit)
+	g.sinceScan++
+	if g.sinceScan >= g.tc.r {
+		g.sinceScan = 0
 		g.scan()
 	}
 }
@@ -182,7 +194,8 @@ func (g *hpGuard) slotID() int { return g.id }
 func (g *hpGuard) scan() {
 	g.d.cnt.scans.Add(1)
 	batch := g.d.orphans.detach()
-	snap := snapshotShared(g.d.recs, g.scanBuf)
+	snap, visited := snapshotShared(g.d.slots, g.d.recs, g.scanBuf)
+	g.d.cnt.tallyScanned(&g.tally, visited)
 	g.scanBuf = snap.vals // reuse the buffer next scan
 	kept := g.rl[:0]
 	freed := 0
@@ -195,8 +208,8 @@ func (g *hpGuard) scan() {
 		}
 	}
 	g.rl = kept
-	if freed > 0 {
-		g.d.cnt.freed.Add(uint64(freed))
-	}
+	g.d.cnt.tallyFree(&g.tally, freed)
 	g.d.orphans.adoptDetached(batch, snap, nil, 0, g.d.cfg, &g.d.cnt)
+	g.d.cnt.flushTally(&g.tally, g.d.cfg.MemoryLimit)
+	g.tc.refresh(g.d.tune)
 }

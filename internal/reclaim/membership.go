@@ -119,7 +119,8 @@ func (g *qsbrGuard) Join() {
 // adopt catches the guard up with the protocol: adopt the current global
 // epoch and free buckets that aged out while the worker was away (three
 // epoch advances prove full grace periods for everything a previous tenant
-// or the departed worker left in limbo).
+// or the departed worker left in limbo). The tally flush keeps the shared
+// counters exact at this pass boundary.
 func (g *qsbrGuard) adopt() {
 	global := g.d.epoch.Load()
 	g.local.Store(global)
@@ -128,6 +129,7 @@ func (g *qsbrGuard) adopt() {
 		for b := range g.limbo {
 			g.freeBucket(b)
 		}
+		g.d.cnt.flushTally(&g.tally, g.d.cfg.MemoryLimit)
 	}
 }
 
@@ -162,6 +164,7 @@ func (g *qsenseGuard) adopt() {
 		for b := range g.limbo {
 			g.freeBucket(b)
 		}
+		g.d.cnt.flushTally(&g.tally, g.d.cfg.MemoryLimit)
 	}
 }
 

@@ -12,6 +12,7 @@ type counters struct {
 	retired   atomic.Uint64
 	freed     atomic.Uint64
 	scans     atomic.Uint64
+	scanned   atomic.Uint64 // per-slot records visited by reclamation walks
 	quiesce   atomic.Uint64
 	epochs    atomic.Uint64
 	toFall    atomic.Uint64
@@ -22,6 +23,8 @@ type counters struct {
 	released  atomic.Uint64
 	orphaned  atomic.Uint64
 	adopted   atomic.Uint64
+	retunesR  atomic.Uint64
+	retunesC  atomic.Uint64
 	failed    atomic.Bool
 }
 
@@ -34,15 +37,130 @@ func (c *counters) pending() int64 {
 	return int64(c.retired.Load()) - int64(freed)
 }
 
-func (c *counters) noteRetire(limit int) {
-	c.retired.Add(1)
-	if limit > 0 && c.pending() > int64(limit) {
+// tally is a guard's private retire/free ledger — the amortization that
+// keeps Retire from paying one shared RMW per node. retires/frees are
+// owner-only plain fields; res mirrors the unflushed retire count in a
+// single-writer atomic that Stats snapshots sum (so Stats.Retired stays
+// exact even between flushes, without Retire touching shared cache lines).
+//
+// Flush discipline: retires flush to the shared counters every
+// tallyFlushEvery events and at every reclamation pass boundary (scan,
+// sweep, quiescent state, epoch-bucket free), on Release and on Close.
+// Frees only ever accrue INSIDE a pass and are flushed before the pass
+// returns, so between passes the free residue is always zero and the
+// shared freed counter is exact. The only observable staleness is the
+// MemoryLimit check: it runs against the shared counters at flush time, so
+// breach detection can lag by up to tallyFlushEvery-1 retires per live
+// guard (documented on Config.MemoryLimit).
+type tally struct {
+	retires int
+	frees   int
+	scanned int          // walk visits; rides along with the next flush
+	res     atomic.Int64 // unflushed retires; single-writer, read by Stats
+}
+
+// tallyFlushEvery bounds how many retires a guard batches before flushing
+// to the shared counters (and re-checking MemoryLimit).
+const tallyFlushEvery = 32
+
+// tallyRetire counts one Retire in the guard's private ledger, flushing to
+// the shared counters every tallyFlushEvery events. With a MemoryLimit set
+// the breach check still runs per retire — against the shared counters plus
+// this guard's own unflushed count, so only OTHER guards' residues (at most
+// tallyFlushEvery-1 each) can delay detection — but it costs loads, not the
+// RMW the pre-tally noteRetire paid; without a limit the hot path touches
+// no shared counter at all.
+func (c *counters) tallyRetire(t *tally, limit int) {
+	t.retires++
+	t.res.Store(int64(t.retires))
+	if limit > 0 && c.pending()+int64(t.retires) > int64(limit) {
 		c.failed.Store(true)
+	}
+	if t.retires >= tallyFlushEvery || t.frees > 0 {
+		c.flushTally(t, limit)
+	}
+}
+
+// tallyFree counts n frees in the guard's private ledger. The caller's
+// reclamation pass MUST flush before returning control to the application
+// (every pass boundary calls flushTally), so shared freed stays exact at
+// pass boundaries.
+func (c *counters) tallyFree(t *tally, n int) {
+	t.frees += n
+}
+
+// tallyScanned counts walk visits by a guard-driven pass (HP snapshot
+// collection, epoch-advance checks). The count rides along with the next
+// retire/free flush — or flushes on its own past a coarse threshold — so a
+// pure lease-churn quiescent (nothing retired, one slot visited) pays no
+// shared RMW for its walk. ScannedRecords is a diagnostic: opportunistic
+// flushing trades per-snapshot exactness (it may lag by a guard's small
+// residue) for a clean hot path; Close drains the residues, so post-Close
+// reads are exact. Domain-level walks (rooster flushes, presence sweeps)
+// add to the shared counter directly — they are already per-pass.
+func (c *counters) tallyScanned(t *tally, n int) {
+	t.scanned += n
+	if t.scanned >= 4096 {
+		c.scanned.Add(uint64(t.scanned))
+		t.scanned = 0
+	}
+}
+
+// flushTally publishes the guard's ledger to the shared counters — retires
+// first, so shared freed can never overtake shared retired — and re-checks
+// the memory limit against the flushed totals. A ledger with nothing
+// retired or freed returns immediately (walk-visit residue waits for the
+// next real flush).
+func (c *counters) flushTally(t *tally, limit int) {
+	if t.retires == 0 && t.frees == 0 {
+		return
+	}
+	if t.retires > 0 {
+		c.retired.Add(uint64(t.retires))
+		t.retires = 0
+		t.res.Store(0)
+		if limit > 0 && c.pending() > int64(limit) {
+			c.failed.Store(true)
+		}
+	}
+	if t.frees > 0 {
+		c.freed.Add(uint64(t.frees))
+		t.frees = 0
+	}
+	if t.scanned > 0 {
+		c.scanned.Add(uint64(t.scanned))
+		t.scanned = 0
+	}
+}
+
+// releaseTally is the slot-release flush: everything except a TINY
+// walk-visit residue, which stays on the guard's ledger and rides along
+// with a future tenant's flush — so a lease-churn release pays no shared
+// RMW for the one or two slots its own quiescent/advance walk visited,
+// while a burst drain's large per-release walk counts (hundreds of visits)
+// are published before the slot vanishes from the index.
+func (c *counters) releaseTally(t *tally, limit int) {
+	c.flushTally(t, limit)
+	if t.scanned >= 64 {
+		c.scanned.Add(uint64(t.scanned))
+		t.scanned = 0
+	}
+}
+
+// drainTally is the terminal flush (Close): everything, walk-visit residue
+// included.
+func (c *counters) drainTally(t *tally) {
+	c.flushTally(t, 0)
+	if t.scanned > 0 {
+		c.scanned.Add(uint64(t.scanned))
+		t.scanned = 0
 	}
 }
 
 // noteAdopted records n orphans freed by an adopter; adopted frees are
-// ordinary frees for the Pending arithmetic.
+// ordinary frees for the Pending arithmetic. (Orphan batches only exist
+// past a Release, which flushed the releasing guard's tally, so an adopted
+// node's retire is always already in the shared counter.)
 func (c *counters) noteAdopted(n int) {
 	if n == 0 {
 		return
@@ -51,17 +169,30 @@ func (c *counters) noteAdopted(n int) {
 	c.adopted.Add(uint64(n))
 }
 
-func (c *counters) fill(s *Stats) {
-	// Counters bounded above by another load first (see pending for the
-	// argument): adopted <= freed and adopted <= orphaned, freed <=
-	// retired, so no snapshot shows an impossible state however long the
-	// reader sleeps between loads.
+// fill snapshots the counters. tallyAt (may be nil) resolves a slot's
+// guard tally so the occupied guards' unflushed retire residues can be
+// summed into Retired; the residues are read AFTER freed and BEFORE the
+// shared retired counter, which preserves the no-impossible-snapshot
+// ordering: freed is loaded first (bounded by true retires at that
+// instant), every unflushed retire is then either still in a residue we
+// read or already in the shared counter we read last — a flush racing the
+// snapshot can only OVER-count Retired transiently (by at most one
+// guard's residue), never show Freed > Retired.
+func (c *counters) fill(s *Stats, p *slotPool, tallyAt func(i int) *tally) {
 	s.AdoptedNodes = c.adopted.Load()
 	s.Freed = c.freed.Load()
-	s.Retired = c.retired.Load()
+	var res int64
+	if tallyAt != nil {
+		p.walkOccupied(func(i int) bool {
+			res += tallyAt(i).res.Load()
+			return true
+		})
+	}
+	s.Retired = c.retired.Load() + uint64(res)
 	s.Pending = int64(s.Retired) - int64(s.Freed)
 	s.OrphanedNodes = c.orphaned.Load()
 	s.Scans = c.scans.Load()
+	s.ScannedRecords = c.scanned.Load()
 	s.QuiescentStates = c.quiesce.Load()
 	s.EpochAdvances = c.epochs.Load()
 	s.SwitchesToFallback = c.toFall.Load()
@@ -70,6 +201,8 @@ func (c *counters) fill(s *Stats) {
 	s.Rejoins = c.rejoins.Load()
 	s.AcquiredHandles = c.acquired.Load()
 	s.ReleasedHandles = c.released.Load()
+	s.RRetunes = c.retunesR.Load()
+	s.CRetunes = c.retunesC.Load()
 	s.Failed = c.failed.Load()
 }
 
@@ -84,8 +217,9 @@ type None struct {
 }
 
 type noneGuard struct {
-	d  *None
-	id int
+	d     *None
+	id    int
+	tally tally
 }
 
 // NewNone builds the leaky baseline domain.
@@ -98,19 +232,19 @@ func NewNone(cfg Config) (*None, error) {
 	d.guards = newArena(cfg.Workers, cfg.HardMaxWorkers, func(i int) *noneGuard {
 		return &noneGuard{d: d, id: i}
 	})
-	d.slots = newSlotPool(cfg.Workers, cfg.HardMaxWorkers, d.guards.grow)
+	d.slots = newSlotPool(cfg.Workers, cfg.HardMaxWorkers, &d.cnt, nil, d.guards.grow)
 	return d, nil
 }
 
 // Guard implements Domain (deprecated positional access; pins the slot).
 func (d *None) Guard(w int) Guard {
-	d.slots.pin(w, &d.cnt)
+	d.slots.pin(w)
 	return d.guards.at(w)
 }
 
 // Acquire implements Domain. None has no reclamation state to join.
 func (d *None) Acquire() (Guard, error) {
-	w, err := d.slots.lease(&d.cnt)
+	w, err := d.slots.lease()
 	if err != nil {
 		return nil, err
 	}
@@ -121,7 +255,7 @@ func (d *None) Acquire() (Guard, error) {
 // ctx is done. Orphan adoption is a no-op for None — Retire leaks, so a
 // released slot has no backlog to strand in the first place.
 func (d *None) AcquireWait(ctx context.Context) (Guard, error) {
-	w, err := d.slots.leaseWait(ctx, &d.cnt)
+	w, err := d.slots.leaseWait(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -134,7 +268,9 @@ func (d *None) Release(g Guard) {
 	if !ok || ng.d != d {
 		panic(errForeignGuard)
 	}
-	d.slots.unlease(ng.id, &d.cnt, func() {})
+	d.slots.unlease(ng.id, func() {
+		d.cnt.releaseTally(&ng.tally, d.cfg.MemoryLimit)
+	})
 }
 
 // Name implements Domain.
@@ -147,13 +283,19 @@ func (d *None) Failed() bool { return d.cnt.failed.Load() }
 // Stats implements Domain.
 func (d *None) Stats() Stats {
 	s := Stats{Scheme: "none"}
-	d.cnt.fill(&s)
+	d.cnt.fill(&s, d.slots, func(i int) *tally { return &d.guards.at(i).tally })
 	d.slots.fillArena(&s)
 	return s
 }
 
-// Close implements Domain. Leaked nodes stay leaked.
-func (d *None) Close() {}
+// Close implements Domain. Leaked nodes stay leaked; only the retire
+// tallies are flushed so post-Close Stats read from the shared counters
+// alone.
+func (d *None) Close() {
+	for i, n := 0, d.guards.len(); i < n; i++ {
+		d.cnt.drainTally(&d.guards.at(i).tally)
+	}
+}
 
 func (g *noneGuard) slotID() int              { return g.id }
 func (g *noneGuard) Begin()                   {}
@@ -163,5 +305,5 @@ func (g *noneGuard) Retire(r mem.Ref) {
 	if r.IsNil() {
 		panic("reclaim: retire of nil Ref")
 	}
-	g.d.cnt.noteRetire(g.d.cfg.MemoryLimit)
+	g.d.cnt.tallyRetire(&g.tally, g.d.cfg.MemoryLimit)
 }

@@ -178,7 +178,7 @@ func (l *orphanList) adoptDetached(b *orphanBatch, snap hpSnapshot, mgr *rooster
 // the safety-critical ordering once — tick capture, then detach, then
 // snapshot (see OldEnoughAt and adoptDetached). The manager serializes
 // passes, so the closure's snapshot buffer needs no locking.
-func (l *orphanList) adoptHook(mgr *rooster.Manager, recs *arena[*hprec], cfg Config, cnt *counters) func() {
+func (l *orphanList) adoptHook(mgr *rooster.Manager, p *slotPool, recs *arena[*hprec], cfg Config, cnt *counters) func() {
 	var buf []uint64
 	return func() {
 		if l.empty() {
@@ -186,8 +186,9 @@ func (l *orphanList) adoptHook(mgr *rooster.Manager, recs *arena[*hprec], cfg Co
 		}
 		tick := mgr.Tick()
 		batch := l.detach()
-		snap := snapshotShared(recs, buf)
+		snap, visited := snapshotShared(p, recs, buf)
 		buf = snap.vals
+		cnt.scanned.Add(uint64(visited))
 		l.adoptDetached(batch, snap, mgr, tick, cfg, cnt)
 	}
 }

@@ -14,9 +14,9 @@ import (
 // declares a quiescent state (every Q-th Begin) it adopts the global epoch
 // g; adoption proves a grace period for bucket (g+1) mod 3 — the nodes
 // retired two epoch advances ago — which is then freed wholesale, with no
-// per-node checks at all. If the worker is already at g, it tries instead to
-// advance the global epoch, which succeeds only when every worker has
-// adopted g.
+// per-node checks at all. The epoch-advance check walks only OCCUPIED slots
+// (the occupancy index of occupancy.go), so its cost tracks live workers,
+// not the arena's high-water size.
 //
 // QSBR is blocking: one worker that stops declaring quiescent states freezes
 // the global epoch and no memory is ever reclaimed again (the robustness
@@ -37,6 +37,7 @@ type qsbrGuard struct {
 	limbo     [3][]mem.Ref
 	calls     int
 	adoptSeen uint64 // last epoch at which this guard tried orphan adoption
+	tally     tally
 	mem       membership
 	_         [40]byte // keep hot fields of adjacent guards apart
 }
@@ -53,7 +54,7 @@ func NewQSBR(cfg Config) (*QSBR, error) {
 		g.mem.init()
 		return g
 	})
-	d.slots = newSlotPool(cfg.Workers, cfg.HardMaxWorkers, d.guards.grow)
+	d.slots = newSlotPool(cfg.Workers, cfg.HardMaxWorkers, &d.cnt, nil, d.guards.grow)
 	return d, nil
 }
 
@@ -61,7 +62,7 @@ func NewQSBR(cfg Config) (*QSBR, error) {
 // activates its membership, so the guard participates in grace periods from
 // this point on, exactly like a fixed worker of the paper's model.
 func (d *QSBR) Guard(w int) Guard {
-	first := d.slots.pin(w, &d.cnt) // also bounds-checks the positional range
+	first := d.slots.pin(w) // also bounds-checks the positional range
 	g := d.guards.at(w)
 	if first {
 		g.mem.activate(g.adopt)
@@ -75,7 +76,7 @@ func (d *QSBR) Guard(w int) Guard {
 // a Q-th Begin) these lease-point quiescent states are what keep the global
 // epoch advancing and limbo buckets draining.
 func (d *QSBR) Acquire() (Guard, error) {
-	w, err := d.slots.lease(&d.cnt)
+	w, err := d.slots.lease()
 	if err != nil {
 		return nil, err
 	}
@@ -85,7 +86,7 @@ func (d *QSBR) Acquire() (Guard, error) {
 // AcquireWait implements Domain: Acquire that parks until a slot frees or
 // ctx is done.
 func (d *QSBR) AcquireWait(ctx context.Context) (Guard, error) {
-	w, err := d.slots.leaseWait(ctx, &d.cnt)
+	w, err := d.slots.leaseWait(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -111,10 +112,11 @@ func (d *QSBR) Release(gd Guard) {
 	if !ok || g.d != d {
 		panic(errForeignGuard)
 	}
-	d.slots.unlease(g.id, &d.cnt, func() {
+	d.slots.unlease(g.id, func() {
 		g.quiescent()
 		g.Leave()
 		g.orphanLimbo()
+		d.cnt.releaseTally(&g.tally, d.cfg.MemoryLimit)
 	})
 }
 
@@ -127,7 +129,7 @@ func (d *QSBR) Failed() bool { return d.cnt.failed.Load() }
 // Stats implements Domain.
 func (d *QSBR) Stats() Stats {
 	s := Stats{Scheme: "qsbr"}
-	d.cnt.fill(&s)
+	d.cnt.fill(&s, d.slots, func(i int) *tally { return &d.guards.at(i).tally })
 	d.slots.fillArena(&s)
 	return s
 }
@@ -141,6 +143,7 @@ func (d *QSBR) Close() {
 		for b := range g.limbo {
 			g.freeBucket(b)
 		}
+		d.cnt.drainTally(&g.tally)
 	}
 	d.orphans.drain(d.cfg.Free, &d.cnt)
 }
@@ -188,24 +191,35 @@ func (g *qsbrGuard) quiescent() {
 	if local != global {
 		g.local.Store(global)
 		g.freeBucket(int(global % 3))
+		g.d.cnt.flushTally(&g.tally, g.d.cfg.MemoryLimit)
 		return
 	}
-	// Already current: try to advance the global epoch. Inactive peers
-	// are skipped; stale peers are evicted first when enabled. The bound
-	// is loaded once: a slot published after it can only hold a worker
-	// that joined (quiescent, holding nothing) at the current epoch or
-	// later, which cannot invalidate this grace period — see arena.go.
-	for i, n := 0, g.d.guards.len(); i < n; i++ {
-		peer := g.d.guards.at(i)
-		if peer == g {
-			continue
+	// Already current: try to advance the global epoch. Only OCCUPIED
+	// slots are walked (vacant guards are inactive by construction, so
+	// skipping them changes no outcome — occupancy.go); inactive peers
+	// are skipped; stale peers are evicted first when enabled. A tenant
+	// whose lease races this walk joined quiescent at the current epoch or
+	// later, which cannot invalidate the grace period — the same argument
+	// arena.go makes for slots published after a bound load.
+	ok := true
+	visited := g.d.slots.walkOccupied(func(i int) bool {
+		if i == g.id {
+			return true
 		}
+		peer := g.d.guards.at(i)
 		if peer.mem.skipOrEvict(g.d.cfg.EvictAfter, &g.d.cnt.evictions) {
-			continue
+			return true
 		}
 		if peer.local.Load() != global {
-			return
+			ok = false
+			return false
 		}
+		return true
+	})
+	g.d.cnt.tallyScanned(&g.tally, visited)
+	if !ok {
+		g.d.cnt.flushTally(&g.tally, g.d.cfg.MemoryLimit)
+		return
 	}
 	if g.d.epoch.CompareAndSwap(global, global+1) {
 		g.d.cnt.epochs.Add(1)
@@ -213,6 +227,7 @@ func (g *qsbrGuard) quiescent() {
 		g.local.Store(global + 1)
 		g.freeBucket(int((global + 1) % 3))
 	}
+	g.d.cnt.flushTally(&g.tally, g.d.cfg.MemoryLimit)
 }
 
 func (g *qsbrGuard) slotID() int { return g.id }
@@ -232,7 +247,7 @@ func (g *qsbrGuard) freeBucket(b int) {
 	for _, r := range bucket {
 		g.d.cfg.Free(r)
 	}
-	g.d.cnt.freed.Add(uint64(len(bucket)))
+	g.d.cnt.tallyFree(&g.tally, len(bucket))
 	g.limbo[b] = bucket[:0]
 }
 
@@ -248,5 +263,5 @@ func (g *qsbrGuard) Retire(r mem.Ref) {
 	}
 	b := g.local.Load() % 3
 	g.limbo[b] = append(g.limbo[b], r.Untagged())
-	g.d.cnt.noteRetire(g.d.cfg.MemoryLimit)
+	g.d.cnt.tallyRetire(&g.tally, g.d.cfg.MemoryLimit)
 }

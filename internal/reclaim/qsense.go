@@ -31,12 +31,23 @@ import (
 //     A worker that observes every flag set concludes all workers are live
 //     again, lowers the fallback flag, and declares a quiescent state.
 //
+// Every one of the hybrid's slot-iteration sites — the epoch-advance check,
+// the presence sweep and its periodic reset, HP snapshot scans, rooster
+// flush passes — walks the occupancy index (occupancy.go), so their cost
+// tracks live workers, not the arena's high-water size. Both thresholds
+// re-tune with occupancy at capacity transitions (tune.go): R follows the
+// scan-amortization formula, and C is re-validated against §6.2's LegalC
+// bound for the CURRENT worker count — growth can raise the effective C
+// above a configured value that became illegal (Stats.CRetunes counts the
+// adjustments).
+//
 // In fallback mode the three QSBR limbo buckets serve as Cadence's removed
 // nodes list and are scanned (deferred, HP-checked) every R retires; in fast
 // mode they are freed wholesale on epoch advance, wrappers and all.
 type QSense struct {
 	cfg      Config
 	cnt      counters
+	tune     *tuner
 	mgr      *rooster.Manager
 	fallback atomic.Bool
 	epoch    atomic.Uint64
@@ -58,9 +69,11 @@ type qsenseGuard struct {
 	limbo     [3][]retired
 	total     int // nodes across the three buckets
 	calls     int
-	retires   int
+	sinceScan int
 	adoptSeen uint64 // last epoch at which this guard tried orphan adoption
 	prevFall  bool   // prev_seen_fallback_flag
+	tally     tally
+	tc        tunerCache
 	scanBuf   []uint64
 	mem       membership
 	_         [40]byte // keep hot fields of adjacent guards apart
@@ -68,7 +81,9 @@ type qsenseGuard struct {
 
 // NewQSense builds the hybrid domain and starts its rooster manager (unless
 // Config.ManualRooster). A non-zero Config.C below LegalC is rejected,
-// since Property 4's 2NC bound needs a legal threshold.
+// since Property 4's 2NC bound needs a legal threshold; once the arena
+// grows past the initial Workers, the tuner keeps enforcing the bound
+// against the live worker count by raising the effective C as needed.
 func NewQSense(cfg Config) (*QSense, error) {
 	if err := cfg.Validate(true); err != nil {
 		return nil, err
@@ -78,68 +93,76 @@ func NewQSense(cfg Config) (*QSense, error) {
 		return nil, fmt.Errorf("reclaim: C=%d is not legal (need >= %d; see §6.2)", cfg.C, legal)
 	}
 	d := &QSense{cfg: cfg, mgr: rooster.NewManager(cfg.Rooster)}
+	d.tune = newTuner(cfg, &d.cnt)
 	d.recs = newArena(cfg.Workers, cfg.HardMaxWorkers, func(i int) *hprec {
 		return newHPRec(cfg.HPs)
 	})
 	d.guards = newArena(cfg.Workers, cfg.HardMaxWorkers, func(i int) *qsenseGuard {
-		g := &qsenseGuard{d: d, id: i, rec: d.recs.at(i)}
+		g := &qsenseGuard{d: d, id: i, rec: d.recs.at(i),
+			tc: tunerCache{r: cfg.R, c: cfg.C}}
 		g.mem.init()
 		return g
 	})
-	for i := 0; i < d.recs.len(); i++ {
-		d.mgr.Register(d.recs.at(i))
-	}
-	d.slots = newSlotPool(cfg.Workers, cfg.HardMaxWorkers, func(hi int) {
-		lo := d.recs.len()
+	d.slots = newSlotPool(cfg.Workers, cfg.HardMaxWorkers, &d.cnt, d.tune, func(hi int) {
 		d.recs.grow(hi)
 		d.guards.grow(hi)
-		// New records join the rooster's flush set before their slots can
-		// lease (Register is mutex-guarded, safe mid-run).
-		for i := lo; i < hi; i++ {
-			d.mgr.Register(d.recs.at(i))
-		}
 	})
+	// One occupancy-walking flush target (see cadence.go): rooster passes
+	// flush only occupied records, and growth never touches the rooster.
+	d.mgr.Register(&recFlusher{p: d.slots, recs: d.recs, cnt: &d.cnt})
 	d.mgr.AddHook(cfg.PresenceResetTicks, d.resetPresence)
 	// A QSense orphan batch carries both evidence forms; the hook uses the
 	// deferred-scan one, which works on either path — in particular in
 	// fallback mode, where the frozen epoch never matures the other.
-	d.mgr.AddHook(1, d.orphans.adoptHook(d.mgr, d.recs, d.cfg, &d.cnt))
+	d.mgr.AddHook(1, d.orphans.adoptHook(d.mgr, d.slots, d.recs, d.cfg, &d.cnt))
 	if !cfg.ManualRooster {
 		d.mgr.Start()
 	}
 	return d, nil
 }
 
+// resetPresence clears the presence flags of the occupied guards (§5.2,
+// step 3). Vacant guards' flags are irrelevant — allActive skips inactive
+// workers — and a stale flag on a parked segment's guard is cleared by the
+// join path when the slot ever leases again.
 func (d *QSense) resetPresence() {
-	for i, n := 0, d.guards.len(); i < n; i++ {
+	n := d.slots.walkOccupied(func(i int) bool {
 		d.guards.at(i).presence.Store(false)
-	}
+		return true
+	})
+	d.cnt.scanned.Add(uint64(n))
 }
 
 // allActive reports whether every participating worker has signalled
-// presence since the last reset. Workers that left or were evicted do not
-// count, and with EvictAfter set the scan itself evicts workers silent for
-// too long — this is what lets QSense abandon the fallback path after a
-// permanent crash (the §5.2 limitation this extension removes). Eviction
-// must happen here as well as in the epoch check: on the fallback path
-// nobody declares quiescent states, so the epoch check never runs.
+// presence since the last reset, walking only occupied slots (a vacant
+// slot's membership is inactive, so the full-arena walk never learned more).
+// Workers that left or were evicted do not count, and with EvictAfter set
+// the scan itself evicts workers silent for too long — this is what lets
+// QSense abandon the fallback path after a permanent crash (the §5.2
+// limitation this extension removes). Eviction must happen here as well as
+// in the epoch check: on the fallback path nobody declares quiescent
+// states, so the epoch check never runs.
 func (d *QSense) allActive() bool {
-	for i, n := 0, d.guards.len(); i < n; i++ {
+	all := true
+	n := d.slots.walkOccupied(func(i int) bool {
 		g := d.guards.at(i)
 		if g.mem.skipOrEvict(d.cfg.EvictAfter, &d.cnt.evictions) {
-			continue
+			return true
 		}
 		if !g.presence.Load() {
+			all = false
 			return false
 		}
-	}
-	return true
+		return true
+	})
+	d.cnt.scanned.Add(uint64(n))
+	return all
 }
 
 // Guard implements Domain (deprecated positional access): pins slot w,
 // activates its membership and marks its hazard record live for scans.
 func (d *QSense) Guard(w int) Guard {
-	first := d.slots.pin(w, &d.cnt) // also bounds-checks the positional range
+	first := d.slots.pin(w) // also bounds-checks the positional range
 	g := d.guards.at(w)
 	if first {
 		g.rec.leased.Store(true)
@@ -154,7 +177,7 @@ func (d *QSense) Guard(w int) Guard {
 // the lease itself as a quiescent state so epochs keep rotating even when
 // every goroutine is too short-lived to reach a Q-th Begin.
 func (d *QSense) Acquire() (Guard, error) {
-	w, err := d.slots.lease(&d.cnt)
+	w, err := d.slots.lease()
 	if err != nil {
 		return nil, err
 	}
@@ -164,7 +187,7 @@ func (d *QSense) Acquire() (Guard, error) {
 // AcquireWait implements Domain: Acquire that parks until a slot frees or
 // ctx is done.
 func (d *QSense) AcquireWait(ctx context.Context) (Guard, error) {
-	w, err := d.slots.leaseWait(ctx, &d.cnt)
+	w, err := d.slots.leaseWait(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -175,8 +198,10 @@ func (d *QSense) join(w int) Guard {
 	g := d.guards.at(w)
 	g.rec.clearPending()
 	g.rec.clearShared()
+	g.presence.Store(false) // never inherit a previous tenant's liveness claim
 	g.rec.leased.Store(true)
 	g.mem.activate(g.adopt)
+	g.tc.refresh(d.tune)
 	if !d.fallback.Load() {
 		g.quiescent()
 	}
@@ -195,7 +220,7 @@ func (d *QSense) Release(gd Guard) {
 	if !ok || g.d != d {
 		panic(errForeignGuard)
 	}
-	d.slots.unlease(g.id, &d.cnt, func() {
+	d.slots.unlease(g.id, func() {
 		g.rec.clearPending()
 		g.rec.clearShared()
 		if !d.fallback.Load() {
@@ -206,6 +231,7 @@ func (d *QSense) Release(gd Guard) {
 		}
 		g.orphanLimbo()
 		g.Leave()
+		d.cnt.releaseTally(&g.tally, d.cfg.MemoryLimit)
 		g.rec.leased.Store(false)
 	})
 }
@@ -228,7 +254,7 @@ func (d *QSense) GlobalEpoch() uint64 { return d.epoch.Load() }
 // Stats implements Domain.
 func (d *QSense) Stats() Stats {
 	s := Stats{Scheme: "qsense", InFallback: d.fallback.Load(), RoosterPasses: d.mgr.Tick()}
-	d.cnt.fill(&s)
+	d.cnt.fill(&s, d.slots, func(i int) *tally { return &d.guards.at(i).tally })
 	d.slots.fillArena(&s)
 	return s
 }
@@ -243,10 +269,11 @@ func (d *QSense) Close() {
 			for _, n := range g.limbo[b] {
 				d.cfg.Free(n.ref)
 			}
-			d.cnt.freed.Add(uint64(len(g.limbo[b])))
+			d.cnt.tallyFree(&g.tally, len(g.limbo[b]))
 			g.limbo[b] = g.limbo[b][:0]
 		}
 		g.total = 0
+		d.cnt.drainTally(&g.tally)
 	}
 	d.orphans.drain(d.cfg.Free, &d.cnt)
 }
@@ -279,7 +306,9 @@ func (g *qsenseGuard) Begin() {
 }
 
 // quiescent is QSBR's quiescent state over timestamped buckets. The epoch
-// arithmetic (free bucket g mod 3 on adopting g) is derived in qsbr.go.
+// arithmetic (free bucket g mod 3 on adopting g) is derived in qsbr.go; the
+// advance check walks only occupied slots (see qsbr.go for why a racing
+// lease cannot invalidate the grace period).
 func (g *qsenseGuard) quiescent() {
 	if !g.mem.active.Load() {
 		g.rejoin()
@@ -297,25 +326,39 @@ func (g *qsenseGuard) quiescent() {
 	if local != global {
 		g.local.Store(global)
 		g.freeBucket(int(global % 3))
+		g.finishPass()
 		return
 	}
-	for i, n := 0, g.d.guards.len(); i < n; i++ {
-		peer := g.d.guards.at(i)
-		if peer == g {
-			continue
+	ok := true
+	visited := g.d.slots.walkOccupied(func(i int) bool {
+		if i == g.id {
+			return true
 		}
+		peer := g.d.guards.at(i)
 		if peer.mem.skipOrEvict(g.d.cfg.EvictAfter, &g.d.cnt.evictions) {
-			continue
+			return true
 		}
 		if peer.local.Load() != global {
-			return
+			ok = false
+			return false
 		}
-	}
-	if g.d.epoch.CompareAndSwap(global, global+1) {
+		return true
+	})
+	g.d.cnt.tallyScanned(&g.tally, visited)
+	if ok && g.d.epoch.CompareAndSwap(global, global+1) {
 		g.d.cnt.epochs.Add(1)
 		g.local.Store(global + 1)
 		g.freeBucket(int((global + 1) % 3))
 	}
+	g.finishPass()
+}
+
+// finishPass closes a reclamation pass: the tally flushes (shared counters
+// exact again) and the cached thresholds refresh if a capacity transition
+// re-tuned them.
+func (g *qsenseGuard) finishPass() {
+	g.d.cnt.flushTally(&g.tally, g.d.cfg.MemoryLimit)
+	g.tc.refresh(g.d.tune)
 }
 
 func (g *qsenseGuard) freeBucket(b int) {
@@ -326,7 +369,7 @@ func (g *qsenseGuard) freeBucket(b int) {
 	for _, n := range bucket {
 		g.d.cfg.Free(n.ref)
 	}
-	g.d.cnt.freed.Add(uint64(len(bucket)))
+	g.d.cnt.tallyFree(&g.tally, len(bucket))
 	g.total -= len(bucket)
 	g.limbo[b] = bucket[:0]
 }
@@ -350,12 +393,12 @@ func (g *qsenseGuard) Retire(r mem.Ref) {
 	b := g.local.Load() % 3
 	g.limbo[b] = append(g.limbo[b], retired{ref: r.Untagged(), stamp: g.d.mgr.Tick()})
 	g.total++
-	g.d.cnt.noteRetire(g.d.cfg.MemoryLimit)
-	g.retires++
+	g.d.cnt.tallyRetire(&g.tally, g.d.cfg.MemoryLimit)
+	g.sinceScan++
 
 	seen := g.d.fallback.Load()
 	switch {
-	case seen && g.retires%g.d.cfg.R == 0:
+	case seen && g.sinceScan >= g.tc.r:
 		// Running in fallback mode: scan all three epochs' limbo lists.
 		g.scanAll()
 		g.prevFall = true
@@ -375,7 +418,7 @@ func (g *qsenseGuard) Retire(r mem.Ref) {
 		// note the edge; the next Begin, a reference-free point by
 		// contract, performs the quiescent state.
 		g.prevFall = false
-	case !seen && !g.prevFall && g.total >= g.d.cfg.C:
+	case !seen && !g.prevFall && g.total >= g.tc.c:
 		// Quiescence has not been possible for a long time: trigger
 		// the switch to the fallback path.
 		if g.d.fallback.CompareAndSwap(false, true) {
@@ -393,9 +436,11 @@ func (g *qsenseGuard) slotID() int { return g.id }
 // capture and detach precede the snapshot (see cadenceGuard.scan).
 func (g *qsenseGuard) scanAll() {
 	g.d.cnt.scans.Add(1)
+	g.sinceScan = 0
 	tick := g.d.mgr.Tick()
 	batch := g.d.orphans.detach()
-	snap := snapshotShared(g.d.recs, g.scanBuf)
+	snap, visited := snapshotShared(g.d.slots, g.d.recs, g.scanBuf)
+	g.d.cnt.tallyScanned(&g.tally, visited)
 	g.scanBuf = snap.vals
 	g.total = 0
 	freed := 0
@@ -405,10 +450,9 @@ func (g *qsenseGuard) scanAll() {
 		g.total += len(g.limbo[b])
 		freed += f
 	}
-	if freed > 0 {
-		g.d.cnt.freed.Add(uint64(freed))
-	}
+	g.d.cnt.tallyFree(&g.tally, freed)
 	g.d.orphans.adoptDetached(batch, snap, g.d.mgr, tick, g.d.cfg, &g.d.cnt)
+	g.finishPass()
 }
 
 // orphanLimbo moves the guard's surviving limbo onto the orphan list in one

@@ -35,6 +35,7 @@ import (
 type RC struct {
 	cfg     Config
 	cnt     counters
+	tune    *tuner
 	table   countTable
 	slots   *slotPool
 	orphans orphanList
@@ -42,54 +43,64 @@ type RC struct {
 }
 
 type rcGuard struct {
-	d       *RC
-	id      int
-	held    []mem.Ref // held[i] = ref currently counted for HP slot i
-	rl      []mem.Ref
-	retires int
+	d          *RC
+	id         int
+	held       []mem.Ref // held[i] = ref currently counted for HP slot i
+	rl         []mem.Ref
+	sinceSweep int
+	tally      tally
+	tc         tunerCache
 }
 
 // NewRC builds a reference counting domain. Config.HPs bounds the number
 // of simultaneously counted references per worker, exactly like hazard
-// pointer slots.
+// pointer slots. RC's reclamation is per-node (count claims), so it has no
+// slot-proportional walks to convert; only its sweep cadence R re-tunes
+// with occupancy.
 func NewRC(cfg Config) (*RC, error) {
 	if err := cfg.Validate(true); err != nil {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
 	d := &RC{cfg: cfg}
+	d.tune = newTuner(cfg, &d.cnt)
 	d.guards = newArena(cfg.Workers, cfg.HardMaxWorkers, func(i int) *rcGuard {
-		return &rcGuard{d: d, id: i, held: make([]mem.Ref, cfg.HPs)}
+		return &rcGuard{d: d, id: i, held: make([]mem.Ref, cfg.HPs),
+			tc: tunerCache{r: cfg.R, c: cfg.C}}
 	})
-	d.slots = newSlotPool(cfg.Workers, cfg.HardMaxWorkers, d.guards.grow)
+	d.slots = newSlotPool(cfg.Workers, cfg.HardMaxWorkers, &d.cnt, d.tune, d.guards.grow)
 	return d, nil
 }
 
 // Guard implements Domain (deprecated positional access). Counts are
 // per-node, not per-worker, so pinning needs no scheme work.
 func (d *RC) Guard(w int) Guard {
-	d.slots.pin(w, &d.cnt)
+	d.slots.pin(w)
 	return d.guards.at(w)
 }
 
 // Acquire implements Domain. A fresh RC guard holds no counted references;
-// nothing to join.
+// nothing to join beyond refreshing the cached sweep threshold.
 func (d *RC) Acquire() (Guard, error) {
-	w, err := d.slots.lease(&d.cnt)
+	w, err := d.slots.lease()
 	if err != nil {
 		return nil, err
 	}
-	return d.guards.at(w), nil
+	g := d.guards.at(w)
+	g.tc.refresh(d.tune)
+	return g, nil
 }
 
 // AcquireWait implements Domain: Acquire that parks until a slot frees or
 // ctx is done.
 func (d *RC) AcquireWait(ctx context.Context) (Guard, error) {
-	w, err := d.slots.leaseWait(ctx, &d.cnt)
+	w, err := d.slots.leaseWait(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return d.guards.at(w), nil
+	g := d.guards.at(w)
+	g.tc.refresh(d.tune)
+	return g, nil
 }
 
 // Release implements Domain: drop every counted reference, sweep the retire
@@ -101,7 +112,7 @@ func (d *RC) Release(gd Guard) {
 	if !ok || g.d != d {
 		panic(errForeignGuard)
 	}
-	d.slots.unlease(g.id, &d.cnt, func() {
+	d.slots.unlease(g.id, func() {
 		g.ClearHPs()
 		if len(g.rl) > 0 {
 			g.sweep()
@@ -110,6 +121,7 @@ func (d *RC) Release(gd Guard) {
 			d.orphans.add(g.rl, nil, 0, &d.cnt)
 			g.rl = nil
 		}
+		d.cnt.releaseTally(&g.tally, d.cfg.MemoryLimit)
 	})
 }
 
@@ -122,7 +134,7 @@ func (d *RC) Failed() bool { return d.cnt.failed.Load() }
 // Stats implements Domain.
 func (d *RC) Stats() Stats {
 	s := Stats{Scheme: "rc"}
-	d.cnt.fill(&s)
+	d.cnt.fill(&s, d.slots, func(i int) *tally { return &d.guards.at(i).tally })
 	d.slots.fillArena(&s)
 	return s
 }
@@ -136,8 +148,9 @@ func (d *RC) Close() {
 		for _, r := range g.rl {
 			d.cfg.Free(r)
 		}
-		d.cnt.freed.Add(uint64(len(g.rl)))
+		d.cnt.tallyFree(&g.tally, len(g.rl))
 		g.rl = g.rl[:0]
+		d.cnt.drainTally(&g.tally)
 	}
 	d.orphans.drain(d.cfg.Free, &d.cnt)
 }
@@ -178,9 +191,10 @@ func (g *rcGuard) Retire(r mem.Ref) {
 		panic("reclaim: retire of nil Ref")
 	}
 	g.rl = append(g.rl, r.Untagged())
-	g.d.cnt.noteRetire(g.d.cfg.MemoryLimit)
-	g.retires++
-	if g.retires%g.d.cfg.R == 0 {
+	g.d.cnt.tallyRetire(&g.tally, g.d.cfg.MemoryLimit)
+	g.sinceSweep++
+	if g.sinceSweep >= g.tc.r {
+		g.sinceSweep = 0
 		g.sweep()
 	}
 }
@@ -203,10 +217,10 @@ func (g *rcGuard) sweep() {
 		}
 	}
 	g.rl = kept
-	if freed > 0 {
-		g.d.cnt.freed.Add(uint64(freed))
-	}
+	g.d.cnt.tallyFree(&g.tally, freed)
 	g.d.orphans.adoptClaim(&g.d.table, g.d.cfg.Free, &g.d.cnt)
+	g.d.cnt.flushTally(&g.tally, g.d.cfg.MemoryLimit)
+	g.tc.refresh(g.d.tune)
 }
 
 // countTable maps slot indexes to (generation<<32 | count) words, growing

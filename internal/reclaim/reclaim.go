@@ -152,7 +152,11 @@ type Config struct {
 	// declared per Q Begin calls. Default 32.
 	Q int
 	// R is the scan threshold (§5.1): pointer-based schemes scan once
-	// per R retires. Default 2*Workers*HPs + 64.
+	// per R retires. Default 2*Workers*HPs + 64. When left zero, the
+	// default formula is re-applied with the LIVE worker count at every
+	// capacity transition (growth, segment park/unpark — see tune.go), so
+	// a grown or drained arena keeps the paper's scan amortization; an
+	// explicit value is respected verbatim.
 	R int
 	// C is QSense's fallback threshold (§5.2): a worker whose limbo
 	// lists hold >= C nodes triggers the switch to the fallback path.
@@ -161,7 +165,11 @@ type Config struct {
 	// backlog — roughly 3 epochs' worth of retires at full speed — or
 	// the trigger fires with no delay present ("reaching a large removed
 	// nodes list size indicates that quiescence was not possible for an
-	// extended period", §5.2 step 1). Default max(LegalC, 8192).
+	// extended period", §5.2 step 1). Default max(LegalC, 8192). §6.2's
+	// bound binds against the CURRENT worker count: when elastic growth
+	// raises LegalC past a configured C, the effective threshold is
+	// raised to stay legal (and falls back once the arena drains; see
+	// tune.go and Stats.CRetunes).
 	C int
 	// MaxRemovePerOp is the paper's m: the most nodes one operation can
 	// remove (2 for the external BST, 1 for list and skip list).
@@ -169,7 +177,12 @@ type Config struct {
 	MaxRemovePerOp int
 
 	// MemoryLimit, when > 0, marks the domain Failed once more than this
-	// many retired nodes await reclamation (OOM emulation).
+	// many retired nodes await reclamation (OOM emulation). The retiring
+	// guard checks the limit on every Retire against the shared counters
+	// plus its own unflushed tally, so detection can lag the true
+	// crossing only by OTHER guards' unflushed retire tallies (at most
+	// tallyFlushEvery-1 each); Stats.Pending itself stays exact (it sums
+	// the unflushed tallies).
 	MemoryLimit int
 
 	// Rooster configures the rooster manager (Cadence and QSense).
@@ -205,6 +218,11 @@ type Config struct {
 	// rejoins — enable only where silence really means crash. 0 (the
 	// default) disables eviction. See membership.go.
 	EvictAfter time.Duration
+
+	// rAuto/cAuto record that R/C were defaulted rather than configured,
+	// which is what licenses the tuner to re-derive them from live
+	// occupancy at capacity transitions (set by withDefaults; tune.go).
+	rAuto, cAuto bool
 }
 
 func (c Config) withDefaults() Config {
@@ -219,12 +237,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.R <= 0 {
 		c.R = 2*c.Workers*c.HPs + 64
+		c.rAuto = true // defaulted: re-derive from live occupancy (tune.go)
 	}
 	if c.MaxRemovePerOp <= 0 {
 		c.MaxRemovePerOp = 2
 	}
 	if c.C <= 0 {
 		c.C = max(LegalC(c), 8192)
+		c.cAuto = true
 	}
 	if c.PresenceResetTicks <= 0 {
 		c.PresenceResetTicks = 50
@@ -311,6 +331,16 @@ type Stats struct {
 	Pending int64
 	// Scans counts hazard-pointer scans (HP, Cadence, QSense fallback).
 	Scans uint64
+	// ScannedRecords counts per-slot records VISITED by reclamation
+	// walks: HP snapshot collection, epoch-advance checks, QSense's
+	// presence sweep/reset, and rooster flush walks. With the occupancy
+	// index this grows with live workers per pass, not with the arena's
+	// high-water size — the counter burst-then-idle tests and the
+	// ScanAfterBurst benchmark assert proportionality on. Guard-driven
+	// walks batch their visit counts with the guard's tally (flushed
+	// with the next retire/free flush), so live reads can lag by a small
+	// per-guard residue; Close drains the residues.
+	ScannedRecords uint64
 	// QuiescentStates counts declared quiescent states (QSBR, QSense).
 	QuiescentStates uint64
 	// EpochAdvances counts global epoch increments (QSBR, QSense).
@@ -329,6 +359,19 @@ type Stats struct {
 	// ArenaGrowths counts elastic segment publications past construction.
 	ArenaSize, HighWaterWorkers int
 	ArenaGrowths                uint64
+	// ParkedSlots is how many published slots currently rest in parked
+	// segments — all-free trailing segments pulled out of the freelist
+	// and skipped by every reclamation walk, so scan cost decays after a
+	// burst instead of ratcheting at the high-water mark (occupancy.go).
+	// SegmentParks/SegmentUnparks count the transitions.
+	ParkedSlots                  int
+	SegmentParks, SegmentUnparks uint64
+	// EffectiveR/EffectiveC are the thresholds currently in force after
+	// occupancy-aware re-tuning (tune.go); RRetunes/CRetunes count the
+	// applied changes. Zero Effective values mean the scheme has no
+	// tunable threshold (QSBR, None).
+	EffectiveR, EffectiveC int
+	RRetunes, CRetunes     uint64
 	// OrphanedNodes counts nodes a Release could not yet prove safe and
 	// moved to the domain's orphan list (orphan.go); AdoptedNodes counts
 	// orphans later freed by other workers' reclamation passes. Orphans

@@ -5,26 +5,33 @@ package reclaim
 //
 // A domain owns an arena of guard slots that starts at Config.Workers (the
 // paper's N; the public Options.MaxWorkers) and, by default, GROWS on
-// demand: when Acquire finds the freelist empty, the pool appends a
-// publish-once segment of fresh slots (see arena.go for the geometry and
-// the publication ordering), so Acquire only fails once the arena has
-// reached Config.HardMaxWorkers with every slot leased — and an elastic
-// domain (no hard cap) effectively never fails. The paper freezes the
-// worker set at construction; leasing turned each slot into a recyclable
-// resource, and elasticity removes the last sizing guess: an unbounded
-// population of short-lived goroutines (a Go server's
-// goroutine-per-request world) can share the arena without anyone
+// demand: when Acquire finds the freelist empty, the pool first unparks the
+// lowest parked segment (capacity reclaimed from an earlier burst — see
+// occupancy.go) and only then appends a publish-once segment of fresh slots
+// (see arena.go for the geometry and the publication ordering), so Acquire
+// only fails once the arena has reached Config.HardMaxWorkers with every
+// slot leased — and an elastic domain (no hard cap) effectively never
+// fails. The paper freezes the worker set at construction; leasing turned
+// each slot into a recyclable resource, and elasticity removes the last
+// sizing guess: an unbounded population of short-lived goroutines (a Go
+// server's goroutine-per-request world) can share the arena without anyone
 // predicting its peak.
 //
 // Each slot is in one of three states:
 //
-//	free   — in the freelist, available to Acquire.
+//	free   — in the freelist (or held aside by a parked segment),
+//	         available to Acquire.
 //	leased — popped by Acquire; exactly one goroutine owns the guard.
 //	pinned — claimed forever by the deprecated positional Guard(w) path,
 //	         which the fixed-worker experiment harness still uses to pin
 //	         slots deterministically. A pinned slot never returns to the
 //	         freelist; if Acquire pops one (pinned after it was already
 //	         listed) it is discarded, not handed out.
+//
+// Leased and pinned slots are additionally indexed in their segment's
+// occupancy bitmap (occupancy.go), which is what keeps every reclamation
+// walk proportional to live occupancy rather than the arena's high-water
+// size.
 //
 // The freelist is a Treiber stack over slot indices with a version-counted
 // head (the same ABA discipline the node pools use): head packs
@@ -56,15 +63,29 @@ const (
 )
 
 // slotSeg is one published segment of allocator state; next and state are
-// indexed by in-segment offset.
+// indexed by in-segment offset. For grown segments (never segment 0, whose
+// state array doubles as its occupancy index), occ is the occupancy bitmap
+// (bit off&63 of word off>>6, set while the slot is leased) and live its
+// occupied count — the active-slot index every reclamation walk iterates
+// (occupancy.go).
 type slotSeg struct {
 	next  []atomic.Uint32 // next[off] = freelist successor's index+1 (global)
 	state []atomic.Int32  // slotFree / slotLeased / slotPinned
+	occ   []atomic.Uint64 // occupancy bitmap
+	live  atomic.Int32    // occupied slots here; parking's cheap precheck
+}
+
+func newSlotSeg(n int) *slotSeg {
+	return &slotSeg{
+		next:  make([]atomic.Uint32, n),
+		state: make([]atomic.Int32, n),
+		occ:   make([]atomic.Uint64, (n+63)/64),
+	}
 }
 
 // slotPool is the lock-free slot allocator. All methods are safe for
-// concurrent use; growth is serialized by growMu but never blocks pops of
-// already-published slots.
+// concurrent use; growth, parking and unparking are serialized by growMu
+// but never block pops of already-published slots.
 type slotPool struct {
 	head atomic.Uint64 // (version<<32) | (top index+1); low word 0 = empty
 	init uint32        // initial (soft) arena size, segment-0 size
@@ -74,16 +95,27 @@ type slotPool struct {
 
 	seg0 *slotSeg // segment 0, immutable after construction: the fast path
 
+	cnt  *counters // the owning domain's counters (lease/occupancy math)
+	tune *tuner    // R/C re-tuning on capacity transitions; may be nil
+
 	growMu sync.Mutex
 	// onGrow publishes the owning scheme's per-slot state (guards, hazard
-	// records, rooster registration) for all slots below the given bound,
-	// BEFORE the pool's own segment and high are published — so a leased
-	// index always resolves in every scheme-side table.
+	// records) for all slots below the given bound, BEFORE the pool's own
+	// segment and high are published — so a leased index always resolves in
+	// every scheme-side table.
 	onGrow func(hi int)
 
 	grows     atomic.Uint64 // segment publications past the initial one
 	pinned    atomic.Int64  // slots claimed by the positional pin path
 	highWater atomic.Int64  // peak simultaneous occupancy (leases + pins)
+
+	// Segment parking (occupancy.go): segments [parkedFrom, top] are
+	// parked — all-free, out of the freelist, skipped by every walk.
+	// parkedFrom starts past the directory, meaning "none parked".
+	parkedFrom  atomic.Int32
+	parkedSlots atomic.Int64
+	parks       atomic.Uint64
+	unparks     atomic.Uint64
 
 	// Waiter support for leaseWait: wake holds the current generation's
 	// broadcast channel; a release observing waiters > 0 closes it and
@@ -93,19 +125,24 @@ type slotPool struct {
 }
 
 // newSlotPool builds the allocator with segment 0 (the initial soft size)
-// published and its slots pushed free, low indices on top.
-func newSlotPool(init, hardMax int, onGrow func(hi int)) *slotPool {
+// published and its slots pushed free, low indices on top. cnt is the
+// owning domain's counter block; tune (may be nil) is re-tuned on every
+// capacity transition.
+func newSlotPool(init, hardMax int, cnt *counters, tune *tuner, onGrow func(hi int)) *slotPool {
 	p := &slotPool{
 		init:   uint32(init),
 		cap:    uint32(hardMax),
+		cnt:    cnt,
+		tune:   tune,
 		onGrow: onGrow,
 		segs:   make([]atomic.Pointer[slotSeg], numSegs(uint32(init), uint32(hardMax))),
 	}
 	ch := make(chan struct{})
 	p.wake.Store(&ch)
-	p.seg0 = &slotSeg{next: make([]atomic.Uint32, init), state: make([]atomic.Int32, init)}
+	p.seg0 = newSlotSeg(init)
 	p.segs[0].Store(p.seg0)
 	p.high.Store(uint32(init))
+	p.parkedFrom.Store(int32(len(p.segs)))
 	for i := init - 1; i >= 0; i-- {
 		p.pushSlot(i)
 	}
@@ -141,8 +178,10 @@ func (p *slotPool) pushSlotVia(nx *atomic.Uint32, i int) {
 }
 
 // tryAcquire pops a free slot and marks it leased, discarding pinned slots
-// it encounters and growing the arena when the freelist runs dry. Returns
-// -1 only at the hard cap with every slot out.
+// it encounters and growing the arena (unparking first) when the freelist
+// runs dry. Returns -1 only at the hard cap with every slot out. The
+// occupancy bit is set before the index is returned, so a tenant's every
+// action is preceded by its slot becoming visible to walks (occupancy.go).
 func (p *slotPool) tryAcquire() int {
 	for {
 		h := p.head.Load()
@@ -162,6 +201,7 @@ func (p *slotPool) tryAcquire() int {
 			continue
 		}
 		if st.CompareAndSwap(slotFree, slotLeased) {
+			p.markOccupied(i)
 			return i
 		}
 		// Pinned after it was listed: drop it and keep popping. (A
@@ -170,15 +210,20 @@ func (p *slotPool) tryAcquire() int {
 	}
 }
 
-// grow appends the next slot segment, publishing scheme state first and
-// pushing the new slots free last (lowest index on top). Reports false at
-// the hard cap. Racing growers serialize on growMu; the loser usually
-// finds the list refilled and just retries its pop.
+// grow refills the freelist: it first unparks the lowest parked segment
+// (capacity already published, just resting) and only then appends the next
+// slot segment, publishing scheme state first and pushing the new slots
+// free last (lowest index on top). Reports false at the hard cap. Racing
+// growers serialize on growMu; the loser usually finds the list refilled
+// and just retries its pop.
 func (p *slotPool) grow() bool {
 	p.growMu.Lock()
 	defer p.growMu.Unlock()
 	if uint32(p.head.Load()) != 0 {
 		return true // another grower (or a release) refilled the list
+	}
+	if p.unparkOneLocked() {
+		return true
 	}
 	hi := p.high.Load()
 	if hi >= p.cap {
@@ -186,7 +231,7 @@ func (p *slotPool) grow() bool {
 	}
 	s, _ := segOf(hi, p.init) // hi is a segment boundary: the next segment
 	lo, end := segBounds(s, p.init, p.cap)
-	seg := &slotSeg{next: make([]atomic.Uint32, end-lo), state: make([]atomic.Int32, end-lo)}
+	seg := newSlotSeg(int(end - lo))
 	if p.onGrow != nil {
 		p.onGrow(int(end)) // guards/records for [lo,end) exist before any lease
 	}
@@ -196,6 +241,7 @@ func (p *slotPool) grow() bool {
 	for i := int(end) - 1; i >= int(lo); i-- {
 		p.pushSlot(i)
 	}
+	p.retuneLocked()
 	return true
 }
 
@@ -227,9 +273,9 @@ func (p *slotPool) noteHighWater(occ int64) {
 // approximation bounded above by noteHighWater's arena-size clamp and
 // below by the true peak of this counter arithmetic at any single
 // instant.
-func (p *slotPool) countLease(cnt *counters) {
-	a := cnt.acquired.Add(1)
-	p.noteHighWater(int64(a) - int64(cnt.released.Load()) + p.pinned.Load())
+func (p *slotPool) countLease() {
+	a := p.cnt.acquired.Add(1)
+	p.noteHighWater(int64(a) - int64(p.cnt.released.Load()) + p.pinned.Load())
 }
 
 // fillArena adds the capacity-subsystem counters to a Stats snapshot.
@@ -237,16 +283,23 @@ func (p *slotPool) fillArena(s *Stats) {
 	s.ArenaSize = int(p.high.Load())
 	s.HighWaterWorkers = int(p.highWater.Load())
 	s.ArenaGrowths = p.grows.Load()
+	s.ParkedSlots = int(p.parkedSlots.Load())
+	s.SegmentParks = p.parks.Load()
+	s.SegmentUnparks = p.unparks.Load()
+	if p.tune != nil {
+		s.EffectiveR = int(p.tune.r.Load())
+		s.EffectiveC = int(p.tune.c.Load())
+	}
 }
 
 // lease pops (or grows) a free slot, counting the lease. The
 // scheme-specific join hooks run in the caller, on the returned index.
-func (p *slotPool) lease(cnt *counters) (int, error) {
+func (p *slotPool) lease() (int, error) {
 	w := p.tryAcquire()
 	if w < 0 {
 		return -1, ErrNoSlots
 	}
-	p.countLease(cnt)
+	p.countLease()
 	return w, nil
 }
 
@@ -261,9 +314,9 @@ func (p *slotPool) lease(cnt *counters) (int, error) {
 // already visible to our retry; if our retry misses the slot, the releaser
 // saw our count and closes the very channel generation we hold (or a
 // later release does) — either way we cannot sleep through a free slot.
-func (p *slotPool) leaseWait(ctx context.Context, cnt *counters) (int, error) {
+func (p *slotPool) leaseWait(ctx context.Context) (int, error) {
 	if w := p.tryAcquire(); w >= 0 {
-		p.countLease(cnt)
+		p.countLease()
 		return w, nil
 	}
 	p.waiters.Add(1)
@@ -271,7 +324,7 @@ func (p *slotPool) leaseWait(ctx context.Context, cnt *counters) (int, error) {
 	for {
 		ch := *p.wake.Load()
 		if w := p.tryAcquire(); w >= 0 {
-			p.countLease(cnt)
+			p.countLease()
 			return w, nil
 		}
 		select {
@@ -294,25 +347,31 @@ func (p *slotPool) wakeWaiters() {
 // unlease runs the release protocol for slot i: claim the release (exactly
 // one caller wins; pinned and already-released slots are refused), run the
 // scheme's drain while the slot is in the releasing state — invisible to
-// both Acquire and pin — then recycle it. Reports whether this call
-// performed the release.
+// both Acquire and pin — then clear the occupancy bit (reclamation walks
+// stop visiting the drained record) and recycle it. Finally it gives
+// segment parking a chance: if this release left the trailing segment
+// all-free with occupancy under the low-water mark, the segment retires
+// from every walk (occupancy.go). Reports whether this call performed the
+// release.
 // A pin can slip in between unlease's slotFree store and its push; the
 // pinned slot then sits in the freelist until tryAcquire pops and discards
 // it. What cannot happen is a pin DURING the drain: the releasing state
 // refuses it, so a drain's trailing cleanup (e.g. hiding an hprec from
 // scans) can never clobber a new pin's setup.
-func (p *slotPool) unlease(i int, cnt *counters, drain func()) bool {
+func (p *slotPool) unlease(i int, drain func()) bool {
 	nx, st := p.slot(i)
 	if !st.CompareAndSwap(slotLeased, slotReleasing) {
 		return false
 	}
 	drain()
+	p.clearOccupied(i)
 	st.Store(slotFree)
 	p.pushSlotVia(nx, i)
-	cnt.released.Add(1)
+	p.cnt.released.Add(1)
 	if p.waiters.Load() > 0 {
 		p.wakeWaiters()
 	}
+	p.maybePark()
 	return true
 }
 
@@ -323,11 +382,12 @@ const errForeignGuard = "reclaim: Release of a guard from another domain"
 // whether this call performed the transition (first pin). The positional
 // range is the INITIAL arena only — grown slots belong to Acquire — so an
 // out-of-range index fails loudly here with the contract spelled out,
-// instead of as an index panic deeper in the directory. A slot mid-release
-// is waited out; pinning a slot some goroutine holds via Acquire is a
-// caller error that would silently alias the guard across two goroutines —
-// it panics rather than corrupt.
-func (p *slotPool) pin(i int, cnt *counters) bool {
+// instead of as an index panic deeper in the directory. (Segment 0 also
+// never parks, so a pinned slot is visible to every walk forever.) A slot
+// mid-release is waited out; pinning a slot some goroutine holds via
+// Acquire is a caller error that would silently alias the guard across two
+// goroutines — it panics rather than corrupt.
+func (p *slotPool) pin(i int) bool {
 	if i < 0 || uint32(i) >= p.init {
 		panic("reclaim: positional Guard(w) outside the initial arena [0, Workers) — size Config.Workers (public Options.Workers) to cover every pinned slot")
 	}
@@ -336,10 +396,11 @@ func (p *slotPool) pin(i int, cnt *counters) bool {
 		switch st.Load() {
 		case slotFree:
 			if st.CompareAndSwap(slotFree, slotPinned) {
+				p.markOccupied(i)
 				// Occupancy = pins + live leases, same accounting as
 				// countLease from the other side.
 				occ := p.pinned.Add(1) +
-					int64(cnt.acquired.Load()) - int64(cnt.released.Load())
+					int64(p.cnt.acquired.Load()) - int64(p.cnt.released.Load())
 				p.noteHighWater(occ)
 				return true
 			}

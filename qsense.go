@@ -41,6 +41,17 @@
 // AcquireWait still matters. Stats reports the subsystem's behaviour:
 // ArenaSize, HighWaterWorkers, ArenaGrowths.
 //
+// Reclamation cost tracks LIVE occupancy, not the arena's high-water size:
+// every internal pass (hazard pointer scans, epoch advances, flush passes)
+// iterates an occupancy index of the currently leased slots, and once a
+// burst drains, all-free trailing capacity is parked — skipped by every
+// pass outright — and silently reused before the arena ever grows again
+// (Stats.ParkedSlots/SegmentParks/SegmentUnparks). The scan and fallback
+// thresholds likewise re-tune to the live worker count at capacity
+// transitions (Stats.RRetunes/CRetunes), so a domain that grew to 10,000
+// workers and shrank back to 8 behaves — and costs — like an 8-worker
+// domain.
+//
 // Release returns the slot immediately; retired nodes whose grace period
 // has not yet elapsed move to the domain's orphan list and are freed by
 // other workers' reclamation passes (Stats.OrphanedNodes/AdoptedNodes), so
@@ -223,8 +234,14 @@ type Stats struct {
 	Retired, Freed uint64
 	Pending        int64
 	// Scans counts hazard pointer scans; QuiescentStates and
-	// EpochAdvances count epoch machinery activity.
+	// EpochAdvances count epoch machinery activity. ScannedRecords counts
+	// the per-slot records those passes actually visited: with the
+	// occupancy index it grows with the live worker count per pass, not
+	// with how large the arena once was — divide by Scans (or
+	// EpochAdvances) to see the per-pass cost the paper's N·K term
+	// models.
 	Scans, QuiescentStates, EpochAdvances uint64
+	ScannedRecords                        uint64
 	// SwitchesToFallback/SwitchesToFast count QSense path switches;
 	// InFallback is the current path.
 	SwitchesToFallback, SwitchesToFast uint64
@@ -248,6 +265,20 @@ type Stats struct {
 	// hint that MaxWorkers undershoots the real concurrency.
 	ArenaSize, HighWaterWorkers int
 	ArenaGrowths                uint64
+	// ParkedSlots is how many published slots currently rest in parked
+	// (all-free, walk-skipped) trailing segments; they are reused before
+	// the arena grows again. SegmentParks/SegmentUnparks count the
+	// transitions — a high churn between them means occupancy keeps
+	// crossing the parking low-water mark.
+	ParkedSlots                  int
+	SegmentParks, SegmentUnparks uint64
+	// EffectiveR/EffectiveC are the scan and fallback thresholds in
+	// force after occupancy-aware re-tuning (zero when the scheme has no
+	// such threshold); RRetunes/CRetunes count threshold changes applied
+	// at capacity transitions. CRetunes > 0 with an explicit Options.C
+	// means growth forced C up to stay legal per the paper's §6.2 bound.
+	EffectiveR, EffectiveC int
+	RRetunes, CRetunes     uint64
 	// RoosterPasses counts completed rooster flush passes (Cadence,
 	// QSense).
 	RoosterPasses uint64
@@ -262,6 +293,7 @@ func fromReclaimStats(s reclaim.Stats) Stats {
 		Freed:              s.Freed,
 		Pending:            s.Pending,
 		Scans:              s.Scans,
+		ScannedRecords:     s.ScannedRecords,
 		QuiescentStates:    s.QuiescentStates,
 		EpochAdvances:      s.EpochAdvances,
 		SwitchesToFallback: s.SwitchesToFallback,
@@ -276,6 +308,13 @@ func fromReclaimStats(s reclaim.Stats) Stats {
 		ArenaSize:          s.ArenaSize,
 		HighWaterWorkers:   s.HighWaterWorkers,
 		ArenaGrowths:       s.ArenaGrowths,
+		ParkedSlots:        s.ParkedSlots,
+		SegmentParks:       s.SegmentParks,
+		SegmentUnparks:     s.SegmentUnparks,
+		EffectiveR:         s.EffectiveR,
+		EffectiveC:         s.EffectiveC,
+		RRetunes:           s.RRetunes,
+		CRetunes:           s.CRetunes,
 		RoosterPasses:      s.RoosterPasses,
 		Failed:             s.Failed,
 	}
