@@ -20,6 +20,7 @@ import (
 	"qsense/internal/mem"
 	"qsense/internal/reclaim"
 	"qsense/internal/rooster"
+	"qsense/internal/skiplist"
 	"qsense/internal/workload"
 )
 
@@ -330,6 +331,47 @@ func BenchmarkListOps(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				k := rng.Key(1000)
+				switch i % 4 {
+				case 0:
+					h.Insert(k)
+				case 1:
+					h.Delete(k)
+				default:
+					h.Contains(k)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSkipListOps measures raw skip list operation latency — the
+// structure with the paper's widest hazard pointer budget (2*levels+2,
+// §7.3) and therefore the most protect/validate work per operation. The
+// hp point is the CI perf-smoke guard for the upper-level claim-then-link
+// protocol (see the skiplist package doc): its per-level claim CAS and
+// the splice path's scratch-slot protection must stay within noise of the
+// pre-protocol baseline; qsbr runs alongside as the protection-free
+// ceiling.
+func BenchmarkSkipListOps(b *testing.B) {
+	for _, scheme := range []string{"qsbr", "hp"} {
+		b.Run(scheme, func(b *testing.B) {
+			s := skiplist.New(skiplist.Config{Levels: 16})
+			d, err := reclaim.New(scheme, reclaim.Config{
+				Workers: 1, HPs: skiplist.HPsFor(s.Levels()), Free: s.FreeNode,
+				Rooster: rooster.Config{Interval: 2 * time.Millisecond},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+			h := s.NewHandle(d.Guard(0), 1)
+			for k := int64(0); k < 2000; k += 2 {
+				h.Insert(k)
+			}
+			rng := workload.NewRNG(29)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := rng.Key(2000)
 				switch i % 4 {
 				case 0:
 					h.Insert(k)

@@ -106,7 +106,7 @@ func main() {
 		fmt.Printf("wrote %s\n", *csvPath)
 	}
 	if *jsonOut {
-		name := "custom"
+		name := "scalability_" + sc.DS
 		switch *figure {
 		case "3":
 			name = "fig3"

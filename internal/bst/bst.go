@@ -256,6 +256,18 @@ func (h *Handle) cleanup(key int64, sr seekRecord) bool {
 	kept := keptAddr.Load()
 	// Swing: ancestor's edge from (successor, clean) to the kept child,
 	// clearing the tag but preserving the kept child's own flag.
+	//
+	// Immune to the skip list's upper-level edge ABA (its package doc's
+	// invariants 2 and 3), by construction rather than by a claim step:
+	// edges here are single-assignment between deletions because Insert
+	// publishes fresh private nodes only, and the value this swing
+	// installs — the kept child frozen under the tag — cannot have been
+	// retired: retiring it would require flagging its incoming edge,
+	// which is exactly the edge the tag froze (a flag CAS expects a
+	// clean word), so its deletion cannot even start until the swing
+	// re-exposes it through a clean ancestor edge. The expected value
+	// (successor, clean) cannot repeat either: a spliced-out successor
+	// is retired by the swing winner and never re-published.
 	newWord := kept &^ tagBit
 	if !ancEdge.CompareAndSwap(uint64(sr.successor), newWord) {
 		return false

@@ -132,6 +132,13 @@ retry:
 			nextWord := pool.Get(cur).next.Load()
 			next := mem.Ref(nextWord).Untagged()
 			if isMarked(nextWord) {
+				// Immune to the skip list's upper-level edge ABA for
+				// the same reason as list.search: a node's only link
+				// CAS happens while it is private, so a marked node
+				// is never re-published, edge values cannot repeat,
+				// and the frozen successor installed here is still
+				// reachable through cur and thus unretired (skiplist
+				// package doc, invariants 2 and 3).
 				if !h.linkOf(bucket, prev).CompareAndSwap(uint64(cur), uint64(next)) {
 					continue retry
 				}

@@ -117,6 +117,19 @@ retry:
 			if isMarked(nextWord) {
 				// cur is logically deleted: splice it out. The
 				// unlinker is the remover and retires it.
+				//
+				// No re-link exposure here (cf. the skip list's
+				// upper-level edge ABA; its package doc's
+				// "non-repeating edges" invariant holds trivially):
+				// a node enters the chain through exactly one link
+				// CAS, made while the node is still private —
+				// Insert re-points nptr.next only BEFORE that CAS —
+				// so a marked node can never be published again and
+				// the splice CAS's expected value cannot repeat.
+				// The frozen successor installed below is therefore
+				// still reachable through cur, hence unretired
+				// (skiplist invariant 3): installing it unprotected
+				// is safe.
 				if !pool.Get(prev).next.CompareAndSwap(uint64(cur), uint64(next)) {
 					continue retry
 				}

@@ -1,0 +1,122 @@
+package simskip
+
+import (
+	"errors"
+	"testing"
+
+	"qsense/internal/mem"
+)
+
+const sweep = 400 // seeds per protocol; deterministic, a few ms each
+
+func violated(r Result) bool {
+	for _, err := range r.Errs {
+		var v *mem.Violation
+		if errors.As(err, &v) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestStaleLinkReachesUAF: under the pre-fix protocol some seeds publish M
+// frozen at (or pointing to) the freed S_old and a reader faults on it —
+// the native repro's crash, reproduced in virtual time. The sweep must
+// also contain clean runs where the insert simply completed, so the
+// violation is a schedule property, not a modeling artifact.
+func TestStaleLinkReachesUAF(t *testing.T) {
+	var uafs, links int
+	for seed := uint64(0); seed < sweep; seed++ {
+		r := Run(Config{Protocol: StaleLink, Seed: seed})
+		if violated(r) {
+			uafs++
+		}
+		if r.Linked {
+			links++
+		}
+	}
+	if uafs == 0 {
+		t.Fatal("stale-link protocol never reached the use-after-free across the sweep")
+	}
+	if links == 0 {
+		t.Fatal("stale-link protocol never completed an insert — schedule too hostile")
+	}
+	t.Logf("stale-link: %d/%d seeds reached the violation (%d linked)", uafs, sweep, links)
+}
+
+// TestClaimLinkSafeAcrossSweep: the claim-then-link protocol must survive
+// every seed of the same schedule — no proc ever faults — while still
+// exercising both outcomes (links and mark-forced abandons), and an
+// abandon must leave M unpublished: the no-re-link half of the package's
+// invariant 2.
+func TestClaimLinkSafeAcrossSweep(t *testing.T) {
+	var links, abandons int
+	for seed := uint64(0); seed < sweep; seed++ {
+		r := Run(Config{Protocol: ClaimLink, Seed: seed})
+		if violated(r) {
+			t.Fatalf("seed %d: claim-then-link faulted: %v", seed, r.Errs)
+		}
+		for _, err := range r.Errs {
+			t.Fatalf("seed %d: unexpected proc error: %v", seed, err)
+		}
+		if r.Linked {
+			links++
+		}
+		if r.Abandoned {
+			abandons++
+			if r.Linked {
+				t.Fatalf("seed %d: linked after abandoning — mark observed yet published", seed)
+			}
+			if r.FinalEdgeP == r.M {
+				t.Fatalf("seed %d: abandoned node reachable through the predecessor edge", seed)
+			}
+		}
+	}
+	if links == 0 {
+		t.Fatal("claim-then-link never completed an insert across the sweep")
+	}
+	if abandons == 0 {
+		t.Fatal("the mark never beat the claim across the sweep — abandon path unexercised")
+	}
+	t.Logf("claim-link: %d links, %d abandons over %d seeds, zero faults", links, abandons, sweep)
+}
+
+// TestForcedMarkDrivesAbandonPath force-drives the insert retry path: the
+// marker is scheduled to win before the inserter's first claim in every
+// run, so a ClaimLink inserter MUST observe the mark during the claim,
+// abandon the level, and never publish M there — deterministically, for
+// every seed. This is the unit test for "mark observed => level
+// permanently dead, never re-published".
+func TestForcedMarkDrivesAbandonPath(t *testing.T) {
+	for seed := uint64(0); seed < 100; seed++ {
+		r := Run(Config{Protocol: ClaimLink, Seed: seed, ForceMarkFirst: true})
+		if violated(r) {
+			t.Fatalf("seed %d: forced schedule faulted: %v", seed, r.Errs)
+		}
+		if !r.Abandoned {
+			t.Fatalf("seed %d: inserter did not observe the forced mark", seed)
+		}
+		if r.Linked {
+			t.Fatalf("seed %d: inserter published M after observing the mark", seed)
+		}
+		if r.FinalEdgeP.IsNil() {
+			t.Fatalf("seed %d: predecessor edge nil", seed)
+		}
+		if r.FinalEdgeP == r.M {
+			t.Fatalf("seed %d: abandoned node reachable through the predecessor edge", seed)
+		}
+	}
+}
+
+// TestRunDeterministic: equal configs produce identical outcomes — the
+// property the seed sweep's coverage argument rests on.
+func TestRunDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		a := Run(Config{Protocol: StaleLink, Seed: seed})
+		b := Run(Config{Protocol: StaleLink, Seed: seed})
+		if violated(a) != violated(b) || a.Linked != b.Linked ||
+			a.Abandoned != b.Abandoned || a.FinalEdgeP != b.FinalEdgeP {
+			t.Fatalf("seed %d: two runs disagree: %+v vs %+v", seed, a, b)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !qsensedebug
+
+package skiplist
+
+import "qsense/internal/mem"
+
+// assertFrozenLive is a no-op in release builds — the splice assertion
+// compiles away entirely; see debug_on.go.
+func assertFrozenLive(*mem.Pool[node], mem.Ref) {}

@@ -1,0 +1,23 @@
+//go:build qsensedebug
+
+package skiplist
+
+import (
+	"fmt"
+
+	"qsense/internal/mem"
+)
+
+// assertFrozenLive panics if a splice is about to install a frozen
+// successor that no longer resolves to a live pool slot. Under the
+// claim-then-link protocol this cannot happen — the caller protected the
+// ref in the scratch slot and revalidated the clean edge, which makes the
+// successor provably unretired (package doc, invariant 3) — so a firing
+// assertion pinpoints a protocol regression at the splice site instead of
+// a delayed *mem.Violation in whatever reader touches the stale chain
+// next. Enabled by `-tags qsensedebug`; the CI repro batch runs with it.
+func assertFrozenLive(p *mem.Pool[node], r mem.Ref) {
+	if !p.Valid(r) {
+		panic(fmt.Sprintf("skiplist: splice would install stale frozen successor %v", r))
+	}
+}

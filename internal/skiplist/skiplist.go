@@ -5,10 +5,71 @@
 // level.
 //
 // Hazard pointer budget: searches keep a (pred, succ) pair protected per
-// level plus one scratch slot for traversing frozen marked chains and one
-// pin slot that insert/delete hold on their own node — 2*levels+2 in total,
-// the paper's "up to 35 hazard pointers" for the skip list (§7.3), and the
-// reason QSense's gap to QSBR is widest on this structure.
+// level plus one scratch slot that covers a frozen successor across a
+// splice and one pin slot that insert/delete hold on their own node —
+// 2*levels+2 in total, the paper's "up to 35 hazard pointers" for the
+// skip list (§7.3), and the reason QSense's gap to QSBR is widest on this
+// structure.
+//
+// # Reclamation safety argument
+//
+// The pointer-based schemes (hp, rc, Cadence's fallback) are safe on this
+// structure because every protect/validate pair is conclusive: a
+// validation that passes proves the protection was published before the
+// node's retirement, so no scan can free the node while it is in use.
+// Conclusiveness rests on three invariants; the first is local to search,
+// the other two are enforced by Insert's claim-then-link protocol:
+//
+//  1. Clean-edge validation. A marked node is never walked through; it is
+//     unlinked from the still-clean predecessor edge (search below). A
+//     node validated reachable through a clean edge cannot have been
+//     passed by its deleter's cleanup search yet — that search must
+//     splice the node out of this very edge before the deleter may retire
+//     it — so retirement, and any scan that could free the node, strictly
+//     follows the reader's publication.
+//
+//  2. Non-repeating edges. At any level l, the value of an edge word (a
+//     generation-tagged node ref) is written by exactly two operations:
+//     the node's inserter's single link CAS per level, and a splice that
+//     replaces a marked node with its frozen successor. The inserter
+//     links each level at most once, claims the node's own next[l] only
+//     immediately before the link CAS (from the same fresh search that
+//     produced the CAS's expected value), and abandons the level — and
+//     every level above it — permanently the moment it observes the
+//     deletion mark, so a node that has been unlinked from a clean
+//     level-l edge is never published at level l again. A splice can
+//     still transiently publish a node whose mark landed between the
+//     inserter's claim and its link CAS, but that node enters the level
+//     for the first time, frozen at the freshly claimed successor, and is
+//     spliced out exactly once. Between a reader's validation and the
+//     unlink of the validated node an edge word is therefore
+//     single-assignment — the splice CAS's expected-value check cannot be
+//     defeated by an edge-value ABA.
+//
+//  3. Frozen-successor liveness. A splice installs the successor a
+//     marked node held when its mark was set. By (2) that successor was
+//     freshly claimed: at link time it was still reachable through a
+//     clean edge (the link CAS's expected value proves it), and
+//     afterwards it stays reachable through the marked node until the
+//     chain is dismantled front-to-back — a cleanup search unlinks a
+//     marked chain from the clean side, so a frozen successor is spliced
+//     only after every marked node frozen at it is gone, and can never be
+//     unlinked (hence never retired) while a reachable edge or a
+//     reachable node's frozen word still leads to it. search additionally
+//     protects the frozen successor in the scratch slot and revalidates
+//     the clean edge before installing it, and a qsensedebug build
+//     asserts the installed ref is live (mem.Pool.Valid) — defense in
+//     depth in case a protocol hole remains.
+//
+// The historical violation of invariant 2 — Insert pre-stored every
+// upper next word from the level-0 search and re-claimed a level only
+// after a failed link CAS there, so a level's first link attempt could
+// publish the node frozen at a long-dead pre-stored successor — is the
+// hp/rc use-after-free TestSkipListUAFReproHPRC reproduces against old
+// binaries. internal/tso's SkipList litmus systems and
+// internal/sim/simskip model that schedule below Go's memory model: the
+// stale-link protocol reaches the violation, the claim-then-link
+// protocol does not, in any interleaving.
 package skiplist
 
 import (
@@ -125,10 +186,12 @@ func (s *SkipList) NewHandle(g reclaim.Guard, seed uint64) *Handle {
 }
 
 // Slot layout: 2l / 2l+1 hold the (pred, succ) pair of level l; slot
-// 2*levels is a spare kept for parity with the paper's count; 2*levels+1
-// pins the operation's own node across helper searches.
+// 2*levels is the scratch slot that covers a frozen successor from just
+// before its installing splice until the level's own pair picks it up;
+// 2*levels+1 pins the operation's own node across helper searches.
 func (h *Handle) hpLeft(l int) int  { return 2 * l }
 func (h *Handle) hpRight(l int) int { return 2*l + 1 }
+func (h *Handle) hpScratch() int    { return 2 * h.s.levels }
 func (h *Handle) hpPin() int        { return 2*h.s.levels + 1 }
 
 func isMarked(w uint64) bool { return w&markBit != 0 }
@@ -193,13 +256,30 @@ retry:
 				if isMarked(rw) {
 					// right is logically deleted at this level:
 					// splice it out from the clean side. Its
-					// deleter retires it; we only unlink.
-					next := uint64(mem.Ref(rw).Untagged())
-					if !pool.Get(left).next[lvl].CompareAndSwap(lw, next) {
+					// deleter retires it; we only unlink. The
+					// frozen successor is protected in the scratch
+					// slot and the clean edge revalidated before
+					// the splice installs it: right reachable
+					// through a clean edge means (invariant 3 in
+					// the package doc) the successor is not yet
+					// retired, so the protection is conclusive and
+					// a stale frozen ref is never written into the
+					// chain even if a protocol hole remains. The
+					// scratch protection stays the stable source
+					// until the level pair re-covers the node below
+					// (a copy FROM a stable slot is snapshot-safe;
+					// see the rotation note).
+					next := mem.Ref(rw).Untagged()
+					h.guard.Protect(h.hpScratch(), next)
+					if pool.Get(left).next[lvl].Load() != lw {
 						continue retry
 					}
-					lw = next
-					right = mem.Ref(lw)
+					assertFrozenLive(pool, next)
+					if !pool.Get(left).next[lvl].CompareAndSwap(lw, uint64(next)) {
+						continue retry
+					}
+					lw = uint64(next)
+					right = next
 					continue
 				}
 				if pool.Get(right).key < key {
@@ -248,10 +328,15 @@ func (h *Handle) Insert(key int64) bool {
 			nptr.key = key
 			nptr.topLevel = int32(topLevel)
 			nptr.state.Store(stLinking) // recycled slots carry stale states
+			for l := 1; l < topLevel; l++ {
+				// Upper next words stay nil until the level's link
+				// attempt claims them (below): a recycled slot's
+				// stale words must never be publishable, and a word
+				// is meaningful only from its claim on.
+				nptr.next[l].Store(0)
+			}
 		}
-		for l := 0; l < topLevel; l++ {
-			nptr.next[l].Store(uint64(h.succs[l]))
-		}
+		nptr.next[0].Store(uint64(h.succs[0]))
 		// Pin our node: a concurrent deleter may retire it the moment
 		// it is reachable, but we keep dereferencing it below.
 		h.guard.Protect(h.hpPin(), nref)
@@ -260,46 +345,44 @@ func (h *Handle) Insert(key int64) bool {
 		}
 		break // linked: the insert has taken effect
 	}
-	// Link the upper levels. A concurrent delete marks levels top-down and
-	// then cleans up with a search; if it sneaks between our mark-check
-	// and our link CAS, our node is re-linked at a level after the
-	// deleter's cleanup pass. Every early exit below therefore runs one
-	// more search, which prunes any such level (its next word is marked),
-	// before we drop the pin — and every exit goes through finishInsert,
-	// which takes over the retirement if the deleter abandoned it to us
-	// mid-link. Without both, the node could be freed while still
-	// reachable — a use-after-free.
+	// Link the upper levels, one claim-then-link step per attempt: claim
+	// our own next[l] — a CAS from its previous value to the freshly
+	// searched succs[l] — and only then CAS the predecessor edge from that
+	// same succs[l] to us. The pairing is the load-bearing part of
+	// invariant 3 (package doc): the successor our word holds when a
+	// deleter freezes it is the one the link CAS just proved reachable,
+	// never a stale value from an earlier search. The claim doubles as the
+	// mark check: deletion marks levels top-down before level 0, the mark
+	// can only land on the claimed word (our CAS would fail on a marked
+	// expected value), and a mark observed here makes the level — and all
+	// levels above it — permanently dead: we never publish again, run one
+	// more search to prune anything a racing cleanup pass missed, and
+	// finishInsert takes over the retirement if the deleter abandoned it
+	// to us mid-link. A mark that lands in the window between claim and
+	// link CAS re-links us transiently; that is safe (the frozen successor
+	// is the fresh one) and the next level's claim — or the level-0 check
+	// below — observes the top-down mark and prunes.
 	for l := 1; l < topLevel; l++ {
 		for {
-			if isMarked(nptr.next[l].Load()) {
-				h.search(key) // final cleanup pass, then done
-				h.finishInsert(nref, nptr, key)
-				return true
+			w := nptr.next[l].Load()
+			for w != uint64(h.succs[l]) {
+				if isMarked(w) {
+					h.search(key) // final cleanup pass, then done
+					h.finishInsert(nref, nptr, key)
+					return true
+				}
+				if nptr.next[l].CompareAndSwap(w, uint64(h.succs[l])) {
+					break
+				}
+				w = nptr.next[l].Load() // a deleter marked under us
 			}
 			if pool.Get(h.preds[l]).next[l].CompareAndSwap(uint64(h.succs[l]), uint64(nref)) {
 				break
 			}
-			h.search(key) // refresh preds/succs
+			h.search(key) // refresh preds/succs for the next claim
 			if h.succs[0] != nref {
 				// Our node was deleted and already pruned by the
 				// search we just ran.
-				h.finishInsert(nref, nptr, key)
-				return true
-			}
-			// Redirect our level-l pointer at the fresh successor.
-			stop := false
-			for {
-				w := nptr.next[l].Load()
-				if isMarked(w) {
-					stop = true
-					break
-				}
-				if w == uint64(h.succs[l]) || nptr.next[l].CompareAndSwap(w, uint64(h.succs[l])) {
-					break
-				}
-			}
-			if stop {
-				h.search(key)
 				h.finishInsert(nref, nptr, key)
 				return true
 			}

@@ -1,24 +1,25 @@
 package skiplist
 
-// Guarded regression harness for the known pre-existing use-after-free in
-// the skip list under the hp and rc schemes (ROADMAP.md "Known
-// pre-existing use-after-free"). The repro is probabilistic per run but
-// near-certain over a batch: the PR 2 diagnosis pinned the proximate
-// mechanism to an edge-value ABA at upper levels — a search's splice of a
-// marked node writes that node's FROZEN successor back into the chain
-// after the successor was already retired and freed (the splice CAS's
-// expected value returns, defeating the check). The epoch schemes are
-// immune; hp and rc fail because their per-node grace arguments do not
-// cover the re-linked edge.
+// Permanent regression batch for the upper-level edge-ABA use-after-free
+// the skip list used to exhibit under the hp and rc schemes (the package
+// doc's "historical violation of invariant 2"): Insert pre-stored every
+// upper next word from the level-0 search and re-claimed a level only
+// after a failed link CAS there, so a level's first link attempt could
+// publish the node frozen at a long-dead pre-stored successor; a search's
+// splice then wrote that freed node back into the chain (the splice CAS's
+// expected value returned, defeating the check). The epoch schemes were
+// immune; hp and rc crashed because their per-node grace arguments do not
+// cover a re-exposed edge.
 //
-// The harness is env-gated so ordinary CI stays green while the bug is
-// open; the dedicated bughunt PR gets a deterministic one-command repro:
+// Against pre-fix binaries this batch fails near-certainly (a
+// mem.Violation panic or a validate error within ~10 repetitions); under
+// the claim-then-link protocol it must stay green, including under -race
+// and with `-tags qsensedebug` (which asserts splice liveness at the
+// installation site). The CI race matrix runs it at -cpu=2,4 — the counts
+// the bug fired at most readily. QSENSE_SKIPLIST_STRESS overrides the
+// repetition count for longer soaks:
 //
-//	QSENSE_SKIPLIST_STRESS=30 go test ./internal/skiplist -run UAFRepro -cpu=2,4 -v
-//
-// (30 repetitions per scheme ≈ the ROADMAP `-count=30` recipe; most
-// batches fail with a mem.Violation panic or a validate error. When a fix
-// lands, drop the gate so the batch becomes a permanent regression test.)
+//	QSENSE_SKIPLIST_STRESS=120 go test ./internal/skiplist -run UAFRepro -cpu=2,4 -v
 
 import (
 	"os"
@@ -26,10 +27,17 @@ import (
 	"testing"
 )
 
+// defaultUAFReps is the always-on batch size: big enough that the pre-fix
+// protocol fails with near certainty, small enough for every CI run.
+const defaultUAFReps = 30
+
 func TestSkipListUAFReproHPRC(t *testing.T) {
-	reps, _ := strconv.Atoi(os.Getenv("QSENSE_SKIPLIST_STRESS"))
-	if reps <= 0 {
-		t.Skip("set QSENSE_SKIPLIST_STRESS=<reps> to run the hp/rc use-after-free repro batch (see ROADMAP.md)")
+	reps := defaultUAFReps
+	if testing.Short() {
+		reps = 10
+	}
+	if v, err := strconv.Atoi(os.Getenv("QSENSE_SKIPLIST_STRESS")); err == nil && v > 0 {
+		reps = v // an explicit override beats the -short trim
 	}
 	for _, scheme := range []string{"hp", "rc"} {
 		scheme := scheme

@@ -1,0 +1,187 @@
+package tso
+
+// This file encodes the skip list's upper-level edge-ABA use-after-free
+// (internal/skiplist's package doc, "historical violation of invariant 2")
+// and its claim-then-link repair as model systems — the two-inserter/
+// one-deleter schedule the stress repro TestSkipListUAFReproHPRC hits
+// statistically, explored exhaustively here.
+//
+// One upper level l around three nodes is modeled. P is the level-l
+// predecessor, M the node being inserted, S_old the successor M's level-0
+// search observed at level l, S_new the node that replaces S_old after
+// S_old's deletion (the chain evolves P→S_old→S_new, then P→S_new):
+//
+//	CellSkipEdgeP — P.next[l], the predecessor edge (values below)
+//	CellSkipEdgeM — M.next[l], the inserter's own next word
+//	CellSkipHP    — the searching second inserter's hazard pointer slot
+//	CellSkipValid — S_old's allocation state: 1 live, 0 freed
+//
+// Processes: the searcher (a second inserter's positioning search at
+// level l — it walks P's edge, finds M, reads M's word, protects the
+// successor with full classic-HP discipline, revalidates the clean edge,
+// splices if frozen, and then dereferences), S_old's deleter (cleanup
+// splice, hazard scan, free), M's inserter (the protocol under test), and
+// M's deleter (marks M's level-l word, modeling the top-down marking
+// pass).
+//
+// The violation — the searcher's validation passed and it then read freed
+// memory — is reachable in the stale-link system in BOTH diagnosed
+// flavors (walking through an unmarked stale word, and a splice
+// installing a frozen stale word), and unreachable in the claim-then-link
+// system in every TSO interleaving. The searcher publishes its hazard
+// pointer with a fence before revalidating, so the exploration also
+// proves the bug sits above the memory model: per-node protection
+// discipline cannot repair a protocol that re-exposes dead edge values.
+const (
+	CellSkipEdgeP = iota
+	CellSkipEdgeM
+	CellSkipHP
+	CellSkipValid
+	skipMemSize
+)
+
+// Node refs are even; bit 0 is the level's deletion mark.
+const (
+	RefSOld  uint64 = 2
+	RefSNew  uint64 = 4
+	RefM     uint64 = 6
+	RefSOldM        = RefSOld | 1 // S_old frozen into a marked word
+	RefSNewM        = RefSNew | 1
+)
+
+// Process indices in the systems below.
+const (
+	SkipProcSearcher = 0
+	SkipProcDeleterS = 1
+	SkipProcInserter = 2
+	SkipProcDeleterM = 3
+)
+
+// skipSearcher is the second inserter's search reaching M at level l.
+// Registers after halting: r0 = the edge value walked (M or not), r1 = the
+// successor M exposed, r2 = the revalidation read (RefM means validation
+// passed), r3 = S_old's allocation state at the access (0 = freed: the
+// use-after-free, since validation passing is exactly what licenses the
+// access under the hazard pointer methodology).
+func skipSearcher() Program {
+	const end = 12
+	return Program{
+		/*  0 */ Load(0, CellSkipEdgeP), // walk P's level-l edge
+		/*  1 */ JmpIfNe(0, RefM, end), // M not linked: schedule uninteresting
+		/*  2 */ Load(1, CellSkipEdgeM), // the successor M exposes
+		/*  3 */ JmpIfEq(1, RefSOld, 5), // unmarked: traversal will walk into it
+		/*  4 */ JmpIfNe(1, RefSOldM, end), // fresh successor: no stale exposure
+		/*  5 */ Store(CellSkipHP, RefSOld), // protect the successor
+		/*  6 */ Fence(), // classic HP barrier — even fully fenced, the ABA wins
+		/*  7 */ Load(2, CellSkipEdgeP), // revalidate the clean edge to M
+		/*  8 */ JmpIfNe(2, RefM, end), // validation failed: retry path, no access
+		/*  9 */ JmpIfEq(1, RefSOld, 11), // unmarked walk-through: straight to the access
+		/* 10 */ CAS(CellSkipEdgeP, RefM, RefSOld, 0), // splice: install the frozen successor
+		/* 11 */ Load(3, CellSkipValid), // dereference S_old — 0 here is a use-after-free
+	}
+}
+
+// skipDeleterS is S_old's deleter finishing its cleanup at level l:
+// splice S_old out of the clean predecessor edge, scan hazard pointers,
+// free. (S_old's own frozen word is not modeled; its successor S_new is
+// baked into the splice constant.)
+func skipDeleterS() Program {
+	const end = 5
+	return Program{
+		/* 0 */ CAS(CellSkipEdgeP, RefSOld, RefSNew, 0), // cleanup splice
+		/* 1 */ JmpIfNe(0, 1, end), // lost the edge: not this schedule
+		/* 2 */ Load(1, CellSkipHP), // hazard scan
+		/* 3 */ JmpIfEq(1, RefSOld, end), // protected: do not free
+		/* 4 */ Store(CellSkipValid, 0), // free S_old
+	}
+}
+
+// skipDeleterM marks M's level-l word (the top-down marking pass of M's
+// deleter), retrying against the inserter's claim as the real marking
+// loop does.
+func skipDeleterM() Program {
+	const end = 7
+	return Program{
+		/* 0 */ Load(0, CellSkipEdgeM),
+		/* 1 */ JmpIfNe(0, RefSOld, 4),
+		/* 2 */ CAS(CellSkipEdgeM, RefSOld, RefSOldM, 1),
+		/* 3 */ JmpIfNe(1, 1, 0), // lost to the claim: reload and retry
+		/* 4 */ JmpIfNe(0, RefSNew, end), // marked already (or SOld path done): finished
+		/* 5 */ CAS(CellSkipEdgeM, RefSNew, RefSNewM, 1),
+		/* 6 */ JmpIfNe(1, 1, 0),
+	}
+}
+
+// skipInserterStale is the pre-fix protocol finishing level l: M.next[l]
+// was pre-stored (RefSOld, the system's initial value) by the level-0
+// search, the mark is checked on the own word, and the link CAS then uses
+// the FRESHLY searched successor — without ever re-claiming the own word.
+// The check-then-act window and the stale pre-store are both faithful.
+func skipInserterStale() Program {
+	const end = 8
+	return Program{
+		/* 0 */ Load(1, CellSkipEdgeM), // the old protocol's mark check
+		/* 1 */ JmpIfEq(1, RefSOldM, end), // marked: level dead
+		/* 2 */ Load(0, CellSkipEdgeP), // fresh search: current successor
+		/* 3 */ JmpIfNe(0, RefSNew, 6),
+		/* 4 */ CAS(CellSkipEdgeP, RefSNew, RefM, 2), // link — own word still stale
+		/* 5 */ JmpIfNe(2, 99, end),
+		/* 6 */ JmpIfNe(0, RefSOld, end),
+		/* 7 */ CAS(CellSkipEdgeP, RefSOld, RefM, 2),
+	}
+}
+
+// skipInserterClaim is the fixed protocol: one claim-then-link step — the
+// own word is CASed from its previous value to the freshly searched
+// successor (a mark makes the claim fail: level permanently dead), and
+// only then is the link CAS attempted from that same successor.
+func skipInserterClaim() Program {
+	const end = 9
+	return Program{
+		/* 0 */ Load(0, CellSkipEdgeP), // fresh search: current successor
+		/* 1 */ JmpIfNe(0, RefSNew, 5),
+		/* 2 */ CAS(CellSkipEdgeM, RefSOld, RefSNew, 1), // claim prev -> fresh
+		/* 3 */ JmpIfNe(1, 1, end), // mark observed: never publish
+		/* 4 */ CAS(CellSkipEdgeP, RefSNew, RefM, 2), // link from the claimed value
+		/* 5 */ JmpIfNe(0, RefSOld, end),
+		/* 6 */ CAS(CellSkipEdgeM, RefSOld, RefSOld, 1), // claim: re-verify unmarked
+		/* 7 */ JmpIfNe(1, 1, end),
+		/* 8 */ CAS(CellSkipEdgeP, RefSOld, RefM, 2),
+	}
+}
+
+func skipInit() []uint64 {
+	init := make([]uint64, skipMemSize)
+	init[CellSkipEdgeP] = RefSOld // chain P -> S_old (-> S_new)
+	init[CellSkipEdgeM] = RefSOld // M's pre-stored / previously claimed word
+	init[CellSkipValid] = 1
+	return init
+}
+
+// SkipListStaleLinkSystem is the pre-fix upper-level protocol: some
+// interleaving publishes M frozen at (or pointing to) the freed S_old and
+// the searcher dereferences it.
+func SkipListStaleLinkSystem() System {
+	return System{
+		Procs:   []Program{skipSearcher(), skipDeleterS(), skipInserterStale(), skipDeleterM()},
+		MemSize: skipMemSize,
+		Init:    skipInit(),
+	}
+}
+
+// SkipListClaimLinkSystem is the claim-then-link repair over the same
+// schedule: no interleaving reaches the violation.
+func SkipListClaimLinkSystem() System {
+	return System{
+		Procs:   []Program{skipSearcher(), skipDeleterS(), skipInserterClaim(), skipDeleterM()},
+		MemSize: skipMemSize,
+		Init:    skipInit(),
+	}
+}
+
+// SkipListSpliceUAF is the violation predicate: the searcher's
+// revalidation of the clean edge passed (r2 == RefM licensed the access)
+// and the subsequent dereference read freed memory (r3 == 0).
+func SkipListSpliceUAF(o Outcome) bool {
+	return o.Regs[SkipProcSearcher][2] == RefM && o.Regs[SkipProcSearcher][3] == 0
+}
