@@ -1,0 +1,255 @@
+// qsense-kvd is the repository's network-facing demonstration: a
+// RESP-style TCP key→value server over the elastic SkipMap, and — with
+// -load — the macro-benchmark load generator that drives it.
+//
+// Server mode (the default) speaks GET/SET/DEL/STATS/PING/QUIT with
+// integer keys and values, one goroutine and one leased map handle per
+// connection, under any of the seven reclamation schemes:
+//
+//	qsense-kvd -addr :6380 -scheme qsense
+//	qsense-kvd -addr :6380 -scheme hp -max-conns 256   # queue past 256
+//	printf 'SET 1 42\r\nGET 1\r\nSTATS\r\n' | nc localhost 6380
+//
+// Load mode drives pooled connections through a zipf-skewed GET/SET/DEL
+// mix shaped by a burst-then-idle phase plan (connection storms, then
+// near-idle troughs — the traffic the elastic arena and the occupancy
+// parking machinery exist for), records per-op round-trip latency into
+// HDR-style buckets, and emits throughput + p50/p99/p999 curves as
+// BENCH_kvd_<exp>.json. With no -target it self-hosts a fresh in-process
+// server per measured point, sweeping -schemes x -conns:
+//
+//	qsense-kvd -load -schemes qsense,hp -conns 4,16,64 -burst 2s -idle 1s -cycles 2 -json
+//	qsense-kvd -load -target host:6380 -conns 32 -theta 0.99 -updates 20
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"qsense/internal/harness"
+	"qsense/internal/kvd"
+	"qsense/internal/reclaim"
+	"qsense/internal/workload"
+)
+
+var allSchemes = []string{"qsense", "qsbr", "hp", "cadence", "ebr", "rc", "none"}
+
+func main() {
+	var (
+		// Server mode.
+		addr     = flag.String("addr", ":6380", "listen address (server mode)")
+		scheme   = flag.String("scheme", "qsense", "reclamation scheme: "+strings.Join(allSchemes, ", "))
+		maxConns = flag.Int("max-conns", 0, "admission cap: connections past it queue (0 = elastic, never refuse)")
+		initial  = flag.Int("initial-conns", 0, "initial guard-arena size hint (0 = machine default)")
+		maxNodes = flag.Int("max-nodes", 0, "map node-pool bound (0 = library default)")
+
+		// Load mode.
+		load     = flag.Bool("load", false, "run as load generator instead of server")
+		target   = flag.String("target", "", "server to drive; empty = self-host a fresh server per point")
+		schemes  = flag.String("schemes", "qsense,hp", "self-hosted schemes to sweep (load mode)")
+		conns    = flag.String("conns", "4,16,64", "comma-separated connection counts to sweep")
+		keyRange = flag.Int64("range", 1<<16, "key range")
+		theta    = flag.Float64("theta", 0.99, "zipf skew in (0,1); <=0 = uniform keys")
+		updates  = flag.Int("updates", 20, "update percentage (split SET/DEL; rest GET)")
+		burst    = flag.Duration("burst", 2*time.Second, "burst phase length (full load)")
+		idle     = flag.Duration("idle", time.Second, "idle phase length (idle-load fraction stays)")
+		cycles   = flag.Int("cycles", 1, "burst+idle repetitions; 0 = one steady phase of -burst")
+		idleLoad = flag.Float64("idle-load", 0.05, "fraction of connections kept during idle phases")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		jsonOut  = flag.Bool("json", false, "write BENCH_kvd_<exp>.json (for CI artifacts / perf tracking)")
+		exp      = flag.String("exp", "zipf_burst", "experiment name used in the BENCH JSON filename")
+	)
+	flag.Parse()
+
+	if *load {
+		runLoad(loadOpts{
+			target: *target, schemes: *schemes, conns: *conns,
+			keyRange: *keyRange, theta: *theta, updates: *updates,
+			burst: *burst, idle: *idle, cycles: *cycles, idleLoad: *idleLoad,
+			seed: *seed, jsonOut: *jsonOut, exp: *exp,
+			maxNodes: *maxNodes, initial: *initial,
+		})
+		return
+	}
+	runServer(kvd.Config{Scheme: *scheme, InitialConns: *initial, HardMaxConns: *maxConns, MaxNodes: *maxNodes}, *addr)
+}
+
+// runServer serves until SIGINT/SIGTERM, then drains gracefully.
+func runServer(cfg kvd.Config, addr string) {
+	s, err := kvd.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	a, err := s.Listen(addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("qsense-kvd: scheme=%s listening on %s\n", cfg.Scheme, a)
+	done := make(chan error, 1)
+	go func() { done <- s.Serve() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil {
+			fatal(err)
+		}
+	case <-sig:
+		fmt.Println("qsense-kvd: draining...")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "qsense-kvd: forced shutdown:", err)
+		}
+	}
+	st := s.Stats()
+	s.Close()
+	fmt.Printf("qsense-kvd: served %d leases, arena %d (high water %d, %d growths), %d slots parked\n",
+		st.AcquiredHandles, st.ArenaSize, st.HighWaterWorkers, st.ArenaGrowths, st.ParkedSlots)
+}
+
+type loadOpts struct {
+	target, schemes, conns string
+	keyRange               int64
+	theta                  float64
+	updates, cycles        int
+	burst, idle            time.Duration
+	idleLoad               float64
+	seed                   uint64
+	jsonOut                bool
+	exp                    string
+	maxNodes, initial      int
+}
+
+// runLoad sweeps schemes x connection counts and renders/emits curves.
+func runLoad(o loadOpts) {
+	connCounts, err := parseInts(o.conns)
+	if err != nil {
+		fatal(err)
+	}
+	plan := workload.BurstIdle(o.burst, o.idle, o.cycles, o.idleLoad)
+	if o.cycles <= 0 {
+		plan = workload.Steady(o.burst)
+	}
+	schemeList := strings.Split(o.schemes, ",")
+	if o.target != "" {
+		// A remote target's scheme is whatever it runs; one curve.
+		schemeList = []string{"remote"}
+	}
+	fmt.Printf("qsense-kvd -load: range %d, theta %.2f, %d%% updates, plan %v (%d phases), conns %v, GOMAXPROCS=%d\n",
+		o.keyRange, o.theta, o.updates, plan.Total(), len(plan.Phases), connCounts, runtime.GOMAXPROCS(0))
+
+	var curves []harness.Curve
+	for _, sc := range schemeList {
+		curve := harness.Curve{Scheme: sc}
+		for _, nc := range connCounts {
+			target := o.target
+			var srv *kvd.Server
+			if target == "" {
+				// Fresh server per point: counters (growth, parking) then
+				// describe exactly this point's storm, not history.
+				s, err := kvd.New(kvd.Config{Scheme: sc, InitialConns: o.initial, MaxNodes: o.maxNodes})
+				if err != nil {
+					fatal(err)
+				}
+				a, err := s.Start("127.0.0.1:0")
+				if err != nil {
+					fatal(err)
+				}
+				srv, target = s, a.String()
+			}
+			res, err := kvd.RunLoad(kvd.LoadConfig{
+				Target: target, Conns: nc, KeyRange: o.keyRange, Theta: o.theta,
+				UpdatePct: o.updates, Plan: plan, Seed: o.seed,
+			})
+			if srv != nil {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				srv.Shutdown(ctx)
+				cancel()
+				srv.Close()
+			}
+			if err != nil {
+				fatal(err)
+			}
+			h := res.Latency
+			fmt.Printf("%-8s conns=%-4d %8.3f Mops/s  p50 %7s  p99 %7s  p999 %7s  (%d ops, %d errs)\n",
+				sc, nc, res.Mops, h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999), res.Ops, res.Errs)
+			curve.Points = append(curve.Points, harness.Point{Workers: nc, Res: harness.Result{
+				Ops: res.Ops, Duration: res.Duration, Mops: res.Mops,
+				Latency: h, Reclaim: reclaimFromStats(res.Stats),
+			}})
+		}
+		curves = append(curves, curve)
+	}
+	harness.RenderCurvesTable(os.Stdout,
+		fmt.Sprintf("Throughput (Mops/s): kvd skipmap, %d%% updates, range %d, theta %.2f", o.updates, o.keyRange, o.theta),
+		curves)
+	if o.jsonOut {
+		name := "kvd_" + o.exp
+		path := "BENCH_" + name + ".json"
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := harness.WriteCurvesJSON(f, harness.BenchJSON{
+			Experiment: name, DS: "skipmap", KeyRange: o.keyRange, UpdatePct: o.updates,
+			DurationMS: plan.Total().Milliseconds(), GoMaxProcs: runtime.GOMAXPROCS(0),
+			Extra: map[string]string{
+				"theta":     fmt.Sprintf("%.2f", o.theta),
+				"burst_ms":  fmt.Sprint(o.burst.Milliseconds()),
+				"idle_ms":   fmt.Sprint(o.idle.Milliseconds()),
+				"cycles":    fmt.Sprint(o.cycles),
+				"idle_load": fmt.Sprintf("%.2f", o.idleLoad),
+			},
+		}, curves); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+}
+
+// reclaimFromStats rebuilds the reclamation counters the BENCH JSON wants
+// from a parsed STATS reply (zero-valued when the fetch failed).
+func reclaimFromStats(st map[string]int64) reclaim.Stats {
+	if st == nil {
+		return reclaim.Stats{}
+	}
+	return reclaim.Stats{
+		Retired:        uint64(st["retired"]),
+		Freed:          uint64(st["freed"]),
+		Pending:        st["pending"],
+		Scans:          uint64(st["scans"]),
+		ScannedRecords: uint64(st["scanned_records"]),
+		ArenaSize:      int(st["arena_size"]),
+		ParkedSlots:    int(st["parked_slots"]),
+		RRetunes:       uint64(st["r_retunes"]),
+		CRetunes:       uint64(st["c_retunes"]),
+		Failed:         st["failed"] != 0,
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad connection count %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qsense-kvd:", err)
+	os.Exit(1)
+}

@@ -61,11 +61,15 @@ func (h *leasedSet) Release() {
 	h.d.Release(h.g)
 }
 
-// setCore carries the domain plumbing shared by the set containers.
-type setCore struct {
+// leaseCore carries the domain plumbing shared by every leased container:
+// guard leasing, the per-slot structure-handle cache, stats and close. It
+// is generic over the structure operation surface O, so the set containers
+// (setOps) and the value-carrying map containers (mapOps) run on one
+// machinery; the container types add only their handle wrapping.
+type leaseCore[O comparable] struct {
 	d     reclaim.Domain
 	arena int
-	mk    func(g reclaim.Guard, seed uint64) setOps
+	mk    func(g reclaim.Guard, seed uint64) O
 
 	// handles caches one structure handle per guard slot, built on the
 	// slot's first lease and reused by every later tenant, so the Acquire
@@ -76,7 +80,65 @@ type setCore struct {
 	// the slot pool's lease/release atomics. The table is segmented like
 	// the guard arena itself, so it covers slots minted by elastic
 	// growth.
-	handles *reclaim.SlotTable[setOps]
+	handles *reclaim.SlotTable[O]
+}
+
+func newLeaseCore[O comparable](opts Options, hps int, free func(Ref), mk func(g reclaim.Guard, seed uint64) O) (*leaseCore[O], error) {
+	d, err := NewDomain(withHPs(opts, hps), free)
+	if err != nil {
+		return nil, err
+	}
+	return &leaseCore[O]{
+		d: d.d, arena: opts.arena(), mk: mk,
+		handles: reclaim.NewSlotTable[O](opts.arena(), opts.HardMaxWorkers),
+	}, nil
+}
+
+// acquire leases a guard and returns the slot's structure handle with it.
+func (c *leaseCore[O]) acquire() (O, reclaim.Guard, error) {
+	g, err := c.d.Acquire()
+	if err != nil {
+		var zero O
+		return zero, nil, err
+	}
+	return c.structureFor(g), g, nil
+}
+
+// acquireWait is acquire that blocks while every slot is leased, woken by
+// the next Release; ctx cancellation unblocks it.
+func (c *leaseCore[O]) acquireWait(ctx context.Context) (O, reclaim.Guard, error) {
+	g, err := c.d.AcquireWait(ctx)
+	if err != nil {
+		var zero O
+		return zero, nil, err
+	}
+	return c.structureFor(g), g, nil
+}
+
+// structureFor returns slot g's cached structure handle, building it on the
+// slot's first lease. Seeds derive from the slot index (stable, distinct),
+// exactly as the positional path always did.
+func (c *leaseCore[O]) structureFor(g reclaim.Guard) O {
+	w := reclaim.SlotIndex(g)
+	p := c.handles.Get(w)
+	var zero O
+	if *p == zero {
+		*p = c.mk(g, uint64(w)+1)
+	}
+	return *p
+}
+
+// Stats returns the reclamation counters.
+func (c *leaseCore[O]) Stats() Stats { return fromReclaimStats(c.d.Stats()) }
+
+// Close reclaims all pending memory and stops background machinery. Call
+// only after all workers have stopped.
+func (c *leaseCore[O]) Close() { c.d.Close() }
+
+// setCore is leaseCore specialized to the set containers, adding the
+// SetHandle wrapping and the deprecated positional-handle shim.
+type setCore struct {
+	*leaseCore[setOps]
 
 	mu     sync.Mutex
 	legacy []SetHandle // lazily built positional handles (pinned slots)
@@ -86,38 +148,22 @@ type setCore struct {
 // arena when all slots are in use. It returns ErrNoSlots only at an
 // Options.HardMaxWorkers cap; AcquireWait blocks there instead.
 func (c *setCore) Acquire() (SetHandle, error) {
-	g, err := c.d.Acquire()
+	ops, g, err := c.acquire()
 	if err != nil {
 		return nil, err
 	}
-	return c.wrap(g), nil
+	return &leasedSet{setOps: ops, d: c.d, g: g}, nil
 }
 
 // AcquireWait is Acquire that blocks while every slot is leased, woken by
 // the next Release. It returns ctx.Err() if ctx is done before a slot
 // frees; with context.Background() it waits indefinitely.
 func (c *setCore) AcquireWait(ctx context.Context) (SetHandle, error) {
-	g, err := c.d.AcquireWait(ctx)
+	ops, g, err := c.acquireWait(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return c.wrap(g), nil
-}
-
-func (c *setCore) wrap(g reclaim.Guard) SetHandle {
-	return &leasedSet{setOps: c.structureFor(g), d: c.d, g: g}
-}
-
-// structureFor returns slot g's cached structure handle, building it on the
-// slot's first lease. Seeds derive from the slot index (stable, distinct),
-// exactly as the positional path always did.
-func (c *setCore) structureFor(g reclaim.Guard) setOps {
-	w := reclaim.SlotIndex(g)
-	p := c.handles.Get(w)
-	if *p == nil {
-		*p = c.mk(g, uint64(w)+1)
-	}
-	return *p
+	return &leasedSet{setOps: ops, d: c.d, g: g}, nil
 }
 
 // Handle returns worker w's handle, pinning slot w permanently: it never
@@ -144,22 +190,12 @@ func (c *setCore) Handle(w int) SetHandle {
 	return c.legacy[w]
 }
 
-// Stats returns the reclamation counters.
-func (c *setCore) Stats() Stats { return fromReclaimStats(c.d.Stats()) }
-
-// Close reclaims all pending memory and stops background machinery. Call
-// only after all workers have stopped.
-func (c *setCore) Close() { c.d.Close() }
-
 func newSetCore(opts Options, hps int, free func(Ref), mk func(g reclaim.Guard, seed uint64) setOps) (*setCore, error) {
-	d, err := NewDomain(withHPs(opts, hps), free)
+	lc, err := newLeaseCore[setOps](opts, hps, free, mk)
 	if err != nil {
 		return nil, err
 	}
-	return &setCore{
-		d: d.d, arena: opts.arena(), mk: mk,
-		handles: reclaim.NewSlotTable[setOps](opts.arena(), opts.HardMaxWorkers),
-	}, nil
+	return &setCore{leaseCore: lc}, nil
 }
 
 func withHPs(opts Options, hps int) Options {
@@ -210,6 +246,101 @@ func NewSkipSet(opts Options) (*SkipSet, error) {
 
 // Len counts elements; only meaningful while no workers are active.
 func (s *SkipSet) Len() int { return s.s.Len() }
+
+// MapHandle is a goroutine's leased view of a concurrent ordered key→value
+// map. Like SetHandle, it must be used by one goroutine at a time and
+// Released exactly once when its goroutine is done with the container.
+type MapHandle interface {
+	// Get returns key's value word.
+	Get(key int64) (val uint64, ok bool)
+	// Put sets key→val: true if key was newly inserted, false if an
+	// existing key's value was updated in place.
+	Put(key int64, val uint64) bool
+	// Delete removes key, reporting false if it was absent.
+	Delete(key int64) bool
+	// Release returns the handle's reclamation slot to the container so
+	// another goroutine can Acquire it. The handle must not be used
+	// afterwards; extra calls are no-ops.
+	Release()
+}
+
+// mapOps is the operation surface of a value-carrying structure; the map
+// containers wrap it with lease bookkeeping, as setOps for the sets.
+type mapOps interface {
+	Get(key int64) (uint64, bool)
+	Put(key int64, val uint64) bool
+	Delete(key int64) bool
+}
+
+// leasedMap pairs a map structure handle with its guard lease.
+type leasedMap struct {
+	mapOps
+	d        reclaim.Domain
+	g        reclaim.Guard
+	released atomic.Bool
+}
+
+// Release implements MapHandle (see leasedSet.Release for the once-flag
+// rationale).
+func (h *leasedMap) Release() {
+	if !h.released.CompareAndSwap(false, true) {
+		return
+	}
+	h.d.Release(h.g)
+}
+
+// mapCore is leaseCore specialized to the map containers. The map API is
+// lease-only by design: it postdates the fixed-worker model, so there is no
+// positional Handle(w) shim.
+type mapCore struct {
+	*leaseCore[mapOps]
+}
+
+// Acquire leases a handle for the calling goroutine, growing the guard
+// arena when all slots are in use. It returns ErrNoSlots only at an
+// Options.HardMaxWorkers cap; AcquireWait blocks there instead.
+func (c *mapCore) Acquire() (MapHandle, error) {
+	ops, g, err := c.acquire()
+	if err != nil {
+		return nil, err
+	}
+	return &leasedMap{mapOps: ops, d: c.d, g: g}, nil
+}
+
+// AcquireWait is Acquire that blocks while every slot is leased, woken by
+// the next Release. It returns ctx.Err() if ctx is done before a slot
+// frees; with context.Background() it waits indefinitely.
+func (c *mapCore) AcquireWait(ctx context.Context) (MapHandle, error) {
+	ops, g, err := c.acquireWait(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &leasedMap{mapOps: ops, d: c.d, g: g}, nil
+}
+
+// SkipMap is a lock-free sorted key→value map: the Fraser skip list of
+// SkipSet with a per-node value word. It is the structure qsense-kvd
+// serves over TCP — a goroutine-per-connection server Acquires one handle
+// per connection (AcquireWait under a HardMaxWorkers admission cap) and
+// the guard arena grows and parks with the connection count.
+type SkipMap struct {
+	*mapCore
+	s *skiplist.SkipList
+}
+
+// NewSkipMap builds a skip-list map wired to a reclamation domain.
+func NewSkipMap(opts Options) (*SkipMap, error) {
+	sl := skiplist.New(skiplist.Config{MaxSlots: opts.MaxNodes})
+	lc, err := newLeaseCore[mapOps](opts, skiplist.HPsFor(sl.Levels()), func(r Ref) { sl.FreeNode(toMem(r)) },
+		func(g reclaim.Guard, seed uint64) mapOps { return sl.NewHandle(g, seed*0x9E3779B9+1) })
+	if err != nil {
+		return nil, err
+	}
+	return &SkipMap{mapCore: &mapCore{leaseCore: lc}, s: sl}, nil
+}
+
+// Len counts entries; only meaningful while no workers are active.
+func (m *SkipMap) Len() int { return m.s.Len() }
 
 // TreeSet is a lock-free sorted set backed by the Natarajan–Mittal
 // external binary search tree — the paper's third workload.

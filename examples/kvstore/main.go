@@ -1,13 +1,18 @@
-// kvstore: a concurrent ordered index under producer/consumer load — the
-// kind of database workload the paper's introduction motivates ("operating
-// systems and databases ... need concurrent data structures that scale and
-// efficiently allocate/free memory").
+// kvstore: a concurrent ordered key→value index under producer/consumer
+// load — the kind of database workload the paper's introduction motivates
+// ("operating systems and databases ... need concurrent data structures
+// that scale and efficiently allocate/free memory").
 //
-// An order book keeps live order IDs in a lock-free skip list guarded by
-// QSense. Producers admit orders, consumers fill (delete) them, and
-// auditors run membership probes — all while nodes are recycled through the
+// An order book keeps live orders in qsense.SkipMap — the Fraser skip list
+// with a per-node value word, guarded by QSense. Producers admit orders
+// (Put: order ID → encoded price), consumers fill them (Delete), and
+// auditors look prices up (Get) — all while nodes are recycled through the
 // arena with no stop-the-world anything. The run prints throughput and the
 // reclamation counters that show memory actually cycling.
+//
+// This is the in-process half of the story. The same map served over TCP —
+// RESP protocol, one leased handle per connection, STATS on the wire — is
+// cmd/qsense-kvd; its -load mode drives the zipf/burst macro-benchmarks.
 package main
 
 import (
@@ -16,8 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"qsense/internal/reclaim"
-	"qsense/internal/skiplist"
+	"qsense"
 	"qsense/internal/workload"
 )
 
@@ -25,22 +29,17 @@ const (
 	producers = 2
 	consumers = 2
 	auditors  = 2
-	workers   = producers + consumers + auditors
 	idSpace   = 1 << 16
 	runFor    = 2 * time.Second
 )
 
 func main() {
-	book := skiplist.New(skiplist.Config{Levels: 14})
-	// Workers is only the INITIAL arena size: it is deliberately set below
-	// the goroutine count here, so the run demonstrates elastic growth —
-	// the extra workers' Acquires publish new guard segments on demand
-	// (watch ArenaSize/ArenaGrowths in the final stats) instead of failing.
-	dom, err := reclaim.New("qsense", reclaim.Config{
-		Workers: 2,
-		HPs:     skiplist.HPsFor(book.Levels()),
-		Free:    book.FreeNode,
-	})
+	// MaxWorkers is only the INITIAL arena size: it is deliberately set
+	// below the goroutine count here, so the run demonstrates elastic
+	// growth — the extra workers' Acquires publish new guard segments on
+	// demand (watch ArenaSize/ArenaGrowths in the final stats) instead of
+	// failing.
+	book, err := qsense.NewSkipMap(qsense.Options{MaxWorkers: 2})
 	if err != nil {
 		panic(err)
 	}
@@ -48,14 +47,13 @@ func main() {
 	var stop atomic.Bool
 	var admitted, filled, probes atomic.Uint64
 	var wg sync.WaitGroup
-	worker := func(id int, body func(h *skiplist.Handle, rng *workload.RNG)) {
+	worker := func(id int, body func(h qsense.MapHandle, rng *workload.RNG)) {
 		defer wg.Done()
-		g, err := dom.Acquire() // lease a guard slot; the arena grows on demand
+		h, err := book.Acquire() // lease a handle; the arena grows on demand
 		if err != nil {
 			panic(err) // unreachable: no HardMaxWorkers cap is set
 		}
-		defer dom.Release(g)
-		h := book.NewHandle(g, uint64(id+1))
+		defer h.Release()
 		rng := workload.NewRNG(uint64(id) * 77)
 		for !stop.Load() {
 			body(h, rng)
@@ -64,15 +62,17 @@ func main() {
 
 	for p := 0; p < producers; p++ {
 		wg.Add(1)
-		go worker(p, func(h *skiplist.Handle, rng *workload.RNG) {
-			if h.Insert(rng.Key(idSpace)) {
+		go worker(p, func(h qsense.MapHandle, rng *workload.RNG) {
+			id := rng.Key(idSpace)
+			price := rng.Next() >> 32
+			if h.Put(id, price) {
 				admitted.Add(1)
 			}
 		})
 	}
 	for c := 0; c < consumers; c++ {
 		wg.Add(1)
-		go worker(producers+c, func(h *skiplist.Handle, rng *workload.RNG) {
+		go worker(producers+c, func(h qsense.MapHandle, rng *workload.RNG) {
 			if h.Delete(rng.Key(idSpace)) {
 				filled.Add(1)
 			}
@@ -80,8 +80,8 @@ func main() {
 	}
 	for a := 0; a < auditors; a++ {
 		wg.Add(1)
-		go worker(producers+consumers+a, func(h *skiplist.Handle, rng *workload.RNG) {
-			h.Contains(rng.Key(idSpace))
+		go worker(producers+consumers+a, func(h qsense.MapHandle, rng *workload.RNG) {
+			h.Get(rng.Key(idSpace))
 			probes.Add(1)
 		})
 	}
@@ -97,9 +97,7 @@ func main() {
 		float64(admitted.Load()+filled.Load()+probes.Load())/runFor.Seconds()/1e6)
 	fmt.Printf("  open orders: %d (admitted - filled = %d)\n", open, admitted.Load()-filled.Load())
 
-	st := dom.Stats()
-	pst := book.Pool().Stats()
-	fmt.Printf("  memory: %d nodes allocated, %d freed, %d live\n", pst.Allocs, pst.Frees, pst.Live)
+	st := book.Stats()
 	fmt.Printf("  reclamation: retired %d, freed %d online, pending %d, quiescent states %d\n",
 		st.Retired, st.Freed, st.Pending, st.QuiescentStates)
 	fmt.Printf("  guard arena: started at 2 slots, grew %d time(s) to %d (peak %d workers leased at once)\n",
@@ -108,10 +106,11 @@ func main() {
 		st.ParkedSlots, st.SegmentParks, st.SegmentUnparks,
 		st.ScannedRecords, st.Scans+st.EpochAdvances, st.EffectiveR, st.RRetunes)
 
-	dom.Close()
-	if got, want := book.Pool().Stats().Live, uint64(open+2); got != want {
-		fmt.Printf("  WARNING: leak check failed: %d live, want %d\n", got, want)
+	book.Close()
+	if st := book.Stats(); st.Pending != 0 {
+		fmt.Printf("  WARNING: leak check failed: %d nodes still pending after Close\n", st.Pending)
 	} else {
-		fmt.Printf("  leak check: clean (%d members + 2 sentinels)\n", open)
+		fmt.Printf("  leak check: clean (%d members live, nothing pending)\n", open)
 	}
+	fmt.Println("  networked version: go run ./cmd/qsense-kvd (see its -load mode for macro-benchmarks)")
 }

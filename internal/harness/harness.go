@@ -83,6 +83,10 @@ type Result struct {
 	PoolLive uint64 // nodes still allocated after Close (leak for "none")
 	Failed   bool
 	FailedAt time.Duration
+	// Latency carries per-op latency buckets when the producing experiment
+	// measures them (the kvd macro-benchmark); nil for the in-process
+	// throughput experiments.
+	Latency *LatencyHist
 }
 
 // padCounter is a per-worker op counter padded to a cache line.

@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"math/bits"
+	"time"
+)
+
+// Latency histogram: HDR-style log-linear buckets over nanoseconds. Each
+// power-of-two range is split into 2^latSubBits linear sub-buckets, so the
+// relative quantile error is bounded by 1/2^latSubBits (~3%) at any
+// magnitude — microsecond RPCs and second-long stalls share one fixed
+// 15 KiB array with no allocation on the record path. One histogram is
+// single-writer (one per load connection); aggregate with Merge.
+const (
+	latSubBits  = 5
+	latSubCount = 1 << latSubBits // 32 sub-buckets per power of two
+	// Values up to 2^63-1 ns land in bucket (63-latSubBits)*32+31; one
+	// extra slot catches anything larger.
+	latBuckets = (64-latSubBits)*latSubCount + 1
+)
+
+// LatencyHist records operation latencies and reports quantiles. The zero
+// value is ready to use. Not safe for concurrent writers.
+type LatencyHist struct {
+	counts [latBuckets]uint64
+	n      uint64
+	sum    uint64
+	max    uint64
+}
+
+// latIndex maps a nanosecond value to its bucket.
+func latIndex(v uint64) int {
+	if v < latSubCount {
+		return int(v)
+	}
+	exp := bits.Len64(v) - latSubBits - 1 // shift so v lands in [latSubCount, 2*latSubCount)
+	i := exp*latSubCount + int(v>>uint(exp))
+	if i >= latBuckets {
+		return latBuckets - 1
+	}
+	return i
+}
+
+// latUpper is the inclusive upper edge of bucket i — the value a quantile
+// reports, so quantiles never understate.
+func latUpper(i int) uint64 {
+	if i < latSubCount {
+		return uint64(i)
+	}
+	exp := i/latSubCount - 1
+	sub := uint64(i%latSubCount) + latSubCount
+	return (sub+1)<<uint(exp) - 1
+}
+
+// Record adds one latency observation. Negative durations count as zero.
+func (h *LatencyHist) Record(d time.Duration) {
+	v := uint64(0)
+	if d > 0 {
+		v = uint64(d)
+	}
+	h.counts[latIndex(v)]++
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Merge folds o into h.
+func (h *LatencyHist) Merge(o *LatencyHist) {
+	if o == nil {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Count is the number of recorded observations.
+func (h *LatencyHist) Count() uint64 { return h.n }
+
+// Mean is the average recorded latency.
+func (h *LatencyHist) Mean() time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.n)
+}
+
+// Max is the largest recorded latency, rounded up to its bucket edge.
+func (h *LatencyHist) Max() time.Duration { return time.Duration(latUpper(latIndex(h.max))) }
+
+// Quantile returns the q-quantile (0 < q <= 1, e.g. 0.999) as the upper
+// edge of the bucket holding that observation; 0 when empty.
+func (h *LatencyHist) Quantile(q float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.n))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.n {
+		rank = h.n
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			return time.Duration(latUpper(i))
+		}
+	}
+	return time.Duration(latUpper(latBuckets - 1))
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 )
 
 // BenchJSON is the machine-readable form of a scalability experiment that
@@ -31,7 +32,9 @@ type BenchCurveJSON struct {
 }
 
 // BenchPointJSON is one (workers, throughput) sample, with the reclamation
-// counters a perf dashboard most wants next to the headline number.
+// counters a perf dashboard most wants next to the headline number. The
+// latency fields are present only for experiments that measure per-op
+// latency (the kvd macro-benchmark, where workers = connections).
 type BenchPointJSON struct {
 	Workers        int     `json:"workers"`
 	Mops           float64 `json:"mops"`
@@ -43,6 +46,11 @@ type BenchPointJSON struct {
 	RRetunes       uint64  `json:"r_retunes"`
 	CRetunes       uint64  `json:"c_retunes"`
 	Failed         bool    `json:"failed"`
+	LatOps         uint64  `json:"lat_ops,omitempty"`
+	P50us          float64 `json:"p50_us,omitempty"`
+	P99us          float64 `json:"p99_us,omitempty"`
+	P999us         float64 `json:"p999_us,omitempty"`
+	MaxUs          float64 `json:"max_us,omitempty"`
 }
 
 // WriteCurvesJSON emits a scalability experiment as indented JSON.
@@ -50,7 +58,7 @@ func WriteCurvesJSON(w io.Writer, meta BenchJSON, curves []Curve) error {
 	for _, c := range curves {
 		jc := BenchCurveJSON{Scheme: c.Scheme}
 		for _, p := range c.Points {
-			jc.Points = append(jc.Points, BenchPointJSON{
+			jp := BenchPointJSON{
 				Workers:        p.Workers,
 				Mops:           p.Res.Mops,
 				Retired:        p.Res.Reclaim.Retired,
@@ -61,7 +69,16 @@ func WriteCurvesJSON(w io.Writer, meta BenchJSON, curves []Curve) error {
 				RRetunes:       p.Res.Reclaim.RRetunes,
 				CRetunes:       p.Res.Reclaim.CRetunes,
 				Failed:         p.Res.Failed,
-			})
+			}
+			if h := p.Res.Latency; h != nil && h.Count() > 0 {
+				us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+				jp.LatOps = h.Count()
+				jp.P50us = us(h.Quantile(0.50))
+				jp.P99us = us(h.Quantile(0.99))
+				jp.P999us = us(h.Quantile(0.999))
+				jp.MaxUs = us(h.Max())
+			}
+			jc.Points = append(jc.Points, jp)
 		}
 		meta.Curves = append(meta.Curves, jc)
 	}

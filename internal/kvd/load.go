@@ -1,0 +1,234 @@
+package kvd
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"qsense/internal/harness"
+	"qsense/internal/resp"
+	"qsense/internal/workload"
+)
+
+// LoadConfig describes one macro-benchmark run against a kvd server.
+type LoadConfig struct {
+	// Target is the server address ("host:port").
+	Target string
+	// Conns is the client connection pool size; the PhasePlan decides how
+	// many of them are live at any moment.
+	Conns int
+	// KeyRange and Theta shape the key distribution: bounded zipfian with
+	// skew Theta over [0, KeyRange), uniform when Theta <= 0.
+	KeyRange int64
+	Theta    float64
+	// UpdatePct is the write fraction (split evenly SET/DEL, rest GET).
+	UpdatePct int
+	// Plan drives connection churn: each phase keeps a Load-fraction of
+	// Conns connected and the rest disconnected — a burst-then-idle plan
+	// exercises the server's arena growth and parking.
+	Plan workload.PhasePlan
+	// Seed makes runs reproducible; 0 means 1.
+	Seed uint64
+	// NoPrefill skips the half-range prefill (for tests that assert exact
+	// map contents).
+	NoPrefill bool
+}
+
+// LoadResult is the outcome of RunLoad: closed-loop throughput, the merged
+// per-op latency distribution, and the server's reclamation counters
+// fetched over STATS after the last phase.
+type LoadResult struct {
+	Conns    int
+	Ops      uint64
+	Errs     uint64
+	Duration time.Duration
+	Mops     float64
+	Latency  *harness.LatencyHist
+	Stats    map[string]int64
+}
+
+// RunLoad drives the configured workload to completion. Each connection is
+// closed-loop — one command in flight, per-op round-trip latency recorded
+// into an HDR-style histogram — so the latency numbers are honest
+// request-to-reply times, not queueing artifacts of an open-loop injector.
+func RunLoad(cfg LoadConfig) (LoadResult, error) {
+	if cfg.Conns <= 0 {
+		cfg.Conns = 1
+	}
+	if cfg.KeyRange <= 0 {
+		cfg.KeyRange = 1 << 16
+	}
+	if cfg.Plan.Total() <= 0 {
+		cfg.Plan = workload.Steady(time.Second)
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if !cfg.NoPrefill {
+		if err := Prefill(cfg.Target, cfg.KeyRange, cfg.Seed); err != nil {
+			return LoadResult{}, fmt.Errorf("kvd prefill: %w", err)
+		}
+	}
+	hists := make([]harness.LatencyHist, cfg.Conns)
+	ops := make([]uint64, cfg.Conns)
+	errs := make([]uint64, cfg.Conns)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ops[i], errs[i] = loadWorker(i, cfg, start, &hists[i])
+		}(i)
+	}
+	wg.Wait()
+	res := LoadResult{Conns: cfg.Conns, Duration: time.Since(start), Latency: &harness.LatencyHist{}}
+	for i := range hists {
+		res.Ops += ops[i]
+		res.Errs += errs[i]
+		res.Latency.Merge(&hists[i])
+	}
+	res.Mops = float64(res.Ops) / res.Duration.Seconds() / 1e6
+	// Snapshot the server's counters after the last phase: this is where a
+	// burst-then-idle plan shows parked slots and a decayed live count.
+	if st, err := FetchStats(cfg.Target); err == nil {
+		res.Stats = st
+	}
+	return res, nil
+}
+
+// loadWorker is one pooled connection's life: follow the phase plan
+// (connect when this worker index is active, disconnect and sleep when
+// not), and while connected run the zipf-keyed op mix closed-loop.
+func loadWorker(i int, cfg LoadConfig, start time.Time, hist *harness.LatencyHist) (ops, errs uint64) {
+	rng := workload.NewRNG(cfg.Seed + uint64(i)*0x9E3779B9 + 7)
+	mix := workload.Mix{UpdatePct: cfg.UpdatePct}
+	var conn net.Conn
+	var rd *resp.Reader
+	var wr *resp.Writer
+	drop := func() {
+		if conn != nil {
+			conn.Close()
+			conn, rd, wr = nil, nil, nil
+		}
+	}
+	defer drop()
+	for {
+		ph, remaining, running := cfg.Plan.At(time.Since(start))
+		if !running {
+			return ops, errs
+		}
+		if i >= ph.ActiveWorkers(cfg.Conns) {
+			drop()
+			time.Sleep(remaining)
+			continue
+		}
+		if conn == nil {
+			c, err := net.Dial("tcp", cfg.Target)
+			if err != nil {
+				errs++
+				time.Sleep(5 * time.Millisecond)
+				continue
+			}
+			conn = c
+			rd = resp.NewReader(c)
+			wr = resp.NewWriter(c)
+		}
+		key := strconv.FormatInt(rng.ZipfKey(cfg.KeyRange, cfg.Theta), 10)
+		t0 := time.Now()
+		switch mix.Choose(rng.Next()) {
+		case workload.OpSearch:
+			wr.Command("GET", key)
+		case workload.OpInsert:
+			wr.Command("SET", key, strconv.FormatUint(rng.Next()>>32, 10))
+		case workload.OpDelete:
+			wr.Command("DEL", key)
+		}
+		if err := wr.Flush(); err != nil {
+			errs++
+			drop()
+			continue
+		}
+		rp, err := rd.ReadReply()
+		if err != nil {
+			errs++
+			drop()
+			continue
+		}
+		if rp.IsError() {
+			errs++
+			continue
+		}
+		hist.Record(time.Since(t0))
+		ops++
+	}
+}
+
+// Prefill populates the server to the paper's half-full starting point:
+// every even key in [0, keyRange) is SET (pipelined), so GETs under any
+// skew hit about half the time and DELs have victims from the start.
+func Prefill(target string, keyRange int64, seed uint64) error {
+	c, err := net.Dial("tcp", target)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	rd := resp.NewReader(c)
+	wr := resp.NewWriter(c)
+	rng := workload.NewRNG(seed ^ 0xABCD)
+	const batch = 128
+	inFlight := 0
+	drain := func() error {
+		for ; inFlight > 0; inFlight-- {
+			rp, err := rd.ReadReply()
+			if err != nil {
+				return err
+			}
+			if rp.IsError() {
+				return fmt.Errorf("prefill rejected: %s", rp.Str)
+			}
+		}
+		return nil
+	}
+	for k := int64(0); k < keyRange; k += 2 {
+		wr.Command("SET", strconv.FormatInt(k, 10), strconv.FormatUint(rng.Next()>>32, 10))
+		if inFlight++; inFlight == batch {
+			if err := wr.Flush(); err != nil {
+				return err
+			}
+			if err := drain(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := wr.Flush(); err != nil {
+		return err
+	}
+	return drain()
+}
+
+// FetchStats issues STATS on a fresh connection and parses the numeric
+// counters.
+func FetchStats(target string) (map[string]int64, error) {
+	c, err := net.Dial("tcp", target)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	rd := resp.NewReader(c)
+	wr := resp.NewWriter(c)
+	wr.Command("STATS")
+	if err := wr.Flush(); err != nil {
+		return nil, err
+	}
+	rp, err := rd.ReadReply()
+	if err != nil {
+		return nil, err
+	}
+	if rp.IsError() || rp.Kind != '$' || rp.Bulk == nil {
+		return nil, fmt.Errorf("unexpected STATS reply kind %q", rp.Kind)
+	}
+	return ParseStats(rp.Bulk), nil
+}

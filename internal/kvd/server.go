@@ -1,0 +1,397 @@
+// Package kvd is the network-facing layer of the repository: a RESP-style
+// TCP key→value server over the elastic SkipMap, plus the load generator
+// that macro-benchmarks it (load.go).
+//
+// The server is the end-to-end demonstration of the reclamation stack
+// under real traffic shapes. Each connection gets its own goroutine and
+// leases one SkipMap handle for its lifetime via AcquireWait — a
+// connection storm grows the guard arena instead of failing (or queues at
+// a HardMaxConns admission cap), and a burst of disconnects releases
+// slots that the occupancy machinery parks, so the reclamation cost of a
+// quiet server decays to its live connection count. STATS surfaces
+// exactly those counters over the wire.
+//
+// Protocol: RESP arrays or inline commands; integer keys (int64) and
+// values (uint64 — the SkipMap's value word):
+//
+//	SET <key> <value>   -> +OK
+//	GET <key>           -> $<value> | $-1
+//	DEL <key>           -> :1 | :0
+//	STATS               -> $<key: value lines>
+//	PING                -> +PONG
+//	QUIT                -> +OK, connection closes
+//
+// A protocol violation draws -ERR and closes the connection; a malformed
+// key or value draws -ERR and keeps it open.
+package kvd
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qsense"
+	"qsense/internal/resp"
+)
+
+// Config describes a server.
+type Config struct {
+	// Scheme is the reclamation scheme serving the map (any of the seven;
+	// default qsense).
+	Scheme string
+	// InitialConns is the initial guard-arena size (Options.MaxWorkers):
+	// a soft sizing hint, not a limit. 0 = machine default.
+	InitialConns int
+	// HardMaxConns, when > 0, is an admission cap: connections beyond it
+	// queue in AcquireWait until another connection closes
+	// (Options.HardMaxWorkers).
+	HardMaxConns int
+	// MaxNodes bounds the map's node pool. 0 = library default.
+	MaxNodes int
+}
+
+// Server is a qsense-kvd instance. Create with New, start with Start (or
+// Listen+Serve), stop with Shutdown, then Close to tear down the map.
+type Server struct {
+	cfg Config
+	m   *qsense.SkipMap
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	ln       net.Listener
+	draining atomic.Bool
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+
+	accepted atomic.Uint64
+}
+
+// New builds a server (no listener yet).
+func New(cfg Config) (*Server, error) {
+	if cfg.Scheme == "" {
+		cfg.Scheme = "qsense"
+	}
+	m, err := qsense.NewSkipMap(qsense.Options{
+		Scheme:         qsense.Scheme(cfg.Scheme),
+		MaxWorkers:     cfg.InitialConns,
+		HardMaxWorkers: cfg.HardMaxConns,
+		MaxNodes:       cfg.MaxNodes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{cfg: cfg, m: m, ctx: ctx, cancel: cancel, conns: map[net.Conn]struct{}{}}, nil
+}
+
+// Listen binds addr (e.g. ":6380", "127.0.0.1:0").
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	return ln.Addr(), nil
+}
+
+// Start is Listen plus Serve on a background goroutine.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	a, err := s.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	go s.Serve()
+	return a, nil
+}
+
+// Addr is the bound listen address (nil before Listen).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve accepts connections until Shutdown; it returns nil on a drain and
+// the accept error otherwise.
+func (s *Server) Serve() error {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining.Load() {
+			s.mu.Unlock()
+			c.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.accepted.Add(1)
+		go s.handle(c)
+	}
+}
+
+// Shutdown drains the server: stop accepting, wake blocked reads and
+// AcquireWaits, let every in-flight command finish and every connection
+// release its guard. It returns ctx.Err() if the drain outlives ctx, after
+// force-closing the stragglers (their deferred Releases still run).
+// Shutdown leaves the map intact — STATS-style inspection via Stats keeps
+// working — Close tears it down.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if !s.draining.CompareAndSwap(false, true) {
+		return nil
+	}
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.cancel()
+	s.mu.Lock()
+	for c := range s.conns {
+		// Wake reads blocked on an idle peer; the handler sees draining
+		// and exits after finishing the command in flight.
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close tears down the map's reclamation domain, freeing every pending
+// node. Call after Shutdown.
+func (s *Server) Close() { s.m.Close() }
+
+// Stats snapshots the map's reclamation counters.
+func (s *Server) Stats() qsense.Stats { return s.m.Stats() }
+
+// LiveConns is the number of currently open connections.
+func (s *Server) LiveConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// handle owns one connection: one leased SkipMap handle for the
+// connection's lifetime, a read-dispatch loop, and a flush whenever the
+// pipeline drains.
+func (s *Server) handle(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+	h, err := s.m.AcquireWait(s.ctx)
+	if err != nil {
+		// Shutdown cancelled the wait at a full HardMaxConns cap.
+		wr := resp.NewWriter(c)
+		wr.Error("ERR server draining")
+		wr.Flush()
+		return
+	}
+	defer h.Release()
+	rd := resp.NewReader(c)
+	wr := resp.NewWriter(c)
+	for {
+		args, err := rd.ReadCommand()
+		if err != nil {
+			// Framing violations get a reply; EOF, drain deadlines and
+			// network errors close quietly.
+			if resp.IsProtocol(err) {
+				wr.Error("ERR " + err.Error())
+				wr.Flush()
+			}
+			return
+		}
+		quit := s.dispatch(h, wr, args)
+		if rd.Buffered() == 0 {
+			if err := wr.Flush(); err != nil {
+				return
+			}
+		}
+		if quit || s.draining.Load() {
+			wr.Flush()
+			return
+		}
+	}
+}
+
+// dispatch executes one command; true means the connection should close.
+func (s *Server) dispatch(h qsense.MapHandle, wr *resp.Writer, args [][]byte) bool {
+	switch cmd := string(bytes.ToUpper(args[0])); cmd {
+	case "PING":
+		wr.SimpleString("PONG")
+	case "QUIT":
+		wr.SimpleString("OK")
+		return true
+	case "GET":
+		k, ok := wantKey(wr, cmd, args, 2)
+		if !ok {
+			return false
+		}
+		if v, found := h.Get(k); found {
+			wr.BulkString(strconv.FormatUint(v, 10))
+		} else {
+			wr.Null()
+		}
+	case "SET":
+		k, ok := wantKey(wr, cmd, args, 3)
+		if !ok {
+			return false
+		}
+		v, err := strconv.ParseUint(string(args[2]), 10, 64)
+		if err != nil {
+			wr.Error("ERR value is not an unsigned integer (the SkipMap stores a uint64 value word)")
+			return false
+		}
+		h.Put(k, v)
+		wr.SimpleString("OK")
+	case "DEL":
+		k, ok := wantKey(wr, cmd, args, 2)
+		if !ok {
+			return false
+		}
+		if h.Delete(k) {
+			wr.Int(1)
+		} else {
+			wr.Int(0)
+		}
+	case "STATS":
+		wr.Bulk(s.statsText())
+	default:
+		wr.Error("ERR unknown command '" + sanitize(cmd) + "'")
+	}
+	return false
+}
+
+// wantKey validates arity and parses the key argument.
+func wantKey(wr *resp.Writer, cmd string, args [][]byte, arity int) (int64, bool) {
+	if len(args) != arity {
+		wr.Error("ERR wrong number of arguments for '" + strings.ToLower(cmd) + "'")
+		return 0, false
+	}
+	k, err := strconv.ParseInt(string(args[1]), 10, 64)
+	if err != nil {
+		wr.Error("ERR key is not an integer")
+		return 0, false
+	}
+	return k, true
+}
+
+// sanitize keeps control bytes out of error replies.
+func sanitize(s string) string {
+	if len(s) > 32 {
+		s = s[:32]
+	}
+	return strings.Map(func(r rune) rune {
+		if r < 0x20 || r > 0x7e {
+			return '?'
+		}
+		return r
+	}, s)
+}
+
+// statsText renders the STATS reply: one "key: value" line per counter,
+// numeric except the scheme line, in a fixed order parseable by
+// ParseStats.
+func (s *Server) statsText() []byte {
+	st := s.m.Stats()
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "scheme: %s\n", st.Scheme)
+	for _, kv := range statsFields(st) {
+		fmt.Fprintf(&b, "%s: %d\n", kv.k, kv.v)
+	}
+	fmt.Fprintf(&b, "conns_accepted: %d\n", s.accepted.Load())
+	fmt.Fprintf(&b, "conns_live: %d\n", s.LiveConns())
+	return b.Bytes()
+}
+
+type statKV struct {
+	k string
+	v int64
+}
+
+// statsFields flattens the numeric Stats fields under the snake_case names
+// the BENCH JSON uses.
+func statsFields(st qsense.Stats) []statKV {
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	return []statKV{
+		{"retired", int64(st.Retired)},
+		{"freed", int64(st.Freed)},
+		{"pending", st.Pending},
+		{"scans", int64(st.Scans)},
+		{"scanned_records", int64(st.ScannedRecords)},
+		{"quiescent_states", int64(st.QuiescentStates)},
+		{"epoch_advances", int64(st.EpochAdvances)},
+		{"switches_to_fallback", int64(st.SwitchesToFallback)},
+		{"switches_to_fast", int64(st.SwitchesToFast)},
+		{"in_fallback", b2i(st.InFallback)},
+		{"acquired_handles", int64(st.AcquiredHandles)},
+		{"released_handles", int64(st.ReleasedHandles)},
+		{"orphaned_nodes", int64(st.OrphanedNodes)},
+		{"adopted_nodes", int64(st.AdoptedNodes)},
+		{"arena_size", int64(st.ArenaSize)},
+		{"high_water_workers", int64(st.HighWaterWorkers)},
+		{"arena_growths", int64(st.ArenaGrowths)},
+		{"parked_slots", int64(st.ParkedSlots)},
+		{"segment_parks", int64(st.SegmentParks)},
+		{"segment_unparks", int64(st.SegmentUnparks)},
+		{"effective_r", int64(st.EffectiveR)},
+		{"effective_c", int64(st.EffectiveC)},
+		{"r_retunes", int64(st.RRetunes)},
+		{"c_retunes", int64(st.CRetunes)},
+		{"rooster_passes", int64(st.RoosterPasses)},
+		{"failed", b2i(st.Failed)},
+	}
+}
+
+// ParseStats parses a STATS reply body back into its numeric fields
+// (the scheme line is skipped).
+func ParseStats(text []byte) map[string]int64 {
+	out := map[string]int64{}
+	for _, line := range strings.Split(string(text), "\n") {
+		k, v, ok := strings.Cut(line, ": ")
+		if !ok {
+			continue
+		}
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			out[k] = n
+		}
+	}
+	return out
+}

@@ -1,0 +1,320 @@
+package kvd
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"qsense/internal/resp"
+	"qsense/internal/workload"
+)
+
+// startServer spins up a server on a loopback port and returns it with its
+// address and a cleanup.
+func startServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+		s.Close()
+	})
+	return s, addr.String()
+}
+
+// client is a test-side RESP connection.
+type client struct {
+	c  net.Conn
+	rd *resp.Reader
+	wr *resp.Writer
+}
+
+func dialClient(t *testing.T, addr string) *client {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return &client{c: c, rd: resp.NewReader(c), wr: resp.NewWriter(c)}
+}
+
+// do sends one command and reads one reply.
+func (cl *client) do(t *testing.T, args ...string) resp.Reply {
+	t.Helper()
+	cl.wr.Command(args...)
+	if err := cl.wr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rp, err := cl.rd.ReadReply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rp
+}
+
+func TestServerCommands(t *testing.T) {
+	for _, scheme := range []string{"qsense", "hp", "none"} {
+		t.Run(scheme, func(t *testing.T) {
+			s, addr := startServer(t, Config{Scheme: scheme})
+			cl := dialClient(t, addr)
+			if rp := cl.do(t, "PING"); rp.Str != "PONG" {
+				t.Fatalf("PING: %+v", rp)
+			}
+			if rp := cl.do(t, "GET", "5"); rp.Kind != '$' || rp.Bulk != nil {
+				t.Fatalf("GET missing: want null bulk, got %+v", rp)
+			}
+			if rp := cl.do(t, "SET", "5", "99"); rp.Str != "OK" {
+				t.Fatalf("SET: %+v", rp)
+			}
+			if rp := cl.do(t, "GET", "5"); string(rp.Bulk) != "99" {
+				t.Fatalf("GET: %+v", rp)
+			}
+			// Upsert updates in place.
+			cl.do(t, "SET", "5", "100")
+			if rp := cl.do(t, "GET", "5"); string(rp.Bulk) != "100" {
+				t.Fatalf("GET after upsert: %+v", rp)
+			}
+			if rp := cl.do(t, "DEL", "5"); rp.Int != 1 {
+				t.Fatalf("DEL present: %+v", rp)
+			}
+			if rp := cl.do(t, "DEL", "5"); rp.Int != 0 {
+				t.Fatalf("DEL absent: %+v", rp)
+			}
+			// Malformed arguments draw -ERR but keep the connection.
+			if rp := cl.do(t, "SET", "notakey", "1"); !rp.IsError() {
+				t.Fatalf("bad key: %+v", rp)
+			}
+			if rp := cl.do(t, "SET", "1", "-3"); !rp.IsError() {
+				t.Fatalf("bad value: %+v", rp)
+			}
+			if rp := cl.do(t, "GET", "1", "2"); !rp.IsError() {
+				t.Fatalf("bad arity: %+v", rp)
+			}
+			if rp := cl.do(t, "NOPE"); !rp.IsError() {
+				t.Fatalf("unknown command: %+v", rp)
+			}
+			// STATS names the scheme and the live connection.
+			rp := cl.do(t, "STATS")
+			if rp.Kind != '$' {
+				t.Fatalf("STATS: %+v", rp)
+			}
+			st := ParseStats(rp.Bulk)
+			if st["conns_live"] != 1 || st["acquired_handles"] < 1 {
+				t.Fatalf("STATS counters: %v", st)
+			}
+			// QUIT closes after the reply.
+			if rp := cl.do(t, "QUIT"); rp.Str != "OK" {
+				t.Fatalf("QUIT: %+v", rp)
+			}
+			if _, err := cl.rd.ReadReply(); err == nil {
+				t.Fatal("connection still open after QUIT")
+			}
+			if live := s.LiveConns(); live != 0 {
+				// The handler may still be unwinding; give it a moment.
+				time.Sleep(50 * time.Millisecond)
+				if live = s.LiveConns(); live != 0 {
+					t.Fatalf("live connections after QUIT: %d", live)
+				}
+			}
+		})
+	}
+}
+
+func TestServerPipelining(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	cl := dialClient(t, addr)
+	// Three commands in one segment; three replies come back in order.
+	cl.wr.Command("SET", "1", "10")
+	cl.wr.Command("SET", "2", "20")
+	cl.wr.Command("GET", "2")
+	if err := cl.wr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"OK", "OK", "20"} {
+		rp, err := cl.rd.ReadReply()
+		if err != nil {
+			t.Fatalf("reply %d: %v", i, err)
+		}
+		got := rp.Str
+		if rp.Kind == '$' {
+			got = string(rp.Bulk)
+		}
+		if got != want {
+			t.Fatalf("reply %d = %q want %q", i, got, want)
+		}
+	}
+}
+
+func TestServerProtocolErrorClosesConnection(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	cl := dialClient(t, addr)
+	if _, err := cl.c.Write([]byte("*1\r\n$-5\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	rp, err := cl.rd.ReadReply()
+	if err != nil || !rp.IsError() {
+		t.Fatalf("want -ERR reply, got %+v, %v", rp, err)
+	}
+	cl.c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := cl.rd.ReadReply(); err == nil {
+		t.Fatal("connection survived a framing violation")
+	}
+}
+
+func TestServerHardMaxConnsQueues(t *testing.T) {
+	_, addr := startServer(t, Config{HardMaxConns: 1})
+	first := dialClient(t, addr)
+	if rp := first.do(t, "PING"); rp.Str != "PONG" {
+		t.Fatalf("first conn: %+v", rp)
+	}
+	// The second connection is accepted but its handle waits in
+	// AcquireWait until the first releases.
+	second := dialClient(t, addr)
+	second.wr.Command("PING")
+	if err := second.wr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	second.c.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	if _, err := second.rd.ReadReply(); err == nil {
+		t.Fatal("second connection served while the cap was full")
+	}
+	first.do(t, "QUIT")
+	second.c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	rp, err := second.rd.ReadReply()
+	if err != nil || rp.Str != "PONG" {
+		t.Fatalf("second conn after release: %+v, %v", rp, err)
+	}
+}
+
+// TestServerConnectionChurn is the -race integration test: a hundred-plus
+// clients in concurrent waves against a deliberately tiny initial arena,
+// then a full drain. Growth must engage during the storm, every lease must
+// come back, the drained arena must park its trailing slots, and Close
+// must leave nothing pending.
+func TestServerConnectionChurn(t *testing.T) {
+	s, addr := startServer(t, Config{Scheme: "qsense", InitialConns: 2})
+	const waves, perWave = 3, 40
+	for w := 0; w < waves; w++ {
+		// Barrier: every client in the wave holds its connection (and thus
+		// its leased handle) until all are connected, so the storm really
+		// is perWave-concurrent rather than accidentally serialized.
+		var connected, done sync.WaitGroup
+		release := make(chan struct{})
+		for c := 0; c < perWave; c++ {
+			connected.Add(1)
+			done.Add(1)
+			go func(id int) {
+				defer done.Done()
+				arrived := false
+				arrive := func() {
+					if !arrived {
+						arrived = true
+						connected.Done()
+					}
+				}
+				defer arrive()
+				conn, err := net.Dial("tcp", addr)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer conn.Close()
+				rd, wr := resp.NewReader(conn), resp.NewWriter(conn)
+				key := fmt.Sprintf("%d", id%64)
+				for i := 0; i < 20; i++ {
+					wr.Command("SET", key, "1")
+					wr.Command("GET", key)
+					wr.Command("DEL", key)
+				}
+				if err := wr.Flush(); err != nil {
+					t.Error(err)
+					return
+				}
+				for i := 0; i < 60; i++ {
+					if _, err := rd.ReadReply(); err != nil {
+						t.Errorf("client %d reply %d: %v", id, i, err)
+						return
+					}
+				}
+				arrive()
+				<-release
+				wr.Command("QUIT")
+				if err := wr.Flush(); err != nil {
+					t.Error(err)
+					return
+				}
+				if rp, err := rd.ReadReply(); err != nil || rp.Str != "OK" {
+					t.Errorf("client %d QUIT: %+v, %v", id, rp, err)
+				}
+			}(w*perWave + c)
+		}
+		connected.Wait()
+		close(release)
+		done.Wait()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	st := s.Stats()
+	if st.AcquiredHandles != uint64(waves*perWave) {
+		t.Errorf("acquired %d handles, want %d", st.AcquiredHandles, waves*perWave)
+	}
+	if st.AcquiredHandles != st.ReleasedHandles {
+		t.Errorf("leases leaked: acquired %d released %d", st.AcquiredHandles, st.ReleasedHandles)
+	}
+	if st.ArenaGrowths == 0 {
+		t.Errorf("arena never grew from %d slots under %d concurrent conns", 2, perWave)
+	}
+	if st.ParkedSlots == 0 {
+		t.Errorf("no parked slots after full drain (arena %d, high water %d)", st.ArenaSize, st.HighWaterWorkers)
+	}
+	s.Close()
+	if st := s.Stats(); st.Pending != 0 {
+		t.Errorf("%d nodes pending after Close", st.Pending)
+	}
+}
+
+func TestRunLoadSmoke(t *testing.T) {
+	_, addr := startServer(t, Config{Scheme: "qsense", InitialConns: 2})
+	res, err := RunLoad(LoadConfig{
+		Target:    addr,
+		Conns:     8,
+		KeyRange:  1 << 10,
+		Theta:     0.99,
+		UpdatePct: 20,
+		Plan:      workload.BurstIdle(150*time.Millisecond, 100*time.Millisecond, 2, 0.1),
+		Seed:      42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("load run performed no operations")
+	}
+	if res.Errs > res.Ops/100 {
+		t.Fatalf("error rate too high: %d errs / %d ops", res.Errs, res.Ops)
+	}
+	if res.Latency.Count() != res.Ops {
+		t.Fatalf("latency count %d != ops %d", res.Latency.Count(), res.Ops)
+	}
+	if p50 := res.Latency.Quantile(0.50); p50 <= 0 {
+		t.Fatalf("p50 %v", p50)
+	}
+	if res.Stats == nil || res.Stats["acquired_handles"] == 0 {
+		t.Fatalf("missing server stats: %v", res.Stats)
+	}
+}

@@ -1,0 +1,302 @@
+// Package resp implements the subset of the RESP wire protocol (REdis
+// Serialization Protocol) that qsense-kvd speaks: commands arrive as
+// arrays of bulk strings (or as space-separated inline commands, the
+// telnet convenience), replies leave as simple strings, errors, integers,
+// bulk strings and nulls. The reader is strict about framing and bounded
+// in what it will buffer — a garbage or hostile peer costs one error, not
+// memory — and buffered, so pipelined commands parse back to back without
+// extra reads.
+package resp
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Wire limits. A command that exceeds them draws a *ProtocolError; the
+// server replies -ERR and drops the connection.
+const (
+	// MaxArgs bounds the elements of one command array.
+	MaxArgs = 64
+	// MaxBulk bounds one bulk string's declared length.
+	MaxBulk = 512 << 10
+	// maxInline bounds one inline command line.
+	maxInline = 4 << 10
+)
+
+// ProtocolError is a framing violation: the stream can no longer be
+// trusted, so the connection should be closed after reporting it.
+type ProtocolError struct{ msg string }
+
+func (e *ProtocolError) Error() string { return e.msg }
+
+func protoErrf(format string, args ...any) error {
+	return &ProtocolError{msg: fmt.Sprintf(format, args...)}
+}
+
+// IsProtocol reports whether err is a framing violation (as opposed to an
+// I/O error like a closed connection).
+func IsProtocol(err error) bool {
+	var pe *ProtocolError
+	return errors.As(err, &pe)
+}
+
+// Reader parses RESP commands from a stream.
+type Reader struct {
+	br *bufio.Reader
+}
+
+// NewReader wraps r for command parsing.
+func NewReader(r io.Reader) *Reader { return &Reader{br: bufio.NewReader(r)} }
+
+// Buffered reports how many request bytes are already buffered — when it
+// is zero the peer has no pipelined command in flight, which is the
+// moment to flush replies.
+func (r *Reader) Buffered() int { return r.br.Buffered() }
+
+// ReadCommand reads one command: either a RESP array of bulk strings or
+// an inline command line. It blocks until a full command (or an error) is
+// available; partial reads resume transparently across calls to the
+// underlying reader. The returned slices are valid until the next call.
+func (r *Reader) ReadCommand() ([][]byte, error) {
+	for {
+		first, err := r.br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if first != '*' {
+			if err := r.br.UnreadByte(); err != nil {
+				return nil, err
+			}
+			args, err := r.readInline()
+			if err != nil {
+				return nil, err
+			}
+			if len(args) == 0 {
+				continue // bare CRLF between inline commands
+			}
+			return args, nil
+		}
+		n, err := r.readInt()
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 || n > MaxArgs {
+			return nil, protoErrf("resp: array of %d elements (max %d)", n, MaxArgs)
+		}
+		args := make([][]byte, 0, n)
+		for i := int64(0); i < n; i++ {
+			arg, err := r.readBulk()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, arg)
+		}
+		if len(args) == 0 {
+			continue // empty array: ignore, per server convention
+		}
+		return args, nil
+	}
+}
+
+// readBulk reads one $<len>\r\n<bytes>\r\n frame.
+func (r *Reader) readBulk() ([]byte, error) {
+	prefix, err := r.br.ReadByte()
+	if err != nil {
+		return nil, unexpectedEOF(err)
+	}
+	if prefix != '$' {
+		return nil, protoErrf("resp: expected bulk string, got %q", prefix)
+	}
+	n, err := r.readInt()
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 || n > MaxBulk {
+		return nil, protoErrf("resp: bulk length %d (max %d)", n, MaxBulk)
+	}
+	buf := make([]byte, n+2)
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		return nil, unexpectedEOF(err)
+	}
+	if buf[n] != '\r' || buf[n+1] != '\n' {
+		return nil, protoErrf("resp: bulk string missing CRLF terminator")
+	}
+	return buf[:n], nil
+}
+
+// readInt reads the decimal line that follows a type prefix.
+func (r *Reader) readInt() (int64, error) {
+	line, err := r.readLine()
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.ParseInt(string(line), 10, 64)
+	if err != nil {
+		return 0, protoErrf("resp: bad length %q", line)
+	}
+	return n, nil
+}
+
+// readLine reads up to CRLF, excluding it, bounded by maxInline.
+func (r *Reader) readLine() ([]byte, error) {
+	line, err := r.br.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		return nil, protoErrf("resp: line exceeds %d bytes", maxInline)
+	}
+	if err != nil {
+		return nil, unexpectedEOF(err)
+	}
+	if len(line) < 2 || line[len(line)-2] != '\r' {
+		return nil, protoErrf("resp: line not CRLF-terminated")
+	}
+	line = line[:len(line)-2]
+	if len(line) > maxInline {
+		return nil, protoErrf("resp: line exceeds %d bytes", maxInline)
+	}
+	return line, nil
+}
+
+// readInline parses a space-separated inline command.
+func (r *Reader) readInline() ([][]byte, error) {
+	line, err := r.readLine()
+	if err != nil {
+		return nil, err
+	}
+	fields := bytes.Fields(line)
+	if len(fields) > MaxArgs {
+		return nil, protoErrf("resp: inline command of %d fields (max %d)", len(fields), MaxArgs)
+	}
+	return fields, nil
+}
+
+// unexpectedEOF turns a mid-frame EOF into a framing error; a clean EOF
+// between commands stays io.EOF so the server closes quietly.
+func unexpectedEOF(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return protoErrf("resp: stream ended mid-command")
+	}
+	return err
+}
+
+// Reply is one parsed server reply — the client half of the protocol,
+// used by the load generator.
+type Reply struct {
+	Kind byte   // '+', '-', ':' or '$'
+	Str  string // simple-string or error text
+	Int  int64  // integer reply
+	Bulk []byte // bulk body; nil for the null bulk ($-1)
+}
+
+// IsError reports an -ERR style reply.
+func (rp Reply) IsError() bool { return rp.Kind == '-' }
+
+// ReadReply reads one reply. The Bulk slice is valid until the next call.
+func (r *Reader) ReadReply() (Reply, error) {
+	prefix, err := r.br.ReadByte()
+	if err != nil {
+		return Reply{}, err
+	}
+	switch prefix {
+	case '+', '-':
+		line, err := r.readLine()
+		if err != nil {
+			return Reply{}, err
+		}
+		return Reply{Kind: prefix, Str: string(line)}, nil
+	case ':':
+		line, err := r.readLine()
+		if err != nil {
+			return Reply{}, err
+		}
+		n, err := strconv.ParseInt(string(line), 10, 64)
+		if err != nil {
+			return Reply{}, protoErrf("resp: bad integer reply %q", line)
+		}
+		return Reply{Kind: ':', Int: n}, nil
+	case '$':
+		n, err := r.readInt()
+		if err != nil {
+			return Reply{}, err
+		}
+		if n == -1 {
+			return Reply{Kind: '$'}, nil
+		}
+		if n < 0 || n > MaxBulk {
+			return Reply{}, protoErrf("resp: bulk reply length %d (max %d)", n, MaxBulk)
+		}
+		buf := make([]byte, n+2)
+		if _, err := io.ReadFull(r.br, buf); err != nil {
+			return Reply{}, unexpectedEOF(err)
+		}
+		if buf[n] != '\r' || buf[n+1] != '\n' {
+			return Reply{}, protoErrf("resp: bulk reply missing CRLF terminator")
+		}
+		return Reply{Kind: '$', Bulk: buf[:n]}, nil
+	default:
+		return Reply{}, protoErrf("resp: unknown reply type %q", prefix)
+	}
+}
+
+// Writer emits RESP replies, buffered; call Flush when the pipeline is
+// drained.
+type Writer struct {
+	bw *bufio.Writer
+}
+
+// NewWriter wraps w for reply writing.
+func NewWriter(w io.Writer) *Writer { return &Writer{bw: bufio.NewWriter(w)} }
+
+// SimpleString writes +s.
+func (w *Writer) SimpleString(s string) {
+	w.bw.WriteByte('+')
+	w.bw.WriteString(s)
+	w.bw.WriteString("\r\n")
+}
+
+// Error writes -msg.
+func (w *Writer) Error(msg string) {
+	w.bw.WriteByte('-')
+	w.bw.WriteString(msg)
+	w.bw.WriteString("\r\n")
+}
+
+// Int writes :n.
+func (w *Writer) Int(n int64) {
+	w.bw.WriteByte(':')
+	w.bw.WriteString(strconv.FormatInt(n, 10))
+	w.bw.WriteString("\r\n")
+}
+
+// Bulk writes $len b.
+func (w *Writer) Bulk(b []byte) {
+	w.bw.WriteByte('$')
+	w.bw.WriteString(strconv.Itoa(len(b)))
+	w.bw.WriteString("\r\n")
+	w.bw.Write(b)
+	w.bw.WriteString("\r\n")
+}
+
+// BulkString is Bulk for a string.
+func (w *Writer) BulkString(s string) { w.Bulk([]byte(s)) }
+
+// Command writes one client command as an array of bulk strings — the
+// client half of the protocol, used by the load generator.
+func (w *Writer) Command(args ...string) {
+	w.bw.WriteByte('*')
+	w.bw.WriteString(strconv.Itoa(len(args)))
+	w.bw.WriteString("\r\n")
+	for _, a := range args {
+		w.BulkString(a)
+	}
+}
+
+// Null writes the null bulk string $-1.
+func (w *Writer) Null() { w.bw.WriteString("$-1\r\n") }
+
+// Flush sends everything buffered.
+func (w *Writer) Flush() error { return w.bw.Flush() }

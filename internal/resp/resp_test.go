@@ -1,0 +1,177 @@
+package resp
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+func cmdString(args [][]byte) string {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = string(a)
+	}
+	return strings.Join(parts, " ")
+}
+
+func TestReadCommandArray(t *testing.T) {
+	r := NewReader(strings.NewReader("*3\r\n$3\r\nSET\r\n$2\r\n42\r\n$5\r\nhello\r\n"))
+	args, err := r.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cmdString(args); got != "SET 42 hello" {
+		t.Fatalf("got %q", got)
+	}
+	if _, err := r.ReadCommand(); err != io.EOF {
+		t.Fatalf("want clean EOF, got %v", err)
+	}
+}
+
+func TestReadCommandPipelined(t *testing.T) {
+	// Three commands in one buffer, including empty-bulk and inline mixed
+	// into the pipeline; all parse back to back without extra reads.
+	in := "*2\r\n$3\r\nGET\r\n$1\r\n7\r\n" +
+		"PING\r\n" +
+		"*3\r\n$3\r\nSET\r\n$1\r\n7\r\n$0\r\n\r\n"
+	r := NewReader(strings.NewReader(in))
+	want := []string{"GET 7", "PING", "SET 7 "}
+	for i, w := range want {
+		if i > 0 && r.Buffered() == 0 {
+			t.Fatalf("pipeline drained early before command %d", i)
+		}
+		args, err := r.ReadCommand()
+		if err != nil {
+			t.Fatalf("command %d: %v", i, err)
+		}
+		if got := cmdString(args); got != w {
+			t.Fatalf("command %d = %q want %q", i, got, w)
+		}
+	}
+	if r.Buffered() != 0 {
+		t.Fatal("bytes left after pipeline")
+	}
+}
+
+// trickle delivers one byte per Read call: the worst-case partial read.
+type trickle struct{ data []byte }
+
+func (tr *trickle) Read(p []byte) (int, error) {
+	if len(tr.data) == 0 {
+		return 0, io.EOF
+	}
+	p[0] = tr.data[0]
+	tr.data = tr.data[1:]
+	return 1, nil
+}
+
+func TestReadCommandPartialReads(t *testing.T) {
+	in := "*2\r\n$4\r\nINCR\r\n$3\r\n123\r\n*1\r\n$4\r\nPING\r\n"
+	r := NewReader(&trickle{data: []byte(in)})
+	args, err := r.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cmdString(args); got != "INCR 123" {
+		t.Fatalf("got %q", got)
+	}
+	if args, err = r.ReadCommand(); err != nil || cmdString(args) != "PING" {
+		t.Fatalf("second command: %q, %v", cmdString(args), err)
+	}
+}
+
+func TestReadCommandInline(t *testing.T) {
+	r := NewReader(strings.NewReader("  SET   5   99\r\n\r\nGET 5\r\n"))
+	args, err := r.ReadCommand()
+	if err != nil || cmdString(args) != "SET 5 99" {
+		t.Fatalf("inline: %q, %v", cmdString(args), err)
+	}
+	// The bare CRLF between commands is skipped, not returned as an empty
+	// command.
+	args, err = r.ReadCommand()
+	if err != nil || cmdString(args) != "GET 5" {
+		t.Fatalf("after blank line: %q, %v", cmdString(args), err)
+	}
+}
+
+func TestReadCommandGarbage(t *testing.T) {
+	cases := []string{
+		"*notanumber\r\n",                      // bad array length
+		"*2\r\n$3\r\nGET\r\n:5\r\n",            // non-bulk element
+		"*1\r\n$-1\r\n",                        // negative bulk length
+		"*1\r\n$x\r\n",                         // bad bulk length
+		"*1\r\n$3\r\nabcde\r\n",                // bulk body not CRLF-framed
+		"*99999\r\n",                           // array over MaxArgs
+		fmt.Sprintf("*1\r\n$%d\r\n", 1<<30),    // bulk over MaxBulk
+		"*1\r\n$3\r\nab",                       // EOF mid-command
+		"*2\r\n$3\r\nGET\r\n",                  // EOF between elements
+		"GET 5\n",                              // inline missing CR
+		strings.Repeat("x", 8<<10) + " \r\n",   // oversized inline line
+		"*" + strings.Repeat("9", 30) + "\r\n", // length overflows int64
+	}
+	for _, in := range cases {
+		r := NewReader(strings.NewReader(in))
+		if _, err := r.ReadCommand(); !IsProtocol(err) {
+			t.Fatalf("input %.40q: want ProtocolError, got %v", in, err)
+		}
+	}
+}
+
+func TestReadReply(t *testing.T) {
+	in := "+OK\r\n-ERR bad\r\n:42\r\n$5\r\nhello\r\n$-1\r\n$0\r\n\r\n"
+	r := NewReader(strings.NewReader(in))
+	rp, err := r.ReadReply()
+	if err != nil || rp.Kind != '+' || rp.Str != "OK" {
+		t.Fatalf("simple: %+v, %v", rp, err)
+	}
+	rp, _ = r.ReadReply()
+	if !rp.IsError() || rp.Str != "ERR bad" {
+		t.Fatalf("error: %+v", rp)
+	}
+	rp, _ = r.ReadReply()
+	if rp.Kind != ':' || rp.Int != 42 {
+		t.Fatalf("int: %+v", rp)
+	}
+	rp, _ = r.ReadReply()
+	if rp.Kind != '$' || string(rp.Bulk) != "hello" {
+		t.Fatalf("bulk: %+v", rp)
+	}
+	rp, _ = r.ReadReply()
+	if rp.Kind != '$' || rp.Bulk != nil {
+		t.Fatalf("null bulk: %+v", rp)
+	}
+	rp, _ = r.ReadReply()
+	if rp.Kind != '$' || rp.Bulk == nil || len(rp.Bulk) != 0 {
+		t.Fatalf("empty bulk: %+v", rp)
+	}
+	if _, err := r.ReadReply(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+	// Garbage replies are protocol errors.
+	for _, bad := range []string{"?x\r\n", ":notanum\r\n", "$5\r\nab\r\n"} {
+		r := NewReader(strings.NewReader(bad))
+		if _, err := r.ReadReply(); !IsProtocol(err) {
+			t.Fatalf("reply %q: want ProtocolError, got %v", bad, err)
+		}
+	}
+}
+
+func TestWriterReplies(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.SimpleString("OK")
+	w.Error("ERR nope")
+	w.Int(-7)
+	w.Bulk([]byte("hello"))
+	w.BulkString("")
+	w.Null()
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := "+OK\r\n-ERR nope\r\n:-7\r\n$5\r\nhello\r\n$0\r\n\r\n$-1\r\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}

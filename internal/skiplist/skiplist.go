@@ -2,7 +2,9 @@
 // (Fraser, "Practical lock-freedom", 2004 — reference [11]; the ASCYLIB
 // variant the paper builds on). Keys live in a sorted multi-level list;
 // bit 0 of each per-level next word is the logical-deletion mark for that
-// level.
+// level. Every node additionally carries a value word (Put/Get), so the
+// same structure backs both the set containers and the value-carrying
+// SkipMap the network server is built on.
 //
 // Hazard pointer budget: searches keep a (pred, succ) pair protected per
 // level plus one scratch slot that covers a frozen successor across a
@@ -98,7 +100,13 @@ type node struct {
 	key      int64
 	topLevel int32
 	state    atomic.Uint32 // insert/delete retirement ownership (below)
-	next     [MaxLevel]atomic.Uint64
+	// val is the node's value word (Put/Get). Written before the level-0
+	// link CAS publishes the node, then only by Put's in-place update on a
+	// node still reachable through a clean edge — both ordered against any
+	// Get by the atomic link/val accesses, so a reader never sees an
+	// uninitialized word. Set-only callers (Insert/Contains) ignore it.
+	val  atomic.Uint64
+	next [MaxLevel]atomic.Uint64
 }
 
 // Retirement ownership. An inserter keeps linking upper levels after its
@@ -308,7 +316,30 @@ func (h *Handle) Contains(key int64) bool {
 }
 
 // Insert adds key; false if already present.
-func (h *Handle) Insert(key int64) bool {
+func (h *Handle) Insert(key int64) bool { return h.insert(key, 0, false) }
+
+// Put sets key's value word: it inserts key→val if absent (true) or
+// updates an existing key's value in place (false). The update is a plain
+// atomic store on a node still protected by the search's level-0 slot
+// pair, so it is safe against a concurrent delete — a Put that loses that
+// race linearizes as update-then-delete.
+func (h *Handle) Put(key int64, val uint64) bool { return h.insert(key, val, true) }
+
+// Get returns key's value word.
+func (h *Handle) Get(key int64) (uint64, bool) {
+	h.guard.Begin()
+	h.search(key)
+	n := h.s.pool.Get(h.succs[0])
+	var v uint64
+	found := n.key == key
+	if found {
+		v = n.val.Load()
+	}
+	h.guard.ClearHPs()
+	return v, found
+}
+
+func (h *Handle) insert(key int64, val uint64, upsert bool) bool {
 	h.guard.Begin()
 	defer h.guard.ClearHPs()
 	pool := h.s.pool
@@ -317,7 +348,10 @@ func (h *Handle) Insert(key int64) bool {
 	var nptr *node
 	for {
 		h.search(key)
-		if pool.Get(h.succs[0]).key == key {
+		if existing := pool.Get(h.succs[0]); existing.key == key {
+			if upsert {
+				existing.val.Store(val)
+			}
 			if !nref.IsNil() {
 				h.cache.Free(nref) // never linked: free directly
 			}
@@ -327,6 +361,7 @@ func (h *Handle) Insert(key int64) bool {
 			nref, nptr = h.cache.Alloc()
 			nptr.key = key
 			nptr.topLevel = int32(topLevel)
+			nptr.val.Store(val)
 			nptr.state.Store(stLinking) // recycled slots carry stale states
 			for l := 1; l < topLevel; l++ {
 				// Upper next words stay nil until the level's link

@@ -1,0 +1,108 @@
+package skiplist
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"qsense/internal/reclaim"
+)
+
+func TestSkipListValueSemantics(t *testing.T) {
+	for _, scheme := range reclaim.Schemes() {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			_, d, hs := newSet(t, scheme, 1, 8)
+			defer d.Close()
+			h := hs[0]
+			if _, ok := h.Get(7); ok {
+				t.Fatal("empty get")
+			}
+			if !h.Put(7, 100) {
+				t.Fatal("first Put should insert")
+			}
+			if v, ok := h.Get(7); !ok || v != 100 {
+				t.Fatalf("Get = %d,%v want 100,true", v, ok)
+			}
+			if h.Put(7, 200) {
+				t.Fatal("second Put should update, not insert")
+			}
+			if v, ok := h.Get(7); !ok || v != 200 {
+				t.Fatalf("Get after update = %d,%v want 200,true", v, ok)
+			}
+			// The set view shares the structure: Contains sees Put's key,
+			// Insert on an existing key leaves its value alone.
+			if !h.Contains(7) {
+				t.Fatal("Contains misses Put key")
+			}
+			if h.Insert(7) {
+				t.Fatal("Insert on existing key")
+			}
+			if v, _ := h.Get(7); v != 200 {
+				t.Fatalf("Insert clobbered value: %d", v)
+			}
+			if !h.Delete(7) {
+				t.Fatal("delete")
+			}
+			if _, ok := h.Get(7); ok {
+				t.Fatal("get after delete")
+			}
+			// A re-inserted key must not resurrect the old value word
+			// (recycled node slots carry stale words).
+			if !h.Insert(7) {
+				t.Fatal("re-insert")
+			}
+			if v, ok := h.Get(7); !ok || v != 0 {
+				t.Fatalf("re-inserted key's value = %d want 0", v)
+			}
+		})
+	}
+}
+
+// TestSkipListValueConcurrent hammers Put/Get/Delete on a small key range:
+// every Get must observe a value some Put actually wrote for that key
+// (values encode their key), never garbage from a recycled node.
+func TestSkipListValueConcurrent(t *testing.T) {
+	const (
+		workers  = 4
+		keyRange = 64
+		opsEach  = 20000
+	)
+	for _, scheme := range []string{"qsense", "hp"} {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			_, d, hs := newSet(t, scheme, workers, 8)
+			defer d.Close()
+			var bad atomic.Uint64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					h := hs[w]
+					rng := uint64(w)*0x9E3779B9 + 1
+					for i := 0; i < opsEach; i++ {
+						rng ^= rng << 13
+						rng ^= rng >> 7
+						rng ^= rng << 17
+						k := int64(rng % keyRange)
+						switch rng % 4 {
+						case 0:
+							h.Put(k, uint64(k)<<32|uint64(i))
+						case 1:
+							h.Delete(k)
+						default:
+							if v, ok := h.Get(k); ok && int64(v>>32) != k {
+								bad.Add(1)
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if n := bad.Load(); n != 0 {
+				t.Fatalf("%d Gets observed a value word from the wrong key", n)
+			}
+		})
+	}
+}

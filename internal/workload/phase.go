@@ -1,0 +1,89 @@
+package workload
+
+import "time"
+
+// Phase is one step of a PhasePlan: for Duration, the load generator
+// offers Load times its full configured load. Load 1 means every
+// connection drives operations flat out; Load 0.1 means one in ten
+// connections stays active (the rest disconnect); Load 0 is a fully idle
+// gap. Fractions select a prefix of the worker population, so the same
+// workers stay hot across repeated bursts.
+type Phase struct {
+	Name     string
+	Duration time.Duration
+	Load     float64
+}
+
+// PhasePlan is a load schedule: phases run back to back, once. The
+// burst-then-idle shape — a connection storm followed by a near-idle
+// trough — is the traffic the elastic arena (growth) and the occupancy
+// machinery (parking, threshold re-tuning) exist for; a plan makes it
+// reproducible.
+type PhasePlan struct {
+	Phases []Phase
+}
+
+// BurstIdle builds the canonical burst-then-idle plan: cycles repetitions
+// of full load for burst followed by idleLoad (fraction of connections,
+// e.g. 0.05) for idle.
+func BurstIdle(burst, idle time.Duration, cycles int, idleLoad float64) PhasePlan {
+	if cycles < 1 {
+		cycles = 1
+	}
+	p := PhasePlan{}
+	for i := 0; i < cycles; i++ {
+		p.Phases = append(p.Phases,
+			Phase{Name: "burst", Duration: burst, Load: 1},
+			Phase{Name: "idle", Duration: idle, Load: idleLoad},
+		)
+	}
+	return p
+}
+
+// Steady builds a single constant full-load phase.
+func Steady(d time.Duration) PhasePlan {
+	return PhasePlan{Phases: []Phase{{Name: "steady", Duration: d, Load: 1}}}
+}
+
+// Total is the plan's end-to-end duration.
+func (p PhasePlan) Total() time.Duration {
+	var t time.Duration
+	for _, ph := range p.Phases {
+		t += ph.Duration
+	}
+	return t
+}
+
+// At returns the phase in force at elapsed time t and how much of it
+// remains. ok is false once t passes the end of the plan (the run is
+// over). Phase boundaries belong to the later phase.
+func (p PhasePlan) At(t time.Duration) (ph Phase, remaining time.Duration, ok bool) {
+	if t < 0 {
+		t = 0
+	}
+	for _, ph := range p.Phases {
+		if t < ph.Duration {
+			return ph, ph.Duration - t, true
+		}
+		t -= ph.Duration
+	}
+	return Phase{}, 0, false
+}
+
+// ActiveWorkers is how many of n workers phase ph keeps active: the prefix
+// [0, ActiveWorkers) drives load, the suffix disconnects. Load 1 rounds to
+// all n; any positive load keeps at least one worker active so a
+// low-fraction idle phase still probes the server.
+func (ph Phase) ActiveWorkers(n int) int {
+	if ph.Load <= 0 {
+		return 0
+	}
+	a := int(ph.Load * float64(n))
+	if a < 1 {
+		a = 1
+	}
+	if a > n {
+		a = n
+	}
+	return a
+}

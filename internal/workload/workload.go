@@ -36,7 +36,11 @@ func (m Mix) Choose(r uint64) Op {
 }
 
 // RNG is a splitmix64 generator: tiny, fast, and independent per worker.
-type RNG struct{ state uint64 }
+// The zipf field caches ZipfKey's setup (see zipf.go).
+type RNG struct {
+	state uint64
+	zipf  *zipfGen
+}
 
 // NewRNG seeds a generator; distinct seeds give independent streams.
 func NewRNG(seed uint64) *RNG { return &RNG{state: seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d} }

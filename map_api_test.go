@@ -1,0 +1,111 @@
+package qsense_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"qsense"
+)
+
+// TestPublicSkipMap: SkipMap's value semantics hold across every scheme
+// through the public API alone.
+func TestPublicSkipMap(t *testing.T) {
+	for _, scheme := range apiSchemes {
+		scheme := scheme
+		t.Run(string(scheme), func(t *testing.T) {
+			m, err := qsense.NewSkipMap(qsense.Options{Scheme: scheme})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m.Close()
+			h, err := m.Acquire()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer h.Release()
+			if _, ok := h.Get(1); ok {
+				t.Fatal("empty get")
+			}
+			if !h.Put(1, 11) {
+				t.Fatal("first Put should insert")
+			}
+			if h.Put(1, 22) {
+				t.Fatal("second Put should update")
+			}
+			if v, ok := h.Get(1); !ok || v != 22 {
+				t.Fatalf("Get = %d,%v want 22,true", v, ok)
+			}
+			if !h.Delete(1) || h.Delete(1) {
+				t.Fatal("delete semantics")
+			}
+			if m.Len() != 0 {
+				t.Fatalf("Len = %d want 0", m.Len())
+			}
+		})
+	}
+}
+
+// TestSkipMapLeaseChurn: goroutine-per-request leasing over the map — the
+// connection-handling shape qsense-kvd uses — with concurrent Put/Get/
+// Delete on a small key range. Every lease must come back and every Get
+// must see a value written for its own key.
+func TestSkipMapLeaseChurn(t *testing.T) {
+	m, err := qsense.NewSkipMap(qsense.Options{Scheme: qsense.SchemeQSense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	const (
+		goroutines = 32
+		requests   = 40
+		keyRange   = 128
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < requests; r++ {
+				h, err := m.AcquireWait(context.Background())
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i := 0; i < 32; i++ {
+					k := int64((g*31 + r*7 + i) % keyRange)
+					switch i % 4 {
+					case 0:
+						h.Put(k, uint64(k)*1000)
+					case 1:
+						h.Delete(k)
+					default:
+						if v, ok := h.Get(k); ok && v != uint64(k)*1000 {
+							errs <- errWrongValue{k: k, v: v}
+							h.Release()
+							return
+						}
+					}
+				}
+				h.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.AcquiredHandles != st.ReleasedHandles {
+		t.Fatalf("leaked leases: acquired %d released %d", st.AcquiredHandles, st.ReleasedHandles)
+	}
+}
+
+type errWrongValue struct {
+	k int64
+	v uint64
+}
+
+func (e errWrongValue) Error() string { return "wrong value word observed" }

@@ -7,10 +7,12 @@
 //
 // # Ready-made containers
 //
-// Six lock-free containers arrive pre-wired to a reclamation domain: NewSet
-// (Harris–Michael sorted linked list), NewSkipSet (Fraser skip list),
-// NewTreeSet (Natarajan–Mittal external BST), NewHashSet (Michael hash
-// table), NewQueue (Michael–Scott FIFO) and NewStack (Treiber LIFO). A
+// Seven lock-free containers arrive pre-wired to a reclamation domain:
+// NewSet (Harris–Michael sorted linked list), NewSkipSet (Fraser skip
+// list), NewTreeSet (Natarajan–Mittal external BST), NewHashSet (Michael
+// hash table), NewQueue (Michael–Scott FIFO), NewStack (Treiber LIFO) and
+// NewSkipMap (the skip list with a per-node value word — the key→value map
+// cmd/qsense-kvd serves over TCP). A
 // goroutine leases a handle with Acquire, uses it exclusively, and returns
 // it with Release — any number of goroutines may come and go:
 //
