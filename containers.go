@@ -18,6 +18,13 @@ import (
 // set-like containers (Set, SkipSet, TreeSet, HashSet) hand out SetHandles
 // from Acquire. A handle must be used by one goroutine at a time and
 // Released exactly once, when its goroutine is done with the container.
+//
+// Most structures reserve a few extreme int64 values as internal sentinel
+// keys (math.MinInt64 and math.MaxInt64 for Set/SkipSet, the top three
+// values for TreeSet; HashSet reserves none). Reserved keys are out of the
+// container's domain:
+// Contains and Delete report them absent and Insert rejects them with
+// false — they are never stored and never corrupt the structure.
 type SetHandle interface {
 	// Contains reports whether key is in the set.
 	Contains(key int64) bool
@@ -250,6 +257,12 @@ func (s *SkipSet) Len() int { return s.s.Len() }
 // MapHandle is a goroutine's leased view of a concurrent ordered key→value
 // map. Like SetHandle, it must be used by one goroutine at a time and
 // Released exactly once when its goroutine is done with the container.
+//
+// math.MinInt64 and math.MaxInt64 are the skip list's sentinel keys and
+// out of the map's domain: Get and Delete report them absent, Put rejects
+// them with false without storing anything. Callers exposing the map to
+// untrusted key sources (as qsense-kvd does) should reject them up front
+// for a clearer error.
 type MapHandle interface {
 	// Get returns key's value word.
 	Get(key int64) (val uint64, ok bool)

@@ -278,8 +278,12 @@ func (h *Handle) cleanup(key int64, sr seekRecord) bool {
 	return true
 }
 
-// Contains reports whether key is in the set.
+// Contains reports whether key is in the set. Keys above MaxKey collide
+// with the sentinel skeleton and are never present.
 func (h *Handle) Contains(key int64) bool {
+	if key > MaxKey {
+		return false
+	}
 	h.guard.Begin()
 	sr := h.seek(key)
 	found := h.t.pool.Get(sr.leaf).key == key
@@ -287,8 +291,12 @@ func (h *Handle) Contains(key int64) bool {
 	return found
 }
 
-// Insert adds key; false if already present. Key must be <= MaxKey.
+// Insert adds key; false if already present. Keys above MaxKey are
+// rejected (false), never grafted next to a sentinel leaf.
 func (h *Handle) Insert(key int64) bool {
+	if key > MaxKey {
+		return false
+	}
 	h.guard.Begin()
 	defer h.guard.ClearHPs()
 	pool := h.t.pool
@@ -339,7 +347,12 @@ func (h *Handle) Insert(key int64) bool {
 // Delete removes key; false if absent. Two modes, per the paper: INJECTION
 // flags the leaf's incoming edge (the linearization point); CLEANUP then
 // performs the physical splice, possibly helped by or helping others.
+// Keys above MaxKey are absent by definition — without the guard a delete
+// of a sentinel key would flag and splice out the sentinel leaf itself.
 func (h *Handle) Delete(key int64) bool {
+	if key > MaxKey {
+		return false
+	}
 	h.guard.Begin()
 	defer h.guard.ClearHPs()
 	pool := h.t.pool

@@ -1,0 +1,45 @@
+package bst
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBSTReservedKeys: the top three int64 values are the tree's sentinel
+// skeleton (inf0..inf2), so every operation must treat keys above MaxKey
+// as out of domain — a Delete of a sentinel key used to flag and splice
+// out the sentinel leaf itself, dismantling the skeleton.
+func TestBSTReservedKeys(t *testing.T) {
+	tr, d, hs := newSet(t, "qsense", 1)
+	defer d.Close()
+	h := hs[0]
+	if !h.Insert(9) {
+		t.Fatal("setup Insert")
+	}
+	for k := int64(math.MaxInt64 - 2); ; k++ {
+		if h.Contains(k) {
+			t.Errorf("Contains(%d) = true", k)
+		}
+		if h.Insert(k) {
+			t.Errorf("Insert(%d) accepted", k)
+		}
+		if h.Delete(k) {
+			t.Errorf("Delete(%d) = true", k)
+		}
+		if k == math.MaxInt64 {
+			break
+		}
+	}
+	// MaxKey itself is an ordinary key.
+	if !h.Insert(MaxKey) || !h.Contains(MaxKey) || !h.Delete(MaxKey) {
+		t.Error("MaxKey not usable")
+	}
+	// The skeleton survived intact: data untouched, 1 user key + its
+	// internal node on top of the 5 sentinel nodes.
+	if !h.Contains(9) {
+		t.Fatal("key 9 lost after reserved-key ops")
+	}
+	if n, msg := tr.Validate(); msg != "" || n != 1 {
+		t.Fatalf("Validate after reserved-key ops: n=%d msg=%q", n, msg)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"math"
 	"net"
 	"strconv"
 	"strings"
@@ -65,8 +66,9 @@ type Server struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	ln       net.Listener
-	draining atomic.Bool
+	ln        net.Listener
+	draining  atomic.Bool
+	drainDone chan struct{} // closed once the last handler has exited
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -90,7 +92,11 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{cfg: cfg, m: m, ctx: ctx, cancel: cancel, conns: map[net.Conn]struct{}{}}, nil
+	return &Server{
+		cfg: cfg, m: m, ctx: ctx, cancel: cancel,
+		conns:     map[net.Conn]struct{}{},
+		drainDone: make(chan struct{}),
+	}, nil
 }
 
 // Listen binds addr (e.g. ":6380", "127.0.0.1:0").
@@ -150,11 +156,21 @@ func (s *Server) Serve() error {
 // AcquireWaits, let every in-flight command finish and every connection
 // release its guard. It returns ctx.Err() if the drain outlives ctx, after
 // force-closing the stragglers (their deferred Releases still run).
-// Shutdown leaves the map intact — STATS-style inspection via Stats keeps
-// working — Close tears it down.
+// Shutdown is safe to call concurrently: every caller — not just the one
+// that initiates the drain — blocks until the drain completes (or its own
+// ctx expires), so a nil return always means every handler has released
+// its map handle and Close may follow. Shutdown leaves the map intact —
+// STATS-style inspection via Stats keeps working — Close tears it down.
 func (s *Server) Shutdown(ctx context.Context) error {
 	if !s.draining.CompareAndSwap(false, true) {
-		return nil
+		// Another Shutdown owns the drain; wait for it rather than return
+		// early with handlers still holding leased handles.
+		select {
+		case <-s.drainDone:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
 	if s.ln != nil {
 		s.ln.Close()
@@ -167,13 +183,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		c.SetReadDeadline(time.Now())
 	}
 	s.mu.Unlock()
-	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
-		close(done)
+		close(s.drainDone)
 	}()
 	select {
-	case <-done:
+	case <-s.drainDone:
 		return nil
 	case <-ctx.Done():
 		s.mu.Lock()
@@ -181,7 +196,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			c.Close()
 		}
 		s.mu.Unlock()
-		<-done
+		<-s.drainDone
 		return ctx.Err()
 	}
 }
@@ -294,7 +309,10 @@ func (s *Server) dispatch(h qsense.MapHandle, wr *resp.Writer, args [][]byte) bo
 	return false
 }
 
-// wantKey validates arity and parses the key argument.
+// wantKey validates arity and parses the key argument. The two extreme
+// int64 values are the SkipMap's sentinel keys and out of its domain (the
+// map itself also rejects them); they draw -ERR rather than silently
+// reporting absent.
 func wantKey(wr *resp.Writer, cmd string, args [][]byte, arity int) (int64, bool) {
 	if len(args) != arity {
 		wr.Error("ERR wrong number of arguments for '" + strings.ToLower(cmd) + "'")
@@ -303,6 +321,10 @@ func wantKey(wr *resp.Writer, cmd string, args [][]byte, arity int) (int64, bool
 	k, err := strconv.ParseInt(string(args[1]), 10, 64)
 	if err != nil {
 		wr.Error("ERR key is not an integer")
+		return 0, false
+	}
+	if k == math.MinInt64 || k == math.MaxInt64 {
+		wr.Error("ERR key out of range (the extreme int64 values are reserved)")
 		return 0, false
 	}
 	return k, true

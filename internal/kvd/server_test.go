@@ -132,6 +132,76 @@ func TestServerCommands(t *testing.T) {
 	}
 }
 
+// TestServerReservedKeys: the two extreme int64 values are the SkipMap's
+// sentinel keys and must be rejected at the protocol layer — a DEL of
+// math.MaxInt64 used to reach skiplist.Delete on the tail sentinel,
+// corrupting the shared map for every connection.
+func TestServerReservedKeys(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	cl := dialClient(t, addr)
+	for _, k := range []string{"9223372036854775807", "-9223372036854775808"} {
+		if rp := cl.do(t, "SET", k, "1"); !rp.IsError() {
+			t.Fatalf("SET %s accepted: %+v", k, rp)
+		}
+		if rp := cl.do(t, "GET", k); !rp.IsError() {
+			t.Fatalf("GET %s accepted: %+v", k, rp)
+		}
+		if rp := cl.do(t, "DEL", k); !rp.IsError() {
+			t.Fatalf("DEL %s accepted: %+v", k, rp)
+		}
+	}
+	// The -ERRs kept the connection open and the map intact; the domain
+	// boundaries themselves are ordinary keys.
+	for _, k := range []string{"9223372036854775806", "-9223372036854775807"} {
+		if rp := cl.do(t, "SET", k, "7"); rp.Str != "OK" {
+			t.Fatalf("SET %s: %+v", k, rp)
+		}
+		if rp := cl.do(t, "GET", k); string(rp.Bulk) != "7" {
+			t.Fatalf("GET %s: %+v", k, rp)
+		}
+		if rp := cl.do(t, "DEL", k); rp.Int != 1 {
+			t.Fatalf("DEL %s: %+v", k, rp)
+		}
+	}
+}
+
+// TestServerConcurrentShutdown: every Shutdown caller must block until the
+// drain completes — the CAS-losing callers used to return nil immediately,
+// letting a Shutdown-then-Close sequence tear down the reclamation domain
+// while handlers still held leased map handles.
+func TestServerConcurrentShutdown(t *testing.T) {
+	s, addr := startServer(t, Config{})
+	for i := 0; i < 4; i++ {
+		cl := dialClient(t, addr)
+		if rp := cl.do(t, "PING"); rp.Str != "PONG" {
+			t.Fatalf("conn %d: %+v", i, rp)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := s.Shutdown(ctx); err != nil {
+				t.Errorf("Shutdown %d: %v", i, err)
+				return
+			}
+			// A nil return promises a completed drain: no live
+			// connections, every lease back.
+			if live := s.LiveConns(); live != 0 {
+				t.Errorf("Shutdown %d returned with %d live conns", i, live)
+			}
+			if st := s.Stats(); st.AcquiredHandles != st.ReleasedHandles {
+				t.Errorf("Shutdown %d returned with %d leases still held",
+					i, st.AcquiredHandles-st.ReleasedHandles)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
 func TestServerPipelining(t *testing.T) {
 	_, addr := startServer(t, Config{})
 	cl := dialClient(t, addr)

@@ -33,6 +33,17 @@ const (
 	tailKey = math.MaxInt64
 )
 
+// MinKey and MaxKey bound the usable key domain; the two extremes of int64
+// are the head/tail sentinel keys and are treated as out of domain (never
+// present, never insertable) rather than matching a sentinel.
+const (
+	MinKey = headKey + 1
+	MaxKey = tailKey - 1
+)
+
+// reserved reports whether key collides with a sentinel.
+func reserved(key int64) bool { return key == headKey || key == tailKey }
+
 // node is padded so one node fills a cache line together with its slot
 // header, as ASCYLIB does for its C nodes.
 type node struct {
@@ -152,8 +163,12 @@ retry:
 	}
 }
 
-// Contains reports whether key is in the set.
+// Contains reports whether key is in the set. Reserved keys (outside
+// [MinKey, MaxKey]) are never present.
 func (h *Handle) Contains(key int64) bool {
+	if reserved(key) {
+		return false
+	}
 	h.guard.Begin()
 	_, cur := h.search(key)
 	found := h.l.pool.Get(cur).key == key
@@ -161,8 +176,11 @@ func (h *Handle) Contains(key int64) bool {
 	return found
 }
 
-// Insert adds key; false if already present.
+// Insert adds key; false if already present or reserved.
 func (h *Handle) Insert(key int64) bool {
+	if reserved(key) {
+		return false
+	}
 	h.guard.Begin()
 	defer h.guard.ClearHPs()
 	var nref mem.Ref
@@ -192,8 +210,12 @@ func (h *Handle) Insert(key int64) bool {
 
 // Delete removes key; false if absent. Removal is two-phase: mark the
 // node's next word (logical), then unlink (physical); whoever unlinks
-// retires the node.
+// retires the node. Reserved keys are absent by definition — without the
+// guard, Delete(tailKey) would mark, unlink and retire the tail sentinel.
 func (h *Handle) Delete(key int64) bool {
+	if reserved(key) {
+		return false
+	}
 	h.guard.Begin()
 	defer h.guard.ClearHPs()
 	pool := h.l.pool

@@ -1,0 +1,43 @@
+package list
+
+import (
+	"math"
+	"testing"
+)
+
+// TestListReservedKeys: the two extreme int64 values are the head/tail
+// sentinel keys, so every operation must treat them as out of domain — a
+// Delete(MaxInt64) used to mark, unlink and retire the tail sentinel, and
+// Insert(MinInt64) linked a node Validate cannot order against the head.
+func TestListReservedKeys(t *testing.T) {
+	l, d, hs := newSet(t, "qsense", 1)
+	defer d.Close()
+	h := hs[0]
+	if !h.Insert(5) {
+		t.Fatal("setup Insert")
+	}
+	for _, k := range []int64{math.MinInt64, math.MaxInt64} {
+		if h.Contains(k) {
+			t.Errorf("Contains(%d) = true", k)
+		}
+		if h.Insert(k) {
+			t.Errorf("Insert(%d) accepted", k)
+		}
+		if h.Delete(k) {
+			t.Errorf("Delete(%d) = true", k)
+		}
+	}
+	// The domain boundaries themselves are ordinary keys.
+	for _, k := range []int64{MinKey, MaxKey} {
+		if !h.Insert(k) || !h.Contains(k) || !h.Delete(k) {
+			t.Errorf("boundary key %d not usable", k)
+		}
+	}
+	// The structure survived intact: sentinels in place, data untouched.
+	if !h.Contains(5) {
+		t.Fatal("key 5 lost after reserved-key ops")
+	}
+	if n, msg := l.Validate(); msg != "" || n != 1 {
+		t.Fatalf("Validate after reserved-key ops: n=%d msg=%q", n, msg)
+	}
+}

@@ -1,0 +1,50 @@
+package skiplist
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSkipListReservedKeys: the two extreme int64 values are the head/tail
+// sentinel keys, so every operation must treat them as out of domain — a
+// Delete(MaxInt64) used to mark and retire the tail sentinel while every
+// search still routed through it (a use-after-free reachable from
+// qsense-kvd's network input), and Put/Get(MaxInt64) phantom-matched it.
+func TestSkipListReservedKeys(t *testing.T) {
+	s, d, hs := newSet(t, "qsense", 1, 8)
+	defer d.Close()
+	h := hs[0]
+	if !h.Put(5, 50) {
+		t.Fatal("setup Put")
+	}
+	for _, k := range []int64{math.MinInt64, math.MaxInt64} {
+		if h.Contains(k) {
+			t.Errorf("Contains(%d) = true", k)
+		}
+		if _, ok := h.Get(k); ok {
+			t.Errorf("Get(%d) reported found", k)
+		}
+		if h.Insert(k) {
+			t.Errorf("Insert(%d) accepted", k)
+		}
+		if h.Put(k, 1) {
+			t.Errorf("Put(%d) inserted", k)
+		}
+		if h.Delete(k) {
+			t.Errorf("Delete(%d) = true", k)
+		}
+	}
+	// The domain boundaries themselves are ordinary keys.
+	for _, k := range []int64{MinKey, MaxKey} {
+		if !h.Put(k, 9) || !h.Contains(k) || !h.Delete(k) {
+			t.Errorf("boundary key %d not usable", k)
+		}
+	}
+	// The structure survived intact: sentinels in place, data untouched.
+	if v, ok := h.Get(5); !ok || v != 50 {
+		t.Fatalf("Get(5) = %d,%v after reserved-key ops", v, ok)
+	}
+	if n, msg := s.Validate(); msg != "" || n != 1 {
+		t.Fatalf("Validate after reserved-key ops: n=%d msg=%q", n, msg)
+	}
+}

@@ -96,6 +96,18 @@ const (
 	tailKey = math.MaxInt64
 )
 
+// MinKey and MaxKey bound the usable key domain. math.MinInt64 and
+// math.MaxInt64 are the head/tail sentinel keys of the list itself, so they
+// are out of domain: Contains/Get/Delete report them absent and Insert/Put
+// reject them (false) rather than match — or worse, unlink — a sentinel.
+const (
+	MinKey = headKey + 1
+	MaxKey = tailKey - 1
+)
+
+// reserved reports whether key collides with a sentinel.
+func reserved(key int64) bool { return key == headKey || key == tailKey }
+
 type node struct {
 	key      int64
 	topLevel int32
@@ -306,8 +318,12 @@ retry:
 	}
 }
 
-// Contains reports whether key is in the set.
+// Contains reports whether key is in the set. Reserved keys (outside
+// [MinKey, MaxKey]) are never present.
 func (h *Handle) Contains(key int64) bool {
+	if reserved(key) {
+		return false
+	}
 	h.guard.Begin()
 	h.search(key)
 	found := h.s.pool.Get(h.succs[0]).key == key
@@ -315,18 +331,23 @@ func (h *Handle) Contains(key int64) bool {
 	return found
 }
 
-// Insert adds key; false if already present.
+// Insert adds key; false if already present or reserved.
 func (h *Handle) Insert(key int64) bool { return h.insert(key, 0, false) }
 
 // Put sets key's value word: it inserts key→val if absent (true) or
 // updates an existing key's value in place (false). The update is a plain
 // atomic store on a node still protected by the search's level-0 slot
 // pair, so it is safe against a concurrent delete — a Put that loses that
-// race linearizes as update-then-delete.
+// race linearizes as update-then-delete. Reserved keys are rejected
+// (false) without storing anything.
 func (h *Handle) Put(key int64, val uint64) bool { return h.insert(key, val, true) }
 
-// Get returns key's value word.
+// Get returns key's value word. Reserved keys are never present (a naive
+// search for tailKey would otherwise phantom-match the tail sentinel).
 func (h *Handle) Get(key int64) (uint64, bool) {
+	if reserved(key) {
+		return 0, false
+	}
 	h.guard.Begin()
 	h.search(key)
 	n := h.s.pool.Get(h.succs[0])
@@ -340,6 +361,12 @@ func (h *Handle) Get(key int64) (uint64, bool) {
 }
 
 func (h *Handle) insert(key int64, val uint64, upsert bool) bool {
+	if reserved(key) {
+		// Inserting tailKey would upsert the tail sentinel's value word;
+		// inserting headKey would link a node Validate cannot order
+		// against the head. Both are rejected, not "already present".
+		return false
+	}
 	h.guard.Begin()
 	defer h.guard.ClearHPs()
 	pool := h.s.pool
@@ -448,6 +475,12 @@ func (h *Handle) finishInsert(nref mem.Ref, nptr *node, key int64) {
 // marks level 0 owns the deletion, physically unlinks with a search, and
 // retires the node (Fraser's protocol; retire placement per Appendix B).
 func (h *Handle) Delete(key int64) bool {
+	if reserved(key) {
+		// Deleting tailKey would mark and retire the tail sentinel while
+		// every search still routes through it — a use-after-free any
+		// caller (e.g. a TCP peer of qsense-kvd) could trigger.
+		return false
+	}
 	h.guard.Begin()
 	defer h.guard.ClearHPs()
 	pool := h.s.pool
