@@ -1,0 +1,31 @@
+# Convenience targets; CI runs the same commands (see .github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: build test race vet bench-smoke plots plots-check clean-plots
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+vet:
+	$(GO) vet ./...
+
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Render the committed perf trajectory (bench/BENCH_*.json) as SVG curves
+# under bench/plots/. Stdlib-only python3; plots-check is the CI dry-run.
+plots:
+	python3 bench/plot.py
+
+plots-check:
+	python3 bench/plot.py --check
+
+clean-plots:
+	rm -rf bench/plots

@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Render the committed BENCH_*.json trajectory as SVG plots.
+
+Reads every bench/BENCH_*.json (or the files given on the command line) and
+writes, per experiment, a throughput curve (Mops/s vs workers, one line per
+scheme) and — when the experiment recorded per-op latency, as the kvd
+macro-benchmark does — a p50/p99/p999 latency chart. Pure standard library:
+the SVGs are hand-rolled, so the repo needs no plotting dependency.
+
+Usage:
+    python3 bench/plot.py              # plot bench/BENCH_*.json -> bench/plots/
+    python3 bench/plot.py --check     # validate + dry-run render, write nothing
+    python3 bench/plot.py --out DIR file.json ...
+
+--check is the CI mode: it parses every file, renders every chart in memory
+and fails loudly on malformed input, without touching the tree.
+"""
+
+import argparse
+import glob
+import json
+import math
+import os
+import sys
+
+PALETTE = [
+    "#1f77b4", "#d62728", "#2ca02c", "#ff7f0e",
+    "#9467bd", "#8c564b", "#17becf", "#7f7f7f",
+]
+
+W, H = 640, 400
+ML, MR, MT, MB = 60, 20, 36, 46  # margins: left, right, top, bottom
+
+
+def esc(s):
+    return (str(s).replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;"))
+
+
+def nice_ticks(lo, hi, n=5):
+    """Return ~n round tick values covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / max(n, 1)
+    mag = 10.0 ** math.floor(math.log10(raw))
+    for m in (1, 2, 2.5, 5, 10):
+        if raw <= m * mag:
+            step = m * mag
+            break
+    start = math.floor(lo / step) * step
+    ticks = []
+    t = start
+    while t <= hi + step * 1e-9:
+        if t >= lo - step * 1e-9:
+            ticks.append(round(t, 10))
+        t += step
+    return ticks
+
+
+class Chart:
+    """One SVG line chart: x positions are categorical (worker counts)."""
+
+    def __init__(self, title, xlabel, ylabel, xcats):
+        self.title, self.xlabel, self.ylabel = title, xlabel, ylabel
+        self.xcats = xcats  # sorted distinct worker counts
+        self.series = []  # (name, color, [(x, y)])
+
+    def add(self, name, points):
+        color = PALETTE[len(self.series) % len(PALETTE)]
+        self.series.append((name, color, points))
+
+    def _xpos(self, x):
+        i = self.xcats.index(x)
+        n = max(len(self.xcats) - 1, 1)
+        return ML + (W - ML - MR) * (i / n if len(self.xcats) > 1 else 0.5)
+
+    def render(self):
+        ymax = max((y for _, _, pts in self.series for _, y in pts), default=1.0)
+        ticks = nice_ticks(0.0, ymax * 1.05)
+        top = ticks[-1] if ticks else 1.0
+
+        def ypos(v):
+            return H - MB - (H - MB - MT) * (v / top if top else 0)
+
+        out = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" '
+            f'viewBox="0 0 {W} {H}" font-family="sans-serif" font-size="12">',
+            f'<rect width="{W}" height="{H}" fill="white"/>',
+            f'<text x="{W/2}" y="20" text-anchor="middle" font-size="14">{esc(self.title)}</text>',
+        ]
+        for t in ticks:
+            y = ypos(t)
+            out.append(f'<line x1="{ML}" y1="{y:.1f}" x2="{W-MR}" y2="{y:.1f}" '
+                       f'stroke="#ddd" stroke-width="1"/>')
+            out.append(f'<text x="{ML-6}" y="{y+4:.1f}" text-anchor="end">{t:g}</text>')
+        for x in self.xcats:
+            px = self._xpos(x)
+            out.append(f'<text x="{px:.1f}" y="{H-MB+16}" text-anchor="middle">{x}</text>')
+        out.append(f'<line x1="{ML}" y1="{H-MB}" x2="{W-MR}" y2="{H-MB}" stroke="black"/>')
+        out.append(f'<line x1="{ML}" y1="{MT}" x2="{ML}" y2="{H-MB}" stroke="black"/>')
+        out.append(f'<text x="{(ML+W-MR)/2}" y="{H-8}" text-anchor="middle">{esc(self.xlabel)}</text>')
+        out.append(f'<text x="14" y="{(MT+H-MB)/2}" text-anchor="middle" '
+                   f'transform="rotate(-90 14 {(MT+H-MB)/2})">{esc(self.ylabel)}</text>')
+        for name, color, pts in self.series:
+            coords = [(self._xpos(x), ypos(y)) for x, y in pts]
+            path = " ".join(f"{px:.1f},{py:.1f}" for px, py in coords)
+            out.append(f'<polyline points="{path}" fill="none" stroke="{color}" stroke-width="2"/>')
+            for px, py in coords:
+                out.append(f'<circle cx="{px:.1f}" cy="{py:.1f}" r="3" fill="{color}"/>')
+        ly = MT + 4
+        for name, color, _ in self.series:
+            out.append(f'<rect x="{W-MR-150}" y="{ly}" width="12" height="12" fill="{color}"/>')
+            out.append(f'<text x="{W-MR-134}" y="{ly+10}">{esc(name)}</text>')
+            ly += 16
+        out.append("</svg>")
+        return "\n".join(out)
+
+
+def load(path):
+    with open(path) as f:
+        d = json.load(f)
+    for key in ("experiment", "curves"):
+        if key not in d:
+            raise ValueError(f"{path}: missing {key!r}")
+    if not d["curves"]:
+        raise ValueError(f"{path}: no curves")
+    for c in d["curves"]:
+        if "scheme" not in c or not c.get("points"):
+            raise ValueError(f"{path}: curve without scheme/points")
+        for p in c["points"]:
+            if "workers" not in p or "mops" not in p:
+                raise ValueError(f"{path}: point without workers/mops in {c['scheme']}")
+    return d
+
+
+def charts_for(d):
+    """Yield (suffix, Chart) pairs for one parsed BENCH JSON."""
+    xcats = sorted({p["workers"] for c in d["curves"] for p in c["points"]})
+    sub = f'{d.get("ds", "?")}, {d.get("update_pct", "?")}% updates, range {d.get("key_range", "?")}'
+    thr = Chart(f'{d["experiment"]}: throughput ({sub})', "workers", "Mops/s", xcats)
+    for c in d["curves"]:
+        pts = sorted((p["workers"], p["mops"]) for p in c["points"])
+        thr.add(c["scheme"], pts)
+    yield "throughput", thr
+
+    has_lat = any(p.get("lat_ops") for c in d["curves"] for p in c["points"])
+    if has_lat:
+        lat = Chart(f'{d["experiment"]}: latency ({sub})', "connections", "latency (us)", xcats)
+        for c in d["curves"]:
+            for q, label in (("p50_us", "p50"), ("p99_us", "p99"), ("p999_us", "p999")):
+                pts = sorted((p["workers"], p.get(q, 0.0)) for p in c["points"] if p.get("lat_ops"))
+                if pts:
+                    lat.add(f'{c["scheme"]} {label}', pts)
+        yield "latency", lat
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="*", help="BENCH_*.json files (default: bench/BENCH_*.json)")
+    ap.add_argument("--check", action="store_true",
+                    help="validate and dry-run render without writing anything")
+    ap.add_argument("--out", default=None,
+                    help="output directory (default: <dir of first input>/plots)")
+    args = ap.parse_args(argv)
+
+    files = args.files or sorted(glob.glob(os.path.join(os.path.dirname(__file__) or ".", "BENCH_*.json")))
+    if not files:
+        print("plot.py: no BENCH_*.json files found", file=sys.stderr)
+        return 1
+
+    outdir = args.out or os.path.join(os.path.dirname(files[0]) or ".", "plots")
+    wrote = 0
+    for path in files:
+        try:
+            d = load(path)
+        except (OSError, ValueError, json.JSONDecodeError) as e:
+            print(f"plot.py: {e}", file=sys.stderr)
+            return 1
+        for suffix, chart in charts_for(d):
+            svg = chart.render()  # render even under --check: malformed data fails here
+            name = f'{d["experiment"]}_{suffix}.svg'
+            if args.check:
+                print(f"ok {path} -> {name} ({len(svg)} bytes, {len(chart.series)} series)")
+            else:
+                os.makedirs(outdir, exist_ok=True)
+                dest = os.path.join(outdir, name)
+                with open(dest, "w") as f:
+                    f.write(svg)
+                print(f"wrote {dest}")
+                wrote += 1
+    if args.check:
+        print(f"plot.py --check: {len(files)} file(s) valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -45,6 +45,7 @@ func main() {
 		experiment = flag.String("experiment", "", `extra experiment: "leasevspinned"`)
 		leaseEvery = flag.Int("leaseevery", 1, "leasevspinned: 64-op batches per lease (1 = re-lease every batch)")
 		jsonOut    = flag.Bool("json", false, "also write results to BENCH_<experiment>.json (for CI artifacts / perf tracking)")
+		force      = flag.Bool("force", false, "overwrite an existing BENCH_<experiment>.json (refused otherwise)")
 	)
 	flag.Parse()
 
@@ -55,7 +56,7 @@ func main() {
 
 	switch *experiment {
 	case "leasevspinned":
-		runLeaseVsPinned(*ds, *schemes, workers, *leaseEvery, *keyRange, *paper, *duration, *seed, *jsonOut)
+		runLeaseVsPinned(*ds, *schemes, workers, *leaseEvery, *keyRange, *paper, *duration, *seed, *jsonOut, *force)
 		return
 	case "":
 	default:
@@ -106,6 +107,10 @@ func main() {
 		fmt.Printf("wrote %s\n", *csvPath)
 	}
 	if *jsonOut {
+		// The filename follows the experiment that actually ran — figure
+		// presets and the default sweep each have their own name, exactly
+		// like -experiment runs, so no combination of flags can file one
+		// experiment's curves under another's name.
 		name := "scalability_" + sc.DS
 		switch *figure {
 		case "3":
@@ -113,7 +118,7 @@ func main() {
 		case "5top":
 			name = "fig5top"
 		}
-		writeBenchJSON(name, harness.BenchJSON{
+		writeBenchJSON(name, *force, harness.BenchJSON{
 			Experiment: name, DS: sc.DS, KeyRange: sc.KeyRange,
 			UpdatePct: sc.UpdatePct, DurationMS: sc.Duration.Milliseconds(),
 			GoMaxProcs: runtime.GOMAXPROCS(0),
@@ -122,15 +127,12 @@ func main() {
 }
 
 // writeBenchJSON writes curves as BENCH_<name>.json in the working
-// directory — the artifact CI uploads to seed the perf trajectory.
-func writeBenchJSON(name string, meta harness.BenchJSON, curves []harness.Curve) {
+// directory — the artifact CI uploads to seed the perf trajectory. An
+// existing file is refused unless -force, so a rerun cannot silently
+// clobber committed history.
+func writeBenchJSON(name string, force bool, meta harness.BenchJSON, curves []harness.Curve) {
 	path := "BENCH_" + name + ".json"
-	f, err := os.Create(path)
-	if err != nil {
-		fatal(err)
-	}
-	defer f.Close()
-	if err := harness.WriteCurvesJSON(f, meta, curves); err != nil {
+	if err := harness.WriteCurvesJSONFile(path, force, meta, curves); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", path)
@@ -138,7 +140,7 @@ func writeBenchJSON(name string, meta harness.BenchJSON, curves []harness.Curve)
 
 // runLeaseVsPinned drives the leased-vs-pinned comparison at each worker
 // count and prints a per-scheme summary table.
-func runLeaseVsPinned(ds, schemes string, workers []int, leaseEvery int, keyRange int64, paper bool, duration time.Duration, seed uint64, jsonOut bool) {
+func runLeaseVsPinned(ds, schemes string, workers []int, leaseEvery int, keyRange int64, paper bool, duration time.Duration, seed uint64, jsonOut, force bool) {
 	if keyRange <= 0 {
 		keyRange = defaultRange(ds, paper)
 	}
@@ -173,7 +175,7 @@ func runLeaseVsPinned(ds, schemes string, workers []int, leaseEvery int, keyRang
 		}
 	}
 	if jsonOut {
-		writeBenchJSON("leasevspinned", harness.BenchJSON{
+		writeBenchJSON("leasevspinned", force, harness.BenchJSON{
 			Experiment: "leasevspinned", DS: ds, KeyRange: keyRange, UpdatePct: 50,
 			DurationMS: duration.Milliseconds(), GoMaxProcs: runtime.GOMAXPROCS(0),
 			Extra: map[string]string{"lease_every": fmt.Sprint(leaseEvery)},

@@ -50,6 +50,7 @@ func main() {
 		maxConns = flag.Int("max-conns", 0, "admission cap: connections past it queue (0 = elastic, never refuse)")
 		initial  = flag.Int("initial-conns", 0, "initial guard-arena size hint (0 = machine default)")
 		maxNodes = flag.Int("max-nodes", 0, "map node-pool bound (0 = library default)")
+		shards   = flag.Int("shards", 0, "reclamation-domain shards (0 = QSENSE_SHARDS, then min(GOMAXPROCS, 8))")
 
 		// Load mode.
 		load     = flag.Bool("load", false, "run as load generator instead of server")
@@ -66,6 +67,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		jsonOut  = flag.Bool("json", false, "write BENCH_kvd_<exp>.json (for CI artifacts / perf tracking)")
 		exp      = flag.String("exp", "zipf_burst", "experiment name used in the BENCH JSON filename")
+		force    = flag.Bool("force", false, "overwrite an existing BENCH_kvd_<exp>.json (refused otherwise)")
 	)
 	flag.Parse()
 
@@ -74,12 +76,12 @@ func main() {
 			target: *target, schemes: *schemes, conns: *conns,
 			keyRange: *keyRange, theta: *theta, updates: *updates,
 			burst: *burst, idle: *idle, cycles: *cycles, idleLoad: *idleLoad,
-			seed: *seed, jsonOut: *jsonOut, exp: *exp,
-			maxNodes: *maxNodes, initial: *initial,
+			seed: *seed, jsonOut: *jsonOut, exp: *exp, force: *force,
+			maxNodes: *maxNodes, initial: *initial, shards: *shards,
 		})
 		return
 	}
-	runServer(kvd.Config{Scheme: *scheme, InitialConns: *initial, HardMaxConns: *maxConns, MaxNodes: *maxNodes}, *addr)
+	runServer(kvd.Config{Scheme: *scheme, InitialConns: *initial, HardMaxConns: *maxConns, MaxNodes: *maxNodes, Shards: *shards}, *addr)
 }
 
 // runServer serves until SIGINT/SIGTERM, then drains gracefully.
@@ -92,7 +94,7 @@ func runServer(cfg kvd.Config, addr string) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("qsense-kvd: scheme=%s listening on %s\n", cfg.Scheme, a)
+	fmt.Printf("qsense-kvd: scheme=%s shards=%d listening on %s\n", cfg.Scheme, s.Stats().Shards, a)
 	done := make(chan error, 1)
 	go func() { done <- s.Serve() }()
 	sig := make(chan os.Signal, 1)
@@ -112,8 +114,8 @@ func runServer(cfg kvd.Config, addr string) {
 	}
 	st := s.Stats()
 	s.Close()
-	fmt.Printf("qsense-kvd: served %d leases, arena %d (high water %d, %d growths), %d slots parked\n",
-		st.AcquiredHandles, st.ArenaSize, st.HighWaterWorkers, st.ArenaGrowths, st.ParkedSlots)
+	fmt.Printf("qsense-kvd: served %d leases over %d shards (imbalance %d), arena %d (high water %d, %d growths), %d slots parked\n",
+		st.AcquiredHandles, st.Shards, st.ShardImbalance, st.ArenaSize, st.HighWaterWorkers, st.ArenaGrowths, st.ParkedSlots)
 }
 
 type loadOpts struct {
@@ -124,9 +126,10 @@ type loadOpts struct {
 	burst, idle            time.Duration
 	idleLoad               float64
 	seed                   uint64
-	jsonOut                bool
+	jsonOut, force         bool
 	exp                    string
 	maxNodes, initial      int
+	shards                 int
 }
 
 // runLoad sweeps schemes x connection counts and renders/emits curves.
@@ -156,7 +159,7 @@ func runLoad(o loadOpts) {
 			if target == "" {
 				// Fresh server per point: counters (growth, parking) then
 				// describe exactly this point's storm, not history.
-				s, err := kvd.New(kvd.Config{Scheme: sc, InitialConns: o.initial, MaxNodes: o.maxNodes})
+				s, err := kvd.New(kvd.Config{Scheme: sc, InitialConns: o.initial, MaxNodes: o.maxNodes, Shards: o.shards})
 				if err != nil {
 					fatal(err)
 				}
@@ -195,12 +198,7 @@ func runLoad(o loadOpts) {
 	if o.jsonOut {
 		name := "kvd_" + o.exp
 		path := "BENCH_" + name + ".json"
-		f, err := os.Create(path)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		if err := harness.WriteCurvesJSON(f, harness.BenchJSON{
+		if err := harness.WriteCurvesJSONFile(path, o.force, harness.BenchJSON{
 			Experiment: name, DS: "skipmap", KeyRange: o.keyRange, UpdatePct: o.updates,
 			DurationMS: plan.Total().Milliseconds(), GoMaxProcs: runtime.GOMAXPROCS(0),
 			Extra: map[string]string{
@@ -233,6 +231,8 @@ func reclaimFromStats(st map[string]int64) reclaim.Stats {
 		ParkedSlots:    int(st["parked_slots"]),
 		RRetunes:       uint64(st["r_retunes"]),
 		CRetunes:       uint64(st["c_retunes"]),
+		Shards:         int(st["shards"]),
+		ShardImbalance: int(st["shard_imbalance"]),
 		Failed:         st["failed"] != 0,
 	}
 }

@@ -86,7 +86,10 @@ type leaseCore[O comparable] struct {
 	// to an entry is exclusive to the slot's current owner, ordered by
 	// the slot pool's lease/release atomics. The table is segmented like
 	// the guard arena itself, so it covers slots minted by elastic
-	// growth.
+	// growth. Under a sharded domain the key is still the one
+	// reclaim.SlotIndex word: the (shard, local slot) pair interleaved as
+	// local*Shards+shard, dense in [0, HardMaxWorkers) whatever the shard
+	// count, so the cache needs no shard awareness.
 	handles *reclaim.SlotTable[O]
 }
 

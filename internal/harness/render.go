@@ -2,8 +2,10 @@ package harness
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"strings"
 	"time"
@@ -85,6 +87,30 @@ func WriteCurvesJSON(w io.Writer, meta BenchJSON, curves []Curve) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(meta)
+}
+
+// WriteCurvesJSONFile writes a BENCH_<experiment>.json to path. Unless
+// force is set it refuses to overwrite an existing file: the committed
+// bench/ trajectory is append-only history, and a rerun that silently
+// clobbers a curve is how a regression's "before" disappears. The refusal
+// uses O_EXCL, so two concurrent writers cannot both win.
+func WriteCurvesJSONFile(path string, force bool, meta BenchJSON, curves []Curve) error {
+	flags := os.O_WRONLY | os.O_CREATE | os.O_TRUNC
+	if !force {
+		flags = os.O_WRONLY | os.O_CREATE | os.O_EXCL
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		if errors.Is(err, os.ErrExist) {
+			return fmt.Errorf("harness: %s already exists (pass -force to overwrite)", path)
+		}
+		return err
+	}
+	if err := WriteCurvesJSON(f, meta, curves); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // WriteCurvesCSV emits a scalability experiment as CSV: one row per worker

@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWriteCurvesJSONFileRefusesOverwrite: the committed bench/ trajectory
+// is append-only history — a rerun without -force must refuse to clobber an
+// existing file and must leave its contents untouched.
+func TestWriteCurvesJSONFileRefusesOverwrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_probe.json")
+	meta := BenchJSON{Experiment: "probe", DS: "list", KeyRange: 16}
+	curves := []Curve{{Scheme: "qsbr", Points: []Point{{Workers: 1, Res: Result{Mops: 1.5}}}}}
+
+	if err := WriteCurvesJSONFile(path, false, meta, curves); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	err = WriteCurvesJSONFile(path, false, meta, []Curve{{Scheme: "hp"}})
+	if err == nil {
+		t.Fatal("second write without force succeeded")
+	}
+	if !strings.Contains(err.Error(), "-force") {
+		t.Fatalf("refusal does not tell the caller about -force: %v", err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("refused write still modified the file")
+	}
+
+	meta2 := meta
+	meta2.KeyRange = 32
+	if err := WriteCurvesJSONFile(path, true, meta2, curves); err != nil {
+		t.Fatalf("forced write: %v", err)
+	}
+	forced, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(before, forced) {
+		t.Fatal("forced write did not replace the file")
+	}
+}

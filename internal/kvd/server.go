@@ -55,6 +55,9 @@ type Config struct {
 	HardMaxConns int
 	// MaxNodes bounds the map's node pool. 0 = library default.
 	MaxNodes int
+	// Shards splits the map's reclamation domain core (Options.Shards).
+	// 0 = library default (QSENSE_SHARDS, then min(GOMAXPROCS, 8)).
+	Shards int
 }
 
 // Server is a qsense-kvd instance. Create with New, start with Start (or
@@ -87,6 +90,7 @@ func New(cfg Config) (*Server, error) {
 		MaxWorkers:     cfg.InitialConns,
 		HardMaxWorkers: cfg.HardMaxConns,
 		MaxNodes:       cfg.MaxNodes,
+		Shards:         cfg.Shards,
 	})
 	if err != nil {
 		return nil, err
@@ -398,6 +402,8 @@ func statsFields(st qsense.Stats) []statKV {
 		{"r_retunes", int64(st.RRetunes)},
 		{"c_retunes", int64(st.CRetunes)},
 		{"rooster_passes", int64(st.RoosterPasses)},
+		{"shards", int64(st.Shards)},
+		{"shard_imbalance", int64(st.ShardImbalance)},
 		{"failed", b2i(st.Failed)},
 	}
 }

@@ -33,10 +33,10 @@ type Cadence struct {
 	cnt     counters
 	tune    *tuner
 	mgr     *rooster.Manager
-	slots   *slotPool
-	orphans orphanList
-	recs    *arena[*hprec]
-	guards  *arena[*cadenceGuard]
+	slots   *shardedPool
+	orphans shardedOrphans
+	recs    *shardedArena[*hprec]
+	guards  *shardedArena[*cadenceGuard]
 }
 
 type cadenceGuard struct {
@@ -59,22 +59,26 @@ func NewCadence(cfg Config) (*Cadence, error) {
 	cfg = cfg.withDefaults()
 	d := &Cadence{cfg: cfg, mgr: rooster.NewManager(cfg.Rooster)}
 	d.tune = newTuner(cfg, &d.cnt)
-	d.recs = newArena(cfg.Workers, cfg.HardMaxWorkers, func(i int) *hprec {
+	d.orphans.init(cfg.Shards)
+	d.recs = newShardedArena(cfg.Shards, cfg.Workers, cfg.HardMaxWorkers, func(i int) *hprec {
 		return newHPRec(cfg.HPs)
 	})
-	d.guards = newArena(cfg.Workers, cfg.HardMaxWorkers, func(i int) *cadenceGuard {
+	d.guards = newShardedArena(cfg.Shards, cfg.Workers, cfg.HardMaxWorkers, func(i int) *cadenceGuard {
 		return &cadenceGuard{d: d, id: i, rec: d.recs.at(i),
 			tc: tunerCache{r: cfg.R, c: cfg.C}}
 	})
-	d.slots = newSlotPool(cfg.Workers, cfg.HardMaxWorkers, &d.cnt, d.tune, func(hi int) {
-		d.recs.grow(hi)
-		d.guards.grow(hi)
+	d.slots = newShardedPool(cfg.Shards, cfg.Workers, cfg.HardMaxWorkers, d.tune, func(s, hi int) {
+		d.recs.growShard(s, hi)
+		d.guards.growShard(s, hi)
 	})
-	// One occupancy-walking flush target covers every record, current and
-	// future: growth publishes records before their slots can lease, and
-	// the walk visits exactly the occupied ones — so rooster registration
+	// One occupancy-walking flush target PER SHARD covers every record,
+	// current and future: growth publishes records before their slots can
+	// lease, each target walks exactly its own pool's occupied slots, and
+	// an idle shard's target returns on one load — so rooster registration
 	// is a construction-time affair and flush passes cost O(live).
-	d.mgr.Register(&recFlusher{p: d.slots, recs: d.recs, cnt: &d.cnt})
+	for s, p := range d.slots.pools {
+		d.mgr.Register(&recFlusher{p: p, recs: d.recs.shards[s], cnt: &d.cnt})
+	}
 	d.mgr.AddHook(1, d.orphans.adoptHook(d.mgr, d.slots, d.recs, d.cfg, &d.cnt))
 	if !cfg.ManualRooster {
 		d.mgr.Start()
@@ -137,7 +141,7 @@ func (d *Cadence) Release(gd Guard) {
 			g.scan()
 		}
 		if len(g.rl) > 0 {
-			d.orphans.add(nil, g.rl, 0, &d.cnt)
+			d.orphans.at(g.id).add(nil, g.rl, 0, &d.cnt)
 			g.rl = nil
 		}
 		d.cnt.releaseTally(&g.tally, d.cfg.MemoryLimit)
@@ -166,15 +170,14 @@ func (d *Cadence) Rooster() *rooster.Manager { return d.mgr }
 // drains the orphan list. Only call after all workers have stopped.
 func (d *Cadence) Close() {
 	d.mgr.Stop()
-	for i, n := 0, d.guards.len(); i < n; i++ {
-		g := d.guards.at(i)
+	d.guards.forEach(func(g *cadenceGuard) {
 		for _, r := range g.rl {
 			d.cfg.Free(r.ref)
 		}
 		d.cnt.tallyFree(&g.tally, len(g.rl))
 		g.rl = g.rl[:0]
 		d.cnt.drainTally(&g.tally)
-	}
+	})
 	d.orphans.drain(d.cfg.Free, &d.cnt)
 }
 
@@ -208,20 +211,20 @@ func (g *cadenceGuard) slotID() int { return g.id }
 
 // scan runs one deferred scan over the guard's retire list and then adopts
 // eligible orphans against the same snapshot. Order matters: the tick is
-// captured and the orphan chain detached BEFORE the snapshot (see
-// Manager.OldEnoughAt and orphanList.adoptDetached for the two halves of
-// the argument).
+// captured and every shard's orphan chain detached BEFORE the snapshot
+// (see Manager.OldEnoughAt and orphanList.adoptDetached for the two halves
+// of the argument).
 func (g *cadenceGuard) scan() {
 	g.d.cnt.scans.Add(1)
 	tick := g.d.mgr.Tick()
-	batch := g.d.orphans.detach()
+	batches := g.d.orphans.detachAll()
 	snap, visited := snapshotShared(g.d.slots, g.d.recs, g.scanBuf)
 	g.d.cnt.tallyScanned(&g.tally, visited)
 	g.scanBuf = snap.vals
 	var freed int
 	g.rl, freed = filterDeferred(g.d.cfg, g.d.mgr, tick, snap, g.rl)
 	g.d.cnt.tallyFree(&g.tally, freed)
-	g.d.orphans.adoptDetached(batch, snap, g.d.mgr, tick, g.d.cfg, &g.d.cnt)
+	g.d.orphans.adoptDetachedAll(batches, snap, g.d.mgr, tick, g.d.cfg, &g.d.cnt)
 	g.d.cnt.flushTally(&g.tally, g.d.cfg.MemoryLimit)
 	g.tc.refresh(g.d.tune)
 }

@@ -40,9 +40,9 @@ type EBR struct {
 	cnt     counters
 	tune    *tuner
 	epoch   atomic.Uint64
-	slots   *slotPool
-	orphans orphanList
-	guards  *arena[*ebrGuard]
+	slots   *shardedPool
+	orphans shardedOrphans
+	guards  *shardedArena[*ebrGuard]
 }
 
 type ebrGuard struct {
@@ -68,10 +68,11 @@ func NewEBR(cfg Config) (*EBR, error) {
 	cfg = cfg.withDefaults()
 	d := &EBR{cfg: cfg}
 	d.tune = newTuner(cfg, &d.cnt)
-	d.guards = newArena(cfg.Workers, cfg.HardMaxWorkers, func(i int) *ebrGuard {
+	d.orphans.init(cfg.Shards)
+	d.guards = newShardedArena(cfg.Shards, cfg.Workers, cfg.HardMaxWorkers, func(i int) *ebrGuard {
 		return &ebrGuard{d: d, id: i, tc: tunerCache{r: cfg.R, c: cfg.C}}
 	})
-	d.slots = newSlotPool(cfg.Workers, cfg.HardMaxWorkers, &d.cnt, d.tune, d.guards.grow)
+	d.slots = newShardedPool(cfg.Shards, cfg.Workers, cfg.HardMaxWorkers, d.tune, d.guards.growShard)
 	return d, nil
 }
 
@@ -162,13 +163,12 @@ func (d *EBR) Stats() Stats {
 // Close implements Domain: frees all limbo contents and drains the orphan
 // list. Call only once all workers have stopped.
 func (d *EBR) Close() {
-	for i, n := 0, d.guards.len(); i < n; i++ {
-		g := d.guards.at(i)
+	d.guards.forEach(func(g *ebrGuard) {
 		for b := range g.limbo {
 			g.freeBucket(b)
 		}
 		d.cnt.drainTally(&g.tally)
-	}
+	})
 	d.orphans.drain(d.cfg.Free, &d.cnt)
 }
 
@@ -255,10 +255,11 @@ func (g *ebrGuard) tryAdvance() {
 
 func (g *ebrGuard) slotID() int { return g.id }
 
-// orphanLimbo moves the guard's remaining limbo to the domain's orphan list
-// in one batch stamped with the current global epoch (release drain only).
+// orphanLimbo moves the guard's remaining limbo to its OWN shard's orphan
+// list in one batch stamped with the current global epoch (release drain
+// only) — one CAS moves the whole backlog.
 func (g *ebrGuard) orphanLimbo() {
-	g.d.orphans.addRefBuckets(&g.limbo, g.d.epoch.Load(), &g.d.cnt)
+	g.d.orphans.at(g.id).addRefBuckets(&g.limbo, g.d.epoch.Load(), &g.d.cnt)
 }
 
 func (g *ebrGuard) freeBucket(b int) {

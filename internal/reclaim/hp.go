@@ -23,10 +23,10 @@ type HP struct {
 	cfg     Config
 	cnt     counters
 	tune    *tuner
-	slots   *slotPool
-	orphans orphanList
-	recs    *arena[*hprec]
-	guards  *arena[*hpGuard]
+	slots   *shardedPool
+	orphans shardedOrphans
+	recs    *shardedArena[*hprec]
+	guards  *shardedArena[*hpGuard]
 }
 
 type hpGuard struct {
@@ -53,16 +53,17 @@ func NewHP(cfg Config) (*HP, error) {
 	}
 	d := &HP{cfg: cfg}
 	d.tune = newTuner(cfg, &d.cnt)
-	d.recs = newArena(cfg.Workers, cfg.HardMaxWorkers, func(i int) *hprec {
+	d.orphans.init(cfg.Shards)
+	d.recs = newShardedArena(cfg.Shards, cfg.Workers, cfg.HardMaxWorkers, func(i int) *hprec {
 		return newHPRec(cfg.HPs)
 	})
-	d.guards = newArena(cfg.Workers, cfg.HardMaxWorkers, func(i int) *hpGuard {
+	d.guards = newShardedArena(cfg.Shards, cfg.Workers, cfg.HardMaxWorkers, func(i int) *hpGuard {
 		return &hpGuard{d: d, id: i, rec: d.recs.at(i), fence: fence.NewModel(cost),
 			tc: tunerCache{r: cfg.R, c: cfg.C}}
 	})
-	d.slots = newSlotPool(cfg.Workers, cfg.HardMaxWorkers, &d.cnt, d.tune, func(hi int) {
-		d.recs.grow(hi) // records first: guards (and scans) index into them
-		d.guards.grow(hi)
+	d.slots = newShardedPool(cfg.Shards, cfg.Workers, cfg.HardMaxWorkers, d.tune, func(s, hi int) {
+		d.recs.growShard(s, hi) // records first: guards (and scans) index into them
+		d.guards.growShard(s, hi)
 	})
 	return d, nil
 }
@@ -121,7 +122,7 @@ func (d *HP) Release(gd Guard) {
 			g.scan()
 		}
 		if len(g.rl) > 0 {
-			d.orphans.add(nil, g.rl, 0, &d.cnt)
+			d.orphans.at(g.id).add(nil, g.rl, 0, &d.cnt)
 			g.rl = nil
 		}
 		d.cnt.releaseTally(&g.tally, d.cfg.MemoryLimit)
@@ -146,15 +147,14 @@ func (d *HP) Stats() Stats {
 // Close implements Domain: frees every node still in a retire list and
 // drains the orphan list. Only call after all workers have stopped.
 func (d *HP) Close() {
-	for i, n := 0, d.guards.len(); i < n; i++ {
-		g := d.guards.at(i)
+	d.guards.forEach(func(g *hpGuard) {
 		for _, r := range g.rl {
 			d.cfg.Free(r.ref)
 		}
 		d.cnt.tallyFree(&g.tally, len(g.rl))
 		g.rl = g.rl[:0]
 		d.cnt.drainTally(&g.tally)
-	}
+	})
 	d.orphans.drain(d.cfg.Free, &d.cnt)
 }
 
@@ -186,14 +186,14 @@ func (g *hpGuard) slotID() int { return g.id }
 // scan is Michael's scan: snapshot shared HPs, free unprotected retirees.
 // The same snapshot then adopts any orphaned backlog released slots left
 // behind, so a vacated slot's protected remainder frees as soon as its
-// protectors move on. The orphan chain is detached BEFORE the snapshot:
-// Michael's argument needs every scanned node retired pre-snapshot (a
-// validated protection is then published, fenced, before the unlink and so
-// before the snapshot) — a batch pushed after the snapshot could hold a
-// node whose protector the stale snapshot missed.
+// protectors move on. Every shard's orphan chain is detached BEFORE the
+// one snapshot: Michael's argument needs every scanned node retired
+// pre-snapshot (a validated protection is then published, fenced, before
+// the unlink and so before the snapshot) — a batch pushed after the
+// snapshot could hold a node whose protector the stale snapshot missed.
 func (g *hpGuard) scan() {
 	g.d.cnt.scans.Add(1)
-	batch := g.d.orphans.detach()
+	batches := g.d.orphans.detachAll()
 	snap, visited := snapshotShared(g.d.slots, g.d.recs, g.scanBuf)
 	g.d.cnt.tallyScanned(&g.tally, visited)
 	g.scanBuf = snap.vals // reuse the buffer next scan
@@ -209,7 +209,7 @@ func (g *hpGuard) scan() {
 	}
 	g.rl = kept
 	g.d.cnt.tallyFree(&g.tally, freed)
-	g.d.orphans.adoptDetached(batch, snap, nil, 0, g.d.cfg, &g.d.cnt)
+	g.d.orphans.adoptDetachedAll(batches, snap, nil, 0, g.d.cfg, &g.d.cnt)
 	g.d.cnt.flushTally(&g.tally, g.d.cfg.MemoryLimit)
 	g.tc.refresh(g.d.tune)
 }

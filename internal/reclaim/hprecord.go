@@ -89,52 +89,32 @@ type hpSnapshot struct {
 	vals []uint64
 }
 
-// snapshotShared collects the non-nil shared HPs of all occupied records,
-// iterating the slot pool's occupancy index instead of the full arena, and
-// reports how many records it visited (the Stats.ScannedRecords tally).
-// Cost is proportional to live occupancy, not the arena's high-water size.
-// A record whose lease races the walk is either observed (its occupancy bit
-// was set before any of its protections existed — see occupancy.go) or
-// carries only protections published after this snapshot began, which
-// Michael's retire-before-snapshot argument already tolerates — the same
-// tolerance arena.go establishes for slots published after the bound load.
-func snapshotShared(p *slotPool, recs *arena[*hprec], buf []uint64) (hpSnapshot, int) {
-	vals := buf[:0]
-	visited := p.walkOccupied(func(w int) bool {
-		r := recs.at(w)
-		if !r.leased.Load() {
-			return true
-		}
-		for i := range r.shared {
-			if v := r.shared[i].v.Load(); v != 0 {
-				vals = append(vals, v)
-			}
-		}
-		return true
-	})
-	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
-	return hpSnapshot{vals: vals}, visited
-}
-
 // recFlusher is the rooster flush target of the fence-free schemes
-// (Cadence, QSense): ONE registered target per domain that walks the
-// occupancy index and flushes only occupied records. It replaces the old
-// per-record registration, so rooster passes cost O(live occupancy) too,
-// parked segments are skipped outright (their records were drained at
-// release and cannot re-lease while parked), and growth no longer touches
-// the rooster at all. A record whose lease races a pass publishes its
-// first pending protection after its occupancy bit was set, so the pass
-// that must flush it (the one defining its nodes' old-enough ticks) walks
-// after the bit is visible — the tick-rule argument in rooster's package
-// doc is unchanged.
+// (Cadence, QSense): ONE registered target per SHARD that walks its own
+// pool's occupancy index (shard-local indices) and flushes only occupied
+// records. It replaces the old per-record registration, so rooster passes
+// cost O(live occupancy) too, parked segments are skipped outright (their
+// records were drained at release and cannot re-lease while parked), and
+// growth no longer touches the rooster at all. A record whose lease races
+// a pass publishes its first pending protection after its occupancy bit
+// was set, so the pass that must flush it (the one defining its nodes'
+// old-enough ticks) walks after the bit is visible — the tick-rule
+// argument in rooster's package doc is unchanged. (The snapshot builder
+// that scans these flushed arrays across all shards is snapshotShared in
+// shard.go.)
 type recFlusher struct {
 	p    *slotPool
 	recs *arena[*hprec]
 	cnt  *counters
 }
 
-// FlushHP implements rooster.Target.
+// FlushHP implements rooster.Target. An idle shard (zero live occupancy)
+// is skipped outright — not even its segment-0 states are loaded; sound by
+// the same SC edge walk skipping uses (shard.go's file comment).
 func (f *recFlusher) FlushHP() {
+	if f.p.live.Load() == 0 {
+		return
+	}
 	n := f.p.walkOccupied(func(w int) bool {
 		f.recs.at(w).FlushHP()
 		return true

@@ -7,20 +7,20 @@ import (
 	"qsense/internal/mem"
 )
 
-// counters carries the stat counters shared by all schemes.
+// counters carries the stat counters shared by all schemes. Lease and
+// quiescent-state counts are NOT here: they accrue per shard on the slot
+// pools (slots.go) so the hot Acquire/Release/quiescent paths never touch
+// a domain-wide cache line, and the façade sums them into Stats.
 type counters struct {
 	retired   atomic.Uint64
 	freed     atomic.Uint64
 	scans     atomic.Uint64
 	scanned   atomic.Uint64 // per-slot records visited by reclamation walks
-	quiesce   atomic.Uint64
 	epochs    atomic.Uint64
 	toFall    atomic.Uint64
 	toFast    atomic.Uint64
 	evictions atomic.Uint64
 	rejoins   atomic.Uint64
-	acquired  atomic.Uint64
-	released  atomic.Uint64
 	orphaned  atomic.Uint64
 	adopted   atomic.Uint64
 	retunesR  atomic.Uint64
@@ -178,7 +178,7 @@ func (c *counters) noteAdopted(n int) {
 // read or already in the shared counter we read last — a flush racing the
 // snapshot can only OVER-count Retired transiently (by at most one
 // guard's residue), never show Freed > Retired.
-func (c *counters) fill(s *Stats, p *slotPool, tallyAt func(i int) *tally) {
+func (c *counters) fill(s *Stats, p *shardedPool, tallyAt func(i int) *tally) {
 	s.AdoptedNodes = c.adopted.Load()
 	s.Freed = c.freed.Load()
 	var res int64
@@ -193,14 +193,11 @@ func (c *counters) fill(s *Stats, p *slotPool, tallyAt func(i int) *tally) {
 	s.OrphanedNodes = c.orphaned.Load()
 	s.Scans = c.scans.Load()
 	s.ScannedRecords = c.scanned.Load()
-	s.QuiescentStates = c.quiesce.Load()
 	s.EpochAdvances = c.epochs.Load()
 	s.SwitchesToFallback = c.toFall.Load()
 	s.SwitchesToFast = c.toFast.Load()
 	s.Evictions = c.evictions.Load()
 	s.Rejoins = c.rejoins.Load()
-	s.AcquiredHandles = c.acquired.Load()
-	s.ReleasedHandles = c.released.Load()
 	s.RRetunes = c.retunesR.Load()
 	s.CRetunes = c.retunesC.Load()
 	s.Failed = c.failed.Load()
@@ -212,8 +209,8 @@ func (c *counters) fill(s *Stats, p *slotPool, tallyAt func(i int) *tally) {
 type None struct {
 	cfg    Config
 	cnt    counters
-	slots  *slotPool
-	guards *arena[*noneGuard]
+	slots  *shardedPool
+	guards *shardedArena[*noneGuard]
 }
 
 type noneGuard struct {
@@ -229,10 +226,10 @@ func NewNone(cfg Config) (*None, error) {
 	}
 	cfg = cfg.withDefaults()
 	d := &None{cfg: cfg}
-	d.guards = newArena(cfg.Workers, cfg.HardMaxWorkers, func(i int) *noneGuard {
+	d.guards = newShardedArena(cfg.Shards, cfg.Workers, cfg.HardMaxWorkers, func(i int) *noneGuard {
 		return &noneGuard{d: d, id: i}
 	})
-	d.slots = newSlotPool(cfg.Workers, cfg.HardMaxWorkers, &d.cnt, nil, d.guards.grow)
+	d.slots = newShardedPool(cfg.Shards, cfg.Workers, cfg.HardMaxWorkers, nil, d.guards.growShard)
 	return d, nil
 }
 
@@ -292,9 +289,9 @@ func (d *None) Stats() Stats {
 // tallies are flushed so post-Close Stats read from the shared counters
 // alone.
 func (d *None) Close() {
-	for i, n := 0, d.guards.len(); i < n; i++ {
-		d.cnt.drainTally(&d.guards.at(i).tally)
-	}
+	d.guards.forEach(func(g *noneGuard) {
+		d.cnt.drainTally(&g.tally)
+	})
 }
 
 func (g *noneGuard) slotID() int              { return g.id }

@@ -81,12 +81,15 @@ package reclaim
 
 import "math/bits"
 
-// markOccupied publishes a GROWN slot i to reclamation walks; called by
-// tryAcquire after winning the lease CAS, before the guard reaches the
-// tenant. Segment-0 slots (all slots of a never-grown domain, and every
-// positional pin) need nothing here — their state word IS the index — so
-// the no-growth lease path pays no bitmap maintenance at all.
+// markOccupied publishes slot i to reclamation walks; called by tryPop
+// after winning the lease CAS (and by pin), before the guard reaches the
+// tenant. The pool-wide live count is maintained for EVERY slot — it is
+// the exact occupancy that shard selection, walk skipping, high-water and
+// parking all read — while the two-tier index splits as before: segment-0
+// slots need nothing further (their state word IS the index), grown slots
+// set their segment's bitmap bit.
 func (p *slotPool) markOccupied(i int) {
+	p.live.Add(1)
 	if uint32(i) < p.init {
 		return
 	}
@@ -96,18 +99,18 @@ func (p *slotPool) markOccupied(i int) {
 	sg.live.Add(1)
 }
 
-// clearOccupied hides a grown slot i from reclamation walks. Called by
-// unlease after the release drain completed, before the slot re-enters the
+// clearOccupied hides slot i from reclamation walks. Called by unlease
+// after the release drain completed, before the slot re-enters the
 // freelist. Segment-0 releases publish vacancy through the state store
-// instead.
+// instead of a bitmap bit; the pool live count decrements for every slot.
 func (p *slotPool) clearOccupied(i int) {
-	if uint32(i) < p.init {
-		return
+	if uint32(i) >= p.init {
+		s, off := segOf(uint32(i), p.init)
+		sg := p.segs[s].Load()
+		sg.occ[off>>6].And(^(uint64(1) << (off & 63)))
+		sg.live.Add(-1)
 	}
-	s, off := segOf(uint32(i), p.init)
-	sg := p.segs[s].Load()
-	sg.occ[off>>6].And(^(uint64(1) << (off & 63)))
-	sg.live.Add(-1)
+	p.live.Add(-1)
 }
 
 // walkOccupied calls visit for every occupied (leased, pinned or draining)
@@ -154,11 +157,11 @@ func (p *slotPool) walkOccupied(visit func(i int) bool) int {
 	return visited
 }
 
-// occupancyEstimate derives the current occupancy (live leases + pins) from
-// counters the lease path already maintains. The three loads are not one
-// atomic snapshot (see countLease), so the estimate is clamped to [0, high].
+// occupancyEstimate reads the current occupancy (live leases + pins) —
+// the pool's exact live count, clamped to [0, high] against transient
+// reorderings with a concurrent grow's high publication.
 func (p *slotPool) occupancyEstimate() int64 {
-	occ := int64(p.cnt.acquired.Load()) - int64(p.cnt.released.Load()) + p.pinned.Load()
+	occ := p.live.Load()
 	if occ < 0 {
 		occ = 0
 	}
@@ -315,17 +318,15 @@ func (p *slotPool) unparkOneLocked() bool {
 }
 
 // retuneLocked re-derives the scheme's scan/fallback thresholds after a
-// capacity transition (grow, park, unpark). Caller holds growMu. The
-// effective N handed to the tuner is the UNPARKED capacity, not the
-// instantaneous occupancy: between transitions occupancy can rise to that
-// capacity without the tuner running again, and C's §6.2 legality bound
-// must hold for every worker count reachable before the next retune.
-// Parking still decays it — a drained arena parks down to segment 0, so
-// N_eff falls back to the initial size. No-op for schemes without tunable
-// thresholds (QSBR, None).
+// capacity transition (grow, park, unpark) on this pool. Caller holds this
+// pool's growMu. The effective N handed to the tuner is the DOMAIN-WIDE
+// unparked capacity — the façade sums every shard's high minus parked
+// (shard.go) — not the instantaneous occupancy: between transitions
+// occupancy can rise to that capacity without the tuner running again, and
+// C's §6.2 legality bound must hold for every worker count reachable
+// before the next retune. Parking still decays it — a drained arena parks
+// down to its segment 0s, so N_eff falls back to the initial size. No-op
+// for schemes without tunable thresholds (QSBR, None).
 func (p *slotPool) retuneLocked() {
-	if p.tune != nil {
-		hi := int64(p.high.Load())
-		p.tune.retune(hi-p.parkedSlots.Load(), hi)
-	}
+	p.all.retuneShards()
 }

@@ -40,6 +40,12 @@ package reclaim
 // freed exactly once; ineligible batches are pushed back intact. The empty
 // check is a single pointer load, which keeps the hooks free on the hot
 // path — domains that never strand anything never pay more than that.
+//
+// Under Config.Shards > 1 a domain owns one orphanList per shard behind
+// the shardedOrphans façade (shard.go): a Release pushes its whole backlog
+// to its own shard's list in one CAS — the batch, never the node, is the
+// unit crossing shards — and every adoption pass sweeps all lists. This
+// file stays single-list; the rooster adoption hook lives on the façade.
 
 import (
 	"sync/atomic"
@@ -169,27 +175,6 @@ func (l *orphanList) adoptDetached(b *orphanBatch, snap hpSnapshot, mgr *rooster
 			l.push(b)
 		}
 		b = next
-	}
-}
-
-// adoptHook returns a rooster-pass adoption hook for the deferred schemes
-// (Cadence, QSense): every pass adopts whatever the tick advance has made
-// freeable, so orphans drain even while every worker is idle. It encodes
-// the safety-critical ordering once — tick capture, then detach, then
-// snapshot (see OldEnoughAt and adoptDetached). The manager serializes
-// passes, so the closure's snapshot buffer needs no locking.
-func (l *orphanList) adoptHook(mgr *rooster.Manager, p *slotPool, recs *arena[*hprec], cfg Config, cnt *counters) func() {
-	var buf []uint64
-	return func() {
-		if l.empty() {
-			return
-		}
-		tick := mgr.Tick()
-		batch := l.detach()
-		snap, visited := snapshotShared(p, recs, buf)
-		buf = snap.vals
-		cnt.scanned.Add(uint64(visited))
-		l.adoptDetached(batch, snap, mgr, tick, cfg, cnt)
 	}
 }
 

@@ -25,9 +25,9 @@ type QSBR struct {
 	cfg     Config
 	cnt     counters
 	epoch   atomic.Uint64 // global epoch e_G
-	slots   *slotPool
-	orphans orphanList
-	guards  *arena[*qsbrGuard]
+	slots   *shardedPool
+	orphans shardedOrphans
+	guards  *shardedArena[*qsbrGuard]
 }
 
 type qsbrGuard struct {
@@ -49,12 +49,13 @@ func NewQSBR(cfg Config) (*QSBR, error) {
 	}
 	cfg = cfg.withDefaults()
 	d := &QSBR{cfg: cfg}
-	d.guards = newArena(cfg.Workers, cfg.HardMaxWorkers, func(i int) *qsbrGuard {
+	d.orphans.init(cfg.Shards)
+	d.guards = newShardedArena(cfg.Shards, cfg.Workers, cfg.HardMaxWorkers, func(i int) *qsbrGuard {
 		g := &qsbrGuard{d: d, id: i}
 		g.mem.init()
 		return g
 	})
-	d.slots = newSlotPool(cfg.Workers, cfg.HardMaxWorkers, &d.cnt, nil, d.guards.grow)
+	d.slots = newShardedPool(cfg.Shards, cfg.Workers, cfg.HardMaxWorkers, nil, d.guards.growShard)
 	return d, nil
 }
 
@@ -135,16 +136,15 @@ func (d *QSBR) Stats() Stats {
 }
 
 // Close implements Domain: frees all limbo contents and drains the orphan
-// list. Only call once all workers have stopped — at that point every
+// lists. Only call once all workers have stopped — at that point every
 // bucket has trivially passed a grace period.
 func (d *QSBR) Close() {
-	for i, n := 0, d.guards.len(); i < n; i++ {
-		g := d.guards.at(i)
+	d.guards.forEach(func(g *qsbrGuard) {
 		for b := range g.limbo {
 			g.freeBucket(b)
 		}
 		d.cnt.drainTally(&g.tally)
-	}
+	})
 	d.orphans.drain(d.cfg.Free, &d.cnt)
 }
 
@@ -178,7 +178,7 @@ func (g *qsbrGuard) quiescent() {
 		g.mem.active.Store(true)
 	}
 	g.mem.stampQuiesce()
-	g.d.cnt.quiesce.Add(1)
+	g.d.slots.quiesceAt(g.id)
 	global := g.d.epoch.Load()
 	// Orphan adoption, at most once per epoch advance: batch maturity only
 	// changes when the epoch does, so retrying within one epoch would just
@@ -232,11 +232,12 @@ func (g *qsbrGuard) quiescent() {
 
 func (g *qsbrGuard) slotID() int { return g.id }
 
-// orphanLimbo moves the guard's remaining limbo onto the domain's orphan
-// list in one batch stamped with the current global epoch (release drain
-// only).
+// orphanLimbo moves the guard's remaining limbo onto its OWN shard's
+// orphan list in one batch stamped with the current global epoch (release
+// drain only) — the whole backlog crosses in one CAS, and the orphaned
+// load stays on the shard that generated it.
 func (g *qsbrGuard) orphanLimbo() {
-	g.d.orphans.addRefBuckets(&g.limbo, g.d.epoch.Load(), &g.d.cnt)
+	g.d.orphans.at(g.id).addRefBuckets(&g.limbo, g.d.epoch.Load(), &g.d.cnt)
 }
 
 func (g *qsbrGuard) freeBucket(b int) {

@@ -51,10 +51,10 @@ type QSense struct {
 	mgr      *rooster.Manager
 	fallback atomic.Bool
 	epoch    atomic.Uint64
-	slots    *slotPool
-	orphans  orphanList
-	recs     *arena[*hprec]
-	guards   *arena[*qsenseGuard]
+	slots    *shardedPool
+	orphans  shardedOrphans
+	recs     *shardedArena[*hprec]
+	guards   *shardedArena[*qsenseGuard]
 }
 
 type qsenseGuard struct {
@@ -94,22 +94,26 @@ func NewQSense(cfg Config) (*QSense, error) {
 	}
 	d := &QSense{cfg: cfg, mgr: rooster.NewManager(cfg.Rooster)}
 	d.tune = newTuner(cfg, &d.cnt)
-	d.recs = newArena(cfg.Workers, cfg.HardMaxWorkers, func(i int) *hprec {
+	d.orphans.init(cfg.Shards)
+	d.recs = newShardedArena(cfg.Shards, cfg.Workers, cfg.HardMaxWorkers, func(i int) *hprec {
 		return newHPRec(cfg.HPs)
 	})
-	d.guards = newArena(cfg.Workers, cfg.HardMaxWorkers, func(i int) *qsenseGuard {
+	d.guards = newShardedArena(cfg.Shards, cfg.Workers, cfg.HardMaxWorkers, func(i int) *qsenseGuard {
 		g := &qsenseGuard{d: d, id: i, rec: d.recs.at(i),
 			tc: tunerCache{r: cfg.R, c: cfg.C}}
 		g.mem.init()
 		return g
 	})
-	d.slots = newSlotPool(cfg.Workers, cfg.HardMaxWorkers, &d.cnt, d.tune, func(hi int) {
-		d.recs.grow(hi)
-		d.guards.grow(hi)
+	d.slots = newShardedPool(cfg.Shards, cfg.Workers, cfg.HardMaxWorkers, d.tune, func(s, hi int) {
+		d.recs.growShard(s, hi)
+		d.guards.growShard(s, hi)
 	})
-	// One occupancy-walking flush target (see cadence.go): rooster passes
-	// flush only occupied records, and growth never touches the rooster.
-	d.mgr.Register(&recFlusher{p: d.slots, recs: d.recs, cnt: &d.cnt})
+	// One occupancy-walking flush target per shard (see cadence.go):
+	// rooster passes flush only occupied records, idle shards cost one
+	// load, and growth never touches the rooster.
+	for s, p := range d.slots.pools {
+		d.mgr.Register(&recFlusher{p: p, recs: d.recs.shards[s], cnt: &d.cnt})
+	}
 	d.mgr.AddHook(cfg.PresenceResetTicks, d.resetPresence)
 	// A QSense orphan batch carries both evidence forms; the hook uses the
 	// deferred-scan one, which works on either path — in particular in
@@ -263,8 +267,7 @@ func (d *QSense) Stats() Stats {
 // drains the orphan list. Only call after all workers have stopped.
 func (d *QSense) Close() {
 	d.mgr.Stop()
-	for i, n := 0, d.guards.len(); i < n; i++ {
-		g := d.guards.at(i)
+	d.guards.forEach(func(g *qsenseGuard) {
 		for b := range g.limbo {
 			for _, n := range g.limbo[b] {
 				d.cfg.Free(n.ref)
@@ -274,7 +277,7 @@ func (d *QSense) Close() {
 		}
 		g.total = 0
 		d.cnt.drainTally(&g.tally)
-	}
+	})
 	d.orphans.drain(d.cfg.Free, &d.cnt)
 }
 
@@ -315,7 +318,7 @@ func (g *qsenseGuard) quiescent() {
 		g.mem.active.Store(true)
 	}
 	g.mem.stampQuiesce()
-	g.d.cnt.quiesce.Add(1)
+	g.d.slots.quiesceAt(g.id)
 	global := g.d.epoch.Load()
 	// Orphan adoption, at most once per epoch advance (see qsbr.go).
 	if global != g.adoptSeen && !g.d.orphans.empty() {
@@ -433,12 +436,13 @@ func (g *qsenseGuard) slotID() int { return g.id }
 
 // scanAll runs the Cadence scan over all three limbo buckets with one
 // snapshot, then adopts eligible orphans against the same snapshot. Tick
-// capture and detach precede the snapshot (see cadenceGuard.scan).
+// capture and every shard's detach precede the snapshot (see
+// cadenceGuard.scan).
 func (g *qsenseGuard) scanAll() {
 	g.d.cnt.scans.Add(1)
 	g.sinceScan = 0
 	tick := g.d.mgr.Tick()
-	batch := g.d.orphans.detach()
+	batches := g.d.orphans.detachAll()
 	snap, visited := snapshotShared(g.d.slots, g.d.recs, g.scanBuf)
 	g.d.cnt.tallyScanned(&g.tally, visited)
 	g.scanBuf = snap.vals
@@ -451,14 +455,15 @@ func (g *qsenseGuard) scanAll() {
 		freed += f
 	}
 	g.d.cnt.tallyFree(&g.tally, freed)
-	g.d.orphans.adoptDetached(batch, snap, g.d.mgr, tick, g.d.cfg, &g.d.cnt)
+	g.d.orphans.adoptDetachedAll(batches, snap, g.d.mgr, tick, g.d.cfg, &g.d.cnt)
 	g.finishPass()
 }
 
-// orphanLimbo moves the guard's surviving limbo onto the orphan list in one
-// batch that keeps the nodes' tick stamps and records the current global
-// epoch — dual evidence, so whichever path the domain runs makes progress
-// on it (release drain only; slice ownership passes to the list).
+// orphanLimbo moves the guard's surviving limbo onto its OWN shard's
+// orphan list in one batch that keeps the nodes' tick stamps and records
+// the current global epoch — dual evidence, so whichever path the domain
+// runs makes progress on it (release drain only; slice ownership passes to
+// the list).
 func (g *qsenseGuard) orphanLimbo() {
 	if g.total == 0 {
 		return
@@ -476,5 +481,5 @@ func (g *qsenseGuard) orphanLimbo() {
 		g.limbo[b] = nil
 	}
 	g.total = 0
-	g.d.orphans.add(nil, nodes, g.d.epoch.Load(), &g.d.cnt)
+	g.d.orphans.at(g.id).add(nil, nodes, g.d.epoch.Load(), &g.d.cnt)
 }

@@ -37,9 +37,9 @@ type RC struct {
 	cnt     counters
 	tune    *tuner
 	table   countTable
-	slots   *slotPool
-	orphans orphanList
-	guards  *arena[*rcGuard]
+	slots   *shardedPool
+	orphans shardedOrphans
+	guards  *shardedArena[*rcGuard]
 }
 
 type rcGuard struct {
@@ -64,11 +64,12 @@ func NewRC(cfg Config) (*RC, error) {
 	cfg = cfg.withDefaults()
 	d := &RC{cfg: cfg}
 	d.tune = newTuner(cfg, &d.cnt)
-	d.guards = newArena(cfg.Workers, cfg.HardMaxWorkers, func(i int) *rcGuard {
+	d.orphans.init(cfg.Shards)
+	d.guards = newShardedArena(cfg.Shards, cfg.Workers, cfg.HardMaxWorkers, func(i int) *rcGuard {
 		return &rcGuard{d: d, id: i, held: make([]mem.Ref, cfg.HPs),
 			tc: tunerCache{r: cfg.R, c: cfg.C}}
 	})
-	d.slots = newSlotPool(cfg.Workers, cfg.HardMaxWorkers, &d.cnt, d.tune, d.guards.grow)
+	d.slots = newShardedPool(cfg.Shards, cfg.Workers, cfg.HardMaxWorkers, d.tune, d.guards.growShard)
 	return d, nil
 }
 
@@ -118,7 +119,7 @@ func (d *RC) Release(gd Guard) {
 			g.sweep()
 		}
 		if len(g.rl) > 0 {
-			d.orphans.add(g.rl, nil, 0, &d.cnt)
+			d.orphans.at(g.id).add(g.rl, nil, 0, &d.cnt)
 			g.rl = nil
 		}
 		d.cnt.releaseTally(&g.tally, d.cfg.MemoryLimit)
@@ -143,15 +144,14 @@ func (d *RC) Stats() Stats {
 // ignoring counts, and drains the orphan list (call only once all workers
 // have stopped).
 func (d *RC) Close() {
-	for i, n := 0, d.guards.len(); i < n; i++ {
-		g := d.guards.at(i)
+	d.guards.forEach(func(g *rcGuard) {
 		for _, r := range g.rl {
 			d.cfg.Free(r)
 		}
 		d.cnt.tallyFree(&g.tally, len(g.rl))
 		g.rl = g.rl[:0]
 		d.cnt.drainTally(&g.tally)
-	}
+	})
 	d.orphans.drain(d.cfg.Free, &d.cnt)
 }
 

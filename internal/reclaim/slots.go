@@ -3,6 +3,13 @@ package reclaim
 // Dynamic handle leasing — the elastic slot allocator behind
 // Domain.Acquire/Release.
 //
+// Under Config.Shards > 1 a domain owns S independent instances of this
+// allocator — one per shard, each with its own freelist head, growth lock,
+// occupancy index and parking suffix — behind the shardedPool façade
+// (shard.go) that maps between global and shard-local slot indices. All
+// indices in this file are shard-local; "the arena" below reads as "this
+// shard's share of the arena".
+//
 // A domain owns an arena of guard slots that starts at Config.Workers (the
 // paper's N; the public Options.MaxWorkers) and, by default, GROWS on
 // demand: when Acquire finds the freelist empty, the pool first unparks the
@@ -41,7 +48,6 @@ package reclaim
 // means growth happens only when the *concurrent* lease count exceeds
 // everything released so far, never from mere churn.
 import (
-	"context"
 	"errors"
 	"runtime"
 	"sync"
@@ -95,8 +101,21 @@ type slotPool struct {
 
 	seg0 *slotSeg // segment 0, immutable after construction: the fast path
 
-	cnt  *counters // the owning domain's counters (lease/occupancy math)
-	tune *tuner    // R/C re-tuning on capacity transitions; may be nil
+	all *shardedPool // owning façade: retunes, waiter wakeups (shard.go)
+
+	// live is this pool's exact occupancy (leases + pins), maintained on
+	// every occupancy transition including segment 0's. It is what shard
+	// selection compares, what walks use to skip an idle shard outright,
+	// and what the high-water and parking estimates read — replacing the
+	// old acquired-released+pinned arithmetic with one exact counter.
+	live atomic.Int64
+
+	// Per-shard lease/quiesce tallies, summed into Stats by the façade.
+	// Keeping these RMWs pool-local is the point of sharding: the hot
+	// lease and quiescent paths touch no domain-wide cache line.
+	acquired atomic.Uint64
+	released atomic.Uint64
+	quiesce  atomic.Uint64
 
 	growMu sync.Mutex
 	// onGrow publishes the owning scheme's per-slot state (guards, hazard
@@ -106,7 +125,6 @@ type slotPool struct {
 	onGrow func(hi int)
 
 	grows     atomic.Uint64 // segment publications past the initial one
-	pinned    atomic.Int64  // slots claimed by the positional pin path
 	highWater atomic.Int64  // peak simultaneous occupancy (leases + pins)
 
 	// Segment parking (occupancy.go): segments [parkedFrom, top] are
@@ -116,29 +134,19 @@ type slotPool struct {
 	parkedSlots atomic.Int64
 	parks       atomic.Uint64
 	unparks     atomic.Uint64
-
-	// Waiter support for leaseWait: wake holds the current generation's
-	// broadcast channel; a release observing waiters > 0 closes it and
-	// installs a fresh one, waking every parked leaseWait to retry.
-	wake    atomic.Pointer[chan struct{}]
-	waiters atomic.Int32
 }
 
 // newSlotPool builds the allocator with segment 0 (the initial soft size)
-// published and its slots pushed free, low indices on top. cnt is the
-// owning domain's counter block; tune (may be nil) is re-tuned on every
-// capacity transition.
-func newSlotPool(init, hardMax int, cnt *counters, tune *tuner, onGrow func(hi int)) *slotPool {
+// published and its slots pushed free, low indices on top. The caller (the
+// shardedPool façade) sets p.all before the pool is reachable; tuning and
+// leaseWait wakeups go through that back-pointer.
+func newSlotPool(init, hardMax int, onGrow func(hi int)) *slotPool {
 	p := &slotPool{
 		init:   uint32(init),
 		cap:    uint32(hardMax),
-		cnt:    cnt,
-		tune:   tune,
 		onGrow: onGrow,
 		segs:   make([]atomic.Pointer[slotSeg], numSegs(uint32(init), uint32(hardMax))),
 	}
-	ch := make(chan struct{})
-	p.wake.Store(&ch)
 	p.seg0 = newSlotSeg(init)
 	p.segs[0].Store(p.seg0)
 	p.high.Store(uint32(init))
@@ -177,20 +185,18 @@ func (p *slotPool) pushSlotVia(nx *atomic.Uint32, i int) {
 	}
 }
 
-// tryAcquire pops a free slot and marks it leased, discarding pinned slots
-// it encounters and growing the arena (unparking first) when the freelist
-// runs dry. Returns -1 only at the hard cap with every slot out. The
-// occupancy bit is set before the index is returned, so a tenant's every
-// action is preceded by its slot becoming visible to walks (occupancy.go).
-func (p *slotPool) tryAcquire() int {
+// tryPop pops a free slot and marks it leased, discarding pinned slots it
+// encounters. Returns -1 when the freelist is empty — growth (and shard
+// stealing before it) is the façade's decision, not this pool's. The
+// occupancy index (including the pool live count) is updated before the
+// index is returned, so a tenant's every action is preceded by its slot
+// becoming visible to walks (occupancy.go).
+func (p *slotPool) tryPop() int {
 	for {
 		h := p.head.Load()
 		top := uint32(h)
 		if top == 0 {
-			if !p.grow() {
-				return -1
-			}
-			continue
+			return -1
 		}
 		i := int(top - 1)
 		nx, st := p.slot(i)
@@ -248,10 +254,10 @@ func (p *slotPool) grow() bool {
 // noteHighWater raises the occupancy high-water mark. Steady state (occ
 // below the recorded peak) is a single load; the CAS loop only runs while
 // the peak is actually climbing. Candidate values are clamped to the
-// published arena size: occupancy estimates mix counter reads from
-// different instants (see countLease) and can transiently exceed truth,
-// but true occupancy never exceeds the arena, so the clamp keeps
-// HighWaterWorkers <= ArenaSize invariantly (both are monotone).
+// published arena size: a live-count read can race a concurrent grow and
+// transiently exceed the high bound this pool published when the reader
+// loaded it, but true occupancy never exceeds the arena, so the clamp
+// keeps HighWaterWorkers <= ArenaSize invariantly (both are monotone).
 func (p *slotPool) noteHighWater(occ int64) {
 	if hi := int64(p.high.Load()); occ > hi {
 		occ = hi
@@ -265,83 +271,12 @@ func (p *slotPool) noteHighWater(occ int64) {
 }
 
 // countLease records a granted lease and folds the moment's occupancy into
-// the high-water mark. Occupancy derives from counters the lease path
-// already maintains (acquired/released) plus the pin count, so the hot
-// path pays loads, not extra RMWs. The three reads are not one atomic
-// snapshot — a reader descheduled between them can combine a stale
-// released count with fresh pins and over-estimate — so the mark is an
-// approximation bounded above by noteHighWater's arena-size clamp and
-// below by the true peak of this counter arithmetic at any single
-// instant.
+// the high-water mark. Occupancy is the pool's exact live count, which the
+// caller's tryPop already incremented (markOccupied), so the hot path pays
+// one pool-local RMW and one load — nothing domain-wide.
 func (p *slotPool) countLease() {
-	a := p.cnt.acquired.Add(1)
-	p.noteHighWater(int64(a) - int64(p.cnt.released.Load()) + p.pinned.Load())
-}
-
-// fillArena adds the capacity-subsystem counters to a Stats snapshot.
-func (p *slotPool) fillArena(s *Stats) {
-	s.ArenaSize = int(p.high.Load())
-	s.HighWaterWorkers = int(p.highWater.Load())
-	s.ArenaGrowths = p.grows.Load()
-	s.ParkedSlots = int(p.parkedSlots.Load())
-	s.SegmentParks = p.parks.Load()
-	s.SegmentUnparks = p.unparks.Load()
-	if p.tune != nil {
-		s.EffectiveR = int(p.tune.r.Load())
-		s.EffectiveC = int(p.tune.c.Load())
-	}
-}
-
-// lease pops (or grows) a free slot, counting the lease. The
-// scheme-specific join hooks run in the caller, on the returned index.
-func (p *slotPool) lease() (int, error) {
-	w := p.tryAcquire()
-	if w < 0 {
-		return -1, ErrNoSlots
-	}
-	p.countLease()
-	return w, nil
-}
-
-// leaseWait is lease that parks while the arena is exhausted at its hard
-// cap, woken by the next unlease, or fails with ctx.Err() when ctx is done
-// first. (An elastic domain grows instead of parking, so leaseWait only
-// ever blocks under a HardMaxWorkers cap.)
-//
-// Lost-wakeup freedom: the waiter loads the wake channel BEFORE its retry
-// pop, and unlease pushes the slot BEFORE checking the waiter count. If the
-// releaser misses our count (we registered after its check), its push is
-// already visible to our retry; if our retry misses the slot, the releaser
-// saw our count and closes the very channel generation we hold (or a
-// later release does) — either way we cannot sleep through a free slot.
-func (p *slotPool) leaseWait(ctx context.Context) (int, error) {
-	if w := p.tryAcquire(); w >= 0 {
-		p.countLease()
-		return w, nil
-	}
-	p.waiters.Add(1)
-	defer p.waiters.Add(-1)
-	for {
-		ch := *p.wake.Load()
-		if w := p.tryAcquire(); w >= 0 {
-			p.countLease()
-			return w, nil
-		}
-		select {
-		case <-ctx.Done():
-			return -1, ctx.Err()
-		case <-ch:
-		}
-	}
-}
-
-// wakeWaiters closes out the current wake generation so every parked
-// leaseWait retries. Each caller closes only the channel it swapped out, so
-// racing releases never double-close.
-func (p *slotPool) wakeWaiters() {
-	ch := make(chan struct{})
-	old := p.wake.Swap(&ch)
-	close(*old)
+	p.acquired.Add(1)
+	p.noteHighWater(p.live.Load())
 }
 
 // unlease runs the release protocol for slot i: claim the release (exactly
@@ -367,9 +302,9 @@ func (p *slotPool) unlease(i int, drain func()) bool {
 	p.clearOccupied(i)
 	st.Store(slotFree)
 	p.pushSlotVia(nx, i)
-	p.cnt.released.Add(1)
-	if p.waiters.Load() > 0 {
-		p.wakeWaiters()
+	p.released.Add(1)
+	if p.all.waiters.Load() > 0 {
+		p.all.wakeWaiters()
 	}
 	p.maybePark()
 	return true
@@ -380,13 +315,15 @@ const errForeignGuard = "reclaim: Release of a guard from another domain"
 
 // pin claims slot i forever for the positional Guard(w) path. Reports
 // whether this call performed the transition (first pin). The positional
-// range is the INITIAL arena only — grown slots belong to Acquire — so an
-// out-of-range index fails loudly here with the contract spelled out,
-// instead of as an index panic deeper in the directory. (Segment 0 also
-// never parks, so a pinned slot is visible to every walk forever.) A slot
-// mid-release is waited out; pinning a slot some goroutine holds via
-// Acquire is a caller error that would silently alias the guard across two
-// goroutines — it panics rather than corrupt.
+// range is the INITIAL arena only — grown slots belong to Acquire — and
+// under sharding the dense global range [0, Workers) decodes exactly onto
+// the shards' initial segments (shard.go), so an out-of-range LOCAL index
+// here means an out-of-range global: it fails loudly with the contract
+// spelled out, instead of as an index panic deeper in the directory.
+// (Segment 0 also never parks, so a pinned slot is visible to every walk
+// forever.) A slot mid-release is waited out; pinning a slot some
+// goroutine holds via Acquire is a caller error that would silently alias
+// the guard across two goroutines — it panics rather than corrupt.
 func (p *slotPool) pin(i int) bool {
 	if i < 0 || uint32(i) >= p.init {
 		panic("reclaim: positional Guard(w) outside the initial arena [0, Workers) — size Config.Workers (public Options.Workers) to cover every pinned slot")
@@ -397,11 +334,9 @@ func (p *slotPool) pin(i int) bool {
 		case slotFree:
 			if st.CompareAndSwap(slotFree, slotPinned) {
 				p.markOccupied(i)
-				// Occupancy = pins + live leases, same accounting as
-				// countLease from the other side.
-				occ := p.pinned.Add(1) +
-					int64(p.cnt.acquired.Load()) - int64(p.cnt.released.Load())
-				p.noteHighWater(occ)
+				// markOccupied maintained the live count, so the pin's
+				// occupancy reading is the same accounting countLease uses.
+				p.noteHighWater(p.live.Load())
 				return true
 			}
 		case slotReleasing:

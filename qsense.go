@@ -59,6 +59,22 @@
 // other workers' reclamation passes (Stats.OrphanedNodes/AdoptedNodes), so
 // a slot that never re-leases strands no memory.
 //
+// # Sharding
+//
+// The domain core — slot pool, orphan list, retire tallies, flush target —
+// is split into Options.Shards independent units (default min(GOMAXPROCS,
+// 8), override with the QSENSE_SHARDS environment variable), so concurrent
+// Acquire/Release traffic does not serialize on one freelist head and one
+// orphan-list CAS. Acquire picks a shard by power-of-two-choices over live
+// occupancy and steals a free slot from a sibling shard before growing the
+// arena; Release hands any stranded backlog to the releasing slot's own
+// shard in a single batch. Reclamation passes walk shards independently
+// and skip idle or fully-parked shards on one atomic load each, so the
+// cost model above is per shard: a domain with one busy shard and seven
+// idle ones scans like a domain one-eighth the size. Shards = 1 is exactly
+// the unsharded behaviour. Stats.Shards reports the resolved count and
+// Stats.ShardImbalance the live-occupancy spread (max−min) across shards.
+//
 // The positional Handle(w) accessor from the fixed-worker API survives as a
 // deprecated shim: it pins slot w permanently, which the experiment harness
 // uses to keep worker↔slot assignment deterministic.
@@ -85,6 +101,7 @@
 package qsense
 
 import (
+	"os"
 	"runtime"
 	"time"
 
@@ -178,6 +195,14 @@ type Options struct {
 	RoosterInterval time.Duration
 	// MaxNodes bounds a container's node pool. 0 = default.
 	MaxNodes int
+	// Shards splits the domain core (slot pool, orphan list, retire
+	// tallies, rooster flush target) into this many independent units so
+	// lease and release traffic does not serialize on shared atomics; see
+	// the package-level "Sharding" section. 1 disables sharding. 0 (the
+	// default) consults the QSENSE_SHARDS environment variable, then
+	// min(runtime.GOMAXPROCS(0), 8). Values above the initial arena size
+	// are clamped down so every shard starts with at least one slot.
+	Shards int
 }
 
 func (o Options) reclaimConfig(hps int, free func(mem.Ref)) reclaim.Config {
@@ -194,7 +219,23 @@ func (o Options) reclaimConfig(hps int, free func(mem.Ref)) reclaim.Config {
 		C:              o.C,
 		MemoryLimit:    o.MemoryLimit,
 		Rooster:        rooster.Config{Interval: o.RoosterInterval},
+		Shards:         o.shards(),
 	}
+}
+
+// shards resolves Options.Shards: an explicit value passes through (the
+// internal layer clamps it to the arena size); 0 defers to the
+// QSENSE_SHARDS environment variable when set, and otherwise defaults to
+// min(GOMAXPROCS, 8) — one unit of lease/orphan traffic per core, capped
+// where further splitting stops paying for its walk overhead.
+func (o Options) shards() int {
+	if o.Shards > 0 {
+		return o.Shards
+	}
+	if os.Getenv("QSENSE_SHARDS") != "" {
+		return 0 // the internal layer parses the override
+	}
+	return min(runtime.GOMAXPROCS(0), 8)
 }
 
 func (o Options) scheme() string {
@@ -284,6 +325,12 @@ type Stats struct {
 	// RoosterPasses counts completed rooster flush passes (Cadence,
 	// QSense).
 	RoosterPasses uint64
+	// Shards is the resolved Options.Shards the domain runs with;
+	// ShardImbalance is the live-occupancy spread (max−min) across shards
+	// at snapshot time, 0 for a single-shard domain. A persistently large
+	// imbalance under steady load suggests goroutine affinity is defeating
+	// the two-choice placement.
+	Shards, ShardImbalance int
 	// Failed reports a MemoryLimit breach.
 	Failed bool
 }
@@ -318,6 +365,8 @@ func fromReclaimStats(s reclaim.Stats) Stats {
 		RRetunes:           s.RRetunes,
 		CRetunes:           s.CRetunes,
 		RoosterPasses:      s.RoosterPasses,
+		Shards:             s.Shards,
+		ShardImbalance:     s.ShardImbalance,
 		Failed:             s.Failed,
 	}
 }
