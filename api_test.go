@@ -8,10 +8,19 @@ import (
 	"qsense"
 )
 
-var apiSchemes = []qsense.Scheme{
-	qsense.SchemeQSense, qsense.SchemeQSBR, qsense.SchemeHP,
-	qsense.SchemeCadence, qsense.SchemeEBR, qsense.SchemeRC,
-}
+// apiSchemes is every registered reclaiming scheme — derived from
+// SchemeNames so a newly registered scheme is exercised by the public API
+// tests without edits here. The leaky baseline is excluded: these tests
+// assert reclamation side effects.
+var apiSchemes = func() []qsense.Scheme {
+	var out []qsense.Scheme
+	for _, s := range qsense.SchemeNames() {
+		if qsense.Scheme(s) != qsense.SchemeNone {
+			out = append(out, qsense.Scheme(s))
+		}
+	}
+	return out
+}()
 
 // TestPublicSetContainers: the four set containers share semantics across
 // every scheme through the public API alone.

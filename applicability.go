@@ -1,0 +1,96 @@
+package qsense
+
+// The scheme×structure applicability matrix.
+//
+// Not every reclamation scheme can run every concurrent structure; the
+// literature's tables (and this repo's harness) need the pairing to be a
+// queried fact, not folklore. Two structure properties decide it:
+//
+//   - guarded traversal: every traversal hop publishes a protection
+//     (Guard.Protect) and re-validates the link afterwards, Michael's
+//     methodology. The pointer-based schemes — hp, cadence, qsense's
+//     fallback path, rc — are sound only on structures that do this;
+//     a wait-free read path that chases links without protecting them
+//     (HHS-style lists, trees with wait-free get) cannot run them.
+//   - transient-read tolerance: a reader may still dereference a node
+//     after it has been retired (but before it is freed) and must get
+//     garbage-but-harmless behaviour, never corruption. ibr requires
+//     this — a reservation keeps retired nodes mapped rather than
+//     keeping them unretired. Structures over this library's Pool get
+//     the mapped-until-freed part for free (a Ref resolves until Free);
+//     what the structure must add is that its traversal checks marks /
+//     re-validates rather than trusting a retired node's links.
+//
+// The epoch and handoff schemes (qsbr, ebr, hyaline) and the leaky
+// baseline (none) place no structural requirement: they only need Begin
+// at the operation boundary.
+//
+// All seven current containers do guarded traversal and tolerate
+// transient reads, so today's matrix is all-true — the planned
+// wait-free-read variants (see ROADMAP) will be the first rows with
+// false entries under the pointer-based schemes. TestApplicability keeps
+// the table honest by running every true pairing.
+
+// structureTraits are the two properties of a container the matrix is
+// derived from.
+type structureTraits struct {
+	guardedTraversal       bool // every hop Protect-ed and re-validated
+	toleratesTransientRead bool // dereferencing retired-unfreed nodes is safe
+}
+
+// containerTraits lists every public container kind. Key names follow the
+// constructors (and, for the harness's four, its DataStructures naming).
+var containerTraits = map[string]structureTraits{
+	"list":     {guardedTraversal: true, toleratesTransientRead: true}, // NewSet (Harris–Michael list)
+	"skiplist": {guardedTraversal: true, toleratesTransientRead: true}, // NewSkipSet (Fraser skip list)
+	"bst":      {guardedTraversal: true, toleratesTransientRead: true}, // NewTreeSet (Natarajan–Mittal)
+	"hashmap":  {guardedTraversal: true, toleratesTransientRead: true}, // NewHashSet (Michael hash table)
+	"skipmap":  {guardedTraversal: true, toleratesTransientRead: true}, // NewSkipMap (skip list + value word)
+	"queue":    {guardedTraversal: true, toleratesTransientRead: true}, // NewQueue (Michael–Scott)
+	"stack":    {guardedTraversal: true, toleratesTransientRead: true}, // NewStack (Treiber)
+}
+
+// runnable applies the scheme's structural requirement to the traits.
+func runnable(s Scheme, t structureTraits) bool {
+	switch s {
+	case SchemeHP, SchemeCadence, SchemeQSense, SchemeRC:
+		// Per-pointer protection schemes (qsense via its fallback path).
+		return t.guardedTraversal
+	case SchemeIBR:
+		return t.toleratesTransientRead
+	default: // qsbr, ebr, hyaline, none: Begin-only, no requirement.
+		return true
+	}
+}
+
+// Structures returns the container kinds Applicability reports on, in the
+// library's canonical order: the harness's four set structures first, then
+// the map and value containers.
+func Structures() []string {
+	return []string{"list", "skiplist", "bst", "hashmap", "skipmap", "queue", "stack"}
+}
+
+// Applicability returns the scheme×structure matrix: for every container
+// kind (Structures) and every scheme (SchemeNames), whether the pairing
+// is sound. The harness consults it before building a run and README's
+// scheme table renders it; the matrix is derived from per-structure
+// traversal properties (see the file comment), so a new container states
+// its two traits and every scheme row follows.
+func Applicability() map[string]map[Scheme]bool {
+	m := make(map[string]map[Scheme]bool, len(containerTraits))
+	for ds, t := range containerTraits {
+		row := make(map[Scheme]bool, len(SchemeNames()))
+		for _, s := range SchemeNames() {
+			row[Scheme(s)] = runnable(Scheme(s), t)
+		}
+		m[ds] = row
+	}
+	return m
+}
+
+// Applicable reports whether scheme can run structure ds (false also for
+// unknown ds — callers validate names against Structures).
+func Applicable(scheme Scheme, ds string) bool {
+	t, ok := containerTraits[ds]
+	return ok && runnable(scheme, t)
+}

@@ -310,13 +310,15 @@ func BenchmarkArenaAlloc(b *testing.B) {
 }
 
 // BenchmarkListOps measures raw structure operation latency under the two
-// paths QSense alternates between, for one worker (no contention).
+// paths QSense alternates between, for one worker (no contention). The
+// ebr/ibr/hyaline points are the CI perf-smoke guard for the new scheme
+// families: both must stay within 2x of ebr, the cheapest epoch baseline.
 func BenchmarkListOps(b *testing.B) {
-	for _, scheme := range []string{"qsbr", "cadence"} {
+	for _, scheme := range []string{"qsbr", "cadence", "ebr", "ibr", "hyaline"} {
 		b.Run(scheme, func(b *testing.B) {
 			l := list.New(list.Config{})
 			d, err := reclaim.New(scheme, reclaim.Config{
-				Workers: 1, HPs: list.HPs, Free: l.FreeNode,
+				Workers: 1, HPs: list.HPs, Free: l.FreeNode, Era: l.Pool(),
 				Rooster: rooster.Config{Interval: 2 * time.Millisecond},
 			})
 			if err != nil {

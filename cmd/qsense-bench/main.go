@@ -27,14 +27,16 @@ import (
 	"strings"
 	"time"
 
+	"qsense"
 	"qsense/internal/harness"
 )
 
 func main() {
 	var (
-		figure     = flag.String("figure", "", `preset: "3" or "5top" (overrides ds/schemes/updates/range)`)
-		ds         = flag.String("ds", "list", "data structure: list, skiplist, bst")
-		schemes    = flag.String("schemes", "none,qsbr,qsense,hp", "comma-separated schemes")
+		figure  = flag.String("figure", "", `preset: "3" or "5top" (overrides ds/schemes/updates/range)`)
+		ds      = flag.String("ds", "list", "data structure: list, skiplist, bst")
+		schemes = flag.String("schemes", "none,qsbr,qsense,hp,ibr,hyaline",
+			"comma-separated schemes (valid: "+strings.Join(qsense.SchemeNames(), ", ")+")")
 		threads    = flag.String("threads", "1,2,4,8", "comma-separated worker counts (paper: 1..32)")
 		duration   = flag.Duration("duration", time.Second, "measurement time per point")
 		updates    = flag.Int("updates", 50, "update percentage (rest are searches)")
@@ -54,9 +56,14 @@ func main() {
 		fatal(err)
 	}
 
+	schemeList, err := parseSchemes(*schemes)
+	if err != nil {
+		fatal(err)
+	}
+
 	switch *experiment {
 	case "leasevspinned":
-		runLeaseVsPinned(*ds, *schemes, workers, *leaseEvery, *keyRange, *paper, *duration, *seed, *jsonOut, *force)
+		runLeaseVsPinned(*ds, schemeList, workers, *leaseEvery, *keyRange, *paper, *duration, *seed, *jsonOut, *force)
 		return
 	case "":
 	default:
@@ -72,7 +79,7 @@ func main() {
 	case "":
 		sc = harness.ScalabilityConfig{
 			DS: *ds, KeyRange: defaultRange(*ds, *paper), UpdatePct: *updates,
-			Schemes: strings.Split(*schemes, ","), Workers: workers, Duration: *duration,
+			Schemes: schemeList, Workers: workers, Duration: *duration,
 		}
 	default:
 		fatal(fmt.Errorf("unknown figure %q (want 3 or 5top)", *figure))
@@ -140,7 +147,7 @@ func writeBenchJSON(name string, force bool, meta harness.BenchJSON, curves []ha
 
 // runLeaseVsPinned drives the leased-vs-pinned comparison at each worker
 // count and prints a per-scheme summary table.
-func runLeaseVsPinned(ds, schemes string, workers []int, leaseEvery int, keyRange int64, paper bool, duration time.Duration, seed uint64, jsonOut, force bool) {
+func runLeaseVsPinned(ds string, schemes []string, workers []int, leaseEvery int, keyRange int64, paper bool, duration time.Duration, seed uint64, jsonOut, force bool) {
 	if keyRange <= 0 {
 		keyRange = defaultRange(ds, paper)
 	}
@@ -161,7 +168,7 @@ func runLeaseVsPinned(ds, schemes string, workers []int, leaseEvery int, keyRang
 	}
 	for _, w := range workers {
 		fmt.Printf("-- %d workers --\n", w)
-		results, err := harness.RunLeaseVsPinned(ds, strings.Split(schemes, ","), w, leaseEvery, keyRange, duration, seed, os.Stdout)
+		results, err := harness.RunLeaseVsPinned(ds, schemes, w, leaseEvery, keyRange, duration, seed, os.Stdout)
 		if err != nil {
 			fatal(err)
 		}
@@ -195,6 +202,21 @@ func defaultRange(ds string, paper bool) int64 {
 	default:
 		return harness.PaperListRange
 	}
+}
+
+// parseSchemes validates a comma-separated scheme list against the
+// library's registry, so a typo fails up front with the valid names
+// instead of mid-sweep.
+func parseSchemes(s string) ([]string, error) {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		sch, err := qsense.ParseScheme(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, string(sch))
+	}
+	return out, nil
 }
 
 func parseInts(s string) ([]int, error) {

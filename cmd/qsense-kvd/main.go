@@ -4,7 +4,7 @@
 //
 // Server mode (the default) speaks GET/SET/DEL/STATS/PING/QUIT with
 // integer keys and values, one goroutine and one leased map handle per
-// connection, under any of the seven reclamation schemes:
+// connection, under any of the nine reclamation schemes:
 //
 //	qsense-kvd -addr :6380 -scheme qsense
 //	qsense-kvd -addr :6380 -scheme hp -max-conns 256   # queue past 256
@@ -34,19 +34,18 @@ import (
 	"syscall"
 	"time"
 
+	"qsense"
 	"qsense/internal/harness"
 	"qsense/internal/kvd"
 	"qsense/internal/reclaim"
 	"qsense/internal/workload"
 )
 
-var allSchemes = []string{"qsense", "qsbr", "hp", "cadence", "ebr", "rc", "none"}
-
 func main() {
 	var (
 		// Server mode.
 		addr     = flag.String("addr", ":6380", "listen address (server mode)")
-		scheme   = flag.String("scheme", "qsense", "reclamation scheme: "+strings.Join(allSchemes, ", "))
+		scheme   = flag.String("scheme", "qsense", "reclamation scheme: "+strings.Join(qsense.SchemeNames(), ", "))
 		maxConns = flag.Int("max-conns", 0, "admission cap: connections past it queue (0 = elastic, never refuse)")
 		initial  = flag.Int("initial-conns", 0, "initial guard-arena size hint (0 = machine default)")
 		maxNodes = flag.Int("max-nodes", 0, "map node-pool bound (0 = library default)")
@@ -55,7 +54,7 @@ func main() {
 		// Load mode.
 		load     = flag.Bool("load", false, "run as load generator instead of server")
 		target   = flag.String("target", "", "server to drive; empty = self-host a fresh server per point")
-		schemes  = flag.String("schemes", "qsense,hp", "self-hosted schemes to sweep (load mode)")
+		schemes  = flag.String("schemes", "qsense,hp,hyaline", "self-hosted schemes to sweep (load mode)")
 		conns    = flag.String("conns", "4,16,64", "comma-separated connection counts to sweep")
 		keyRange = flag.Int64("range", 1<<16, "key range")
 		theta    = flag.Float64("theta", 0.99, "zipf skew in (0,1); <=0 = uniform keys")
@@ -143,6 +142,11 @@ func runLoad(o loadOpts) {
 		plan = workload.Steady(o.burst)
 	}
 	schemeList := strings.Split(o.schemes, ",")
+	for _, sc := range schemeList {
+		if _, err := qsense.ParseScheme(sc); err != nil {
+			fatal(err)
+		}
+	}
 	if o.target != "" {
 		// A remote target's scheme is whatever it runs; one curve.
 		schemeList = []string{"remote"}
@@ -222,18 +226,20 @@ func reclaimFromStats(st map[string]int64) reclaim.Stats {
 		return reclaim.Stats{}
 	}
 	return reclaim.Stats{
-		Retired:        uint64(st["retired"]),
-		Freed:          uint64(st["freed"]),
-		Pending:        st["pending"],
-		Scans:          uint64(st["scans"]),
-		ScannedRecords: uint64(st["scanned_records"]),
-		ArenaSize:      int(st["arena_size"]),
-		ParkedSlots:    int(st["parked_slots"]),
-		RRetunes:       uint64(st["r_retunes"]),
-		CRetunes:       uint64(st["c_retunes"]),
-		Shards:         int(st["shards"]),
-		ShardImbalance: int(st["shard_imbalance"]),
-		Failed:         st["failed"] != 0,
+		Retired:          uint64(st["retired"]),
+		Freed:            uint64(st["freed"]),
+		Pending:          st["pending"],
+		Scans:            uint64(st["scans"]),
+		ScannedRecords:   uint64(st["scanned_records"]),
+		ArenaSize:        int(st["arena_size"]),
+		ParkedSlots:      int(st["parked_slots"]),
+		RRetunes:         uint64(st["r_retunes"]),
+		CRetunes:         uint64(st["c_retunes"]),
+		IBRIntervalWidth: uint64(st["ibr_interval_width"]),
+		HyalineBatchRefs: st["hyaline_batch_refs"],
+		Shards:           int(st["shards"]),
+		ShardImbalance:   int(st["shard_imbalance"]),
+		Failed:           st["failed"] != 0,
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"qsense/internal/bst"
 	"qsense/internal/hashmap"
 	"qsense/internal/list"
+	"qsense/internal/mem"
 	"qsense/internal/queue"
 	"qsense/internal/reclaim"
 	"qsense/internal/skiplist"
@@ -93,8 +94,8 @@ type leaseCore[O comparable] struct {
 	handles *reclaim.SlotTable[O]
 }
 
-func newLeaseCore[O comparable](opts Options, hps int, free func(Ref), mk func(g reclaim.Guard, seed uint64) O) (*leaseCore[O], error) {
-	d, err := NewDomain(withHPs(opts, hps), free)
+func newLeaseCore[O comparable](opts Options, hps int, free func(Ref), era reclaim.EraSource, mk func(g reclaim.Guard, seed uint64) O) (*leaseCore[O], error) {
+	d, err := newDomain(withHPs(opts, hps), func(r mem.Ref) { free(Ref(r)) }, era)
 	if err != nil {
 		return nil, err
 	}
@@ -200,8 +201,8 @@ func (c *setCore) Handle(w int) SetHandle {
 	return c.legacy[w]
 }
 
-func newSetCore(opts Options, hps int, free func(Ref), mk func(g reclaim.Guard, seed uint64) setOps) (*setCore, error) {
-	lc, err := newLeaseCore[setOps](opts, hps, free, mk)
+func newSetCore(opts Options, hps int, free func(Ref), era reclaim.EraSource, mk func(g reclaim.Guard, seed uint64) setOps) (*setCore, error) {
+	lc, err := newLeaseCore[setOps](opts, hps, free, era, mk)
 	if err != nil {
 		return nil, err
 	}
@@ -225,7 +226,7 @@ type Set struct {
 // NewSet builds a linked-list set wired to a reclamation domain.
 func NewSet(opts Options) (*Set, error) {
 	l := list.New(list.Config{MaxSlots: opts.MaxNodes})
-	core, err := newSetCore(opts, list.HPs, func(r Ref) { l.FreeNode(toMem(r)) },
+	core, err := newSetCore(opts, list.HPs, func(r Ref) { l.FreeNode(toMem(r)) }, l.Pool(),
 		func(g reclaim.Guard, _ uint64) setOps { return l.NewHandle(g) })
 	if err != nil {
 		return nil, err
@@ -246,7 +247,7 @@ type SkipSet struct {
 // NewSkipSet builds a skip-list set wired to a reclamation domain.
 func NewSkipSet(opts Options) (*SkipSet, error) {
 	sl := skiplist.New(skiplist.Config{MaxSlots: opts.MaxNodes})
-	core, err := newSetCore(opts, skiplist.HPsFor(sl.Levels()), func(r Ref) { sl.FreeNode(toMem(r)) },
+	core, err := newSetCore(opts, skiplist.HPsFor(sl.Levels()), func(r Ref) { sl.FreeNode(toMem(r)) }, sl.Pool(),
 		func(g reclaim.Guard, seed uint64) setOps { return sl.NewHandle(g, seed*0x9E3779B9+1) })
 	if err != nil {
 		return nil, err
@@ -347,7 +348,7 @@ type SkipMap struct {
 // NewSkipMap builds a skip-list map wired to a reclamation domain.
 func NewSkipMap(opts Options) (*SkipMap, error) {
 	sl := skiplist.New(skiplist.Config{MaxSlots: opts.MaxNodes})
-	lc, err := newLeaseCore[mapOps](opts, skiplist.HPsFor(sl.Levels()), func(r Ref) { sl.FreeNode(toMem(r)) },
+	lc, err := newLeaseCore[mapOps](opts, skiplist.HPsFor(sl.Levels()), func(r Ref) { sl.FreeNode(toMem(r)) }, sl.Pool(),
 		func(g reclaim.Guard, seed uint64) mapOps { return sl.NewHandle(g, seed*0x9E3779B9+1) })
 	if err != nil {
 		return nil, err
@@ -368,7 +369,7 @@ type TreeSet struct {
 // NewTreeSet builds a BST set wired to a reclamation domain.
 func NewTreeSet(opts Options) (*TreeSet, error) {
 	tr := bst.New(bst.Config{MaxSlots: opts.MaxNodes})
-	core, err := newSetCore(opts, bst.HPs, func(r Ref) { tr.FreeNode(toMem(r)) },
+	core, err := newSetCore(opts, bst.HPs, func(r Ref) { tr.FreeNode(toMem(r)) }, tr.Pool(),
 		func(g reclaim.Guard, _ uint64) setOps { return tr.NewHandle(g) })
 	if err != nil {
 		return nil, err
@@ -389,7 +390,7 @@ type HashSet struct {
 // NewHashSet builds a hash set wired to a reclamation domain.
 func NewHashSet(opts Options) (*HashSet, error) {
 	m := hashmap.New(hashmap.Config{MaxSlots: opts.MaxNodes})
-	core, err := newSetCore(opts, hashmap.HPs, func(r Ref) { m.FreeNode(toMem(r)) },
+	core, err := newSetCore(opts, hashmap.HPs, func(r Ref) { m.FreeNode(toMem(r)) }, m.Pool(),
 		func(g reclaim.Guard, _ uint64) setOps { return m.NewHandle(g) })
 	if err != nil {
 		return nil, err
@@ -412,7 +413,7 @@ type Queue struct {
 // NewQueue builds a queue wired to a reclamation domain.
 func NewQueue(opts Options) (*Queue, error) {
 	q := queue.New(queue.Config{MaxSlots: opts.MaxNodes})
-	d, err := NewDomain(withHPs(opts, queue.HPs), func(r Ref) { q.FreeNode(toMem(r)) })
+	d, err := newDomain(withHPs(opts, queue.HPs), q.FreeNode, q.Pool())
 	if err != nil {
 		return nil, err
 	}
@@ -503,7 +504,7 @@ type Stack struct {
 // NewStack builds a stack wired to a reclamation domain.
 func NewStack(opts Options) (*Stack, error) {
 	s := stack.New(stack.Config{MaxSlots: opts.MaxNodes})
-	d, err := NewDomain(withHPs(opts, stack.HPs), func(r Ref) { s.FreeNode(toMem(r)) })
+	d, err := newDomain(withHPs(opts, stack.HPs), s.FreeNode, s.Pool())
 	if err != nil {
 		return nil, err
 	}

@@ -84,6 +84,17 @@ func (p *Pool[T]) Live() uint64 { return p.p.Stats().Live }
 // FreeFunc adapts the pool's Free for NewDomain.
 func (p *Pool[T]) FreeFunc() func(Ref) { return func(r Ref) { p.p.Free(mem.Ref(r)) } }
 
+// Era returns the pool's current era — *Pool[T] implements EraSource, so a
+// custom structure passes its pool as Options.Era under SchemeIBR.
+func (p *Pool[T]) Era() uint64 { return p.p.Era() }
+
+// AdvanceEra increments the pool's era clock and returns the new value.
+// The domain drives this; structures normally never call it.
+func (p *Pool[T]) AdvanceEra() uint64 { return p.p.AdvanceEra() }
+
+// BirthEra returns the era r's node was allocated in (0 for nil).
+func (p *Pool[T]) BirthEra(r Ref) uint64 { return p.p.BirthEra(mem.Ref(r)) }
+
 // Domain manages safe memory reclamation for one custom structure. Create
 // with NewDomain; each goroutine leases a Guard with Acquire and returns it
 // with Release when done. The guard arena starts at Options.MaxWorkers and
@@ -99,12 +110,26 @@ type Domain struct {
 // NewDomain builds a reclamation domain for a custom structure. free
 // returns a retired node's memory to its pool (Pool.FreeFunc). Options.HPs
 // must cover the structure's maximum simultaneous protections per worker.
+// Under SchemeIBR, set Options.Era to the structure's pool so era stamps
+// reflect true node lifetimes.
 func NewDomain(opts Options, free func(Ref)) (*Domain, error) {
+	return newDomain(opts, func(r mem.Ref) { free(Ref(r)) }, nil)
+}
+
+// newDomain is NewDomain with the era clock injectable from the internal
+// layer: the containers pass their structure's own *mem.Pool (which
+// implements reclaim.EraSource directly), and that authoritative source
+// wins over any Options.Era the caller set — the container's nodes live in
+// the container's pool, so only that pool's clock stamps them.
+func newDomain(opts Options, free func(mem.Ref), era reclaim.EraSource) (*Domain, error) {
 	hps := opts.HPs
 	if hps <= 0 {
 		hps = 2
 	}
-	cfg := opts.reclaimConfig(hps, func(r mem.Ref) { free(Ref(r)) })
+	cfg := opts.reclaimConfig(hps, free)
+	if era != nil {
+		cfg.Era = era
+	}
 	d, err := reclaim.New(opts.scheme(), cfg)
 	if err != nil {
 		return nil, err

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"qsense"
 	"qsense/internal/bst"
 	"qsense/internal/hashmap"
 	"qsense/internal/list"
@@ -90,26 +91,35 @@ func buildSet(cfg *Config) (*builtSet, error) {
 		rc.MaxRemovePerOp = 1
 	}
 
+	// The applicability matrix is the authority on scheme×structure
+	// pairings — reject an unsound combination with the reason rather
+	// than running it to a crash or a silent unsoundness.
+	if !qsense.Applicable(qsense.Scheme(cfg.Scheme), cfg.DS) {
+		return nil, fmt.Errorf("harness: scheme %q cannot run structure %q (see qsense.Applicability)", cfg.Scheme, cfg.DS)
+	}
+
+	// Each structure's pool doubles as the era clock (reclaim.Config.Era)
+	// so ibr stamps true node lifetimes.
 	b := &builtSet{}
 	switch cfg.DS {
 	case "list":
 		l := list.New(list.Config{})
-		rc.Free = l.FreeNode
+		rc.Free, rc.Era = l.FreeNode, l.Pool()
 		b.mkHandle = func(g reclaim.Guard, _ int) SetHandle { return l.NewHandle(g) }
 		b.poolLive = func() uint64 { return l.Pool().Stats().Live }
 	case "skiplist":
 		s := skiplist.New(skiplist.Config{Levels: cfg.SkipLevels})
-		rc.Free = s.FreeNode
+		rc.Free, rc.Era = s.FreeNode, s.Pool()
 		b.mkHandle = func(g reclaim.Guard, w int) SetHandle { return s.NewHandle(g, cfg.Seed+uint64(w)+1) }
 		b.poolLive = func() uint64 { return s.Pool().Stats().Live }
 	case "bst":
 		t := bst.New(bst.Config{})
-		rc.Free = t.FreeNode
+		rc.Free, rc.Era = t.FreeNode, t.Pool()
 		b.mkHandle = func(g reclaim.Guard, _ int) SetHandle { return t.NewHandle(g) }
 		b.poolLive = func() uint64 { return t.Pool().Stats().Live }
 	case "hashmap":
 		m := hashmap.New(hashmap.Config{})
-		rc.Free = m.FreeNode
+		rc.Free, rc.Era = m.FreeNode, m.Pool()
 		b.mkHandle = func(g reclaim.Guard, _ int) SetHandle { return m.NewHandle(g) }
 		b.poolLive = func() uint64 { return m.Pool().Stats().Live }
 	default:

@@ -43,8 +43,8 @@ import (
 
 // Config describes a server.
 type Config struct {
-	// Scheme is the reclamation scheme serving the map (any of the seven;
-	// default qsense).
+	// Scheme is the reclamation scheme serving the map — any name in
+	// qsense.SchemeNames (default qsense); New rejects anything else.
 	Scheme string
 	// InitialConns is the initial guard-arena size (Options.MaxWorkers):
 	// a soft sizing hint, not a limit. 0 = machine default.
@@ -85,8 +85,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Scheme == "" {
 		cfg.Scheme = "qsense"
 	}
+	scheme, err := qsense.ParseScheme(cfg.Scheme)
+	if err != nil {
+		return nil, err
+	}
 	m, err := qsense.NewSkipMap(qsense.Options{
-		Scheme:         qsense.Scheme(cfg.Scheme),
+		Scheme:         scheme,
 		MaxWorkers:     cfg.InitialConns,
 		HardMaxWorkers: cfg.HardMaxConns,
 		MaxNodes:       cfg.MaxNodes,
@@ -402,6 +406,8 @@ func statsFields(st qsense.Stats) []statKV {
 		{"r_retunes", int64(st.RRetunes)},
 		{"c_retunes", int64(st.CRetunes)},
 		{"rooster_passes", int64(st.RoosterPasses)},
+		{"ibr_interval_width", int64(st.IBRIntervalWidth)},
+		{"hyaline_batch_refs", st.HyalineBatchRefs},
 		{"shards", int64(st.Shards)},
 		{"shard_imbalance", int64(st.ShardImbalance)},
 		{"failed", b2i(st.Failed)},

@@ -38,9 +38,10 @@ type ErrExhausted struct{ Name string }
 func (e *ErrExhausted) Error() string { return fmt.Sprintf("mem: pool %q exhausted", e.Name) }
 
 type slot[T any] struct {
-	gen  atomic.Uint32 // odd = live, even = free; bumped on every transition
-	next atomic.Uint32 // free-list link; meaningful only while free
-	val  T
+	gen   atomic.Uint32 // odd = live, even = free; bumped on every transition
+	next  atomic.Uint32 // free-list link; meaningful only while free
+	birth uint64        // pool era at Alloc time; read-only while live
+	val   T
 }
 
 type slab[T any] struct {
@@ -54,6 +55,7 @@ type Pool[T any] struct {
 	dir      []atomic.Pointer[slab[T]] // fixed directory, entries published once
 	nSlabs   atomic.Uint32
 	freeHead atomic.Uint64 // packed (aba, idx+1); 0 idx part = empty
+	era      atomic.Uint64 // birth-era clock; slots are stamped at Alloc
 	growMu   sync.Mutex
 
 	allocs atomic.Uint64
@@ -130,7 +132,8 @@ func (p *Pool[T]) Alloc() (Ref, *T) {
 	for {
 		if idx, ok := p.popFree(); ok {
 			s := p.slotAt(idx)
-			gen := s.gen.Add(1) // even -> odd: live
+			s.birth = p.era.Load() // before the gen bump makes the slot visible
+			gen := s.gen.Add(1)    // even -> odd: live
 			p.allocs.Add(1)
 			return makeRef(idx, gen), &s.val
 		}
@@ -237,6 +240,33 @@ func (p *Pool[T]) grow() {
 	p.nSlabs.Store(n + 1)
 	p.grows.Add(1)
 	p.pushFreeChain(base, base+SlabSize-1)
+}
+
+// Era returns the pool's current birth-era clock. The clock only moves when
+// AdvanceEra is called; a pool whose domain does not use interval-based
+// reclamation stays at era 0 and every slot's birth stamp is 0.
+func (p *Pool[T]) Era() uint64 { return p.era.Load() }
+
+// AdvanceEra bumps the birth-era clock and returns the new value. Interval-
+// based reclamation schemes call this on their retire/alloc cadence so that
+// node lifetimes partition into disjoint eras.
+func (p *Pool[T]) AdvanceEra() uint64 { return p.era.Add(1) }
+
+// BirthEra returns the era stamped on r's slot at Alloc time. It is only
+// meaningful while r is live: the caller must hold a protection (or otherwise
+// know the slot cannot be recycled), exactly as for Get. Unlike Get it does
+// not validate the generation — interval reclamation reads it at Retire time,
+// when the retirer owns the node.
+func (p *Pool[T]) BirthEra(r Ref) uint64 {
+	if r.IsNil() {
+		return 0
+	}
+	idx := r.index()
+	sl := p.dir[idx>>slabShift].Load()
+	if sl == nil {
+		return 0
+	}
+	return sl.slots[idx&slabMask].birth
 }
 
 // Stats is a point-in-time snapshot of pool counters.

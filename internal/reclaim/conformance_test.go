@@ -105,7 +105,7 @@ func TestConformanceRetireNilPanics(t *testing.T) {
 // while workers are still running (not only at Close), which is the entire
 // point of online reclamation.
 func TestConformanceReclaimsDuringRun(t *testing.T) {
-	for _, name := range []string{"qsbr", "hp", "cadence", "qsense"} {
+	for _, name := range []string{"qsbr", "hp", "cadence", "qsense", "ibr", "hyaline"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			pool := newTestPool()
@@ -178,7 +178,7 @@ func TestConfigValidation(t *testing.T) {
 		{"nil free", Config{Workers: 1, HPs: 1}},
 	}
 	for _, c := range cases {
-		for _, scheme := range []string{"qsbr", "hp", "cadence", "qsense"} {
+		for _, scheme := range []string{"qsbr", "hp", "cadence", "qsense", "ibr", "hyaline"} {
 			if _, err := New(scheme, c.cfg); err == nil {
 				t.Errorf("%s/%s: expected validation error", scheme, c.name)
 			}

@@ -158,6 +158,18 @@ var goldenStats = map[string][2]string{
 		"ret=224 freed=224 pend=0 scans=28 scanned=0 quiesce=0 epochs=0 tofall=0 tofast=0 evict=0 rejoin=0 acq=5 rel=5 arena=8 hw=6 grows=1 parked=4 parks=1 unparks=0 effR=8 effC=8192 retR=0 retC=0 orph=0 adopt=0 fall=false passes=0 failed=false",
 		"ret=224 freed=224 pend=0 scans=28 scanned=0 quiesce=0 epochs=0 tofall=0 tofast=0 evict=0 rejoin=0 acq=5 rel=5 arena=8 hw=6 grows=1 parked=4 parks=1 unparks=0 effR=8 effC=8192 retR=0 retC=0 orph=0 adopt=0 fall=false passes=0 failed=false",
 	},
+	// ibr and hyaline were born after the sharding refactor, so their goldens
+	// are the Shards=1 capture at introduction rather than a pre-refactor
+	// seed; they gate the same property going forward (determinism of the
+	// drive and Stats-accounting balance at Shards=1).
+	"ibr": {
+		"ret=224 freed=216 pend=8 scans=33 scanned=176 quiesce=0 epochs=117 tofall=0 tofast=0 evict=0 rejoin=0 acq=5 rel=5 arena=8 hw=6 grows=1 parked=4 parks=1 unparks=0 effR=8 effC=8192 retR=0 retC=0 orph=18 adopt=10 fall=false passes=0 failed=false",
+		"ret=224 freed=224 pend=0 scans=33 scanned=181 quiesce=0 epochs=117 tofall=0 tofast=0 evict=0 rejoin=0 acq=5 rel=5 arena=8 hw=6 grows=1 parked=4 parks=1 unparks=0 effR=8 effC=8192 retR=0 retC=0 orph=18 adopt=10 fall=false passes=0 failed=false",
+	},
+	"hyaline": {
+		"ret=224 freed=216 pend=8 scans=0 scanned=575 quiesce=0 epochs=0 tofall=0 tofast=0 evict=0 rejoin=0 acq=5 rel=5 arena=8 hw=6 grows=1 parked=4 parks=1 unparks=0 effR=0 effC=0 retR=0 retC=0 orph=18 adopt=10 fall=false passes=0 failed=false",
+		"ret=224 freed=224 pend=0 scans=0 scanned=575 quiesce=0 epochs=0 tofall=0 tofast=0 evict=0 rejoin=0 acq=5 rel=5 arena=8 hw=6 grows=1 parked=4 parks=1 unparks=0 effR=0 effC=0 retR=0 retC=0 orph=18 adopt=10 fall=false passes=0 failed=false",
+	},
 }
 
 // TestGoldenStatsShards1 is the sharding refactor's regression gate: with

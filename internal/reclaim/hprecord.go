@@ -130,8 +130,11 @@ func (s hpSnapshot) contains(r mem.Ref) bool {
 }
 
 // retired is a node awaiting reclamation: the paper's timestamped_node.
-// stamp is the rooster tick at Retire time (QSBR ignores it).
+// stamp is the rooster tick at Retire time (QSBR ignores it). birth is the
+// node's birth era, read from the domain's EraSource at Retire; only the
+// interval scheme (ibr) sets or reads it — for every other scheme it stays 0.
 type retired struct {
 	ref   mem.Ref
 	stamp uint64
+	birth uint64
 }

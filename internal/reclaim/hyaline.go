@@ -1,0 +1,353 @@
+package reclaim
+
+import (
+	"context"
+	"sync/atomic"
+
+	"qsense/internal/mem"
+)
+
+// Hyaline is snapshot-free reclamation in the style of Nikolaev & Ravindran
+// (arXiv:1905.07903, PAPERS.md): the second post-paper scheme family, next
+// to IBR. No scheme-side scans, no epochs, no per-pointer publications —
+// retired nodes travel as reference-counted batches handed directly to the
+// slots that might still hold references.
+//
+// Every guard owns a lock-free *inbox* (a Treiber stack of batch entries).
+// A slot is ACTIVE while it is inside an operation — Begin activates the
+// inbox, ClearHPs deactivates it — and a retiring guard, once its local
+// batch reaches Q nodes, pushes one entry per active inbox and seeds the
+// batch's reference counter with the number of successful pushes. Each
+// recipient acknowledges its inbox at its next quiescent boundary (the
+// following Begin, or ClearHPs at operation end) by decrementing every
+// delivered batch's counter; whoever moves a counter to zero frees the
+// whole batch. The counter is seeded at zero and raised by the publisher
+// AFTER the push sweep, so early acknowledgers drive it negative and the
+// publisher's own add detects the all-acked case — the zero crossing
+// happens exactly once no matter how the adds interleave.
+//
+// The safety argument is the epoch argument restated per batch: a batch's
+// nodes were unlinked before it was published, so an operation that begins
+// after the publisher read its slot (inactive-skip or post-push activation)
+// can never reach them from the root; an operation that was active at
+// publish time received a delivery and the batch outlives it by refcount.
+// Robustness sits with EBR's: a reader stalled INSIDE an operation pins
+// every batch delivered to it (garbage bounded by delivery, not global),
+// while a reader idle BETWEEN operations has an inactive inbox and pins
+// nothing — Stats reports the live pin mass as HyalineBatchRefs.
+//
+// Release reuses the per-shard orphan-list machinery as its handoff ramp:
+// the leftover local batch moves to the releasing guard's OWN shard's list
+// in one CAS (counted OrphanedNodes), and the next guard to pass a
+// quiescent boundary adopts it by REPUBLISHING it through the inboxes as an
+// orphan-flagged refcounted batch — its zero-crossing free counts
+// AdoptedNodes, and when no inbox is active the republisher frees it on the
+// spot. A vacated slot never strands retired nodes.
+type Hyaline struct {
+	cfg     Config
+	cnt     counters
+	outRefs atomic.Int64 // sum of unacknowledged deliveries (Stats)
+	slots   *shardedPool
+	orphans shardedOrphans
+	guards  *shardedArena[*hguard]
+}
+
+// hbatch is one published retire batch. refs is the outstanding delivery
+// count: seeded 0, raised by the publisher after its push sweep, lowered by
+// every acknowledgment; the add that lands on exactly 0 frees.
+type hbatch struct {
+	refs   atomic.Int64
+	nodes  []mem.Ref
+	orphan bool // Release handoff: free via noteAdopted, not the tally
+}
+
+// hentry is one inbox delivery: a cons cell pointing at the shared batch.
+// Each (batch, slot) pair gets its own entry, so inbox chains stay
+// single-owner after detach.
+type hentry struct {
+	next  *hentry
+	batch *hbatch
+}
+
+// hInactive is the inbox sentinel marking a slot outside any operation.
+// Publishers skip sentinel inboxes; only the owner installs or removes it.
+// The zero inbox value (nil) means ACTIVE-empty, so guards must be born
+// with the sentinel installed — the arena constructor does it, before the
+// slot is visible to any walk.
+var hInactive = &hentry{}
+
+type hguard struct {
+	d     *Hyaline
+	id    int
+	inbox atomic.Pointer[hentry]
+	batch []mem.Ref
+	tally tally
+	_     [40]byte // keep adjacent guards' hot words apart
+}
+
+// NewHyaline builds a Hyaline domain. It has no scan or fallback
+// thresholds, so like None it registers no tuner (Stats.EffectiveR/C stay
+// zero); Q is its one knob — the publish batch size.
+func NewHyaline(cfg Config) (*Hyaline, error) {
+	if err := cfg.Validate(true); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	d := &Hyaline{cfg: cfg}
+	d.orphans.init(cfg.Shards)
+	d.guards = newShardedArena(cfg.Shards, cfg.Workers, cfg.HardMaxWorkers, func(i int) *hguard {
+		g := &hguard{d: d, id: i}
+		g.inbox.Store(hInactive)
+		return g
+	})
+	d.slots = newShardedPool(cfg.Shards, cfg.Workers, cfg.HardMaxWorkers, nil, d.guards.growShard)
+	return d, nil
+}
+
+// Guard implements Domain (deprecated positional access). A pinned guard's
+// inbox stays inactive until its first Begin.
+func (d *Hyaline) Guard(w int) Guard {
+	d.slots.pin(w)
+	return d.guards.at(w)
+}
+
+// Acquire implements Domain.
+func (d *Hyaline) Acquire() (Guard, error) {
+	w, err := d.slots.lease()
+	if err != nil {
+		return nil, err
+	}
+	return d.join(w), nil
+}
+
+// AcquireWait implements Domain: Acquire that parks until a slot frees or
+// ctx is done.
+func (d *Hyaline) AcquireWait(ctx context.Context) (Guard, error) {
+	w, err := d.slots.leaseWait(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return d.join(w), nil
+}
+
+// join catches a leased slot up: adopt any stranded backlog (handle churn
+// must be an adoption driver, like the epoch schemes' joins). The inbox
+// stays inactive until Begin — a freshly leased, not-yet-operating slot
+// must not accumulate deliveries it would only acknowledge later.
+func (d *Hyaline) join(w int) Guard {
+	g := d.guards.at(w)
+	if !d.orphans.empty() {
+		g.adoptOrphans()
+	}
+	d.cnt.flushTally(&g.tally, d.cfg.MemoryLimit)
+	return g
+}
+
+// Release implements Domain: deactivate (acknowledging any deliveries) and
+// move the leftover local batch to this guard's own shard's orphan list,
+// from which any worker's next quiescent boundary republishes it through
+// the inboxes.
+func (d *Hyaline) Release(gd Guard) {
+	g, ok := gd.(*hguard)
+	if !ok || g.d != d {
+		panic(errForeignGuard)
+	}
+	d.slots.unlease(g.id, func() {
+		g.ClearHPs()
+		g.handoff()
+		d.cnt.releaseTally(&g.tally, d.cfg.MemoryLimit)
+	})
+}
+
+// Name implements Domain.
+func (d *Hyaline) Name() string { return "hyaline" }
+
+// Failed implements Domain.
+func (d *Hyaline) Failed() bool { return d.cnt.failed.Load() }
+
+// Stats implements Domain. HyalineBatchRefs can transiently read negative
+// while an acknowledgment races the publisher's post-push add; clamp — it
+// converges to the true outstanding-delivery sum at every quiescent point.
+func (d *Hyaline) Stats() Stats {
+	s := Stats{Scheme: "hyaline"}
+	d.cnt.fill(&s, d.slots, func(i int) *tally { return &d.guards.at(i).tally })
+	d.slots.fillArena(&s)
+	if v := d.outRefs.Load(); v > 0 {
+		s.HyalineBatchRefs = v
+	}
+	return s
+}
+
+// Close implements Domain: acknowledge every inbox (each batch's counter
+// crosses zero under exactly one of these acks), free the unpublished
+// local batches and drain the orphan lists. Call only once all workers
+// have stopped.
+func (d *Hyaline) Close() {
+	d.guards.forEach(func(g *hguard) {
+		if h := g.inbox.Swap(hInactive); h != nil && h != hInactive {
+			g.ack(h)
+		}
+		if len(g.batch) > 0 {
+			for _, r := range g.batch {
+				d.cfg.Free(r)
+			}
+			d.cnt.tallyFree(&g.tally, len(g.batch))
+			g.batch = nil
+		}
+		d.cnt.drainTally(&g.tally)
+	})
+	d.orphans.drain(d.cfg.Free, &d.cnt)
+}
+
+// Begin enters an operation — Hyaline's quiescent boundary: activate the
+// inbox (publishers start delivering), acknowledge any backlog from the
+// previous operation, publish the local retire batch once it has reached
+// Q nodes, and adopt any stranded backlog. Active-and-empty with nothing
+// banked, the common case, is one load plus two length checks.
+func (g *hguard) Begin() {
+	h := g.inbox.Load()
+	if h == hInactive {
+		// Owner-only transition: publishers never CAS a sentinel head.
+		g.inbox.Store(nil)
+	} else if h != nil {
+		g.ack(g.inbox.Swap(nil))
+	}
+	if len(g.batch) >= g.d.cfg.Q {
+		g.d.publish(g.batch, false, g)
+		g.batch = nil
+	}
+	if !g.d.orphans.empty() {
+		g.adoptOrphans()
+	}
+}
+
+// Protect is a no-op: a Hyaline reader is protected by the deliveries its
+// active inbox accepts, not by per-pointer publications.
+func (g *hguard) Protect(i int, r mem.Ref) {}
+
+// ClearHPs exits the operation: deactivate the inbox and acknowledge
+// everything delivered during the operation. Inactive already is one load.
+func (g *hguard) ClearHPs() {
+	if g.inbox.Load() == hInactive {
+		return
+	}
+	if h := g.inbox.Swap(hInactive); h != nil && h != hInactive {
+		g.ack(h)
+	}
+}
+
+// Retire banks r in the local batch. Publication waits for the guard's
+// next quiescent boundary (Begin): a batch published mid-operation would
+// have to deliver to the retirer's own still-active inbox anyway, and
+// boundary-only publication is what lets a never-quiescing leaver's
+// backlog strand cleanly onto the orphan list at Release.
+func (g *hguard) Retire(r mem.Ref) {
+	if r.IsNil() {
+		panic("reclaim: retire of nil Ref")
+	}
+	if g.batch == nil {
+		g.batch = make([]mem.Ref, 0, g.d.cfg.Q)
+	}
+	g.batch = append(g.batch, r.Untagged())
+	g.d.cnt.tallyRetire(&g.tally, g.d.cfg.MemoryLimit)
+}
+
+func (g *hguard) slotID() int { return g.id }
+
+// handoff moves the leftover local batch to this guard's own shard's
+// orphan list in one CAS (release drain only): the nodes count
+// OrphanedNodes now and AdoptedNodes when an adopter's republication
+// crosses zero.
+func (g *hguard) handoff() {
+	if len(g.batch) == 0 {
+		return
+	}
+	g.d.orphans.at(g.id).add(g.batch, nil, 0, &g.d.cnt)
+	g.batch = nil
+}
+
+// adoptOrphans detaches every shard's orphan chain and republishes each
+// batch through the inboxes as an orphan-flagged refcounted batch. Safe
+// from any context: coverage comes from active-inbox delivery, not from
+// the republisher's own state — a slot active since before the batch was
+// orphaned receives a delivery and holds it to its next boundary; a slot
+// activating later began after the nodes were unlinked and cannot reach
+// them.
+func (g *hguard) adoptOrphans() {
+	for _, b := range g.d.orphans.detachAll() {
+		for ; b != nil; b = b.next {
+			g.d.publish(b.refs, true, g)
+		}
+	}
+}
+
+// publish delivers one batch to every active inbox, then seeds the
+// reference counter with the push count. A sweep that found no active
+// inbox frees on the spot — no operation overlapping the nodes' retirement
+// exists, the same soundness edge every walk-skip relies on. The push CAS
+// re-reads the head each attempt, so a slot deactivating mid-push is
+// skipped and one reactivating is simply delivered to (conservative: its
+// next boundary acknowledges).
+func (d *Hyaline) publish(nodes []mem.Ref, orphan bool, g *hguard) {
+	b := &hbatch{nodes: nodes, orphan: orphan}
+	pushed := 0
+	visited := d.slots.walkOccupied(func(i int) bool {
+		p := d.guards.at(i)
+		e := &hentry{batch: b}
+		for {
+			h := p.inbox.Load()
+			if h == hInactive {
+				return true
+			}
+			e.next = h
+			if p.inbox.CompareAndSwap(h, e) {
+				pushed++
+				return true
+			}
+		}
+	})
+	d.cnt.tallyScanned(&g.tally, visited)
+	if pushed == 0 {
+		d.freeBatch(b, g)
+		d.cnt.flushTally(&g.tally, d.cfg.MemoryLimit)
+		return
+	}
+	d.outRefs.Add(int64(pushed))
+	if b.refs.Add(int64(pushed)) == 0 {
+		// Every recipient acknowledged between our pushes and this add.
+		d.freeBatch(b, g)
+		d.cnt.flushTally(&g.tally, d.cfg.MemoryLimit)
+	}
+}
+
+// ack acknowledges a detached inbox chain: one decrement per delivery,
+// freeing each batch whose counter lands on zero. Chains are nil-terminated
+// and sentinel-free (entries only ever push onto non-sentinel heads).
+func (g *hguard) ack(h *hentry) {
+	d := g.d
+	freed := false
+	for e := h; e != nil; e = e.next {
+		if e.batch.refs.Add(-1) == 0 {
+			d.freeBatch(e.batch, g)
+			freed = true
+		}
+		d.outRefs.Add(-1)
+	}
+	if freed {
+		d.cnt.flushTally(&g.tally, d.cfg.MemoryLimit)
+	}
+}
+
+// freeBatch returns a batch's nodes to the pool, attributing the frees to
+// the calling guard's tally (orphan batches go straight to the shared
+// adopted/freed counters, like every orphan adopter).
+func (d *Hyaline) freeBatch(b *hbatch, g *hguard) {
+	for _, r := range b.nodes {
+		d.cfg.Free(r)
+	}
+	if b.orphan {
+		d.cnt.noteAdopted(len(b.nodes))
+	} else {
+		d.cnt.tallyFree(&g.tally, len(b.nodes))
+	}
+}

@@ -1,0 +1,341 @@
+package reclaim
+
+import (
+	"context"
+	"sync/atomic"
+
+	"qsense/internal/mem"
+)
+
+// IBR is interval-based reclamation in the 2GEIBR style (Wen et al., via
+// Singh's SMR survey — PAPERS.md): the first post-paper scheme family, next
+// to Hyaline. Every node carries a birth era (stamped by mem.Pool at Alloc,
+// read back through Config.Era) and a retire era (stamped here at Retire),
+// so its lifetime is the closed interval [birth, retire]. Every guard
+// publishes a reservation interval [lower, upper]: Begin resets it to the
+// current era, and each Protect widens upper to the era of the access. A
+// scan frees exactly the retired nodes whose lifetime interval misses every
+// active reservation.
+//
+// The robustness trade: like the epoch schemes, readers pay no per-pointer
+// fence — Protect is one owner-only load/store pair, not HP's fenced
+// publication — but unlike them, a stalled reader pins only the eras its
+// reservation spans. Nodes born after the straggler's upper bound reclaim
+// freely, so a delayed process bounds garbage by its own reservation width
+// instead of blocking reclamation globally (the property Stats reports as
+// IBRIntervalWidth). The safety argument is Michael-shaped, not fence-
+// shaped: a reader widens upper BEFORE dereferencing and re-validates the
+// source link after Protect, so a node it can still reach has a lifetime
+// intersecting its reservation; a node unlinked before the reader's Begin
+// is unreachable from the root, and the substrate's generation tags plus
+// link re-validation reject anything freed mid-traversal. This is why the
+// applicability matrix requires "tolerates transient access to retired
+// nodes" of IBR's structures — the guarded-traversal containers all do.
+//
+// The era clock advances every Config.Q retires (the 2GEIBR epochFreq knob)
+// and on orphan-draining Begins; scans run every R retires (retuned with
+// occupancy like the pointer schemes). With a nil Config.Era the domain
+// falls back to an internal clock whose nodes are all born at era 0 — safe
+// but epoch-equivalent (see EraSource); the public layer wires each
+// container's pool clock so real interval reclamation engages.
+type IBR struct {
+	cfg     Config
+	cnt     counters
+	tune    *tuner
+	era     EraSource
+	slots   *shardedPool
+	orphans shardedOrphans
+	guards  *shardedArena[*ibrGuard]
+}
+
+// resInactive is the lower-bound sentinel of an inactive reservation:
+// lower > upper encodes "no reservation", and MaxUint64 keeps every
+// comparison against a real era false without a separate flag word.
+const resInactive = ^uint64(0)
+
+type ibrGuard struct {
+	d  *IBR
+	id int
+	// lower/upper are the published reservation. The owner writes them
+	// (Begin, Protect, ClearHPs); scanning peers read them. Torn reads are
+	// conservative by construction: lower only moves while the owner holds
+	// no references (Begin/ClearHPs), and upper's single-word widening can
+	// only be missed by a scan that ordered before the access it covers —
+	// the re-validation argument in the type comment absorbs that case.
+	lower     atomic.Uint64
+	upper     atomic.Uint64
+	lastSeen  uint64 // last era whose flush this guard performed (Begin)
+	adoptSeen uint64 // last era at which this guard swept the orphan lists
+	limbo     []retired
+	sinceEra  int // retires since the last era advance (Q cadence)
+	sinceScan int // retires since the last scan (R cadence)
+	resBuf    []eraInterval
+	tally     tally
+	tc        tunerCache
+	_         [40]byte // keep adjacent guards' hot words apart
+}
+
+// localEra is the nil-Config.Era fallback clock: a domain-private era with
+// every node's birth pinned at 0. Safe (nothing frees early) but unable to
+// reclaim past a stalled reader — wiring the pool clock restores that.
+type localEra struct{ e atomic.Uint64 }
+
+func (l *localEra) Era() uint64             { return l.e.Load() }
+func (l *localEra) AdvanceEra() uint64      { return l.e.Add(1) }
+func (l *localEra) BirthEra(mem.Ref) uint64 { return 0 }
+
+// NewIBR builds an interval-based reclamation domain.
+func NewIBR(cfg Config) (*IBR, error) {
+	if err := cfg.Validate(true); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	d := &IBR{cfg: cfg, era: cfg.Era}
+	if d.era == nil {
+		d.era = &localEra{}
+	}
+	d.tune = newTuner(cfg, &d.cnt)
+	d.orphans.init(cfg.Shards)
+	d.guards = newShardedArena(cfg.Shards, cfg.Workers, cfg.HardMaxWorkers, func(i int) *ibrGuard {
+		g := &ibrGuard{d: d, id: i, tc: tunerCache{r: cfg.R, c: cfg.C}}
+		g.lower.Store(resInactive) // zero value would reserve [0,0] forever
+		return g
+	})
+	d.slots = newShardedPool(cfg.Shards, cfg.Workers, cfg.HardMaxWorkers, d.tune, d.guards.growShard)
+	return d, nil
+}
+
+// Guard implements Domain (deprecated positional access). IBR guards are
+// born with an inactive reservation, so pinning needs no membership work.
+func (d *IBR) Guard(w int) Guard {
+	d.slots.pin(w)
+	return d.guards.at(w)
+}
+
+// Acquire implements Domain.
+func (d *IBR) Acquire() (Guard, error) {
+	w, err := d.slots.lease()
+	if err != nil {
+		return nil, err
+	}
+	return d.join(w), nil
+}
+
+// AcquireWait implements Domain: Acquire that parks until a slot frees or
+// ctx is done.
+func (d *IBR) AcquireWait(ctx context.Context) (Guard, error) {
+	w, err := d.slots.leaseWait(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return d.join(w), nil
+}
+
+// join catches a leased slot up: under a standing orphan backlog, advance
+// the era (handle churn must be an adoption driver, like EBR's Acquire
+// advance) and sweep once per new era.
+func (d *IBR) join(w int) Guard {
+	g := d.guards.at(w)
+	if !d.orphans.empty() {
+		e := d.advanceEra()
+		if e != g.adoptSeen {
+			g.adoptSeen = e
+			g.scan()
+		}
+	}
+	d.cnt.flushTally(&g.tally, d.cfg.MemoryLimit)
+	g.tc.refresh(d.tune)
+	return g
+}
+
+// Release implements Domain: deactivate the reservation and move the whole
+// remaining limbo to the releasing guard's own shard's orphan list as one
+// interval-stamped batch — per-node [birth, retire] evidence travels with
+// the batch, so any worker's later scan adopts whatever the then-active
+// reservations miss, and a vacated slot never strands retired nodes.
+func (d *IBR) Release(gd Guard) {
+	g, ok := gd.(*ibrGuard)
+	if !ok || g.d != d {
+		panic(errForeignGuard)
+	}
+	d.slots.unlease(g.id, func() {
+		g.ClearHPs()
+		g.orphanLimbo()
+		d.cnt.releaseTally(&g.tally, d.cfg.MemoryLimit)
+	})
+}
+
+// Name implements Domain.
+func (d *IBR) Name() string { return "ibr" }
+
+// Failed implements Domain.
+func (d *IBR) Failed() bool { return d.cnt.failed.Load() }
+
+// Era exposes the current era for tests.
+func (d *IBR) Era() uint64 { return d.era.Era() }
+
+// Stats implements Domain. IBRIntervalWidth is the widest active
+// reservation (upper-lower) at snapshot time — how much era history the
+// slowest current reader pins.
+func (d *IBR) Stats() Stats {
+	s := Stats{Scheme: "ibr"}
+	d.cnt.fill(&s, d.slots, func(i int) *tally { return &d.guards.at(i).tally })
+	d.slots.fillArena(&s)
+	var w uint64
+	d.slots.walkOccupied(func(i int) bool {
+		g := d.guards.at(i)
+		if lo, hi := g.lower.Load(), g.upper.Load(); lo <= hi && hi-lo > w {
+			w = hi - lo
+		}
+		return true
+	})
+	s.IBRIntervalWidth = w
+	return s
+}
+
+// Close implements Domain: frees all limbo contents and drains the orphan
+// lists. Call only once all workers have stopped.
+func (d *IBR) Close() {
+	d.guards.forEach(func(g *ibrGuard) {
+		for _, n := range g.limbo {
+			d.cfg.Free(n.ref)
+		}
+		d.cnt.tallyFree(&g.tally, len(g.limbo))
+		g.limbo = nil
+		d.cnt.drainTally(&g.tally)
+	})
+	d.orphans.drain(d.cfg.Free, &d.cnt)
+}
+
+func (d *IBR) advanceEra() uint64 {
+	e := d.era.AdvanceEra()
+	d.cnt.epochs.Add(1)
+	return e
+}
+
+// Begin resets the reservation to [e, e] at the current era. Both stores
+// complete before the operation's first load (SC atomics), and the guard
+// holds no references at Begin, so the torn intermediate states a scanning
+// peer can observe are all at-most-as-wide as a state the guard legally
+// passed through. Under a standing orphan backlog, pure Begin activity must
+// drive adoption — the era is advanced (reservation lower bounds of
+// re-Beginning readers move past the orphans' retire stamps) and the lists
+// swept at most once per new era.
+func (g *ibrGuard) Begin() {
+	e := g.d.era.Era()
+	g.lower.Store(e)
+	g.upper.Store(e)
+	if !g.d.orphans.empty() {
+		ne := g.d.advanceEra()
+		if ne != g.adoptSeen {
+			g.adoptSeen = ne
+			g.scan()
+		}
+	}
+}
+
+// Protect widens the reservation's upper bound to the current era before
+// the caller dereferences r — the per-read half of the interval argument
+// (the caller's link re-validation after Protect is the other half). No
+// fence, no per-pointer slot: one owner-only load/store pair. A nil r
+// (slot-clear in the HP idiom) needs no widening.
+func (g *ibrGuard) Protect(i int, r mem.Ref) {
+	if r.IsNil() {
+		return
+	}
+	if e := g.d.era.Era(); e > g.upper.Load() {
+		g.upper.Store(e)
+	}
+}
+
+// ClearHPs deactivates the reservation: the worker no longer pins any era
+// while idle between operations. lower moves to the sentinel first so every
+// torn read during the transition is inactive-or-narrower.
+func (g *ibrGuard) ClearHPs() {
+	g.lower.Store(resInactive)
+	g.upper.Store(0)
+}
+
+// Retire stamps r with its lifetime interval — birth read back from the
+// era source while the retirer still owns the node, retire era taken now —
+// and banks it in the guard's limbo. Every Q retires advance the era (the
+// 2GEIBR epochFreq cadence); every R retires run a scan.
+func (g *ibrGuard) Retire(r mem.Ref) {
+	if r.IsNil() {
+		panic("reclaim: retire of nil Ref")
+	}
+	r = r.Untagged()
+	g.limbo = append(g.limbo, retired{ref: r, stamp: g.d.era.Era(), birth: g.d.era.BirthEra(r)})
+	g.d.cnt.tallyRetire(&g.tally, g.d.cfg.MemoryLimit)
+	g.sinceEra++
+	if g.sinceEra >= g.d.cfg.Q {
+		g.sinceEra = 0
+		g.d.advanceEra()
+	}
+	g.sinceScan++
+	if g.sinceScan >= g.tc.r {
+		g.sinceScan = 0
+		g.scan()
+		g.tc.refresh(g.d.tune)
+	}
+}
+
+// collect snapshots every occupied slot's active reservation. The caller
+// must have detached any orphan chains it will judge BEFORE calling (the
+// adoptDetached ordering argument: a node entering the judged set after the
+// collection could be covered by a reservation published after its slot
+// was read).
+func (g *ibrGuard) collect() []eraInterval {
+	res := g.resBuf[:0]
+	visited := g.d.slots.walkOccupied(func(i int) bool {
+		p := g.d.guards.at(i)
+		if lo, hi := p.lower.Load(), p.upper.Load(); lo <= hi {
+			res = append(res, eraInterval{lo, hi})
+		}
+		return true
+	})
+	g.d.cnt.tallyScanned(&g.tally, visited)
+	g.resBuf = res
+	return res
+}
+
+// scan is IBR's reclamation pass: detach the orphan chains, snapshot the
+// active reservations, free every limbo node whose lifetime misses all of
+// them, then run the same check over the detached orphans (survivors go
+// back to their shard's list).
+func (g *ibrGuard) scan() {
+	d := g.d
+	batches := d.orphans.detachAll()
+	res := g.collect()
+	d.cnt.scans.Add(1)
+	if len(g.limbo) > 0 {
+		kept := g.limbo[:0]
+		freed := 0
+		for _, n := range g.limbo {
+			if intervalMissesAll(res, n) {
+				d.cfg.Free(n.ref)
+				freed++
+			} else {
+				kept = append(kept, n)
+			}
+		}
+		g.limbo = kept
+		d.cnt.tallyFree(&g.tally, freed)
+	}
+	if batches != nil {
+		d.orphans.adoptIntervalAll(batches, res, d.cfg.Free, &d.cnt)
+	}
+	d.cnt.flushTally(&g.tally, d.cfg.MemoryLimit)
+}
+
+func (g *ibrGuard) slotID() int { return g.id }
+
+// orphanLimbo moves the guard's remaining limbo to its OWN shard's orphan
+// list in one interval-stamped batch (release drain only).
+func (g *ibrGuard) orphanLimbo() {
+	if len(g.limbo) == 0 {
+		return
+	}
+	g.d.orphans.at(g.id).add(nil, g.limbo, g.d.era.Era(), &g.d.cnt)
+	g.limbo = nil
+}

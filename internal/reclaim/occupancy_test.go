@@ -27,6 +27,10 @@ func occupancyCount(t *testing.T, d Domain) int {
 		p = dom.slots
 	case *RC:
 		p = dom.slots
+	case *IBR:
+		p = dom.slots
+	case *Hyaline:
+		p = dom.slots
 	default:
 		t.Fatalf("unknown domain %T", d)
 	}

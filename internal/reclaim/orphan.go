@@ -19,7 +19,7 @@ package reclaim
 // and frees them. Reclamation progress then requires only that the system
 // as a whole stays active, never that one particular slot re-leases.
 //
-// Evidence comes in three forms, matching the schemes' safety arguments:
+// Evidence comes in four forms, matching the schemes' safety arguments:
 //
 //   - epoch: the batch records the global epoch G observed at release (the
 //     releasing guard quiesced first, so nothing in the batch was retired
@@ -34,6 +34,16 @@ package reclaim
 //     the domain is on makes progress).
 //   - claim: RC nodes free when the count-table claim CAS succeeds, i.e.
 //     no reader holds them.
+//   - interval: ibr nodes carry their lifetime [birth, retire] in eras; an
+//     adopter frees each node whose interval misses every reservation in a
+//     snapshot collected AFTER the chain was detached (adoptInterval — the
+//     same detach-then-snapshot ordering adoptDetached requires).
+//
+// (Hyaline needs no evidence stamp at all: its Release parks the leftover
+// local batch here as plain refs, and an adopter REPUBLISHES the batch
+// through the active slots' inboxes as a reference-counted delivery — the
+// handoff itself is the grace-period argument, so adoption is one detach
+// plus one publish, with no maturity check.)
 //
 // The list is a Treiber stack of batches. Adopters detach the whole list
 // with one swap, so concurrent adopters own disjoint chains and a node is
@@ -171,6 +181,49 @@ func (l *orphanList) adoptDetached(b *orphanBatch, snap hpSnapshot, mgr *rooster
 		// Plain refs carry no stamps for the scan rule to judge; a batch
 		// holding any (epoch-evidence schemes') survives for an
 		// epoch-evidence adopter rather than leaking silently.
+		if b.size() > 0 {
+			l.push(b)
+		}
+		b = next
+	}
+}
+
+// eraInterval is one guard's active reservation [lo, hi], in eras.
+type eraInterval struct{ lo, hi uint64 }
+
+// intervalMissesAll reports whether node n's lifetime [birth, stamp] is
+// disjoint from every reservation — ibr's free condition.
+func intervalMissesAll(res []eraInterval, n retired) bool {
+	for _, r := range res {
+		if n.birth <= r.hi && n.stamp >= r.lo {
+			return false
+		}
+	}
+	return true
+}
+
+// adoptInterval runs ibr's interval check over a chain the caller detached
+// BEFORE collecting res — the ordering is the safety argument, exactly as
+// for adoptDetached: every node in the chain was retired before the detach,
+// so any reservation that could cover a still-reachable reference was
+// published before the collection read its slot. Survivors go back as a
+// trimmed batch; plain-ref batches (no per-node stamps to judge) survive
+// intact for an epoch-evidence adopter.
+func (l *orphanList) adoptInterval(b *orphanBatch, res []eraInterval, free func(mem.Ref), cnt *counters) {
+	for b != nil {
+		next := b.next
+		kept := b.nodes[:0]
+		freed := 0
+		for _, n := range b.nodes {
+			if intervalMissesAll(res, n) {
+				free(n.ref)
+				freed++
+			} else {
+				kept = append(kept, n)
+			}
+		}
+		b.nodes = kept
+		cnt.noteAdopted(freed)
 		if b.size() > 0 {
 			l.push(b)
 		}

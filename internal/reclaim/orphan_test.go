@@ -70,6 +70,12 @@ func TestStrandedBacklogIsAdopted(t *testing.T) {
 			if scheme == "hp" || scheme == "rc" {
 				helperA.Protect(0, refs[0])
 			}
+			if scheme == "ibr" {
+				// ibr strands via an open reservation: helperA's interval
+				// [e,e] overlaps every node's lifetime (birth 0 <= e <= stamp),
+				// so the leaver's release-time scans keep the whole backlog.
+				helperA.Begin()
+			}
 			for _, r := range refs {
 				leaver.Retire(r)
 			}

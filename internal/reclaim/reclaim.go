@@ -127,6 +127,24 @@ type Domain interface {
 	Close()
 }
 
+// EraSource is the birth-era clock interface the interval-based scheme
+// (ibr) consumes. A *mem.Pool[T] satisfies it directly: the pool stamps each
+// slot with the current era at Alloc, AdvanceEra moves the clock, and
+// BirthEra reads the stamp back at Retire time. When Config.Era is nil the
+// ibr domain falls back to an internal clock with every node's birth taken
+// as era 0 — safe (a node is never freed early) but unable to reclaim past
+// a stalled reader, i.e. no better than epochs; wiring the real pool clock
+// restores interval robustness.
+type EraSource interface {
+	// Era returns the current birth-era clock value.
+	Era() uint64
+	// AdvanceEra bumps the clock and returns the new value.
+	AdvanceEra() uint64
+	// BirthEra returns the era stamped on r at allocation. Called by the
+	// retiring guard while it still owns the node.
+	BirthEra(r mem.Ref) uint64
+}
+
 // Config parameterizes a Domain. The zero value is not usable: Workers,
 // HPs and Free are mandatory (Free may be omitted only for None).
 type Config struct {
@@ -222,6 +240,11 @@ type Config struct {
 	// defaults to 1; values above Workers are clamped to Workers.
 	Shards int
 
+	// Era supplies the birth-era clock for the interval-based scheme; see
+	// EraSource. Ignored by every other scheme. nil degrades ibr to an
+	// internal clock with all-zero birth stamps (safe, epoch-equivalent).
+	Era EraSource
+
 	// EvictAfter enables the paper's sketched eviction extension (§5.2
 	// future work) on the epoch-based schemes: a worker that has not
 	// declared a quiescent state for this long is treated as crashed and
@@ -314,8 +337,9 @@ func LegalC(c Config) int {
 
 // New constructs the named scheme. Valid names: "none", "qsbr", "hp",
 // "cadence", "qsense" (the paper's five), plus the related-work baselines
-// "ebr" (epoch-based reclamation, Fraser style) and "rc" (lock-free
-// reference counting).
+// "ebr" (epoch-based reclamation, Fraser style), "rc" (lock-free reference
+// counting), "ibr" (interval-based reclamation, 2GEIBR style) and "hyaline"
+// (snapshot-free batch-refcount reclamation).
 func New(name string, cfg Config) (Domain, error) {
 	switch name {
 	case "none":
@@ -332,14 +356,19 @@ func New(name string, cfg Config) (Domain, error) {
 		return NewEBR(cfg)
 	case "rc":
 		return NewRC(cfg)
+	case "ibr":
+		return NewIBR(cfg)
+	case "hyaline":
+		return NewHyaline(cfg)
 	}
-	return nil, fmt.Errorf("reclaim: unknown scheme %q", name)
+	return nil, fmt.Errorf("reclaim: unknown scheme %q (valid: %v)", name, Schemes())
 }
 
 // Schemes lists the scheme names accepted by New, in evaluation order: the
-// paper's five first, then the §8 related-work baselines.
+// paper's five first, then the §8 related-work baselines, then the
+// post-paper scheme families (interval-based reclamation and Hyaline).
 func Schemes() []string {
-	return []string{"none", "qsbr", "hp", "cadence", "qsense", "ebr", "rc"}
+	return []string{"none", "qsbr", "hp", "cadence", "qsense", "ebr", "rc", "ibr", "hyaline"}
 }
 
 // PaperSchemes lists only the five schemes of the paper's evaluation
@@ -408,6 +437,17 @@ type Stats struct {
 	// domain, and a rough health indicator for the power-of-two-choices
 	// placement otherwise.
 	Shards, ShardImbalance int
+	// IBRIntervalWidth is the widest active reservation interval
+	// (upper-lower, in eras) observed across occupied slots at snapshot
+	// time — a live measure of how much history readers currently pin.
+	// Zero for every scheme but ibr, and for ibr when no reservation is
+	// active.
+	IBRIntervalWidth uint64
+	// HyalineBatchRefs is the sum of outstanding reference counts over
+	// this domain's unreclaimed hyaline batches: how many slot-inbox
+	// deliveries still have to be acknowledged before those batches free.
+	// Zero for every scheme but hyaline.
+	HyalineBatchRefs int64
 	// InFallback reports QSense's current path.
 	InFallback bool
 	// RoosterPasses counts completed rooster flush passes.

@@ -394,6 +394,17 @@ func (o *shardedOrphans) adoptDetachedAll(batches []*orphanBatch, snap hpSnapsho
 	}
 }
 
+// adoptIntervalAll runs ibr's interval adoption over chains detached by
+// detachAll, against one reservation snapshot collected after the detach,
+// pushing each chain's survivors back to its own shard's list.
+func (o *shardedOrphans) adoptIntervalAll(batches []*orphanBatch, res []eraInterval, free func(mem.Ref), cnt *counters) {
+	for i, b := range batches {
+		if b != nil {
+			o.lists[i].adoptInterval(b, res, free, cnt)
+		}
+	}
+}
+
 // drain frees everything on every shard's list — the Close path.
 func (o *shardedOrphans) drain(free func(mem.Ref), cnt *counters) {
 	for i := range o.lists {

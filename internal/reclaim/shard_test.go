@@ -28,6 +28,10 @@ func corePools(t *testing.T, d Domain) *shardedPool {
 		return dd.slots
 	case *RC:
 		return dd.slots
+	case *IBR:
+		return dd.slots
+	case *Hyaline:
+		return dd.slots
 	}
 	t.Fatalf("corePools: unknown domain type %T", d)
 	return nil
@@ -48,6 +52,10 @@ func coreOrphans(d Domain) *shardedOrphans {
 	case *QSense:
 		return &dd.orphans
 	case *RC:
+		return &dd.orphans
+	case *IBR:
+		return &dd.orphans
+	case *Hyaline:
 		return &dd.orphans
 	}
 	return nil
@@ -103,6 +111,12 @@ func TestCrossShardStrandedBacklogIsAdopted(t *testing.T) {
 			}
 			if scheme == "hp" || scheme == "rc" {
 				helper.Protect(0, refs[0])
+			}
+			if scheme == "ibr" {
+				// ibr strands via an open reservation: the helper's interval
+				// [e,e] overlaps every node's lifetime (birth 0 <= e <= stamp),
+				// so the leaver's release-time scans keep the whole backlog.
+				helper.Begin()
 			}
 			for _, r := range refs {
 				leaver.Retire(r)

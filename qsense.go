@@ -96,13 +96,23 @@
 // The reclamation scheme is selected per domain via Options.Scheme:
 // SchemeQSense (default — QSBR fast path, Cadence fallback under process
 // delays), SchemeQSBR, SchemeHP, SchemeCadence, SchemeNone, and the
-// related-work baselines SchemeEBR and SchemeRC. All containers and the
-// custom-structure API are scheme-agnostic.
+// related-work baselines SchemeEBR, SchemeRC, SchemeIBR (interval-based
+// reclamation: per-node birth/retire era stamps against per-worker
+// reservation intervals — robustness without per-pointer protection) and
+// SchemeHyaline (snapshot-free batch handoff: each retire batch carries a
+// reference counter seeded from the active workers it was delivered to,
+// and the last acknowledger frees the whole batch). ParseScheme validates
+// a scheme name from flags or config; SchemeNames lists the valid names.
+// All containers and the custom-structure API are scheme-agnostic —
+// Applicability reports the full scheme×structure matrix and why each
+// pairing holds.
 package qsense
 
 import (
+	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"qsense/internal/mem"
@@ -138,9 +148,35 @@ const (
 	SchemeEBR Scheme = "ebr"
 	// SchemeRC is lock-free reference counting (two RMWs per node).
 	SchemeRC Scheme = "rc"
+	// SchemeIBR is interval-based reclamation (2GE-IBR): nodes carry
+	// birth/retire era stamps, workers reserve the era interval their
+	// operation spans, and a node frees once its lifetime misses every
+	// reservation — epoch-class read cost with HP-class robustness.
+	SchemeIBR Scheme = "ibr"
+	// SchemeHyaline is snapshot-free batch-handoff reclamation: a retire
+	// batch is delivered to every active worker's inbox with a reference
+	// count, each worker acknowledges at its next operation boundary, and
+	// the last acknowledgment frees the batch — no scans, no epochs.
+	SchemeHyaline Scheme = "hyaline"
 	// SchemeNone leaks: the evaluation baseline, not for production.
 	SchemeNone Scheme = "none"
 )
+
+// SchemeNames returns the valid Options.Scheme values, in the library's
+// canonical order — the single source binaries should range over for flag
+// validation and scheme sweeps instead of hard-coding the list.
+func SchemeNames() []string { return reclaim.Schemes() }
+
+// ParseScheme validates a scheme name from a flag, a config file or an
+// environment variable. The error lists the valid names.
+func ParseScheme(name string) (Scheme, error) {
+	for _, s := range reclaim.Schemes() {
+		if name == s {
+			return Scheme(s), nil
+		}
+	}
+	return "", fmt.Errorf("qsense: unknown scheme %q (valid: %s)", name, strings.Join(reclaim.Schemes(), ", "))
+}
 
 // Options configures a container or a custom Domain. The zero value means
 // SchemeQSense with library defaults and an elastic slot arena that starts
@@ -203,11 +239,42 @@ type Options struct {
 	// min(runtime.GOMAXPROCS(0), 8). Values above the initial arena size
 	// are clamped down so every shard starts with at least one slot.
 	Shards int
+	// Era supplies the era clock SchemeIBR stamps node lifetimes against —
+	// for a custom structure, the structure's own *Pool[T] (which
+	// implements EraSource). The containers wire their internal pools
+	// automatically; leave nil there. Nil under SchemeIBR is safe but
+	// degrades precision: every node reads as born at era 0, so interval
+	// disjointness decays to retire-epoch-only reasoning.
+	Era EraSource
 }
+
+// EraSource is a monotonic era clock with per-node birth stamps — what
+// SchemeIBR measures node lifetimes and reservation intervals against.
+// *Pool[T] implements it; custom structures pass their pool as
+// Options.Era.
+type EraSource interface {
+	// Era returns the current era.
+	Era() uint64
+	// AdvanceEra increments the era and returns the new value.
+	AdvanceEra() uint64
+	// BirthEra returns the era r's node was allocated in (0 for nil).
+	BirthEra(Ref) uint64
+}
+
+// eraBridge adapts the public Ref-typed EraSource to the internal layer.
+type eraBridge struct{ src EraSource }
+
+func (b eraBridge) Era() uint64               { return b.src.Era() }
+func (b eraBridge) AdvanceEra() uint64        { return b.src.AdvanceEra() }
+func (b eraBridge) BirthEra(r mem.Ref) uint64 { return b.src.BirthEra(Ref(r)) }
 
 func (o Options) reclaimConfig(hps int, free func(mem.Ref)) reclaim.Config {
 	if o.HPs > hps {
 		hps = o.HPs
+	}
+	var era reclaim.EraSource
+	if o.Era != nil {
+		era = eraBridge{o.Era}
 	}
 	return reclaim.Config{
 		Workers:        o.arena(),
@@ -220,6 +287,7 @@ func (o Options) reclaimConfig(hps int, free func(mem.Ref)) reclaim.Config {
 		MemoryLimit:    o.MemoryLimit,
 		Rooster:        rooster.Config{Interval: o.RoosterInterval},
 		Shards:         o.shards(),
+		Era:            era,
 	}
 }
 
@@ -325,6 +393,18 @@ type Stats struct {
 	// RoosterPasses counts completed rooster flush passes (Cadence,
 	// QSense).
 	RoosterPasses uint64
+	// IBRIntervalWidth is the widest active reservation interval
+	// (upper−lower, in eras) across live workers at snapshot time — how
+	// far SchemeIBR's slowest in-flight operation lags the era clock, and
+	// so how much retired memory one stalled reader can pin. 0 on other
+	// schemes and when no reservation is open.
+	IBRIntervalWidth uint64
+	// HyalineBatchRefs is the number of published-but-unacknowledged
+	// batch deliveries outstanding across all workers — SchemeHyaline's
+	// reclamation lag: it rises while workers sit mid-operation on
+	// delivered batches and returns to 0 as their next boundaries
+	// acknowledge. 0 on other schemes.
+	HyalineBatchRefs int64
 	// Shards is the resolved Options.Shards the domain runs with;
 	// ShardImbalance is the live-occupancy spread (max−min) across shards
 	// at snapshot time, 0 for a single-shard domain. A persistently large
@@ -365,6 +445,8 @@ func fromReclaimStats(s reclaim.Stats) Stats {
 		RRetunes:           s.RRetunes,
 		CRetunes:           s.CRetunes,
 		RoosterPasses:      s.RoosterPasses,
+		IBRIntervalWidth:   s.IBRIntervalWidth,
+		HyalineBatchRefs:   s.HyalineBatchRefs,
 		Shards:             s.Shards,
 		ShardImbalance:     s.ShardImbalance,
 		Failed:             s.Failed,
