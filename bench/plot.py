@@ -57,11 +57,14 @@ def nice_ticks(lo, hi, n=5):
 
 
 class Chart:
-    """One SVG line chart: x positions are categorical (worker counts)."""
+    """One SVG line chart. x positions are categorical (worker counts) by
+    default; linear=True switches to a numeric x axis (time series, e.g.
+    the robustness matrix's pending-vs-time traces)."""
 
-    def __init__(self, title, xlabel, ylabel, xcats):
+    def __init__(self, title, xlabel, ylabel, xcats, linear=False):
         self.title, self.xlabel, self.ylabel = title, xlabel, ylabel
-        self.xcats = xcats  # sorted distinct worker counts
+        self.xcats = xcats  # sorted distinct x values
+        self.linear = linear
         self.series = []  # (name, color, [(x, y)])
 
     def add(self, name, points):
@@ -69,9 +72,19 @@ class Chart:
         self.series.append((name, color, points))
 
     def _xpos(self, x):
+        if self.linear:
+            lo, hi = self.xcats[0], self.xcats[-1]
+            span = (hi - lo) or 1
+            return ML + (W - ML - MR) * ((x - lo) / span)
         i = self.xcats.index(x)
         n = max(len(self.xcats) - 1, 1)
         return ML + (W - ML - MR) * (i / n if len(self.xcats) > 1 else 0.5)
+
+    def _xticks(self):
+        if not self.linear:
+            return self.xcats
+        lo, hi = self.xcats[0], self.xcats[-1]
+        return [t for t in nice_ticks(lo, hi, 6) if lo <= t <= hi]
 
     def render(self):
         ymax = max((y for _, _, pts in self.series for _, y in pts), default=1.0)
@@ -92,9 +105,9 @@ class Chart:
             out.append(f'<line x1="{ML}" y1="{y:.1f}" x2="{W-MR}" y2="{y:.1f}" '
                        f'stroke="#ddd" stroke-width="1"/>')
             out.append(f'<text x="{ML-6}" y="{y+4:.1f}" text-anchor="end">{t:g}</text>')
-        for x in self.xcats:
+        for x in self._xticks():
             px = self._xpos(x)
-            out.append(f'<text x="{px:.1f}" y="{H-MB+16}" text-anchor="middle">{x}</text>')
+            out.append(f'<text x="{px:.1f}" y="{H-MB+16}" text-anchor="middle">{x:g}</text>')
         out.append(f'<line x1="{ML}" y1="{H-MB}" x2="{W-MR}" y2="{H-MB}" stroke="black"/>')
         out.append(f'<line x1="{ML}" y1="{MT}" x2="{ML}" y2="{H-MB}" stroke="black"/>')
         out.append(f'<text x="{(ML+W-MR)/2}" y="{H-8}" text-anchor="middle">{esc(self.xlabel)}</text>')
@@ -134,6 +147,24 @@ def load(path):
 
 def charts_for(d):
     """Yield (suffix, Chart) pairs for one parsed BENCH JSON."""
+    extra = d.get("extra") or {}
+    if extra.get("series") == "pending_vs_time":
+        # The robustness matrix re-purposes the envelope: workers carries
+        # elapsed ms, mops carries the pending-node count, one curve per
+        # scheme with a stalled reader. Numeric x axis, schemes the matrix
+        # proved unbounded flagged in the legend.
+        xvals = sorted({p["workers"] for c in d["curves"] for p in c["points"]})
+        ch = Chart(f'{d["experiment"]}: pending garbage vs time, one reader stalled',
+                   extra.get("x", "elapsed_ms"), extra.get("y", "pending_nodes"),
+                   xvals, linear=True)
+        for c in d["curves"]:
+            pts = sorted((p["workers"], p["mops"]) for p in c["points"])
+            label = c["scheme"]
+            if extra.get("robust_" + c["scheme"]) == "false":
+                label += " (unbounded)"
+            ch.add(label, pts)
+        yield "pending", ch
+        return
     xcats = sorted({p["workers"] for c in d["curves"] for p in c["points"]})
     sub = f'{d.get("ds", "?")}, {d.get("update_pct", "?")}% updates, range {d.get("key_range", "?")}'
     thr = Chart(f'{d["experiment"]}: throughput ({sub})', "workers", "Mops/s", xcats)

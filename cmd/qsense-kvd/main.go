@@ -50,6 +50,9 @@ func main() {
 		initial  = flag.Int("initial-conns", 0, "initial guard-arena size hint (0 = machine default)")
 		maxNodes = flag.Int("max-nodes", 0, "map node-pool bound (0 = library default)")
 		shards   = flag.Int("shards", 0, "reclamation-domain shards (0 = QSENSE_SHARDS, then min(GOMAXPROCS, 8))")
+		idleTO   = flag.Duration("idle-timeout", 0, "disconnect a connection silent for this long, releasing its lease (0 = never)")
+		writeTO  = flag.Duration("write-timeout", 0, "disconnect a client that stops draining replies for this long (0 = never)")
+		memLimit = flag.Int("mem-limit", 0, "pending-node soft limit: past it SET/DEL answer -BUSY while reads keep serving (0 = off)")
 
 		// Load mode.
 		load     = flag.Bool("load", false, "run as load generator instead of server")
@@ -64,6 +67,7 @@ func main() {
 		cycles   = flag.Int("cycles", 1, "burst+idle repetitions; 0 = one steady phase of -burst")
 		idleLoad = flag.Float64("idle-load", 0.05, "fraction of connections kept during idle phases")
 		seed     = flag.Uint64("seed", 1, "workload seed")
+		stalls   = flag.Int("stall-conns", 0, "extra connections that dial, hold their lease and send nothing (stalled-reader chaos)")
 		jsonOut  = flag.Bool("json", false, "write BENCH_kvd_<exp>.json (for CI artifacts / perf tracking)")
 		exp      = flag.String("exp", "zipf_burst", "experiment name used in the BENCH JSON filename")
 		force    = flag.Bool("force", false, "overwrite an existing BENCH_kvd_<exp>.json (refused otherwise)")
@@ -77,10 +81,15 @@ func main() {
 			burst: *burst, idle: *idle, cycles: *cycles, idleLoad: *idleLoad,
 			seed: *seed, jsonOut: *jsonOut, exp: *exp, force: *force,
 			maxNodes: *maxNodes, initial: *initial, shards: *shards,
+			stallConns: *stalls, idleTO: *idleTO,
 		})
 		return
 	}
-	runServer(kvd.Config{Scheme: *scheme, InitialConns: *initial, HardMaxConns: *maxConns, MaxNodes: *maxNodes, Shards: *shards}, *addr)
+	runServer(kvd.Config{
+		Scheme: *scheme, InitialConns: *initial, HardMaxConns: *maxConns,
+		MaxNodes: *maxNodes, Shards: *shards,
+		IdleTimeout: *idleTO, WriteTimeout: *writeTO, MemoryLimit: *memLimit,
+	}, *addr)
 }
 
 // runServer serves until SIGINT/SIGTERM, then drains gracefully.
@@ -129,6 +138,8 @@ type loadOpts struct {
 	exp                    string
 	maxNodes, initial      int
 	shards                 int
+	stallConns             int
+	idleTO                 time.Duration
 }
 
 // runLoad sweeps schemes x connection counts and renders/emits curves.
@@ -163,7 +174,7 @@ func runLoad(o loadOpts) {
 			if target == "" {
 				// Fresh server per point: counters (growth, parking) then
 				// describe exactly this point's storm, not history.
-				s, err := kvd.New(kvd.Config{Scheme: sc, InitialConns: o.initial, MaxNodes: o.maxNodes, Shards: o.shards})
+				s, err := kvd.New(kvd.Config{Scheme: sc, InitialConns: o.initial, MaxNodes: o.maxNodes, Shards: o.shards, IdleTimeout: o.idleTO})
 				if err != nil {
 					fatal(err)
 				}
@@ -176,6 +187,7 @@ func runLoad(o loadOpts) {
 			res, err := kvd.RunLoad(kvd.LoadConfig{
 				Target: target, Conns: nc, KeyRange: o.keyRange, Theta: o.theta,
 				UpdatePct: o.updates, Plan: plan, Seed: o.seed,
+				StallConns: o.stallConns,
 			})
 			if srv != nil {
 				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

@@ -1,0 +1,122 @@
+// Package fault is a deterministic fault injector for the reclamation
+// schemes: it stalls a chosen guard mid-protocol at a named sync point,
+// freezes and unfreezes it on command, and drives retire storms from
+// healthy goroutines — the adversarial machinery behind the robustness
+// matrix that regression-tests the paper's central claim (a stalled reader
+// pins bounded garbage under the pointer/interval/batch schemes, unbounded
+// garbage under the pure epoch schemes).
+//
+// The injector threads into internal/reclaim through Config.FaultHook: the
+// schemes call the hook at their FaultQuiesce/FaultProtect/FaultInbox sync
+// points, on the faulting goroutine itself, so a hook that blocks models a
+// reader descheduled (or crashed) exactly there. Production configs leave
+// the hook nil and pay one predictable branch per sync point.
+//
+// Traps are one-shot by CAS: StallNext arms a trap, the FIRST goroutine to
+// hit the armed point parks and every later arrival passes through
+// untrapped. Determinism therefore comes from arming while only the
+// intended victim is running the trapped point — arm, start the victim,
+// AwaitStalled, and only then unleash the storm.
+package fault
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qsense/internal/reclaim"
+)
+
+// trap is one armed stall: the first goroutine to hit the matching point
+// claims it (CAS to nil), reports its slot on stalled, and parks on release.
+type trap struct {
+	point   reclaim.FaultPoint
+	stalled chan int      // victim reports its slot index (buffered: never blocks the park)
+	release chan struct{} // closed by Resume; the victim parks on it
+}
+
+// Injector arms stalls on reclaim's fault sync points. One Injector serves
+// one Domain (pass Hook() as its Config.FaultHook); arm/await/resume cycles
+// may repeat — each StallNext installs a fresh trap, so the same victim can
+// be frozen and unfrozen on command.
+type Injector struct {
+	armed  atomic.Pointer[trap] // nil = disarmed; claimed by the victim's CAS
+	stalls atomic.Uint64        // total traps sprung (observability)
+
+	mu       sync.Mutex
+	current  *trap // last armed trap, for AwaitStalled/Resume
+	resumed  bool  // current's release already closed
+	lastSlot int   // slot of the last victim to park
+}
+
+// New builds a disarmed injector.
+func New() *Injector { return &Injector{lastSlot: -1} }
+
+// Hook returns the function to install as reclaim.Config.FaultHook. The
+// disarmed fast path is one atomic load and a predictable branch.
+func (j *Injector) Hook() func(reclaim.FaultPoint, int) {
+	return func(p reclaim.FaultPoint, slot int) {
+		t := j.armed.Load()
+		if t == nil || t.point != p {
+			return
+		}
+		if !j.armed.CompareAndSwap(t, nil) {
+			return // another goroutine sprung it first; pass through
+		}
+		j.stalls.Add(1)
+		t.stalled <- slot
+		<-t.release
+	}
+}
+
+// StallNext arms a one-shot trap: the next goroutine to reach point p parks
+// until Resume. Arming while a previous victim is still parked is a caller
+// error (Resume first); arming over an unsprung trap simply replaces it.
+func (j *Injector) StallNext(p reclaim.FaultPoint) {
+	t := &trap{point: p, stalled: make(chan int, 1), release: make(chan struct{})}
+	j.mu.Lock()
+	j.current = t
+	j.resumed = false
+	j.mu.Unlock()
+	j.armed.Store(t)
+}
+
+// AwaitStalled blocks until the armed trap springs and returns the victim's
+// guard slot index, or ok=false if no victim parked within the timeout.
+func (j *Injector) AwaitStalled(timeout time.Duration) (slot int, ok bool) {
+	j.mu.Lock()
+	t := j.current
+	j.mu.Unlock()
+	if t == nil {
+		return -1, false
+	}
+	select {
+	case s := <-t.stalled:
+		j.mu.Lock()
+		j.lastSlot = s
+		j.mu.Unlock()
+		return s, true
+	case <-time.After(timeout):
+		return -1, false
+	}
+}
+
+// Resume releases the currently parked victim (idempotent; no-op when
+// nothing is armed or parked). The victim continues from the sync point as
+// if the delay had been a long descheduling.
+func (j *Injector) Resume() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.current == nil || j.resumed {
+		return
+	}
+	j.resumed = true
+	close(j.current.release)
+}
+
+// Disarm removes an armed-but-unsprung trap; a sprung trap is already
+// disarmed (one-shot), and its victim still needs Resume.
+func (j *Injector) Disarm() { j.armed.Store(nil) }
+
+// Stalls reports how many traps have sprung over the injector's lifetime.
+func (j *Injector) Stalls() uint64 { return j.stalls.Load() }

@@ -1,0 +1,99 @@
+package fault
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qsense/internal/mem"
+	"qsense/internal/reclaim"
+)
+
+// StormConfig shapes a retire storm: healthy goroutines allocating and
+// retiring flat out while (typically) one injected victim stays stalled.
+type StormConfig struct {
+	// Workers is the number of storm goroutines. Default 4.
+	Workers int
+	// Target is the total number of retires to issue at full speed.
+	Target int
+	// MinWall keeps a throttled trickle of retires running until this much
+	// wall time has passed, even after Target is reached — time-based
+	// machinery (rooster deferral, eviction clocks) needs wall time, not
+	// just operation count, to demonstrably engage. 0 disables the trickle.
+	MinWall time.Duration
+	// MaxWall hard-stops the storm (hang safety). Default 30s.
+	MaxWall time.Duration
+}
+
+// StormResult reports what the storm actually did.
+type StormResult struct {
+	Retired int
+	Elapsed time.Duration
+	Walled  bool // MaxWall stopped the storm before Target
+}
+
+// RunStorm drives cfg.Workers goroutines through Begin/alloc/Retire/ClearHPs
+// cycles against d until Target retires have been issued (then trickles to
+// MinWall). Each iteration is a complete operation from the scheme's point
+// of view: the storm goroutines keep quiescing, announcing, acknowledging
+// and scanning — they are the HEALTHY population whose reclamation the
+// stalled victim may or may not be able to block. Blocks until the storm
+// ends; guards are leased per worker and released on the way out.
+func RunStorm(d reclaim.Domain, alloc func() mem.Ref, cfg StormConfig) StormResult {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.MaxWall <= 0 {
+		cfg.MaxWall = 30 * time.Second
+	}
+	start := time.Now()
+	deadline := start.Add(cfg.MaxWall)
+	var retired atomic.Int64
+	var walled atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g, err := d.Acquire()
+			if err != nil {
+				return
+			}
+			defer d.Release(g)
+			for i := 0; ; i++ {
+				n := retired.Load()
+				if n >= int64(cfg.Target) {
+					if cfg.MinWall <= 0 || time.Since(start) >= cfg.MinWall {
+						return
+					}
+					// Trickle: keep the protocol moving (rooster polls,
+					// eviction checks, era advances) without growing the
+					// backlog materially.
+					time.Sleep(200 * time.Microsecond)
+				}
+				if i%64 == 0 && time.Now().After(deadline) {
+					walled.Store(true)
+					return
+				}
+				g.Begin()
+				g.Retire(alloc())
+				g.ClearHPs()
+				retired.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	return StormResult{
+		Retired: int(retired.Load()),
+		Elapsed: time.Since(start),
+		Walled:  walled.Load(),
+	}
+}
+
+// PoolAlloc adapts a typed pool into the storm's alloc callback.
+func PoolAlloc[T any](p *mem.Pool[T]) func() mem.Ref {
+	return func() mem.Ref {
+		r, _ := p.Alloc()
+		return r
+	}
+}

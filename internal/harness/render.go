@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -107,6 +108,75 @@ func WriteCurvesJSONFile(path string, force bool, meta BenchJSON, curves []Curve
 		return err
 	}
 	if err := WriteCurvesJSON(f, meta, curves); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// RobustnessSeries is one scheme's pending-vs-time trace from the fault
+// matrix (internal/fault): how many retired-but-unreclaimed nodes the
+// domain accumulated while one reader sat stalled at a protocol sync point.
+type RobustnessSeries struct {
+	Scheme  string
+	Robust  bool  // the matrix asserted a bounded ceiling for this scheme
+	Ceiling int64 // the asserted bound (advisory for unbounded schemes)
+	Points  []RobustnessPoint
+}
+
+// RobustnessPoint is one sample of the trace.
+type RobustnessPoint struct {
+	ElapsedMS float64
+	Pending   int64
+}
+
+// WriteRobustnessJSON emits the fault matrix's pending-vs-time traces in the
+// BenchJSON envelope, so the bench/ trajectory tooling ingests it like any
+// other experiment. The series nature is flagged via Extra["series"], and the
+// axes are re-purposed per that flag: Workers carries elapsed milliseconds,
+// Mops carries the pending-node count.
+func WriteRobustnessJSON(w io.Writer, series []RobustnessSeries) error {
+	meta := BenchJSON{
+		Experiment: "robustness",
+		DS:         "fault-matrix",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Extra: map[string]string{
+			"series": "pending_vs_time",
+			"x":      "elapsed_ms",
+			"y":      "pending_nodes",
+		},
+	}
+	var durMS float64
+	for _, s := range series {
+		jc := BenchCurveJSON{Scheme: s.Scheme}
+		for _, p := range s.Points {
+			jc.Points = append(jc.Points, BenchPointJSON{
+				Workers: int(p.ElapsedMS),
+				Mops:    float64(p.Pending),
+			})
+			if p.ElapsedMS > durMS {
+				durMS = p.ElapsedMS
+			}
+		}
+		meta.Curves = append(meta.Curves, jc)
+		meta.Extra["robust_"+s.Scheme] = fmt.Sprintf("%v", s.Robust)
+		meta.Extra["ceiling_"+s.Scheme] = fmt.Sprintf("%d", s.Ceiling)
+	}
+	meta.DurationMS = int64(durMS)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(meta)
+}
+
+// WriteRobustnessJSONFile writes BENCH_robustness.json to path. The matrix
+// regenerates the full file every run, so unlike the append-only perf
+// trajectory it always overwrites.
+func WriteRobustnessJSONFile(path string, series []RobustnessSeries) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := WriteRobustnessJSON(f, series); err != nil {
 		f.Close()
 		return err
 	}

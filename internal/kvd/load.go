@@ -34,6 +34,41 @@ type LoadConfig struct {
 	// NoPrefill skips the half-range prefill (for tests that assert exact
 	// map contents).
 	NoPrefill bool
+	// StallConns opens this many extra connections that dial, then hold
+	// the socket silently for the whole run — each one pins a leased map
+	// handle server-side while sending nothing. This is the TCP face of
+	// the fault matrix's stalled reader: against a server without
+	// IdleTimeout the leases stay pinned for the run; with IdleTimeout
+	// set the server is expected to evict them (visible as idle_timeouts
+	// in the final STATS). Healthy workers keep running either way.
+	StallConns int
+}
+
+// dialRetry dials target, retrying transient connect errors with capped
+// exponential backoff plus jitter — a load generator racing a server's
+// startup (or riding out a listen-queue overflow under a connection storm)
+// should degrade into a short wait, not a failed run. Jitter decorrelates
+// the pool's retries so a thundering herd doesn't re-arrive in lockstep.
+func dialRetry(target string, attempts int, rng *workload.RNG) (net.Conn, error) {
+	backoff := 2 * time.Millisecond
+	const capBackoff = 250 * time.Millisecond
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		c, err := net.Dial("tcp", target)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		if a == attempts-1 {
+			break
+		}
+		// Sleep in [backoff/2, 3*backoff/2): full jitter around the nominal.
+		time.Sleep(backoff/2 + time.Duration(rng.Next()%uint64(backoff)))
+		if backoff *= 2; backoff > capBackoff {
+			backoff = capBackoff
+		}
+	}
+	return nil, fmt.Errorf("kvd: dial %s: %w (after %d attempts)", target, lastErr, attempts)
 }
 
 // LoadResult is the outcome of RunLoad: closed-loop throughput, the merged
@@ -75,6 +110,26 @@ func RunLoad(cfg LoadConfig) (LoadResult, error) {
 	ops := make([]uint64, cfg.Conns)
 	errs := make([]uint64, cfg.Conns)
 	start := time.Now()
+	// Stalled connections dial before the healthy pool so their leases are
+	// pinned for the whole measured window.
+	stallStop := make(chan struct{})
+	var stallWg sync.WaitGroup
+	for i := 0; i < cfg.StallConns; i++ {
+		stallWg.Add(1)
+		go func(i int) {
+			defer stallWg.Done()
+			rng := workload.NewRNG(cfg.Seed ^ (uint64(i)*0x9E3779B9 + 0x5111))
+			c, err := dialRetry(cfg.Target, 8, rng)
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			// Hold silently: no commands, no reads. If the server's
+			// IdleTimeout disconnects us, keep holding the closed socket —
+			// a crashed client doesn't politely redial.
+			<-stallStop
+		}(i)
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.Conns; i++ {
 		wg.Add(1)
@@ -84,6 +139,8 @@ func RunLoad(cfg LoadConfig) (LoadResult, error) {
 		}(i)
 	}
 	wg.Wait()
+	close(stallStop)
+	stallWg.Wait()
 	res := LoadResult{Conns: cfg.Conns, Duration: time.Since(start), Latency: &harness.LatencyHist{}}
 	for i := range hists {
 		res.Ops += ops[i]
@@ -126,10 +183,9 @@ func loadWorker(i int, cfg LoadConfig, start time.Time, hist *harness.LatencyHis
 			continue
 		}
 		if conn == nil {
-			c, err := net.Dial("tcp", cfg.Target)
+			c, err := dialRetry(cfg.Target, 4, rng)
 			if err != nil {
 				errs++
-				time.Sleep(5 * time.Millisecond)
 				continue
 			}
 			conn = c
@@ -170,14 +226,14 @@ func loadWorker(i int, cfg LoadConfig, start time.Time, hist *harness.LatencyHis
 // every even key in [0, keyRange) is SET (pipelined), so GETs under any
 // skew hit about half the time and DELs have victims from the start.
 func Prefill(target string, keyRange int64, seed uint64) error {
-	c, err := net.Dial("tcp", target)
+	rng := workload.NewRNG(seed ^ 0xABCD)
+	c, err := dialRetry(target, 8, rng)
 	if err != nil {
 		return err
 	}
 	defer c.Close()
 	rd := resp.NewReader(c)
 	wr := resp.NewWriter(c)
-	rng := workload.NewRNG(seed ^ 0xABCD)
 	const batch = 128
 	inFlight := 0
 	drain := func() error {
@@ -212,7 +268,7 @@ func Prefill(target string, keyRange int64, seed uint64) error {
 // FetchStats issues STATS on a fresh connection and parses the numeric
 // counters.
 func FetchStats(target string) (map[string]int64, error) {
-	c, err := net.Dial("tcp", target)
+	c, err := dialRetry(target, 8, workload.NewRNG(0x57A75))
 	if err != nil {
 		return nil, err
 	}

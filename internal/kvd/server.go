@@ -28,6 +28,7 @@ package kvd
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"net"
@@ -58,7 +59,35 @@ type Config struct {
 	// Shards splits the map's reclamation domain core (Options.Shards).
 	// 0 = library default (QSENSE_SHARDS, then min(GOMAXPROCS, 8)).
 	Shards int
+
+	// IdleTimeout, when > 0, is the per-command read deadline: a
+	// connection that sends nothing for this long is disconnected and its
+	// leased map handle released — the defense against stalled readers
+	// over TCP (a parked client would otherwise hold its guard slot, and
+	// under an epoch scheme pin the server's garbage, forever). 0 keeps
+	// the pre-hardening behavior: reads block until the peer speaks or
+	// Shutdown wakes them.
+	IdleTimeout time.Duration
+	// WriteTimeout, when > 0, bounds each reply flush: a client that
+	// stops draining its socket (slowloris-style) is disconnected — with
+	// its lease released — instead of wedging the handler in a blocked
+	// write. 0 = no write deadlines.
+	WriteTimeout time.Duration
+	// MemoryLimit, when > 0, is the graceful-degradation threshold: once
+	// the map's pending (retired-but-unreclaimed) node count exceeds it,
+	// SET and DEL answer "-BUSY retry later" while GET/STATS/PING keep
+	// serving — the server sheds allocation under memory pressure rather
+	// than failing the domain. The check samples Stats at most once per
+	// memSampleEvery, so the hot path pays an atomic load. Unlike
+	// qsense.Options.MemoryLimit (a sticky Failed marker for
+	// experiments), this limit is soft and recovers as soon as
+	// reclamation drains the backlog.
+	MemoryLimit int
 }
+
+// memSampleEvery is how often the MemoryLimit check is willing to resample
+// the map's pending count.
+const memSampleEvery = 10 * time.Millisecond
 
 // Server is a qsense-kvd instance. Create with New, start with Start (or
 // Listen+Serve), stop with Shutdown, then Close to tear down the map.
@@ -78,6 +107,15 @@ type Server struct {
 	wg    sync.WaitGroup
 
 	accepted atomic.Uint64
+
+	// Hardening counters (surfaced in STATS).
+	idleTimeouts  atomic.Uint64 // conns dropped by IdleTimeout
+	writeTimeouts atomic.Uint64 // conns dropped by WriteTimeout
+	panicsCaught  atomic.Uint64 // handler panics recovered (lease still released)
+	busyRejected  atomic.Uint64 // writes refused with -BUSY under MemoryLimit
+
+	memCheck atomic.Int64 // UnixNano of the last MemoryLimit sample
+	memBusy  atomic.Bool  // last sampled verdict: pending > MemoryLimit
 }
 
 // New builds a server (no listener yet).
@@ -243,30 +281,84 @@ func (s *Server) handle(c net.Conn) {
 		return
 	}
 	defer h.Release()
+	// Registered after the Release defer, so it runs FIRST on unwind: a
+	// panicking command (pool exhaustion, a container bug) costs its own
+	// connection an -ERR and a close, never the lease — the slot goes back
+	// to the freelist and the rest of the server keeps serving.
+	defer func() {
+		if r := recover(); r != nil {
+			s.panicsCaught.Add(1)
+			wr := resp.NewWriter(c)
+			wr.Error(fmt.Sprintf("ERR internal error: %v", sanitize(fmt.Sprint(r))))
+			wr.Flush()
+		}
+	}()
 	rd := resp.NewReader(c)
 	wr := resp.NewWriter(c)
+	flush := func() error {
+		if s.cfg.WriteTimeout > 0 {
+			c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		}
+		err := wr.Flush()
+		if err != nil && isTimeout(err) && !s.draining.Load() {
+			s.writeTimeouts.Add(1)
+		}
+		return err
+	}
 	for {
+		if s.cfg.IdleTimeout > 0 && !s.draining.Load() {
+			// Per-command read deadline: the stalled-reader defense. Not
+			// re-armed while draining, so Shutdown's past-deadline wake-up
+			// (SetReadDeadline(now)) cannot be overwritten.
+			c.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
 		args, err := rd.ReadCommand()
 		if err != nil {
 			// Framing violations get a reply; EOF, drain deadlines and
-			// network errors close quietly.
+			// network errors close quietly. An idle timeout on a healthy
+			// server is the hardening path: count it, best-effort notify.
 			if resp.IsProtocol(err) {
 				wr.Error("ERR " + err.Error())
-				wr.Flush()
+				flush()
+			} else if isTimeout(err) && !s.draining.Load() {
+				s.idleTimeouts.Add(1)
+				wr.Error("ERR idle timeout, closing")
+				flush()
 			}
 			return
 		}
 		quit := s.dispatch(h, wr, args)
 		if rd.Buffered() == 0 {
-			if err := wr.Flush(); err != nil {
+			if err := flush(); err != nil {
 				return
 			}
 		}
 		if quit || s.draining.Load() {
-			wr.Flush()
+			flush()
 			return
 		}
 	}
+}
+
+// isTimeout reports whether err is a connection deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// overLimit is the MemoryLimit sampler: at most once per memSampleEvery,
+// one winning goroutine (CAS on the sample clock) refreshes the verdict
+// from the map's pending count; everyone else reads the cached bit.
+func (s *Server) overLimit() bool {
+	if s.cfg.MemoryLimit <= 0 {
+		return false
+	}
+	now := time.Now().UnixNano()
+	last := s.memCheck.Load()
+	if now-last >= int64(memSampleEvery) && s.memCheck.CompareAndSwap(last, now) {
+		s.memBusy.Store(s.m.Stats().Pending > int64(s.cfg.MemoryLimit))
+	}
+	return s.memBusy.Load()
 }
 
 // dispatch executes one command; true means the connection should close.
@@ -297,11 +389,24 @@ func (s *Server) dispatch(h qsense.MapHandle, wr *resp.Writer, args [][]byte) bo
 			wr.Error("ERR value is not an unsigned integer (the SkipMap stores a uint64 value word)")
 			return false
 		}
+		if s.overLimit() {
+			// Graceful degradation: shedding the commands that allocate
+			// (and, via Delete, retire) lets reclamation catch up while
+			// reads keep serving.
+			s.busyRejected.Add(1)
+			wr.Error("BUSY retry later")
+			return false
+		}
 		h.Put(k, v)
 		wr.SimpleString("OK")
 	case "DEL":
 		k, ok := wantKey(wr, cmd, args, 2)
 		if !ok {
+			return false
+		}
+		if s.overLimit() {
+			s.busyRejected.Add(1)
+			wr.Error("BUSY retry later")
 			return false
 		}
 		if h.Delete(k) {
@@ -363,6 +468,10 @@ func (s *Server) statsText() []byte {
 	}
 	fmt.Fprintf(&b, "conns_accepted: %d\n", s.accepted.Load())
 	fmt.Fprintf(&b, "conns_live: %d\n", s.LiveConns())
+	fmt.Fprintf(&b, "idle_timeouts: %d\n", s.idleTimeouts.Load())
+	fmt.Fprintf(&b, "write_timeouts: %d\n", s.writeTimeouts.Load())
+	fmt.Fprintf(&b, "panics_recovered: %d\n", s.panicsCaught.Load())
+	fmt.Fprintf(&b, "busy_rejected: %d\n", s.busyRejected.Load())
 	return b.Bytes()
 }
 
@@ -391,6 +500,8 @@ func statsFields(st qsense.Stats) []statKV {
 		{"switches_to_fallback", int64(st.SwitchesToFallback)},
 		{"switches_to_fast", int64(st.SwitchesToFast)},
 		{"in_fallback", b2i(st.InFallback)},
+		{"evictions", int64(st.Evictions)},
+		{"rejoins", int64(st.Rejoins)},
 		{"acquired_handles", int64(st.AcquiredHandles)},
 		{"released_handles", int64(st.ReleasedHandles)},
 		{"orphaned_nodes", int64(st.OrphanedNodes)},

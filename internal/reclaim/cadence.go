@@ -187,6 +187,9 @@ func (g *cadenceGuard) Begin() {}
 // memory barrier here").
 func (g *cadenceGuard) Protect(i int, r mem.Ref) {
 	g.rec.publishPending(i, r)
+	// Fault point: stalled after the bare-store publication, the reader
+	// pins only what its pending slots name once the rooster flushes them.
+	g.d.cfg.fire(FaultProtect, g.id)
 }
 
 func (g *cadenceGuard) ClearHPs() { g.rec.clearPending() }

@@ -180,6 +180,9 @@ func (d *EBR) Close() {
 func (g *ebrGuard) Begin() {
 	e := g.d.epoch.Load()
 	g.word.Store(e<<1 | 1)
+	// Fault point: stalled here, the worker is active at epoch e forever —
+	// after at most two more advances the global epoch freezes on it.
+	g.d.cfg.fire(FaultQuiesce, g.id)
 	if e != g.lastSeen {
 		g.lastSeen = e
 		g.freeBucket(int(e % 3))

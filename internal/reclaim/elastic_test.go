@@ -340,7 +340,11 @@ func TestGrowthAdoptsOrphans(t *testing.T) {
 }
 
 // TestHighWaterCountsPinsAndLeases: the occupancy peak must reflect leases
-// and pins together, whichever side raises it last.
+// and pins together, whichever side raises it last. The positional pin is
+// taken FIRST: under QSENSE_SHARDS=4 each shard owns exactly one of the four
+// slots, and a lease placed by the stack-address hash may land on slot 3's
+// shard — pinning an already-leased slot is a caller error (slots.go), so
+// the pin must not race the leases for the same geometry.
 func TestHighWaterCountsPinsAndLeases(t *testing.T) {
 	pool := newTestPool()
 	d, err := NewQSBR(Config{Workers: 4, HPs: 1, Free: freeInto(pool), Q: 1})
@@ -348,13 +352,13 @@ func TestHighWaterCountsPinsAndLeases(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer d.Close()
+	d.Guard(3) // pin slot 3 before any lease can land on it
 	if _, err := d.Acquire(); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := d.Acquire(); err != nil {
 		t.Fatal(err)
 	}
-	d.Guard(3) // pin on top of two live leases
 	if st := d.Stats(); st.HighWaterWorkers != 3 {
 		t.Fatalf("HighWaterWorkers = %d after 2 leases + 1 pin, want 3", st.HighWaterWorkers)
 	}

@@ -164,6 +164,9 @@ func (g *hpGuard) Begin() {}
 func (g *hpGuard) Protect(i int, r mem.Ref) {
 	g.rec.publishShared(i, r)
 	g.fence.Full()
+	// Fault point: stalled after the fenced publication, the reader pins
+	// exactly the K nodes its hazard slots name — HP's robustness bound.
+	g.d.cfg.fire(FaultProtect, g.id)
 }
 
 func (g *hpGuard) ClearHPs() { g.rec.clearShared() }

@@ -31,10 +31,27 @@ import (
 // after the publisher read its slot (inactive-skip or post-push activation)
 // can never reach them from the root; an operation that was active at
 // publish time received a delivery and the batch outlives it by refcount.
-// Robustness sits with EBR's: a reader stalled INSIDE an operation pins
-// every batch delivered to it (garbage bounded by delivery, not global),
-// while a reader idle BETWEEN operations has an inactive inbox and pins
-// nothing — Stats reports the live pin mass as HyalineBatchRefs.
+//
+// Era-filtered delivery (the IBR+Hyaline combo of Nikolaev's crystalline
+// line, ROADMAP PR-8 follow-up): each guard also publishes an era upper
+// bound — set to the current birth-era clock at Begin, BEFORE the inbox
+// activates, and widened by Protect like an IBR reservation. publish
+// computes the batch's minimum birth era and skips active inboxes whose
+// upper bound predates it: such a reader entered its operation before any
+// of the batch's nodes were even allocated and has not widened since, so it
+// cannot have traversed to them — formally, dereferencing a batch node
+// requires widening upper to >= that node's birth era and then passing link
+// re-validation; re-validation passing means the link load preceded the
+// node's unlink, which preceded its retire, which preceded this publish, so
+// the publisher's upper read would have observed the widened bound and
+// delivered. The clock advances once per publish, so with Config.Era wired
+// to the structure's pool a reader stalled INSIDE an operation pins only
+// batches containing nodes born before its bound — bounded garbage, where
+// the unfiltered scheme (Era nil: every birth reads 0, the filter never
+// engages and delivery degenerates to all-active, the previous behaviour)
+// sat at EBR's unbounded robustness. A reader idle BETWEEN operations has
+// an inactive inbox and pins nothing either way — Stats reports the live
+// pin mass as HyalineBatchRefs.
 //
 // Release reuses the per-shard orphan-list machinery as its handoff ramp:
 // the leftover local batch moves to the releasing guard's OWN shard's list
@@ -46,6 +63,7 @@ import (
 type Hyaline struct {
 	cfg     Config
 	cnt     counters
+	era     EraSource    // birth-era clock for delivery filtering (localEra fallback)
 	outRefs atomic.Int64 // sum of unacknowledged deliveries (Stats)
 	slots   *shardedPool
 	orphans shardedOrphans
@@ -80,6 +98,11 @@ type hguard struct {
 	d     *Hyaline
 	id    int
 	inbox atomic.Pointer[hentry]
+	// upper is the guard's era reservation bound, read by publishers to
+	// filter deliveries: stored (down or up — the guard holds no references
+	// at Begin) before the inbox activates, widened by Protect while the
+	// operation runs. Meaningless while the inbox is inactive.
+	upper atomic.Uint64
 	batch []mem.Ref
 	tally tally
 	_     [40]byte // keep adjacent guards' hot words apart
@@ -93,7 +116,12 @@ func NewHyaline(cfg Config) (*Hyaline, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	d := &Hyaline{cfg: cfg}
+	d := &Hyaline{cfg: cfg, era: cfg.Era}
+	if d.era == nil {
+		// All-zero births: the delivery filter never engages (every batch's
+		// minimum birth is 0) and publish degenerates to deliver-to-all.
+		d.era = &localEra{}
+	}
 	d.orphans.init(cfg.Shards)
 	d.guards = newShardedArena(cfg.Shards, cfg.Workers, cfg.HardMaxWorkers, func(i int) *hguard {
 		g := &hguard{d: d, id: i}
@@ -205,6 +233,11 @@ func (d *Hyaline) Close() {
 // Q nodes, and adopt any stranded backlog. Active-and-empty with nothing
 // banked, the common case, is one load plus two length checks.
 func (g *hguard) Begin() {
+	// Reset the era bound BEFORE the inbox activates (SC program order), so
+	// a publisher that sees this inbox active sees this bound or a wider
+	// one. Resetting downward is sound exactly here: Begin's contract is a
+	// reference-free state, and any later dereference re-widens first.
+	g.upper.Store(g.d.era.Era())
 	h := g.inbox.Load()
 	if h == hInactive {
 		// Owner-only transition: publishers never CAS a sentinel head.
@@ -212,6 +245,10 @@ func (g *hguard) Begin() {
 	} else if h != nil {
 		g.ack(g.inbox.Swap(nil))
 	}
+	// Fault point: stalled here the inbox is active and nothing delivered
+	// from now on will ever be acknowledged — but the era filter keeps the
+	// pinned mass to batches born before this guard's bound.
+	g.d.cfg.fire(FaultInbox, g.id)
 	if len(g.batch) >= g.d.cfg.Q {
 		g.d.publish(g.batch, false, g)
 		g.batch = nil
@@ -221,9 +258,20 @@ func (g *hguard) Begin() {
 	}
 }
 
-// Protect is a no-op: a Hyaline reader is protected by the deliveries its
-// active inbox accepts, not by per-pointer publications.
-func (g *hguard) Protect(i int, r mem.Ref) {}
+// Protect widens the guard's era bound to the current clock, exactly like
+// an IBR reservation's upper half: after it returns (and the caller's link
+// re-validation passes) every node the reader can still reach was born at
+// or before the bound, so no publisher will filter a batch this reader
+// could dereference. One owner-only load/store pair, no fence — freedom
+// from per-pointer publication is retained; only the bound is maintained.
+func (g *hguard) Protect(i int, r mem.Ref) {
+	if r.IsNil() {
+		return
+	}
+	if e := g.d.era.Era(); e > g.upper.Load() {
+		g.upper.Store(e)
+	}
+}
 
 // ClearHPs exits the operation: deactivate the inbox and acknowledge
 // everything delivered during the operation. Inactive already is one load.
@@ -281,15 +329,26 @@ func (g *hguard) adoptOrphans() {
 	}
 }
 
-// publish delivers one batch to every active inbox, then seeds the
-// reference counter with the push count. A sweep that found no active
-// inbox frees on the spot — no operation overlapping the nodes' retirement
-// exists, the same soundness edge every walk-skip relies on. The push CAS
-// re-reads the head each attempt, so a slot deactivating mid-push is
-// skipped and one reactivating is simply delivered to (conservative: its
-// next boundary acknowledges).
+// publish delivers one batch to every active inbox whose era bound reaches
+// the batch's oldest birth, then seeds the reference counter with the push
+// count. A sweep that found no eligible inbox frees on the spot — for an
+// inactive slot no operation overlapping the nodes' retirement exists (the
+// soundness edge every walk-skip relies on), and for a filtered slot the
+// type comment's era argument shows the reader can never pass link
+// re-validation for any batch node. The push CAS re-reads the head each
+// attempt, so a slot deactivating mid-push is skipped and one reactivating
+// is simply delivered to (conservative: its next boundary acknowledges).
+// Each publish also advances the era clock, so birth stamps partition into
+// eras at batch granularity and the filter gains traction without any
+// separate cadence knob.
 func (d *Hyaline) publish(nodes []mem.Ref, orphan bool, g *hguard) {
 	b := &hbatch{nodes: nodes, orphan: orphan}
+	bmin := ^uint64(0)
+	for _, r := range nodes {
+		if be := d.era.BirthEra(r); be < bmin {
+			bmin = be
+		}
+	}
 	pushed := 0
 	visited := d.slots.walkOccupied(func(i int) bool {
 		p := d.guards.at(i)
@@ -299,6 +358,13 @@ func (d *Hyaline) publish(nodes []mem.Ref, orphan bool, g *hguard) {
 			if h == hInactive {
 				return true
 			}
+			if bmin > 0 && p.upper.Load() < bmin {
+				// Era filter: this reader's bound predates every node in
+				// the batch — it began before any of them was allocated
+				// and has not widened past them since, so it cannot hold
+				// (or ever validate) a reference into the batch.
+				return true
+			}
 			e.next = h
 			if p.inbox.CompareAndSwap(h, e) {
 				pushed++
@@ -306,6 +372,7 @@ func (d *Hyaline) publish(nodes []mem.Ref, orphan bool, g *hguard) {
 			}
 		}
 	})
+	d.era.AdvanceEra()
 	d.cnt.tallyScanned(&g.tally, visited)
 	if pushed == 0 {
 		d.freeBatch(b, g)

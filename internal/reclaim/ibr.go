@@ -246,6 +246,10 @@ func (g *ibrGuard) Protect(i int, r mem.Ref) {
 	if e := g.d.era.Era(); e > g.upper.Load() {
 		g.upper.Store(e)
 	}
+	// Fault point: stalled with the reservation held, the reader pins
+	// only nodes whose lifetime intersects [lower, upper] — nodes born
+	// after its upper bound reclaim freely past it.
+	g.d.cfg.fire(FaultProtect, g.id)
 }
 
 // ClearHPs deactivates the reservation: the worker no longer pins any era

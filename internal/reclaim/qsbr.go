@@ -156,6 +156,10 @@ func (g *qsbrGuard) Begin() {
 	if g.calls%g.d.cfg.Q != 0 {
 		return
 	}
+	// Fault point: stalled here, the worker owes a quiescent state it will
+	// never deliver — its stale local epoch freezes the global (§3.1's
+	// robustness problem, exercised by internal/fault).
+	g.d.cfg.fire(FaultQuiesce, g.id)
 	g.quiescent()
 }
 

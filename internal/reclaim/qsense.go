@@ -287,6 +287,11 @@ func (g *qsenseGuard) Begin() {
 	if g.calls%g.d.cfg.Q != 0 {
 		return
 	}
+	// Fault point: stalled here the worker neither quiesces nor signals
+	// presence — the hybrid's discriminating case: the fast path freezes,
+	// the fallback trigger fires, and (with EvictAfter) the stalled worker
+	// is eventually evicted so the fast path can resume.
+	g.d.cfg.fire(FaultQuiesce, g.id)
 	// Signal that this worker is active (presence for the switch-back
 	// protocol, the liveness stamp for the eviction clock — fallback-path
 	// workers never quiesce but are very much alive).
@@ -381,6 +386,9 @@ func (g *qsenseGuard) freeBucket(b int) {
 // must be maintained even on the fast path (§4.1).
 func (g *qsenseGuard) Protect(i int, r mem.Ref) {
 	g.rec.publishPending(i, r)
+	// Fault point: stalled after publication, the reader pins exactly the
+	// K nodes its pending slots name (flushed by the rooster) — never more.
+	g.d.cfg.fire(FaultProtect, g.id)
 }
 
 func (g *qsenseGuard) ClearHPs() { g.rec.clearPending() }

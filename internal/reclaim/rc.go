@@ -174,6 +174,9 @@ func (g *rcGuard) Protect(i int, r mem.Ref) {
 	if !old.IsNil() {
 		g.d.table.release(old)
 	}
+	// Fault point: stalled with the count held, the reader pins exactly
+	// the nodes its held slots have acquired.
+	g.d.cfg.fire(FaultProtect, g.id)
 }
 
 // ClearHPs releases every counted reference.

@@ -245,6 +245,16 @@ type Config struct {
 	// internal clock with all-zero birth stamps (safe, epoch-equivalent).
 	Era EraSource
 
+	// FaultHook, when non-nil, is called at the named fault-injection sync
+	// points with the guard's slot index (internal/fault threads its
+	// injector through here). The hook runs ON the guard's goroutine at a
+	// point where the scheme believes the worker is mid-protocol — a hook
+	// that blocks models a reader stalled exactly there (descheduled,
+	// page-faulted, crashed), which is what the robustness matrix does.
+	// Production configs leave it nil and pay one predictable-nil branch
+	// per sync point, off the per-access hot path.
+	FaultHook func(FaultPoint, int)
+
 	// EvictAfter enables the paper's sketched eviction extension (§5.2
 	// future work) on the epoch-based schemes: a worker that has not
 	// declared a quiescent state for this long is treated as crashed and
@@ -259,6 +269,39 @@ type Config struct {
 	// which is what licenses the tuner to re-derive them from live
 	// occupancy at capacity transitions (set by withDefaults; tune.go).
 	rAuto, cAuto bool
+}
+
+// FaultPoint names a fault-injection sync point inside a scheme's protocol
+// (Config.FaultHook). A reader stalled at each point exhibits one of the
+// canonical failure modes the paper's robustness argument distinguishes:
+type FaultPoint string
+
+const (
+	// FaultQuiesce: an epoch-class reader that entered its quiescence/
+	// announcement step and never completes it. QSBR and QSense fire it on
+	// the Q-th Begin just before the quiescent state is declared (the
+	// worker is acquired-but-never-quiescing: its stale local epoch pins
+	// the global); EBR fires it right after announcing (epoch, active) —
+	// the active announcement pins the epoch until the operation ends.
+	FaultQuiesce FaultPoint = "quiesce"
+	// FaultProtect: a pointer-class reader stalled with a protection held.
+	// HP/Cadence/QSense fire it after the hazard publication, RC after the
+	// counted acquire, IBR after widening the reservation's upper bound —
+	// in every case the stalled reader pins exactly what it published.
+	FaultProtect FaultPoint = "protect"
+	// FaultInbox: a Hyaline reader stalled mid-operation with its inbox
+	// active and deliveries unacknowledged — it pins every batch pushed to
+	// it until the operation ends.
+	FaultInbox FaultPoint = "inbox"
+)
+
+// fire invokes the fault hook if one is installed: one predictable branch
+// when disabled, sitting at protocol sync points rather than per-access
+// fast paths.
+func (c *Config) fire(p FaultPoint, slot int) {
+	if c.FaultHook != nil {
+		c.FaultHook(p, slot)
+	}
 }
 
 func (c Config) withDefaults() Config {

@@ -229,6 +229,14 @@ type Options struct {
 	// RoosterInterval is the rooster period T (Cadence/QSense). 0 =
 	// default (2ms).
 	RoosterInterval time.Duration
+	// EvictAfter enables crashed-worker eviction on the epoch-based
+	// schemes: a handle that has not passed a quiescent state for this
+	// long is treated as crashed and excluded from grace periods (QSense
+	// §5.2's sketched extension; surfaces as Stats.Evictions). 0 disables
+	// eviction — a stalled-but-alive reader then blocks the epoch schemes
+	// indefinitely, which is exactly the robustness gap the pointer-based
+	// schemes close.
+	EvictAfter time.Duration
 	// MaxNodes bounds a container's node pool. 0 = default.
 	MaxNodes int
 	// Shards splits the domain core (slot pool, orphan list, retire
@@ -286,6 +294,7 @@ func (o Options) reclaimConfig(hps int, free func(mem.Ref)) reclaim.Config {
 		C:              o.C,
 		MemoryLimit:    o.MemoryLimit,
 		Rooster:        rooster.Config{Interval: o.RoosterInterval},
+		EvictAfter:     o.EvictAfter,
 		Shards:         o.shards(),
 		Era:            era,
 	}
