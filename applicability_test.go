@@ -74,12 +74,12 @@ func TestApplicabilityRuns(t *testing.T) {
 					}
 					defer h.Release()
 					for k := int64(1); k <= 32; k++ {
-						h.Put(k, uint64(k))
+						h.PutUint64(k, uint64(k))
 					}
 					for k := int64(1); k <= 32; k += 2 {
 						h.Delete(k)
 					}
-					if v, ok := h.Get(2); !ok || v != 2 {
+					if v, ok := h.GetUint64(2); !ok || v != 2 {
 						t.Fatalf("Get(2) = %d,%v", v, ok)
 					}
 				case "queue":

@@ -67,7 +67,11 @@ func main() {
 		cycles   = flag.Int("cycles", 1, "burst+idle repetitions; 0 = one steady phase of -burst")
 		idleLoad = flag.Float64("idle-load", 0.05, "fraction of connections kept during idle phases")
 		seed     = flag.Uint64("seed", 1, "workload seed")
+		vsizes   = flag.String("vsizes", "8", "comma-separated base value sizes (bytes) to sweep; >1 entry labels curves scheme@v<N>")
+		vmax     = flag.Int("vmax", 0, "zipf-extend each value up to this many bytes (0 = fixed at the base size)")
+		vtheta   = flag.Float64("vtheta", 0.99, "zipf skew of the value-size extension in (0,1); <=0 = uniform")
 		stalls   = flag.Int("stall-conns", 0, "extra connections that dial, hold their lease and send nothing (stalled-reader chaos)")
+		stallLeg = flag.Int("stall-leg", 0, "append one extra curve: the first scheme rerun with this many stalled connections")
 		jsonOut  = flag.Bool("json", false, "write BENCH_kvd_<exp>.json (for CI artifacts / perf tracking)")
 		exp      = flag.String("exp", "zipf_burst", "experiment name used in the BENCH JSON filename")
 		force    = flag.Bool("force", false, "overwrite an existing BENCH_kvd_<exp>.json (refused otherwise)")
@@ -81,7 +85,8 @@ func main() {
 			burst: *burst, idle: *idle, cycles: *cycles, idleLoad: *idleLoad,
 			seed: *seed, jsonOut: *jsonOut, exp: *exp, force: *force,
 			maxNodes: *maxNodes, initial: *initial, shards: *shards,
-			stallConns: *stalls, idleTO: *idleTO,
+			stallConns: *stalls, stallLeg: *stallLeg, idleTO: *idleTO,
+			vsizes: *vsizes, vmax: *vmax, vtheta: *vtheta,
 		})
 		return
 	}
@@ -138,15 +143,25 @@ type loadOpts struct {
 	exp                    string
 	maxNodes, initial      int
 	shards                 int
-	stallConns             int
+	stallConns, stallLeg   int
 	idleTO                 time.Duration
+	vsizes                 string
+	vmax                   int
+	vtheta                 float64
 }
 
-// runLoad sweeps schemes x connection counts and renders/emits curves.
+// runLoad sweeps schemes x value sizes x connection counts and renders/emits
+// curves. With -stall-leg it appends one more curve — the first scheme rerun
+// with that many stalled connections — so a single invocation produces a
+// baseline JSON that carries the stalled-reader leg alongside the clean ones.
 func runLoad(o loadOpts) {
 	connCounts, err := parseInts(o.conns)
 	if err != nil {
 		fatal(err)
+	}
+	valSizes, err := parseInts(o.vsizes)
+	if err != nil {
+		fatal(fmt.Errorf("bad -vsizes: %w", err))
 	}
 	plan := workload.BurstIdle(o.burst, o.idle, o.cycles, o.idleLoad)
 	if o.cycles <= 0 {
@@ -162,12 +177,12 @@ func runLoad(o loadOpts) {
 		// A remote target's scheme is whatever it runs; one curve.
 		schemeList = []string{"remote"}
 	}
-	fmt.Printf("qsense-kvd -load: range %d, theta %.2f, %d%% updates, plan %v (%d phases), conns %v, GOMAXPROCS=%d\n",
-		o.keyRange, o.theta, o.updates, plan.Total(), len(plan.Phases), connCounts, runtime.GOMAXPROCS(0))
+	fmt.Printf("qsense-kvd -load: range %d, theta %.2f, %d%% updates, vsizes %v, plan %v (%d phases), conns %v, GOMAXPROCS=%d\n",
+		o.keyRange, o.theta, o.updates, valSizes, plan.Total(), len(plan.Phases), connCounts, runtime.GOMAXPROCS(0))
 
-	var curves []harness.Curve
-	for _, sc := range schemeList {
-		curve := harness.Curve{Scheme: sc}
+	leg := func(label, sc string, vsize, stall int) harness.Curve {
+		curve := harness.Curve{Scheme: label}
+		size := workload.SizeDist{Base: vsize, Max: o.vmax, Theta: o.vtheta}
 		for _, nc := range connCounts {
 			target := o.target
 			var srv *kvd.Server
@@ -187,7 +202,7 @@ func runLoad(o loadOpts) {
 			res, err := kvd.RunLoad(kvd.LoadConfig{
 				Target: target, Conns: nc, KeyRange: o.keyRange, Theta: o.theta,
 				UpdatePct: o.updates, Plan: plan, Seed: o.seed,
-				StallConns: o.stallConns,
+				ValueSize: size, StallConns: stall,
 			})
 			if srv != nil {
 				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -198,15 +213,37 @@ func runLoad(o loadOpts) {
 			if err != nil {
 				fatal(err)
 			}
+			if res.BadValues > 0 {
+				fatal(fmt.Errorf("%s conns=%d: %d GET replies failed payload verification (torn or freed values)", label, nc, res.BadValues))
+			}
 			h := res.Latency
-			fmt.Printf("%-8s conns=%-4d %8.3f Mops/s  p50 %7s  p99 %7s  p999 %7s  (%d ops, %d errs)\n",
-				sc, nc, res.Mops, h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999), res.Ops, res.Errs)
+			fmt.Printf("%-14s conns=%-4d %8.3f Mops/s  p50 %7s  p99 %7s  p999 %7s  (%d ops, %d errs)\n",
+				label, nc, res.Mops, h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999), res.Ops, res.Errs)
 			curve.Points = append(curve.Points, harness.Point{Workers: nc, Res: harness.Result{
 				Ops: res.Ops, Duration: res.Duration, Mops: res.Mops,
 				Latency: h, Reclaim: reclaimFromStats(res.Stats),
+				ValueBytes:    res.Stats["value_bytes"],
+				ValueRetires:  uint64(res.Stats["value_retires"]),
+				StructRetires: uint64(res.Stats["struct_retires"]),
+				BadValues:     res.BadValues,
 			}})
 		}
-		curves = append(curves, curve)
+		return curve
+	}
+
+	var curves []harness.Curve
+	for _, sc := range schemeList {
+		for _, vs := range valSizes {
+			label := sc
+			if len(valSizes) > 1 {
+				label = fmt.Sprintf("%s@v%d", sc, vs)
+			}
+			curves = append(curves, leg(label, sc, vs, o.stallConns))
+		}
+	}
+	if o.stallLeg > 0 && o.target == "" {
+		sc := schemeList[0]
+		curves = append(curves, leg(fmt.Sprintf("%s+stall%d", sc, o.stallLeg), sc, valSizes[0], o.stallLeg))
 	}
 	harness.RenderCurvesTable(os.Stdout,
 		fmt.Sprintf("Throughput (Mops/s): kvd skipmap, %d%% updates, range %d, theta %.2f", o.updates, o.keyRange, o.theta),
@@ -223,6 +260,8 @@ func runLoad(o loadOpts) {
 				"idle_ms":   fmt.Sprint(o.idle.Milliseconds()),
 				"cycles":    fmt.Sprint(o.cycles),
 				"idle_load": fmt.Sprintf("%.2f", o.idleLoad),
+				"vsizes":    o.vsizes,
+				"vmax":      fmt.Sprint(o.vmax),
 			},
 		}, curves); err != nil {
 			fatal(err)

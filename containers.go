@@ -268,12 +268,26 @@ func (s *SkipSet) Len() int { return s.s.Len() }
 // untrusted key sources (as qsense-kvd does) should reject them up front
 // for a clearer error.
 type MapHandle interface {
-	// Get returns key's value word.
-	Get(key int64) (val uint64, ok bool)
-	// Put sets key→val: true if key was newly inserted, false if an
-	// existing key's value was updated in place.
-	Put(key int64, val uint64) bool
-	// Delete removes key, reporting false if it was absent.
+	// Get returns a copy of key's value bytes.
+	Get(key int64) (val []byte, ok bool)
+	// GetAppend appends key's value to dst and returns the extended
+	// slice — the allocation-free read path.
+	GetAppend(key int64, dst []byte) ([]byte, bool)
+	// Put sets key's value to a copy of val: true if key was newly
+	// inserted, false if an existing key's value was replaced (the
+	// displaced value is retired through the map's reclamation domain).
+	// Values up to 7 bytes are stored inline in the node's value word;
+	// longer values spill to a reclaimed value node.
+	Put(key int64, val []byte) bool
+	// PutUint64 sets key's value to val's minimal little-endian
+	// encoding — the uint64 fast path (values below 2^56 never
+	// allocate). It interoperates with Put/Get of the same bytes.
+	PutUint64(key int64, val uint64) bool
+	// GetUint64 returns key's value decoded as a little-endian uint64
+	// (the first 8 bytes, for longer values).
+	GetUint64(key int64) (uint64, bool)
+	// Delete removes key, reporting false if it was absent. The removed
+	// value is retired through the domain alongside the node.
 	Delete(key int64) bool
 	// Release returns the handle's reclamation slot to the container so
 	// another goroutine can Acquire it. The handle must not be used
@@ -283,19 +297,33 @@ type MapHandle interface {
 
 // mapOps is the operation surface of a value-carrying structure; the map
 // containers wrap it with lease bookkeeping, as setOps for the sets.
+// The method names are the structure handle's (skiplist.Handle): Put/Get
+// move uint64 words, PutBytes/GetAppend move byte payloads.
 type mapOps interface {
 	Get(key int64) (uint64, bool)
 	Put(key int64, val uint64) bool
+	GetAppend(key int64, dst []byte) ([]byte, bool)
+	PutBytes(key int64, val []byte) bool
 	Delete(key int64) bool
 }
 
-// leasedMap pairs a map structure handle with its guard lease.
+// leasedMap pairs a map structure handle with its guard lease and adapts
+// the structure's method names to the public MapHandle surface.
 type leasedMap struct {
-	mapOps
+	ops      mapOps
 	d        reclaim.Domain
 	g        reclaim.Guard
 	released atomic.Bool
 }
+
+func (h *leasedMap) Get(key int64) ([]byte, bool) { return h.ops.GetAppend(key, nil) }
+func (h *leasedMap) GetAppend(key int64, dst []byte) ([]byte, bool) {
+	return h.ops.GetAppend(key, dst)
+}
+func (h *leasedMap) Put(key int64, val []byte) bool        { return h.ops.PutBytes(key, val) }
+func (h *leasedMap) PutUint64(key int64, val uint64) bool  { return h.ops.Put(key, val) }
+func (h *leasedMap) GetUint64(key int64) (uint64, bool)    { return h.ops.Get(key) }
+func (h *leasedMap) Delete(key int64) bool                 { return h.ops.Delete(key) }
 
 // Release implements MapHandle (see leasedSet.Release for the once-flag
 // rationale).
@@ -321,7 +349,7 @@ func (c *mapCore) Acquire() (MapHandle, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &leasedMap{mapOps: ops, d: c.d, g: g}, nil
+	return &leasedMap{ops: ops, d: c.d, g: g}, nil
 }
 
 // AcquireWait is Acquire that blocks while every slot is leased, woken by
@@ -332,7 +360,7 @@ func (c *mapCore) AcquireWait(ctx context.Context) (MapHandle, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &leasedMap{mapOps: ops, d: c.d, g: g}, nil
+	return &leasedMap{ops: ops, d: c.d, g: g}, nil
 }
 
 // SkipMap is a lock-free sorted key→value map: the Fraser skip list of
@@ -358,6 +386,31 @@ func NewSkipMap(opts Options) (*SkipMap, error) {
 
 // Len counts entries; only meaningful while no workers are active.
 func (m *SkipMap) Len() int { return m.s.Len() }
+
+// ValueStats is a snapshot of a SkipMap's value-arena gauges: how many
+// payload bytes are live (inline + spilled), how many spilled value nodes
+// exist, and how the retire traffic splits between value nodes and
+// structural (link-bearing) nodes. Under update-heavy workloads
+// ValueRetires dominates StructRetires — the regime the reclamation
+// schemes are benchmarked in.
+type ValueStats struct {
+	Bytes         int64  // live value payload bytes
+	Spilled       int64  // live spilled (>7 byte) value nodes
+	ValueRetires  uint64 // value nodes retired through the domain
+	StructRetires uint64 // structural nodes retired through the domain
+}
+
+// Values returns the map's value-arena gauges. Gauges are maintained with
+// racy atomics and may be transiently off by in-flight operations.
+func (m *SkipMap) Values() ValueStats {
+	vs := m.s.ValueStats()
+	return ValueStats{
+		Bytes:         vs.Bytes,
+		Spilled:       vs.Spilled,
+		ValueRetires:  vs.ValueRetires,
+		StructRetires: vs.StructRetires,
+	}
+}
 
 // TreeSet is a lock-free sorted set backed by the Natarajan–Mittal
 // external binary search tree — the paper's third workload.

@@ -65,7 +65,7 @@ func main() {
 		go worker(p, func(h qsense.MapHandle, rng *workload.RNG) {
 			id := rng.Key(idSpace)
 			price := rng.Next() >> 32
-			if h.Put(id, price) {
+			if h.PutUint64(id, price) {
 				admitted.Add(1)
 			}
 		})
@@ -81,7 +81,7 @@ func main() {
 	for a := 0; a < auditors; a++ {
 		wg.Add(1)
 		go worker(producers+consumers+a, func(h qsense.MapHandle, rng *workload.RNG) {
-			h.Get(rng.Key(idSpace))
+			h.GetUint64(rng.Key(idSpace))
 			probes.Add(1)
 		})
 	}

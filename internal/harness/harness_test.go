@@ -72,7 +72,7 @@ func TestHPsForDS(t *testing.T) {
 	if n, _ := HPsForDS("bst", 0); n != 6 {
 		t.Fatalf("bst HPs = %d", n)
 	}
-	if n, _ := HPsForDS("skiplist", 16); n != 34 {
+	if n, _ := HPsForDS("skiplist", 16); n != 35 {
 		t.Fatalf("skiplist HPs = %d (the paper's 'up to 35')", n)
 	}
 	if _, err := HPsForDS("nope", 0); err == nil {

@@ -54,6 +54,11 @@ type BenchPointJSON struct {
 	P99us          float64 `json:"p99_us,omitempty"`
 	P999us         float64 `json:"p999_us,omitempty"`
 	MaxUs          float64 `json:"max_us,omitempty"`
+	// Value-arena counters (byte-valued experiments only).
+	ValueBytes    int64  `json:"value_bytes,omitempty"`
+	ValueRetires  uint64 `json:"value_retires,omitempty"`
+	StructRetires uint64 `json:"struct_retires,omitempty"`
+	BadValues     uint64 `json:"bad_values,omitempty"`
 }
 
 // WriteCurvesJSON emits a scalability experiment as indented JSON.
@@ -72,6 +77,10 @@ func WriteCurvesJSON(w io.Writer, meta BenchJSON, curves []Curve) error {
 				RRetunes:       p.Res.Reclaim.RRetunes,
 				CRetunes:       p.Res.Reclaim.CRetunes,
 				Failed:         p.Res.Failed,
+				ValueBytes:     p.Res.ValueBytes,
+				ValueRetires:   p.Res.ValueRetires,
+				StructRetires:  p.Res.StructRetires,
+				BadValues:      p.Res.BadValues,
 			}
 			if h := p.Res.Latency; h != nil && h.Count() > 0 {
 				us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }

@@ -29,6 +29,13 @@ type LoadConfig struct {
 	// Conns connected and the rest disconnected — a burst-then-idle plan
 	// exercises the server's arena growth and parking.
 	Plan workload.PhasePlan
+	// ValueSize shapes SET payload sizes (workload.SizeDist): fixed at
+	// Base bytes, or zipf-extended up to Max. The zero value means fixed
+	// 8-byte values — just past the SkipMap's 7-byte inline cap, so the
+	// spilled value-arena path is on by default. Every payload is
+	// self-verifying (workload.AppendPayload); GET replies are checked and
+	// corrupt ones counted in LoadResult.BadValues.
+	ValueSize workload.SizeDist
 	// Seed makes runs reproducible; 0 means 1.
 	Seed uint64
 	// NoPrefill skips the half-range prefill (for tests that assert exact
@@ -78,10 +85,13 @@ type LoadResult struct {
 	Conns    int
 	Ops      uint64
 	Errs     uint64
-	Duration time.Duration
-	Mops     float64
-	Latency  *harness.LatencyHist
-	Stats    map[string]int64
+	// BadValues counts GET replies that failed payload verification — a
+	// nonzero count means the server returned torn or freed value bytes.
+	BadValues uint64
+	Duration  time.Duration
+	Mops      float64
+	Latency   *harness.LatencyHist
+	Stats     map[string]int64
 }
 
 // RunLoad drives the configured workload to completion. Each connection is
@@ -101,14 +111,18 @@ func RunLoad(cfg LoadConfig) (LoadResult, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.ValueSize.Base <= 0 {
+		cfg.ValueSize.Base = 8
+	}
 	if !cfg.NoPrefill {
-		if err := Prefill(cfg.Target, cfg.KeyRange, cfg.Seed); err != nil {
+		if err := Prefill(cfg.Target, cfg.KeyRange, cfg.Seed, cfg.ValueSize); err != nil {
 			return LoadResult{}, fmt.Errorf("kvd prefill: %w", err)
 		}
 	}
 	hists := make([]harness.LatencyHist, cfg.Conns)
 	ops := make([]uint64, cfg.Conns)
 	errs := make([]uint64, cfg.Conns)
+	bad := make([]uint64, cfg.Conns)
 	start := time.Now()
 	// Stalled connections dial before the healthy pool so their leases are
 	// pinned for the whole measured window.
@@ -135,7 +149,7 @@ func RunLoad(cfg LoadConfig) (LoadResult, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			ops[i], errs[i] = loadWorker(i, cfg, start, &hists[i])
+			ops[i], errs[i], bad[i] = loadWorker(i, cfg, start, &hists[i])
 		}(i)
 	}
 	wg.Wait()
@@ -145,6 +159,7 @@ func RunLoad(cfg LoadConfig) (LoadResult, error) {
 	for i := range hists {
 		res.Ops += ops[i]
 		res.Errs += errs[i]
+		res.BadValues += bad[i]
 		res.Latency.Merge(&hists[i])
 	}
 	res.Mops = float64(res.Ops) / res.Duration.Seconds() / 1e6
@@ -158,13 +173,18 @@ func RunLoad(cfg LoadConfig) (LoadResult, error) {
 
 // loadWorker is one pooled connection's life: follow the phase plan
 // (connect when this worker index is active, disconnect and sleep when
-// not), and while connected run the zipf-keyed op mix closed-loop.
-func loadWorker(i int, cfg LoadConfig, start time.Time, hist *harness.LatencyHist) (ops, errs uint64) {
+// not), and while connected run the zipf-keyed op mix closed-loop. SETs
+// carry sized self-verifying payloads; GET replies are verified, with
+// corruption counted in bad rather than errs (a torn value is a
+// correctness event, not a transport one).
+func loadWorker(i int, cfg LoadConfig, start time.Time, hist *harness.LatencyHist) (ops, errs, bad uint64) {
 	rng := workload.NewRNG(cfg.Seed + uint64(i)*0x9E3779B9 + 7)
 	mix := workload.Mix{UpdatePct: cfg.UpdatePct}
 	var conn net.Conn
 	var rd *resp.Reader
 	var wr *resp.Writer
+	var keyBuf, valBuf []byte
+	setCmd := []byte("SET")
 	drop := func() {
 		if conn != nil {
 			conn.Close()
@@ -175,7 +195,7 @@ func loadWorker(i int, cfg LoadConfig, start time.Time, hist *harness.LatencyHis
 	for {
 		ph, remaining, running := cfg.Plan.At(time.Since(start))
 		if !running {
-			return ops, errs
+			return ops, errs, bad
 		}
 		if i >= ph.ActiveWorkers(cfg.Conns) {
 			drop()
@@ -192,15 +212,19 @@ func loadWorker(i int, cfg LoadConfig, start time.Time, hist *harness.LatencyHis
 			rd = resp.NewReader(c)
 			wr = resp.NewWriter(c)
 		}
-		key := strconv.FormatInt(rng.ZipfKey(cfg.KeyRange, cfg.Theta), 10)
+		k := rng.ZipfKey(cfg.KeyRange, cfg.Theta)
+		keyBuf = strconv.AppendInt(keyBuf[:0], k, 10)
+		op := mix.Choose(rng.Next())
 		t0 := time.Now()
-		switch mix.Choose(rng.Next()) {
+		switch op {
 		case workload.OpSearch:
-			wr.Command("GET", key)
+			wr.CommandBytes([]byte("GET"), keyBuf)
 		case workload.OpInsert:
-			wr.Command("SET", key, strconv.FormatUint(rng.Next()>>32, 10))
+			n := cfg.ValueSize.Sample(rng)
+			valBuf = workload.AppendPayload(valBuf[:0], k, rng.Next(), n)
+			wr.CommandBytes(setCmd, keyBuf, valBuf)
 		case workload.OpDelete:
-			wr.Command("DEL", key)
+			wr.CommandBytes([]byte("DEL"), keyBuf)
 		}
 		if err := wr.Flush(); err != nil {
 			errs++
@@ -217,16 +241,24 @@ func loadWorker(i int, cfg LoadConfig, start time.Time, hist *harness.LatencyHis
 			errs++
 			continue
 		}
+		if op == workload.OpSearch && rp.Kind == '$' && rp.Bulk != nil &&
+			!workload.VerifyPayload(rp.Bulk, k) {
+			bad++
+		}
 		hist.Record(time.Since(t0))
 		ops++
 	}
 }
 
 // Prefill populates the server to the paper's half-full starting point:
-// every even key in [0, keyRange) is SET (pipelined), so GETs under any
-// skew hit about half the time and DELs have victims from the start.
-func Prefill(target string, keyRange int64, seed uint64) error {
+// every even key in [0, keyRange) is SET (pipelined) with a sized
+// self-verifying payload, so GETs under any skew hit about half the time —
+// and verify — and DELs have victims from the start.
+func Prefill(target string, keyRange int64, seed uint64, size workload.SizeDist) error {
 	rng := workload.NewRNG(seed ^ 0xABCD)
+	if size.Base <= 0 {
+		size.Base = 8
+	}
 	c, err := dialRetry(target, 8, rng)
 	if err != nil {
 		return err
@@ -248,8 +280,12 @@ func Prefill(target string, keyRange int64, seed uint64) error {
 		}
 		return nil
 	}
+	setCmd := []byte("SET")
+	var keyBuf, valBuf []byte
 	for k := int64(0); k < keyRange; k += 2 {
-		wr.Command("SET", strconv.FormatInt(k, 10), strconv.FormatUint(rng.Next()>>32, 10))
+		keyBuf = strconv.AppendInt(keyBuf[:0], k, 10)
+		valBuf = workload.AppendPayload(valBuf[:0], k, rng.Next(), size.Sample(rng))
+		wr.CommandBytes(setCmd, keyBuf, valBuf)
 		if inFlight++; inFlight == batch {
 			if err := wr.Flush(); err != nil {
 				return err

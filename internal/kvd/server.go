@@ -12,17 +12,21 @@
 // exactly those counters over the wire.
 //
 // Protocol: RESP arrays or inline commands; integer keys (int64) and
-// values (uint64 — the SkipMap's value word):
+// arbitrary byte-string values (stored in the SkipMap's reclaimed value
+// arena — values up to 7 bytes stay inline in the node's value word,
+// longer ones spill to a value node retired through the domain on
+// displacement):
 //
 //	SET <key> <value>   -> +OK
-//	GET <key>           -> $<value> | $-1
+//	GET <key>           -> $<value bytes> | $-1
 //	DEL <key>           -> :1 | :0
 //	STATS               -> $<key: value lines>
 //	PING                -> +PONG
 //	QUIT                -> +OK, connection closes
 //
 // A protocol violation draws -ERR and closes the connection; a malformed
-// key or value draws -ERR and keeps it open.
+// key, or a value larger than Config.MaxBulk, draws -ERR and keeps it
+// open.
 package kvd
 
 import (
@@ -74,15 +78,22 @@ type Config struct {
 	// write. 0 = no write deadlines.
 	WriteTimeout time.Duration
 	// MemoryLimit, when > 0, is the graceful-degradation threshold: once
-	// the map's pending (retired-but-unreclaimed) node count exceeds it,
-	// SET and DEL answer "-BUSY retry later" while GET/STATS/PING keep
-	// serving — the server sheds allocation under memory pressure rather
-	// than failing the domain. The check samples Stats at most once per
-	// memSampleEvery, so the hot path pays an atomic load. Unlike
-	// qsense.Options.MemoryLimit (a sticky Failed marker for
+	// the map's pending (retired-but-unreclaimed) node count plus its
+	// live spilled value nodes exceeds it, SET and DEL answer "-BUSY
+	// retry later" while GET/STATS/PING keep serving — the server sheds
+	// allocation under memory pressure rather than failing the domain.
+	// Spilled values count because they occupy the same pool slots as
+	// structural nodes (the value_bytes / value_spilled STATS gauges
+	// expose the same pressure on the wire). The check samples Stats at
+	// most once per memSampleEvery, so the hot path pays an atomic load.
+	// Unlike qsense.Options.MemoryLimit (a sticky Failed marker for
 	// experiments), this limit is soft and recovers as soon as
 	// reclamation drains the backlog.
 	MemoryLimit int
+	// MaxBulk bounds a SET value's size in bytes; a larger value draws
+	// -ERR and keeps the connection (the framing layer's own larger
+	// resp.MaxBulk cap is a protocol violation and closes it). 0 = 64 KiB.
+	MaxBulk int
 }
 
 // memSampleEvery is how often the MemoryLimit check is willing to resample
@@ -136,6 +147,9 @@ func New(cfg Config) (*Server, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if cfg.MaxBulk <= 0 {
+		cfg.MaxBulk = 64 << 10
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
@@ -254,6 +268,9 @@ func (s *Server) Close() { s.m.Close() }
 // Stats snapshots the map's reclamation counters.
 func (s *Server) Stats() qsense.Stats { return s.m.Stats() }
 
+// Values snapshots the map's value-arena gauges.
+func (s *Server) Values() qsense.ValueStats { return s.m.Values() }
+
 // LiveConns is the number of currently open connections.
 func (s *Server) LiveConns() int {
 	s.mu.Lock()
@@ -305,6 +322,7 @@ func (s *Server) handle(c net.Conn) {
 		}
 		return err
 	}
+	var valBuf []byte // per-connection scratch for GET copies
 	for {
 		if s.cfg.IdleTimeout > 0 && !s.draining.Load() {
 			// Per-command read deadline: the stalled-reader defense. Not
@@ -327,7 +345,14 @@ func (s *Server) handle(c net.Conn) {
 			}
 			return
 		}
-		quit := s.dispatch(h, wr, args)
+		if s.cfg.WriteTimeout > 0 && !s.draining.Load() {
+			// Armed before dispatch, not only at the explicit flush below:
+			// a bulk reply larger than the writer's buffer auto-flushes
+			// inside dispatch, and without a deadline that hidden write
+			// could wedge the handler on a stalled client forever.
+			c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		}
+		quit := s.dispatch(h, wr, args, &valBuf)
 		if rd.Buffered() == 0 {
 			if err := flush(); err != nil {
 				return
@@ -356,13 +381,20 @@ func (s *Server) overLimit() bool {
 	now := time.Now().UnixNano()
 	last := s.memCheck.Load()
 	if now-last >= int64(memSampleEvery) && s.memCheck.CompareAndSwap(last, now) {
-		s.memBusy.Store(s.m.Stats().Pending > int64(s.cfg.MemoryLimit))
+		// Pending already counts retired-but-unreclaimed value nodes (they
+		// retire through the same domain); live spilled values occupy pool
+		// slots too, so they join the pressure signal.
+		occupied := s.m.Stats().Pending + s.m.Values().Spilled
+		s.memBusy.Store(occupied > int64(s.cfg.MemoryLimit))
 	}
 	return s.memBusy.Load()
 }
 
 // dispatch executes one command; true means the connection should close.
-func (s *Server) dispatch(h qsense.MapHandle, wr *resp.Writer, args [][]byte) bool {
+// valBuf is the connection's GET scratch: the reply writer copies the bytes
+// into its own buffer before dispatch returns, so the slice is reusable
+// across commands.
+func (s *Server) dispatch(h qsense.MapHandle, wr *resp.Writer, args [][]byte, valBuf *[]byte) bool {
 	switch cmd := string(bytes.ToUpper(args[0])); cmd {
 	case "PING":
 		wr.SimpleString("PONG")
@@ -374,8 +406,9 @@ func (s *Server) dispatch(h qsense.MapHandle, wr *resp.Writer, args [][]byte) bo
 		if !ok {
 			return false
 		}
-		if v, found := h.Get(k); found {
-			wr.BulkString(strconv.FormatUint(v, 10))
+		if v, found := h.GetAppend(k, (*valBuf)[:0]); found {
+			*valBuf = v[:0]
+			wr.Bulk(v)
 		} else {
 			wr.Null()
 		}
@@ -384,9 +417,8 @@ func (s *Server) dispatch(h qsense.MapHandle, wr *resp.Writer, args [][]byte) bo
 		if !ok {
 			return false
 		}
-		v, err := strconv.ParseUint(string(args[2]), 10, 64)
-		if err != nil {
-			wr.Error("ERR value is not an unsigned integer (the SkipMap stores a uint64 value word)")
+		if len(args[2]) > s.cfg.MaxBulk {
+			wr.Error(fmt.Sprintf("ERR value too large (%d bytes, limit %d)", len(args[2]), s.cfg.MaxBulk))
 			return false
 		}
 		if s.overLimit() {
@@ -397,7 +429,7 @@ func (s *Server) dispatch(h qsense.MapHandle, wr *resp.Writer, args [][]byte) bo
 			wr.Error("BUSY retry later")
 			return false
 		}
-		h.Put(k, v)
+		h.Put(k, args[2])
 		wr.SimpleString("OK")
 	case "DEL":
 		k, ok := wantKey(wr, cmd, args, 2)
@@ -466,6 +498,11 @@ func (s *Server) statsText() []byte {
 	for _, kv := range statsFields(st) {
 		fmt.Fprintf(&b, "%s: %d\n", kv.k, kv.v)
 	}
+	vs := s.m.Values()
+	fmt.Fprintf(&b, "value_bytes: %d\n", vs.Bytes)
+	fmt.Fprintf(&b, "value_spilled: %d\n", vs.Spilled)
+	fmt.Fprintf(&b, "value_retires: %d\n", vs.ValueRetires)
+	fmt.Fprintf(&b, "struct_retires: %d\n", vs.StructRetires)
 	fmt.Fprintf(&b, "conns_accepted: %d\n", s.accepted.Load())
 	fmt.Fprintf(&b, "conns_live: %d\n", s.LiveConns())
 	fmt.Fprintf(&b, "idle_timeouts: %d\n", s.idleTimeouts.Load())

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -96,8 +97,22 @@ func TestServerCommands(t *testing.T) {
 			if rp := cl.do(t, "SET", "notakey", "1"); !rp.IsError() {
 				t.Fatalf("bad key: %+v", rp)
 			}
-			if rp := cl.do(t, "SET", "1", "-3"); !rp.IsError() {
-				t.Fatalf("bad value: %+v", rp)
+			// Values are arbitrary bytes now — "-3" stores, spilled (>7
+			// byte) payloads round-trip.
+			if rp := cl.do(t, "SET", "1", "-3"); rp.Str != "OK" {
+				t.Fatalf("byte value: %+v", rp)
+			}
+			if rp := cl.do(t, "GET", "1"); string(rp.Bulk) != "-3" {
+				t.Fatalf("byte value GET: %+v", rp)
+			}
+			if rp := cl.do(t, "SET", "1", "a spilled value payload"); rp.Str != "OK" {
+				t.Fatalf("spilled SET: %+v", rp)
+			}
+			if rp := cl.do(t, "GET", "1"); string(rp.Bulk) != "a spilled value payload" {
+				t.Fatalf("spilled GET: %+v", rp)
+			}
+			if rp := cl.do(t, "DEL", "1"); rp.Int != 1 {
+				t.Fatalf("DEL spilled: %+v", rp)
 			}
 			if rp := cl.do(t, "GET", "1", "2"); !rp.IsError() {
 				t.Fatalf("bad arity: %+v", rp)
@@ -113,6 +128,12 @@ func TestServerCommands(t *testing.T) {
 			st := ParseStats(rp.Bulk)
 			if st["conns_live"] != 1 || st["acquired_handles"] < 1 {
 				t.Fatalf("STATS counters: %v", st)
+			}
+			if st["value_retires"] < 1 {
+				t.Fatalf("value_retires = %d after a spilled delete", st["value_retires"])
+			}
+			if st["value_bytes"] != 0 || st["value_spilled"] != 0 {
+				t.Fatalf("value gauges not drained: %v", st)
 			}
 			// QUIT closes after the reply.
 			if rp := cl.do(t, "QUIT"); rp.Str != "OK" {
@@ -386,5 +407,115 @@ func TestRunLoadSmoke(t *testing.T) {
 	}
 	if res.Stats == nil || res.Stats["acquired_handles"] == 0 {
 		t.Fatalf("missing server stats: %v", res.Stats)
+	}
+}
+
+// TestServerOversizedValue: a SET whose value exceeds the server's MaxBulk
+// draws -ERR but keeps the connection and the map intact — the
+// application-level cap is an error reply, not a protocol violation (only
+// breaching the wire-level resp.MaxBulk closes the stream).
+func TestServerOversizedValue(t *testing.T) {
+	_, addr := startServer(t, Config{Scheme: "qsense", MaxBulk: 1024})
+	cl := dialClient(t, addr)
+	if rp := cl.do(t, "SET", "1", "keep-me"); rp.IsError() {
+		t.Fatalf("SET: %s", rp.Str)
+	}
+	rp := cl.do(t, "SET", "1", strings.Repeat("v", 2048))
+	if !rp.IsError() || !strings.Contains(rp.Str, "value too large") {
+		t.Fatalf("oversized SET drew %q, want -ERR value too large", rp.Str)
+	}
+	// Same connection still serves, and the rejected SET left the key's
+	// old value in place.
+	if rp := cl.do(t, "GET", "1"); string(rp.Bulk) != "keep-me" {
+		t.Fatalf("GET after rejected SET = %q, want keep-me", rp.Bulk)
+	}
+	if rp := cl.do(t, "SET", "2", "still-works"); rp.IsError() {
+		t.Fatalf("follow-up SET: %s", rp.Str)
+	}
+	if rp := cl.do(t, "GET", "2"); string(rp.Bulk) != "still-works" {
+		t.Fatalf("follow-up GET = %q", rp.Bulk)
+	}
+}
+
+// tinySendListener wraps a TCP listener, shrinking each accepted
+// connection's kernel send buffer so a client that stops reading
+// back-pressures the server after a few KB instead of megabytes — the
+// deterministic stage for TestServerWriteTimeout.
+type tinySendListener struct{ net.Listener }
+
+func (l tinySendListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetWriteBuffer(4 << 10)
+	}
+	return c, nil
+}
+
+// TestServerWriteTimeout: a client that pipelines GETs for a bulk value and
+// never drains its replies must be disconnected by WriteTimeout. The bulk
+// reply is larger than the reply writer's buffer, so the blocking write
+// happens on the auto-flush INSIDE dispatch — the deadline must already be
+// armed there, not only at the explicit pipeline-drain flush.
+func TestServerWriteTimeout(t *testing.T) {
+	s, err := New(Config{Scheme: "qsense", WriteTimeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ln = tinySendListener{ln}
+	go s.Serve()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+		s.Close()
+	})
+	addr := ln.Addr().String()
+
+	// A healthy client stores a value big enough that a handful of GET
+	// replies overflow the shrunken kernel buffers.
+	setter := dialClient(t, addr)
+	if rp := setter.do(t, "SET", "1", strings.Repeat("x", 32<<10)); rp.IsError() {
+		t.Fatalf("SET: %s", rp.Str)
+	}
+
+	// The stalled client: tiny receive buffer, pipelined GETs, never reads.
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	raw.(*net.TCPConn).SetReadBuffer(4 << 10)
+	wr := resp.NewWriter(raw)
+	for i := 0; i < 64; i++ {
+		wr.Command("GET", "1")
+	}
+	if err := wr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for s.writeTimeouts.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("write timeout never fired against a stalled client")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The handler unwinds: the stalled connection unregisters and its lease
+	// goes back, leaving only the healthy client.
+	for s.LiveConns() > 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stalled connection still registered (%d live)", s.LiveConns())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if rp := setter.do(t, "PING"); rp.Str != "PONG" {
+		t.Fatalf("healthy client broken after the stalled one was dropped: %q", rp.Str)
 	}
 }

@@ -35,6 +35,7 @@ func (c *Cache[T]) Alloc() (Ref, *T) {
 		idx := c.buf[n-1]
 		c.buf = c.buf[:n-1]
 		s := c.pool.slotAt(idx)
+		s.birth = c.pool.era.Load() // before the gen bump makes the slot visible
 		gen := s.gen.Add(1)
 		c.pool.allocs.Add(1)
 		return makeRef(idx, gen), &s.val

@@ -18,6 +18,14 @@
 // The two low bits let lock-free structures pack their deletion marks into
 // the same word they CAS, exactly as the C implementations pack them into
 // pointer low bits.
+//
+// Nodes are not limited to fixed-shape links: a node type may embed a Value
+// (a length-prefixed byte payload) so variable-length data — the SkipMap's
+// spilled byte values — lives in pool slots under the same generation
+// tags, the same Free, and the same birth-era stamps as the structure
+// itself. A displaced value node retires through the owning domain exactly
+// like an unlinked structural node; see Value for the write-once publish
+// discipline that makes guarded reads of it conclusive.
 package mem
 
 import "fmt"

@@ -1,0 +1,43 @@
+package mem
+
+// Value is a length-prefixed byte payload embeddable in a pool slot. A
+// structure that spills variable-length values allocates a value node from
+// the same pool as its structural nodes (one Config.Free / one EraSource per
+// reclamation domain), stores the bytes with Set before publishing the node's
+// Ref, and reads them back with Append under a guard. Because the payload
+// lives behind the slot's birth-era header, interval-based schemes (ibr)
+// stamp value lifetimes exactly as they stamp structural ones, and Valid /
+// the -tags qsensedebug checks apply unchanged.
+//
+// A Value is written once, before its Ref is published, and read-only
+// afterwards; that single-publish discipline is what makes guarded readers'
+// copies conclusive (see internal/skiplist's spilled-value linearization
+// argument). Poison (Free zeroing the slot) zeroes the length and drops the
+// backing array, so a use-after-free read observes an empty payload rather
+// than stale bytes even when the generation check is compiled out.
+type Value struct {
+	n   uint32
+	buf []byte
+}
+
+// Set copies b into the value, growing the backing array when needed. Must
+// only be called by the slot's owner before the Ref is published.
+func (v *Value) Set(b []byte) {
+	if cap(v.buf) < len(b) {
+		v.buf = make([]byte, len(b))
+	}
+	v.buf = v.buf[:cap(v.buf)]
+	copy(v.buf, b)
+	v.n = uint32(len(b))
+}
+
+// Len returns the payload length in bytes.
+func (v *Value) Len() int { return int(v.n) }
+
+// Bytes returns the payload without copying. The slice aliases the slot:
+// only the owner (pre-publish) or a guarded reader that re-validates the
+// publishing word after the copy may use it.
+func (v *Value) Bytes() []byte { return v.buf[:v.n] }
+
+// Append appends the payload to dst and returns the extended slice.
+func (v *Value) Append(dst []byte) []byte { return append(dst, v.buf[:v.n]...) }

@@ -161,10 +161,12 @@ var goldenStats = map[string][2]string{
 	// ibr and hyaline were born after the sharding refactor, so their goldens
 	// are the Shards=1 capture at introduction rather than a pre-refactor
 	// seed; they gate the same property going forward (determinism of the
-	// drive and Stats-accounting balance at Shards=1).
+	// drive and Stats-accounting balance at Shards=1). The ibr strings were
+	// re-captured when the era cadence became adaptive (eraQ relaxes under
+	// the drive's narrow reservations, so far fewer epoch advances).
 	"ibr": {
-		"ret=224 freed=216 pend=8 scans=33 scanned=176 quiesce=0 epochs=117 tofall=0 tofast=0 evict=0 rejoin=0 acq=5 rel=5 arena=8 hw=6 grows=1 parked=4 parks=1 unparks=0 effR=8 effC=8192 retR=0 retC=0 orph=18 adopt=10 fall=false passes=0 failed=false",
-		"ret=224 freed=224 pend=0 scans=33 scanned=181 quiesce=0 epochs=117 tofall=0 tofast=0 evict=0 rejoin=0 acq=5 rel=5 arena=8 hw=6 grows=1 parked=4 parks=1 unparks=0 effR=8 effC=8192 retR=0 retC=0 orph=18 adopt=10 fall=false passes=0 failed=false",
+		"ret=224 freed=189 pend=35 scans=34 scanned=181 quiesce=0 epochs=26 tofall=0 tofast=0 evict=0 rejoin=0 acq=5 rel=5 arena=8 hw=6 grows=1 parked=4 parks=1 unparks=0 effR=8 effC=8192 retR=0 retC=0 orph=60 adopt=25 fall=false passes=0 failed=false",
+		"ret=224 freed=224 pend=0 scans=34 scanned=186 quiesce=0 epochs=26 tofall=0 tofast=0 evict=0 rejoin=0 acq=5 rel=5 arena=8 hw=6 grows=1 parked=4 parks=1 unparks=0 effR=8 effC=8192 retR=0 retC=0 orph=60 adopt=25 fall=false passes=0 failed=false",
 	},
 	"hyaline": {
 		"ret=224 freed=216 pend=8 scans=0 scanned=575 quiesce=0 epochs=0 tofall=0 tofast=0 evict=0 rejoin=0 acq=5 rel=5 arena=8 hw=6 grows=1 parked=4 parks=1 unparks=0 effR=0 effC=0 retR=0 retC=0 orph=18 adopt=10 fall=false passes=0 failed=false",

@@ -32,12 +32,23 @@ import (
 // applicability matrix requires "tolerates transient access to retired
 // nodes" of IBR's structures — the guarded-traversal containers all do.
 //
-// The era clock advances every Config.Q retires (the 2GEIBR epochFreq knob)
-// and on orphan-draining Begins; scans run every R retires (retuned with
-// occupancy like the pointer schemes). With a nil Config.Era the domain
-// falls back to an internal clock whose nodes are all born at era 0 — safe
-// but epoch-equivalent (see EraSource); the public layer wires each
-// container's pool clock so real interval reclamation engages.
+// The era clock advances every eraQ retires — an ADAPTIVE cadence seeded
+// from Config.Q (the 2GEIBR epochFreq knob) and steered by the observed
+// reservation width: when a scan sees a reservation spanning more than
+// ibrWidthTarget eras, the cadence tightens (eraQ halves, floored at
+// max(1, Q/4)) so the birth clock outruns the wide interval — freshly
+// allocated nodes are born PAST a straggler's frozen upper bound and
+// reclaim without waiting on it, which is the whole robustness claim.
+// When every reservation is narrow the cadence relaxes (eraQ doubles,
+// capped at Q*16) to shed the clock-advance traffic an over-eager era
+// costs on the fast path. The inverse policy — slowing the clock under a
+// wide reservation — would be exactly wrong: with the era frozen, every
+// new birth stays <= the straggler's upper and is covered forever. The
+// clock also advances on orphan-draining Begins; scans run every R retires
+// (retuned with occupancy like the pointer schemes). With a nil Config.Era
+// the domain falls back to an internal clock whose nodes are all born at
+// era 0 — safe but epoch-equivalent (see EraSource); the public layer
+// wires each container's pool clock so real interval reclamation engages.
 type IBR struct {
 	cfg     Config
 	cnt     counters
@@ -46,7 +57,18 @@ type IBR struct {
 	slots   *shardedPool
 	orphans shardedOrphans
 	guards  *shardedArena[*ibrGuard]
+	// eraQ is the adaptive retires-per-era-advance cadence (see the type
+	// comment); eraQFloor/eraQCap bound it. Plain Store races between
+	// concurrent scanners are benign — every written value is in range.
+	eraQ               atomic.Int64
+	eraQFloor, eraQCap int64
 }
+
+// ibrWidthTarget is the reservation width (in eras) the cadence controller
+// steers toward: wider observed reservations tighten eraQ, reservations at
+// most one era wide relax it. Between the two bounds the cadence holds —
+// the hysteresis band that keeps the controller from oscillating.
+const ibrWidthTarget = 4
 
 // resInactive is the lower-bound sentinel of an inactive reservation:
 // lower > upper encodes "no reservation", and MaxUint64 keeps every
@@ -94,6 +116,12 @@ func NewIBR(cfg Config) (*IBR, error) {
 	if d.era == nil {
 		d.era = &localEra{}
 	}
+	d.eraQFloor = int64(cfg.Q / 4)
+	if d.eraQFloor < 1 {
+		d.eraQFloor = 1
+	}
+	d.eraQCap = int64(cfg.Q) * 16
+	d.eraQ.Store(int64(cfg.Q))
 	d.tune = newTuner(cfg, &d.cnt)
 	d.orphans.init(cfg.Shards)
 	d.guards = newShardedArena(cfg.Shards, cfg.Workers, cfg.HardMaxWorkers, func(i int) *ibrGuard {
@@ -173,6 +201,36 @@ func (d *IBR) Failed() bool { return d.cnt.failed.Load() }
 
 // Era exposes the current era for tests.
 func (d *IBR) Era() uint64 { return d.era.Era() }
+
+// EraQ exposes the current adaptive era-advance cadence (retires per
+// AdvanceEra) for tests and diagnostics.
+func (d *IBR) EraQ() int { return int(d.eraQ.Load()) }
+
+// retuneEraQ is the cadence controller, run once per scan against the
+// reservation snapshot the scan already collected: tighten toward the floor
+// while any reservation spans more than ibrWidthTarget eras, relax toward
+// the cap while all are at most one era wide.
+func (d *IBR) retuneEraQ(res []eraInterval) {
+	var w uint64
+	for _, iv := range res {
+		if iv.hi-iv.lo > w {
+			w = iv.hi - iv.lo
+		}
+	}
+	q := d.eraQ.Load()
+	switch {
+	case w > ibrWidthTarget && q > d.eraQFloor:
+		if q /= 2; q < d.eraQFloor {
+			q = d.eraQFloor
+		}
+		d.eraQ.Store(q)
+	case w <= 1 && q < d.eraQCap:
+		if q *= 2; q > d.eraQCap {
+			q = d.eraQCap
+		}
+		d.eraQ.Store(q)
+	}
+}
 
 // Stats implements Domain. IBRIntervalWidth is the widest active
 // reservation (upper-lower) at snapshot time — how much era history the
@@ -262,8 +320,9 @@ func (g *ibrGuard) ClearHPs() {
 
 // Retire stamps r with its lifetime interval — birth read back from the
 // era source while the retirer still owns the node, retire era taken now —
-// and banks it in the guard's limbo. Every Q retires advance the era (the
-// 2GEIBR epochFreq cadence); every R retires run a scan.
+// and banks it in the guard's limbo. Every eraQ retires advance the era
+// (the 2GEIBR epochFreq cadence, made adaptive — see the type comment);
+// every R retires run a scan.
 func (g *ibrGuard) Retire(r mem.Ref) {
 	if r.IsNil() {
 		panic("reclaim: retire of nil Ref")
@@ -272,7 +331,7 @@ func (g *ibrGuard) Retire(r mem.Ref) {
 	g.limbo = append(g.limbo, retired{ref: r, stamp: g.d.era.Era(), birth: g.d.era.BirthEra(r)})
 	g.d.cnt.tallyRetire(&g.tally, g.d.cfg.MemoryLimit)
 	g.sinceEra++
-	if g.sinceEra >= g.d.cfg.Q {
+	if g.sinceEra >= int(g.d.eraQ.Load()) {
 		g.sinceEra = 0
 		g.d.advanceEra()
 	}
@@ -312,6 +371,7 @@ func (g *ibrGuard) scan() {
 	batches := d.orphans.detachAll()
 	res := g.collect()
 	d.cnt.scans.Add(1)
+	d.retuneEraQ(res)
 	if len(g.limbo) > 0 {
 		kept := g.limbo[:0]
 		freed := 0

@@ -295,6 +295,18 @@ func (w *Writer) Command(args ...string) {
 	}
 }
 
+// CommandBytes is Command for pre-encoded arguments — the load generator's
+// byte-valued SET path, which would otherwise pay a string conversion per
+// payload.
+func (w *Writer) CommandBytes(args ...[]byte) {
+	w.bw.WriteByte('*')
+	w.bw.WriteString(strconv.Itoa(len(args)))
+	w.bw.WriteString("\r\n")
+	for _, a := range args {
+		w.Bulk(a)
+	}
+}
+
 // Null writes the null bulk string $-1.
 func (w *Writer) Null() { w.bw.WriteString("$-1\r\n") }
 

@@ -2,16 +2,20 @@
 // (Fraser, "Practical lock-freedom", 2004 — reference [11]; the ASCYLIB
 // variant the paper builds on). Keys live in a sorted multi-level list;
 // bit 0 of each per-level next word is the logical-deletion mark for that
-// level. Every node additionally carries a value word (Put/Get), so the
-// same structure backs both the set containers and the value-carrying
-// SkipMap the network server is built on.
+// level. Every node additionally carries a byte value (PutBytes/GetAppend,
+// with Put/Get as the uint64 fast path): small values live inline in the
+// node's value word, larger ones spill to a reclaimed value node in the
+// same pool — see value.go for the encoding and its linearization
+// argument. The same structure backs both the set containers and the
+// value-carrying SkipMap the network server is built on.
 //
 // Hazard pointer budget: searches keep a (pred, succ) pair protected per
 // level plus one scratch slot that covers a frozen successor across a
-// splice and one pin slot that insert/delete hold on their own node —
-// 2*levels+2 in total, the paper's "up to 35 hazard pointers" for the
-// skip list (§7.3), and the reason QSense's gap to QSBR is widest on this
-// structure.
+// splice, one pin slot that insert/delete hold on their own node, and one
+// value slot that covers a spilled value node while its bytes are copied
+// out — 2*levels+3 in total, exactly the paper's "up to 35 hazard
+// pointers" for the skip list at 16 levels (§7.3), and the reason QSense's
+// gap to QSBR is widest on this structure.
 //
 // # Reclamation safety argument
 //
@@ -87,7 +91,7 @@ const MaxLevel = 16
 
 // HPsFor returns the hazard pointer count a handle needs for a given level
 // configuration.
-func HPsFor(levels int) int { return 2*levels + 2 }
+func HPsFor(levels int) int { return 2*levels + 3 }
 
 const (
 	markBit = 1
@@ -112,13 +116,20 @@ type node struct {
 	key      int64
 	topLevel int32
 	state    atomic.Uint32 // insert/delete retirement ownership (below)
-	// val is the node's value word (Put/Get). Written before the level-0
-	// link CAS publishes the node, then only by Put's in-place update on a
-	// node still reachable through a clean edge — both ordered against any
-	// Get by the atomic link/val accesses, so a reader never sees an
-	// uninitialized word. Set-only callers (Insert/Contains) ignore it.
+	// val is the node's value word — inline payload, spilled value-node
+	// Ref, or tombstone (value.go). Written before the level-0 link CAS
+	// publishes the node, then only by updateValue's CAS on a node still
+	// reachable through a clean edge and by Delete's tombstone swap — all
+	// ordered against any reader by the atomic link/val accesses, so a
+	// reader never sees an uninitialized word. Set-only callers
+	// (Insert/Contains) leave it 0.
 	val  atomic.Uint64
 	next [MaxLevel]atomic.Uint64
+	// payload backs spilled values: a node doubles as a value node when an
+	// upsert needs more than MaxInline bytes (same pool, same birth-era
+	// header, so ibr stamps value lifetimes like structural ones). On a
+	// value node the link words above are never published.
+	payload mem.Value
 }
 
 // Retirement ownership. An inserter keeps linking upper levels after its
@@ -157,6 +168,12 @@ type SkipList struct {
 	levels int
 	head   mem.Ref
 	tail   mem.Ref
+
+	// value-arena gauges (ValueStats in value.go)
+	vBytes   atomic.Int64
+	vSpilled atomic.Int64
+	vRetires atomic.Uint64
+	sRetires atomic.Uint64
 }
 
 // New creates an empty skip list.
@@ -208,11 +225,14 @@ func (s *SkipList) NewHandle(g reclaim.Guard, seed uint64) *Handle {
 // Slot layout: 2l / 2l+1 hold the (pred, succ) pair of level l; slot
 // 2*levels is the scratch slot that covers a frozen successor from just
 // before its installing splice until the level's own pair picks it up;
-// 2*levels+1 pins the operation's own node across helper searches.
+// 2*levels+1 pins the operation's own node across helper searches;
+// 2*levels+2 covers a spilled value node while its payload is copied out
+// (value.go).
 func (h *Handle) hpLeft(l int) int  { return 2 * l }
 func (h *Handle) hpRight(l int) int { return 2*l + 1 }
 func (h *Handle) hpScratch() int    { return 2 * h.s.levels }
 func (h *Handle) hpPin() int        { return 2*h.s.levels + 1 }
+func (h *Handle) hpVal() int        { return 2*h.s.levels + 2 }
 
 func isMarked(w uint64) bool { return w&markBit != 0 }
 
@@ -332,40 +352,25 @@ func (h *Handle) Contains(key int64) bool {
 }
 
 // Insert adds key; false if already present or reserved.
-func (h *Handle) Insert(key int64) bool { return h.insert(key, 0, false) }
-
-// Put sets key's value word: it inserts key→val if absent (true) or
-// updates an existing key's value in place (false). The update is a plain
-// atomic store on a node still protected by the search's level-0 slot
-// pair, so it is safe against a concurrent delete — a Put that loses that
-// race linearizes as update-then-delete. Reserved keys are rejected
-// (false) without storing anything.
-func (h *Handle) Put(key int64, val uint64) bool { return h.insert(key, val, true) }
-
-// Get returns key's value word. Reserved keys are never present (a naive
-// search for tailKey would otherwise phantom-match the tail sentinel).
-func (h *Handle) Get(key int64) (uint64, bool) {
-	if reserved(key) {
-		return 0, false
-	}
-	h.guard.Begin()
-	h.search(key)
-	n := h.s.pool.Get(h.succs[0])
-	var v uint64
-	found := n.key == key
-	if found {
-		v = n.val.Load()
-	}
-	h.guard.ClearHPs()
-	return v, found
+func (h *Handle) Insert(key int64) bool {
+	ins, _ := h.upsertWord(key, 0, 0, false)
+	return ins
 }
 
-func (h *Handle) insert(key int64, val uint64, upsert bool) bool {
+// upsertWord is the shared insert/put core: it links a new node whose
+// value word is w (inserted=true), or — when upsert is set — installs w
+// into an existing node via updateValue (inserted=false). vlen is w's
+// spilled payload length, threaded through for the gauges (noteInstall).
+// consumed reports whether w entered a reachable node: false only when the
+// key existed and the upsert lost to a concurrent delete
+// (update-then-delete) or upsert was false; a caller holding a spilled w
+// must then free it. The public byte/uint64 entry points live in value.go.
+func (h *Handle) upsertWord(key int64, w uint64, vlen int, upsert bool) (inserted, consumed bool) {
 	if reserved(key) {
 		// Inserting tailKey would upsert the tail sentinel's value word;
 		// inserting headKey would link a node Validate cannot order
 		// against the head. Both are rejected, not "already present".
-		return false
+		return false, false
 	}
 	h.guard.Begin()
 	defer h.guard.ClearHPs()
@@ -376,19 +381,17 @@ func (h *Handle) insert(key int64, val uint64, upsert bool) bool {
 	for {
 		h.search(key)
 		if existing := pool.Get(h.succs[0]); existing.key == key {
-			if upsert {
-				existing.val.Store(val)
-			}
+			consumed = upsert && h.updateValue(existing, w, vlen)
 			if !nref.IsNil() {
 				h.cache.Free(nref) // never linked: free directly
 			}
-			return false
+			return false, consumed
 		}
 		if nref.IsNil() {
 			nref, nptr = h.cache.Alloc()
 			nptr.key = key
 			nptr.topLevel = int32(topLevel)
-			nptr.val.Store(val)
+			nptr.val.Store(w)
 			nptr.state.Store(stLinking) // recycled slots carry stale states
 			for l := 1; l < topLevel; l++ {
 				// Upper next words stay nil until the level's link
@@ -405,6 +408,7 @@ func (h *Handle) insert(key int64, val uint64, upsert bool) bool {
 		if !pool.Get(h.preds[0]).next[0].CompareAndSwap(uint64(h.succs[0]), uint64(nref)) {
 			continue // contention at level 0: retry with fresh position
 		}
+		h.s.noteInstall(w, vlen)
 		break // linked: the insert has taken effect
 	}
 	// Link the upper levels, one claim-then-link step per attempt: claim
@@ -431,7 +435,7 @@ func (h *Handle) insert(key int64, val uint64, upsert bool) bool {
 				if isMarked(w) {
 					h.search(key) // final cleanup pass, then done
 					h.finishInsert(nref, nptr, key)
-					return true
+					return true, true
 				}
 				if nptr.next[l].CompareAndSwap(w, uint64(h.succs[l])) {
 					break
@@ -446,7 +450,7 @@ func (h *Handle) insert(key int64, val uint64, upsert bool) bool {
 				// Our node was deleted and already pruned by the
 				// search we just ran.
 				h.finishInsert(nref, nptr, key)
-				return true
+				return true, true
 			}
 		}
 	}
@@ -455,7 +459,7 @@ func (h *Handle) insert(key int64, val uint64, upsert bool) bool {
 		h.search(key)
 	}
 	h.finishInsert(nref, nptr, key)
-	return true
+	return true, true
 }
 
 // finishInsert ends the linking phase: no further level can be (re-)linked
@@ -468,6 +472,7 @@ func (h *Handle) finishInsert(nref mem.Ref, nptr *node, key int64) {
 		return
 	}
 	h.search(key)
+	h.s.sRetires.Add(1)
 	h.guard.Retire(nref)
 }
 
@@ -513,6 +518,12 @@ func (h *Handle) Delete(key int64) bool {
 			return false // another deleter owns it
 		}
 		if pool.Get(n).next[0].CompareAndSwap(w, w|markBit) {
+			// Winning the level-0 mark also wins the value: displace it
+			// with the tombstone and retire a spilled value node exactly
+			// once, while the pin still protects n. Readers that load the
+			// tombstone linearize after this delete (value.go); later
+			// upserts observe it and refuse to resurrect the node.
+			h.retireDisplaced(pool.Get(n).val.Swap(valTombstone))
 			h.search(key) // physical cleanup at every level
 			// Retirement ownership: if n's inserter is still linking
 			// upper levels, it can re-link a level our search already
@@ -524,6 +535,7 @@ func (h *Handle) Delete(key int64) bool {
 			if np.state.Load() == stLinking && np.state.CompareAndSwap(stLinking, stAbandoned) {
 				return true
 			}
+			h.s.sRetires.Add(1)
 			h.guard.Retire(n)
 			return true
 		}

@@ -295,7 +295,7 @@ func TestSkipListLevelsConfig(t *testing.T) {
 	if s.Levels() != 4 {
 		t.Fatalf("levels = %d", s.Levels())
 	}
-	if HPsFor(4) != 10 {
+	if HPsFor(4) != 11 { // 2 per level + scratch + pin + value slot
 		t.Fatalf("HPsFor(4) = %d", HPsFor(4))
 	}
 	// Out-of-range configs fall back to MaxLevel.

@@ -106,3 +106,154 @@ func TestSkipListValueConcurrent(t *testing.T) {
 		})
 	}
 }
+
+// TestSkipListByteValues covers the byte-valued surface single-threaded:
+// inline and spilled round-trips, the upsert/displacement retire
+// accounting, and the live-bytes gauges across every scheme.
+func TestSkipListByteValues(t *testing.T) {
+	for _, scheme := range reclaim.Schemes() {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			s, d, hs := newSet(t, scheme, 1, 8)
+			defer d.Close()
+			h := hs[0]
+
+			if _, ok := h.GetAppend(1, nil); ok {
+				t.Fatal("empty GetAppend")
+			}
+			// Inline: up to 7 bytes live in the value word itself.
+			if !h.PutBytes(1, []byte("tiny")) {
+				t.Fatal("first PutBytes should insert")
+			}
+			if v, ok := h.GetAppend(1, nil); !ok || string(v) != "tiny" {
+				t.Fatalf("inline GetAppend = %q,%v", v, ok)
+			}
+			if vs := s.ValueStats(); vs.Bytes != 4 || vs.Spilled != 0 {
+				t.Fatalf("inline gauges = %+v", vs)
+			}
+			// Spilled: longer values live in a value node from the same pool.
+			long := []byte("a value far too long to inline in one word")
+			if h.PutBytes(1, long) {
+				t.Fatal("second PutBytes should update")
+			}
+			if v, ok := h.GetAppend(1, nil); !ok || string(v) != string(long) {
+				t.Fatalf("spilled GetAppend = %q,%v", v, ok)
+			}
+			vs := s.ValueStats()
+			if vs.Bytes != int64(len(long)) || vs.Spilled != 1 {
+				t.Fatalf("spilled gauges = %+v", vs)
+			}
+			// GetAppend appends: the prefix survives.
+			pre := append([]byte(nil), "pfx:"...)
+			if v, ok := h.GetAppend(1, pre); !ok || string(v) != "pfx:"+string(long) {
+				t.Fatalf("GetAppend with prefix = %q,%v", v, ok)
+			}
+			// Displacing a spilled value retires its node through the domain.
+			if h.PutBytes(1, []byte("spilled again, still too long")) {
+				t.Fatal("third PutBytes should update")
+			}
+			vs = s.ValueStats()
+			if vs.ValueRetires == 0 {
+				t.Fatalf("no value retires after displacing a spilled value: %+v", vs)
+			}
+			if vs.Spilled != 1 {
+				t.Fatalf("spilled gauge after replace = %+v", vs)
+			}
+			// Zero-length values round-trip as present-and-empty.
+			if h.PutBytes(2, nil) != true {
+				t.Fatal("empty-value insert")
+			}
+			if v, ok := h.GetAppend(2, nil); !ok || len(v) != 0 {
+				t.Fatalf("empty-value GetAppend = %q,%v", v, ok)
+			}
+			// Delete drops the gauges back to zero and retires the value node.
+			if !h.Delete(1) || !h.Delete(2) {
+				t.Fatal("delete")
+			}
+			if _, ok := h.GetAppend(1, nil); ok {
+				t.Fatal("GetAppend after delete")
+			}
+			vs = s.ValueStats()
+			if vs.Bytes != 0 || vs.Spilled != 0 {
+				t.Fatalf("gauges after delete = %+v", vs)
+			}
+			if vs.StructRetires == 0 {
+				t.Fatalf("no structural retires after delete: %+v", vs)
+			}
+		})
+	}
+}
+
+// TestSkipListByteValueConcurrent is the torn/freed-value detector at the
+// skiplist layer: concurrent upserts of self-describing spilled payloads
+// (first byte = writer id, the rest a repeat of it keyed by the key) race
+// with readers that verify every observed payload is internally consistent
+// — a torn read (bytes from two writes) or a freed read (recycled value
+// node) fails the check.
+func TestSkipListByteValueConcurrent(t *testing.T) {
+	const (
+		workers  = 4
+		keyRange = 32
+		opsEach  = 8000
+	)
+	for _, scheme := range []string{"qsense", "hp", "ibr"} {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			_, d, hs := newSet(t, scheme, workers, 8)
+			defer d.Close()
+			var bad atomic.Uint64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					h := hs[w]
+					rng := uint64(w)*0x9E3779B9 + 1
+					var buf, val []byte
+					for i := 0; i < opsEach; i++ {
+						rng ^= rng << 13
+						rng ^= rng >> 7
+						rng ^= rng << 17
+						k := int64(rng % keyRange)
+						switch rng % 4 {
+						case 0:
+							// 9..24 bytes: always spilled. Every byte is
+							// derived from (key, stamp), so any stitched or
+							// recycled read breaks the pattern.
+							n := 9 + int(rng%16)
+							stamp := byte(rng)
+							val = val[:0]
+							for j := 0; j < n; j++ {
+								val = append(val, stamp+byte(k)*3+byte(j))
+							}
+							h.PutBytes(k, val)
+						case 1:
+							h.Delete(k)
+						default:
+							v, ok := h.GetAppend(k, buf[:0])
+							buf = v
+							if !ok {
+								continue
+							}
+							if len(v) < 9 {
+								bad.Add(1)
+								continue
+							}
+							stamp := v[0] - byte(k)*3
+							for j := range v {
+								if v[j] != stamp+byte(k)*3+byte(j) {
+									bad.Add(1)
+									break
+								}
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if n := bad.Load(); n != 0 {
+				t.Fatalf("%d torn or freed value reads", n)
+			}
+		})
+	}
+}

@@ -27,20 +27,45 @@ func TestPublicSkipMap(t *testing.T) {
 			if _, ok := h.Get(1); ok {
 				t.Fatal("empty get")
 			}
-			if !h.Put(1, 11) {
+			if !h.PutUint64(1, 11) {
 				t.Fatal("first Put should insert")
 			}
-			if h.Put(1, 22) {
+			if h.PutUint64(1, 22) {
 				t.Fatal("second Put should update")
 			}
-			if v, ok := h.Get(1); !ok || v != 22 {
-				t.Fatalf("Get = %d,%v want 22,true", v, ok)
+			if v, ok := h.GetUint64(1); !ok || v != 22 {
+				t.Fatalf("GetUint64 = %d,%v want 22,true", v, ok)
+			}
+			// The uint64 fast path stores minimal little-endian bytes; the
+			// byte API reads the same entry.
+			if b, ok := h.Get(1); !ok || len(b) != 1 || b[0] != 22 {
+				t.Fatalf("Get = %v,%v want [22],true", b, ok)
+			}
+			// Byte values: an inline-sized update then a spilled (>7 byte)
+			// one, both visible through GetAppend with a reused buffer.
+			if h.Put(1, []byte("tiny")) {
+				t.Fatal("byte Put on existing key should update")
+			}
+			spilled := []byte("a value too long to inline")
+			if h.Put(1, spilled) {
+				t.Fatal("spilled Put on existing key should update")
+			}
+			buf := make([]byte, 0, 64)
+			if b, ok := h.GetAppend(1, buf); !ok || string(b) != string(spilled) {
+				t.Fatalf("GetAppend = %q,%v", b, ok)
 			}
 			if !h.Delete(1) || h.Delete(1) {
 				t.Fatal("delete semantics")
 			}
 			if m.Len() != 0 {
 				t.Fatalf("Len = %d want 0", m.Len())
+			}
+			vs := m.Values()
+			if vs.Bytes != 0 || vs.Spilled != 0 {
+				t.Fatalf("value gauges not drained: %+v", vs)
+			}
+			if vs.ValueRetires == 0 {
+				t.Fatal("spilled displacement should have retired a value node")
 			}
 		})
 	}
@@ -77,11 +102,11 @@ func TestSkipMapLeaseChurn(t *testing.T) {
 					k := int64((g*31 + r*7 + i) % keyRange)
 					switch i % 4 {
 					case 0:
-						h.Put(k, uint64(k)*1000)
+						h.PutUint64(k, uint64(k)*1000)
 					case 1:
 						h.Delete(k)
 					default:
-						if v, ok := h.Get(k); ok && v != uint64(k)*1000 {
+						if v, ok := h.GetUint64(k); ok && v != uint64(k)*1000 {
 							errs <- errWrongValue{k: k, v: v}
 							h.Release()
 							return
